@@ -1,0 +1,34 @@
+// Fig. 6 (Exp-1, WEBSPAM-UK2007 stand-in): time and I/Os while the edge
+// fraction of the web graph grows from 20% to 100%, fixed default memory.
+// Expected shape (paper): DFS-SCC INF everywhere; Ext-SCC and Ext-SCC-Op
+// grow with |E|; Ext-SCC-Op consistently below Ext-SCC.
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "gen/webgraph_generator.h"
+
+namespace bench = extscc::bench;
+
+int main() {
+  std::printf("Fig. 6 — WEBSPAM-UK2007 stand-in, varying graph size "
+              "(%% of edges); |V|=%llu, M=%llu KB, B=%zu KB\n",
+              static_cast<unsigned long long>(bench::WebGraphNodes()),
+              static_cast<unsigned long long>(bench::DefaultMemory() / 1024),
+              bench::BlockSize() / 1024);
+  std::vector<bench::PointResult> points;
+  for (const int percent : {20, 40, 60, 80, 100}) {
+    auto workload = [percent](extscc::io::IoContext* ctx) {
+      extscc::gen::WebGraphParams params;
+      params.num_nodes = bench::WebGraphNodes();
+      params.avg_out_degree = bench::kWebGraphOutDegree;
+      params.seed = bench::kWebGraphSeed;
+      params.edge_fraction = percent / 100.0;
+      return extscc::gen::GenerateWebGraph(ctx, params);
+    };
+    points.push_back(bench::RunPoint(std::to_string(percent) + "%", workload,
+                                     bench::DefaultMemory()));
+  }
+  bench::EmitFigure("fig6_webgraph_size", "edges", points);
+  return 0;
+}

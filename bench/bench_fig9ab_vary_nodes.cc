@@ -1,0 +1,33 @@
+// Fig. 9(a)(b) (Exp-3): time and I/Os vs node count |V| on Large-SCC.
+// Expected shape (paper): both Ext-SCC variants grow with |V| (more
+// contraction iterations + bigger per-iteration sorts); DFS-SCC only
+// finishes at the smallest point — and even there is far slower.
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "gen/synthetic_generator.h"
+
+namespace bench = extscc::bench;
+
+int main() {
+  std::printf("Fig. 9(a)(b) — Large-SCC, varying node count; D=%.0f, "
+              "M=%llu KB\n",
+              bench::kDefaultDegree,
+              static_cast<unsigned long long>(bench::DefaultMemory() / 1024));
+  std::vector<bench::PointResult> points;
+  for (const std::uint64_t nodes : bench::NodeSweep()) {
+    auto workload = [nodes](extscc::io::IoContext* ctx) {
+      extscc::gen::SyntheticParams params;
+      params.num_nodes = nodes;
+      params.avg_degree = bench::kDefaultDegree;
+      params.sccs = {{bench::kLargeSccCount, bench::LargeSccSize(params.num_nodes)}};
+      params.seed = 9;
+      return extscc::gen::GenerateSynthetic(ctx, params);
+    };
+    points.push_back(bench::RunPoint(std::to_string(nodes / 1000) + "K",
+                                     workload, bench::DefaultMemory()));
+  }
+  bench::EmitFigure("fig9ab_vary_nodes", "|V|", points);
+  return 0;
+}

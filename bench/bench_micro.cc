@@ -1,0 +1,227 @@
+// Substrate microbenchmarks (google-benchmark): external sort, BRT
+// insert/extract, semi-external SCC, vertex-cover selection, and the two
+// full algorithms on a small fixed workload. These quantify the building
+// blocks the figure benches compose.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "app/bisimulation.h"
+#include "app/reachability_index.h"
+#include "baseline/buffered_repository_tree.h"
+#include "core/ext_scc.h"
+#include "gen/rmat_generator.h"
+#include "scc/br_tree_scc.h"
+#include "core/vertex_cover.h"
+#include "extsort/external_sorter.h"
+#include "gen/classic_graphs.h"
+#include "gen/synthetic_generator.h"
+#include "graph/edge_file.h"
+#include "graph/disk_graph.h"
+#include "io/record_stream.h"
+#include "scc/semi_external_scc.h"
+#include "scc/tarjan.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace extscc;
+
+std::unique_ptr<io::IoContext> MakeCtx(std::uint64_t memory_bytes,
+                                       std::size_t block = 16 * 1024) {
+  io::IoContextOptions options;
+  options.block_size = block;
+  options.memory_bytes =
+      std::max<std::uint64_t>(memory_bytes, 2 * options.block_size);
+  return std::make_unique<io::IoContext>(options);
+}
+
+void BM_ExternalSortEdges(benchmark::State& state) {
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  auto ctx = MakeCtx(64 << 10);
+  const std::string in = ctx->NewTempPath("in");
+  {
+    util::Rng rng(1);
+    io::RecordWriter<graph::Edge> writer(ctx.get(), in);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      writer.Append(graph::Edge{
+          static_cast<graph::NodeId>(rng.Uniform(1u << 20)),
+          static_cast<graph::NodeId>(rng.Uniform(1u << 20))});
+    }
+  }
+  for (auto _ : state) {
+    const std::string out = ctx->NewTempPath("out");
+    extsort::SortFile<graph::Edge, graph::EdgeBySrc>(ctx.get(), in, out,
+                                                     graph::EdgeBySrc());
+    ctx->temp_files().Remove(out);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_ExternalSortEdges)->Arg(10'000)->Arg(100'000)->Arg(500'000);
+
+void BM_BrtInsertExtract(benchmark::State& state) {
+  const auto keys = static_cast<std::uint32_t>(state.range(0));
+  auto ctx = MakeCtx(1 << 20, 4096);
+  for (auto _ : state) {
+    baseline::BufferedRepositoryTree brt(ctx.get(), keys);
+    util::Rng rng(2);
+    for (std::uint32_t i = 0; i < 4 * keys; ++i) {
+      brt.Insert(static_cast<std::uint32_t>(rng.Uniform(keys)), i);
+    }
+    for (std::uint32_t k = 0; k < keys; ++k) {
+      benchmark::DoNotOptimize(brt.ExtractAll(k));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 5 * keys);
+}
+BENCHMARK(BM_BrtInsertExtract)->Arg(1'000)->Arg(4'000);
+
+void BM_SemiExternalScc(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  auto ctx = MakeCtx(scc::SemiExternalScc::kBytesPerNode * nodes * 2);
+  const auto g = graph::MakeDiskGraph(
+      ctx.get(), gen::RandomDigraphEdges(nodes, nodes * 4, 3));
+  for (auto _ : state) {
+    const std::string out = ctx->NewTempPath("scc");
+    graph::SccId next = 0;
+    scc::SemiExternalScc::Run(ctx.get(), g, out, &next);
+    ctx->temp_files().Remove(out);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_SemiExternalScc)->Arg(1'000)->Arg(10'000);
+
+void BM_InMemoryTarjan(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const auto edges = gen::RandomDigraphEdges(nodes, nodes * 4, 4);
+  graph::Digraph g(edges);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scc::TarjanScc(g));
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_InMemoryTarjan)->Arg(10'000)->Arg(100'000);
+
+void BM_VertexCover(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  auto ctx = MakeCtx(256 << 10);
+  const auto g = graph::MakeDiskGraph(
+      ctx.get(), gen::RandomDigraphEdges(nodes, nodes * 4, 5));
+  const std::string ein = ctx->NewTempPath("ein");
+  const std::string eout = ctx->NewTempPath("eout");
+  graph::SortEdgesByDst(ctx.get(), g.edge_path, ein);
+  graph::SortEdgesBySrc(ctx.get(), g.edge_path, eout);
+  for (auto _ : state) {
+    auto result =
+        core::ComputeVertexCover(ctx.get(), ein, eout, core::CoverOptions{});
+    ctx->temp_files().Remove(result.cover_path);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_VertexCover)->Arg(10'000)->Arg(50'000);
+
+void BM_ExtSccEndToEnd(benchmark::State& state) {
+  const bool op = state.range(0) != 0;
+  // 20K nodes, budget for 5K: a few contraction levels.
+  auto ctx = MakeCtx(scc::SemiExternalScc::kBytesPerNode * 5'000);
+  gen::SyntheticParams params;
+  params.num_nodes = 20'000;
+  params.avg_degree = 3.0;
+  params.sccs = {{10, 100}};
+  params.seed = 6;
+  const auto g = gen::GenerateSynthetic(ctx.get(), params);
+  for (auto _ : state) {
+    const std::string out = ctx->NewTempPath("scc");
+    auto result = core::RunExtScc(ctx.get(), g, out,
+                                  op ? core::ExtSccOptions::Optimized()
+                                     : core::ExtSccOptions::Basic());
+    if (!result.ok()) state.SkipWithError("ext-scc failed");
+    ctx->temp_files().Remove(out);
+  }
+  state.SetItemsProcessed(state.iterations() * params.num_nodes);
+}
+BENCHMARK(BM_ExtSccEndToEnd)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// ---- new-module microbenches ---------------------------------------------
+
+// BR-tree vs colouring base case on the same graph (arg: 0 = coloring,
+// 1 = br-tree).
+void BM_SemiSccBackend(benchmark::State& state) {
+  const auto backend = state.range(0) == 0 ? scc::SemiSccBackend::kColoring
+                                           : scc::SemiSccBackend::kBrTree;
+  auto ctx = MakeCtx(scc::SemiExternalScc::kBytesPerNode * 50'000);
+  const auto g = graph::MakeDiskGraph(
+      ctx.get(), gen::RandomDigraphEdges(20'000, 80'000, 3));
+  for (auto _ : state) {
+    const std::string out = ctx->NewTempPath("scc");
+    graph::SccId next = 0;
+    scc::RunSemiScc(backend, ctx.get(), g, out, &next);
+    ctx->temp_files().Remove(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000);
+}
+BENCHMARK(BM_SemiSccBackend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RmatGenerate(benchmark::State& state) {
+  const auto edges = static_cast<std::uint64_t>(state.range(0));
+  auto ctx = MakeCtx(8 << 20);
+  gen::RmatParams params;
+  params.num_nodes = edges / 4;
+  params.num_edges = edges;
+  for (auto _ : state) {
+    params.seed += 1;  // fresh stream each iteration
+    benchmark::DoNotOptimize(gen::GenerateRmat(ctx.get(), params));
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_RmatGenerate)->Arg(1 << 14)->Arg(1 << 17)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ReachabilityQuery(benchmark::State& state) {
+  auto ctx = MakeCtx(8 << 20);
+  const auto g = graph::MakeDiskGraph(
+      ctx.get(), gen::RandomDigraphEdges(5'000, 15'000, 7));
+  const std::string scc_path = ctx->NewTempPath("scc");
+  auto scc = core::RunExtScc(ctx.get(), g, scc_path,
+                             core::ExtSccOptions::Optimized());
+  if (!scc.ok()) {
+    state.SkipWithError("ext-scc failed");
+    return;
+  }
+  auto index = app::ReachabilityIndex::Build(ctx.get(), g, scc_path, {});
+  if (!index.ok()) {
+    state.SkipWithError("index build failed");
+    return;
+  }
+  const auto nodes = io::ReadAllRecords<graph::NodeId>(ctx.get(),
+                                                       g.node_path);
+  util::Rng rng(1);
+  for (auto _ : state) {
+    const auto u = nodes[rng.Uniform(nodes.size())];
+    const auto v = nodes[rng.Uniform(nodes.size())];
+    benchmark::DoNotOptimize(index.value().Reachable(u, v));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReachabilityQuery);
+
+void BM_BisimulationDag(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto ctx = MakeCtx(8 << 20);
+  const auto dag = graph::MakeDiskGraph(
+      ctx.get(), gen::RandomDagEdges(n, 3 * n, 5));
+  for (auto _ : state) {
+    auto result = app::ExternalBisimulation(ctx.get(), dag);
+    if (!result.ok()) {
+      state.SkipWithError("bisimulation failed");
+      return;
+    }
+    ctx->temp_files().Remove(result.value().block_path);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BisimulationDag)->Arg(1'000)->Arg(4'000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

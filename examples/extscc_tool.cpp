@@ -1,0 +1,221 @@
+// extscc_tool — command-line front end over the library's public API.
+//
+//   extscc_tool generate <kind> <num_nodes> <out.txt> [seed]
+//       kind: web | massive | large | small | rmat | cycle | dag
+//   extscc_tool solve <edges.txt> <out_labels.txt> [memory_bytes] [basic]
+//   extscc_tool verify <edges.txt> <labels.txt>
+//   extscc_tool condense <edges.txt> <dag_out.txt> [memory_bytes]
+//
+// Text formats: edge lists are "u v" per line; label files are
+// "node scc" per line.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "core/ext_scc.h"
+#include "gen/classic_graphs.h"
+#include "gen/rmat_generator.h"
+#include "gen/synthetic_generator.h"
+#include "gen/webgraph_generator.h"
+#include "graph/disk_graph.h"
+#include "graph/graph_io.h"
+#include "graph/scc_file.h"
+#include "io/record_stream.h"
+#include "scc/condensation.h"
+#include "scc/scc_verify.h"
+#include "scc/semi_external_scc.h"
+
+namespace {
+
+using namespace extscc;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  extscc_tool generate <web|massive|large|small|rmat|cycle|dag> "
+               "<num_nodes> <out.txt> [seed]\n"
+               "  extscc_tool solve <edges.txt> <labels_out.txt> "
+               "[memory_bytes] [basic]\n"
+               "  extscc_tool verify <edges.txt> <labels.txt>\n"
+               "  extscc_tool condense <edges.txt> <dag_out.txt> "
+               "[memory_bytes]\n");
+  return 2;
+}
+
+io::IoContext MakeContext(std::uint64_t memory_bytes) {
+  io::IoContextOptions options;
+  options.block_size = 64 * 1024;
+  options.memory_bytes =
+      std::max<std::uint64_t>(memory_bytes, 2 * options.block_size);
+  return io::IoContext(options);
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string kind = argv[2];
+  const std::uint64_t n = std::strtoull(argv[3], nullptr, 10);
+  const std::string out_path = argv[4];
+  const std::uint64_t seed =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+  auto context = MakeContext(64 << 20);
+
+  graph::DiskGraph g;
+  if (kind == "web") {
+    gen::WebGraphParams params;
+    params.num_nodes = n;
+    params.seed = seed;
+    g = gen::GenerateWebGraph(&context, params);
+  } else if (kind == "massive" || kind == "large" || kind == "small") {
+    gen::SyntheticParams params;
+    if (kind == "massive") {
+      params = gen::MassiveSccParams(n, 4.0, static_cast<std::uint32_t>(n / 250), seed);
+    } else if (kind == "large") {
+      params = gen::LargeSccParams(n, 4.0, 50,
+                                   static_cast<std::uint32_t>(n / 125), seed);
+    } else {
+      params = gen::SmallSccParams(n, 4.0, static_cast<std::uint32_t>(n / 100),
+                                   40, seed);
+    }
+    g = gen::GenerateSynthetic(&context, params);
+  } else if (kind == "rmat") {
+    gen::RmatParams params;
+    params.num_nodes = n;
+    params.num_edges = 4 * n;
+    params.seed = seed;
+    g = gen::GenerateRmat(&context, params);
+  } else if (kind == "cycle") {
+    g = graph::MakeDiskGraph(&context,
+                             gen::CycleEdges(static_cast<std::uint32_t>(n)));
+  } else if (kind == "dag") {
+    g = graph::MakeDiskGraph(
+        &context,
+        gen::RandomDagEdges(static_cast<std::uint32_t>(n), 3 * n, seed));
+  } else {
+    return Usage();
+  }
+  const auto status = graph::SaveTextEdgeList(&context, g, out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %s\n", out_path.c_str(), g.Describe().c_str());
+  return 0;
+}
+
+int CmdSolve(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::uint64_t memory =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : (4u << 20);
+  const bool basic = argc > 5 && std::strcmp(argv[5], "basic") == 0;
+  auto context = MakeContext(memory);
+  auto loaded = graph::LoadTextEdgeList(&context, argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const std::string scc_path = context.NewTempPath("scc");
+  auto result = core::RunExtScc(&context, loaded.value(), scc_path,
+                                basic ? core::ExtSccOptions::Basic()
+                                      : core::ExtSccOptions::Optimized());
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::ofstream out(argv[3]);
+  if (!out) {
+    std::fprintf(stderr, "cannot create %s\n", argv[3]);
+    return 1;
+  }
+  io::RecordReader<graph::SccEntry> reader(&context, scc_path);
+  graph::SccEntry entry;
+  while (reader.Next(&entry)) {
+    out << entry.node << ' ' << entry.scc << '\n';
+  }
+  std::printf("%s: %llu SCCs, %u contraction levels, %llu I/Os, %.2fs\n",
+              argv[2],
+              static_cast<unsigned long long>(result.value().num_sccs),
+              result.value().num_levels(),
+              static_cast<unsigned long long>(result.value().total_ios),
+              result.value().total_seconds);
+  return 0;
+}
+
+int CmdVerify(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  auto context = MakeContext(256 << 20);
+  auto loaded = graph::LoadTextEdgeList(&context, argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  // Parse the label file into an on-disk SCC file.
+  const std::string scc_path = context.NewTempPath("labels");
+  {
+    std::ifstream in(argv[3]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[3]);
+      return 1;
+    }
+    const std::string staging = context.NewTempPath("labels_raw");
+    io::RecordWriter<graph::SccEntry> writer(&context, staging);
+    std::uint64_t node, scc;
+    while (in >> node >> scc) {
+      writer.Append(graph::SccEntry{static_cast<graph::NodeId>(node),
+                                    static_cast<graph::SccId>(scc)});
+    }
+    writer.Finish();
+    graph::SortSccFileByNode(&context, staging, scc_path);
+  }
+  std::string explanation;
+  if (scc::VerifySccFile(&context, loaded.value(), scc_path, &explanation)) {
+    std::puts("OK: labels match the oracle partition");
+    return 0;
+  }
+  std::printf("MISMATCH: %s\n", explanation.c_str());
+  return 1;
+}
+
+int CmdCondense(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::uint64_t memory =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : (4u << 20);
+  auto context = MakeContext(memory);
+  auto loaded = graph::LoadTextEdgeList(&context, argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  const std::string scc_path = context.NewTempPath("scc");
+  auto result = core::RunExtScc(&context, loaded.value(), scc_path,
+                                core::ExtSccOptions::Optimized());
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const auto cond = scc::BuildCondensation(&context, loaded.value(),
+                                           scc_path);
+  const auto status =
+      graph::SaveTextEdgeList(&context, cond.dag, argv[3]);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("condensation: %s (from %s)\n", cond.dag.Describe().c_str(),
+              loaded.value().Describe().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "solve") return CmdSolve(argc, argv);
+  if (command == "verify") return CmdVerify(argc, argv);
+  if (command == "condense") return CmdCondense(argc, argv);
+  return Usage();
+}

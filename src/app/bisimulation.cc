@@ -1,0 +1,159 @@
+#include "app/bisimulation.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "extsort/external_sorter.h"
+#include "io/record_stream.h"
+#include "scc/condensation.h"
+#include "util/logging.h"
+
+namespace extscc::app {
+
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+using graph::SccEntry;
+using graph::SccId;
+
+}  // namespace
+
+util::Result<BisimulationResult> ExternalBisimulation(
+    io::IoContext* context, const graph::DiskGraph& dag) {
+  BisimulationResult out;
+
+  // ---- heights: topological levels of the reversed DAG ----------------
+  // rank 0 = sinks of `dag`; height(v) = 1 + max height of successors.
+  const std::string reversed_edges = context->NewTempPath("bisim_rev");
+  {
+    io::RecordReader<Edge> reader(context, dag.edge_path);
+    io::RecordWriter<Edge> writer(context, reversed_edges);
+    Edge e;
+    while (reader.Next(&e)) writer.Append(Edge{e.dst, e.src});
+    writer.Finish();
+  }
+  graph::DiskGraph reversed = dag;
+  reversed.edge_path = reversed_edges;
+  auto topo = scc::ExternalTopoSort(context, reversed);
+  if (!topo.ok()) {
+    return util::Status::FailedPrecondition(
+        "bisimulation input has a cycle — condense SCCs first (" +
+        topo.status().ToString() + ")");
+  }
+  out.num_heights = topo.value().num_levels;
+  const std::string& height_path = topo.value().rank_path;
+
+  // Edge file in E_in layout (sorted by dst) once; re-joined per height.
+  const std::string ein = context->NewTempPath("bisim_ein");
+  extsort::SortFile<Edge, graph::EdgeByDst>(context, dag.edge_path, ein,
+                                            graph::EdgeByDst{});
+
+  // (node, block) assignments accumulated across heights, node-sorted.
+  std::string blocks_path = context->NewTempPath("bisim_blocks");
+  {
+    io::RecordWriter<SccEntry> writer(context, blocks_path);  // empty
+    writer.Finish();
+  }
+
+  SccId next_block = 0;
+  for (std::uint64_t h = 0; h < out.num_heights; ++h) {
+    // P = (src, block(dst)) for every edge whose dst is assigned.
+    const std::string pairs = context->NewTempPath("bisim_pairs");
+    {
+      io::PeekableReader<Edge> edges(context, ein);
+      io::PeekableReader<SccEntry> blocks(context, blocks_path);
+      io::RecordWriter<Edge> writer(context, pairs);  // (src, block) pairs
+      while (edges.has_value() && blocks.has_value()) {
+        if (edges.Peek().dst < blocks.Peek().node) {
+          edges.Pop();
+        } else if (blocks.Peek().node < edges.Peek().dst) {
+          blocks.Pop();
+        } else {
+          const Edge e = edges.Pop();
+          writer.Append(Edge{e.src, blocks.Peek().scc});
+        }
+      }
+      writer.Finish();
+    }
+    const std::string pairs_sorted = context->NewTempPath("bisim_pairs_s");
+    extsort::SortFile<Edge, graph::EdgeBySrc>(context, pairs, pairs_sorted,
+                                              graph::EdgeBySrc{},
+                                              /*dedup=*/true);
+    context->temp_files().Remove(pairs);
+
+    // Walk height-h nodes (height file is node-sorted, like the pairs),
+    // building each node's signature = its sorted distinct successor
+    // blocks, and mapping equal signatures to one block id. The
+    // dictionary holds only this height's signatures ([16]'s strategy).
+    const std::string new_blocks = context->NewTempPath("bisim_newblocks");
+    std::uint64_t assigned_this_height = 0;
+    {
+      io::PeekableReader<SccEntry> heights(context, height_path);
+      io::PeekableReader<Edge> sig_pairs(context, pairs_sorted);
+      io::RecordWriter<SccEntry> writer(context, new_blocks);
+      std::map<std::vector<SccId>, SccId> dictionary;
+      std::vector<SccId> signature;
+      while (heights.has_value()) {
+        const SccEntry node_height = heights.Pop();
+        // Advance the pair stream to this node, collecting its signature
+        // whether or not it is at height h (pairs of other heights are
+        // simply skipped — their signature is rebuilt on their turn).
+        signature.clear();
+        while (sig_pairs.has_value() &&
+               sig_pairs.Peek().src < node_height.node) {
+          sig_pairs.Pop();
+        }
+        while (sig_pairs.has_value() &&
+               sig_pairs.Peek().src == node_height.node) {
+          signature.push_back(sig_pairs.Pop().dst);
+        }
+        if (node_height.scc != h) continue;
+        // Height 0 = sinks: empty signature, one shared block; the map
+        // handles that uniformly.
+        const auto [it, inserted] =
+            dictionary.emplace(signature, next_block);
+        if (inserted) ++next_block;
+        writer.Append(SccEntry{node_height.node, it->second});
+        ++assigned_this_height;
+      }
+      writer.Finish();
+    }
+    context->temp_files().Remove(pairs_sorted);
+    CHECK_GT(assigned_this_height, 0u)
+        << "every height level of a DAG is non-empty";
+
+    // Merge the new assignments into the node-sorted block file.
+    const std::string merged = context->NewTempPath("bisim_blocks_m");
+    {
+      io::PeekableReader<SccEntry> a(context, blocks_path);
+      io::PeekableReader<SccEntry> b(context, new_blocks);
+      io::RecordWriter<SccEntry> writer(context, merged);
+      while (a.has_value() || b.has_value()) {
+        if (!b.has_value() ||
+            (a.has_value() && a.Peek().node < b.Peek().node)) {
+          writer.Append(a.Pop());
+        } else {
+          writer.Append(b.Pop());
+        }
+      }
+      writer.Finish();
+    }
+    context->temp_files().Remove(blocks_path);
+    context->temp_files().Remove(new_blocks);
+    blocks_path = merged;
+  }
+
+  context->temp_files().Remove(ein);
+  context->temp_files().Remove(reversed_edges);
+
+  out.block_path = blocks_path;
+  out.num_blocks = next_block;
+  CHECK_EQ(io::NumRecordsInFile<SccEntry>(context, blocks_path),
+           dag.num_nodes)
+      << "every DAG node must be assigned a bisimulation block";
+  return out;
+}
+
+}  // namespace extscc::app

@@ -1,0 +1,54 @@
+// External maximum-bisimulation on a DAG — the paper's motivating
+// application (1) (§I): Hellings et al. [16] compute external-memory
+// bisimulation partitions assuming the input is a DAG whose nodes are
+// stored in (reverse) topological order on disk, "which needs to find
+// all SCCs in a preprocessing step". This module is that consumer: feed
+// it the condensation produced by Ext-SCC + BuildCondensation.
+//
+// Two nodes u, v of a DAG are (forward-) bisimilar iff the sets of
+// blocks their successors fall into are equal, recursively; the maximum
+// bisimulation is the coarsest such partition. On a DAG it is computed
+// exactly in one sweep by increasing *height* (distance from the sinks):
+// all sinks form one block, and a node's block is determined by the set
+// of blocks of its successors, all of which have smaller height. This is
+// the rank-based strategy of [16], realized here with the same external
+// vocabulary as the core algorithm: per-height signature construction is
+// a sort + merge-join of the edge file against the node-block file, and
+// heights come from an external topological levelling of the reversed
+// DAG.
+//
+// I/O cost: O(H * sort(|E|)) for height H — condensations of web-like
+// graphs are shallow, which is what makes the rank-based approach
+// practical (the observation in [16]). Like [16], the signature
+// dictionary of the height currently being processed is held in memory;
+// everything crossing heights lives in sorted files.
+#ifndef EXTSCC_APP_BISIMULATION_H_
+#define EXTSCC_APP_BISIMULATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/disk_graph.h"
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::app {
+
+struct BisimulationResult {
+  // (node, block) records sorted by node id; blocks dense in
+  // [0, num_blocks).
+  std::string block_path;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t num_heights = 0;  // DAG height levels processed
+};
+
+// Computes the maximum forward bisimulation of `dag`. Returns
+// FailedPrecondition if `dag` has a cycle (run Ext-SCC + condensation
+// first — exactly the preprocessing [16] assumes).
+util::Result<BisimulationResult> ExternalBisimulation(
+    io::IoContext* context, const graph::DiskGraph& dag);
+
+}  // namespace extscc::app
+
+#endif  // EXTSCC_APP_BISIMULATION_H_

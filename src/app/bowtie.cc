@@ -1,0 +1,221 @@
+#include "app/bowtie.h"
+
+#include <string>
+
+#include "extsort/external_sorter.h"
+#include "io/record_stream.h"
+#include "util/logging.h"
+
+namespace extscc::app {
+
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+using graph::SccEntry;
+using graph::SccId;
+
+struct SccEntryByScc {
+  bool operator()(const SccEntry& a, const SccEntry& b) const {
+    if (a.scc != b.scc) return a.scc < b.scc;
+    return a.node < b.node;
+  }
+};
+
+struct NodeIdLess {
+  bool operator()(NodeId a, NodeId b) const { return a < b; }
+};
+
+// Multi-pass reachability closure: grows the node-sorted `seed_path` set
+// along `edges_by_src` (sorted by src) until a pass adds nothing.
+// Returns the closure path; *passes counts edge scans.
+std::string Propagate(io::IoContext* context, const std::string& seed_path,
+                      const std::string& edges_by_src,
+                      std::uint64_t* passes) {
+  std::string reached = seed_path;
+  bool grew = true;
+  while (grew) {
+    ++*passes;
+    // frontier-candidates = heads of edges whose tail is reached.
+    const std::string candidates = context->NewTempPath("bowtie_cand");
+    {
+      io::PeekableReader<Edge> edges(context, edges_by_src);
+      io::PeekableReader<NodeId> flags(context, reached);
+      io::RecordWriter<NodeId> writer(context, candidates);
+      while (edges.has_value() && flags.has_value()) {
+        if (edges.Peek().src < flags.Peek()) {
+          edges.Pop();
+        } else if (flags.Peek() < edges.Peek().src) {
+          flags.Pop();
+        } else {
+          writer.Append(edges.Pop().dst);
+        }
+      }
+      writer.Finish();
+    }
+    const std::string candidates_sorted =
+        context->NewTempPath("bowtie_cand_s");
+    extsort::SortFile<NodeId, NodeIdLess>(context, candidates,
+                                          candidates_sorted, NodeIdLess{},
+                                          /*dedup=*/true);
+    context->temp_files().Remove(candidates);
+
+    // merged = reached ∪ candidates; grew iff a candidate was new.
+    const std::string merged = context->NewTempPath("bowtie_reach");
+    grew = false;
+    {
+      io::PeekableReader<NodeId> a(context, reached);
+      io::PeekableReader<NodeId> b(context, candidates_sorted);
+      io::RecordWriter<NodeId> writer(context, merged);
+      while (a.has_value() || b.has_value()) {
+        if (!b.has_value() || (a.has_value() && a.Peek() < b.Peek())) {
+          writer.Append(a.Pop());
+        } else if (!a.has_value() || b.Peek() < a.Peek()) {
+          writer.Append(b.Pop());
+          grew = true;
+        } else {
+          writer.Append(a.Pop());
+          b.Pop();
+        }
+      }
+      writer.Finish();
+    }
+    context->temp_files().Remove(candidates_sorted);
+    if (reached != seed_path) context->temp_files().Remove(reached);
+    reached = merged;
+  }
+  return reached;
+}
+
+}  // namespace
+
+const char* BowtieRegionName(BowtieRegion region) {
+  switch (region) {
+    case BowtieRegion::kCore:
+      return "CORE";
+    case BowtieRegion::kIn:
+      return "IN";
+    case BowtieRegion::kOut:
+      return "OUT";
+    case BowtieRegion::kOther:
+      return "OTHER";
+  }
+  return "unknown";
+}
+
+util::Result<BowtieResult> BowtieDecompose(io::IoContext* context,
+                                           const graph::DiskGraph& g,
+                                           const std::string& scc_path) {
+  if (g.num_nodes == 0) {
+    return util::Status::InvalidArgument("bow-tie of an empty graph");
+  }
+  if (io::NumRecordsInFile<SccEntry>(context, scc_path) != g.num_nodes) {
+    return util::Status::InvalidArgument(
+        "SCC file does not label every node of the graph");
+  }
+  BowtieResult out;
+
+  // ---- core = largest SCC (external: sort by label, run-scan) ---------
+  const std::string by_scc = context->NewTempPath("bowtie_by_scc");
+  extsort::SortFile<SccEntry, SccEntryByScc>(context, scc_path, by_scc,
+                                             SccEntryByScc{});
+  {
+    io::RecordReader<SccEntry> reader(context, by_scc);
+    SccEntry entry;
+    SccId run_label = graph::kInvalidScc;
+    std::uint64_t run_size = 0;
+    auto close_run = [&]() {
+      if (run_size > out.core_size) {
+        out.core_size = run_size;
+        out.core_scc = run_label;
+      }
+    };
+    while (reader.Next(&entry)) {
+      if (entry.scc != run_label) {
+        close_run();
+        run_label = entry.scc;
+        run_size = 0;
+      }
+      ++run_size;
+    }
+    close_run();
+  }
+  context->temp_files().Remove(by_scc);
+
+  // ---- seeds: the core's nodes, node-sorted ----------------------------
+  const std::string core_nodes = context->NewTempPath("bowtie_core");
+  {
+    io::RecordReader<SccEntry> reader(context, scc_path);
+    io::RecordWriter<NodeId> writer(context, core_nodes);
+    SccEntry entry;
+    while (reader.Next(&entry)) {
+      if (entry.scc == out.core_scc) writer.Append(entry.node);
+    }
+    writer.Finish();
+  }
+
+  // ---- OUT: forward closure over E sorted by src -----------------------
+  const std::string eout = context->NewTempPath("bowtie_eout");
+  extsort::SortFile<Edge, graph::EdgeBySrc>(context, g.edge_path, eout,
+                                            graph::EdgeBySrc{});
+  const std::string fwd =
+      Propagate(context, core_nodes, eout, &out.forward_passes);
+  context->temp_files().Remove(eout);
+
+  // ---- IN: forward closure over reversed E -----------------------------
+  const std::string erev = context->NewTempPath("bowtie_erev");
+  {
+    io::RecordReader<Edge> reader(context, g.edge_path);
+    io::RecordWriter<Edge> writer(context, erev);
+    Edge e;
+    while (reader.Next(&e)) writer.Append(Edge{e.dst, e.src});
+    writer.Finish();
+  }
+  const std::string erev_sorted = context->NewTempPath("bowtie_erev_s");
+  extsort::SortFile<Edge, graph::EdgeBySrc>(context, erev, erev_sorted,
+                                            graph::EdgeBySrc{});
+  context->temp_files().Remove(erev);
+  const std::string bwd =
+      Propagate(context, core_nodes, erev_sorted, &out.backward_passes);
+  context->temp_files().Remove(erev_sorted);
+
+  // ---- classify: merge labels with the two closures --------------------
+  out.region_path = context->NewTempPath("bowtie_regions");
+  {
+    io::RecordReader<SccEntry> labels(context, scc_path);
+    io::PeekableReader<NodeId> in_fwd(context, fwd);
+    io::PeekableReader<NodeId> in_bwd(context, bwd);
+    io::RecordWriter<SccEntry> writer(context, out.region_path);
+    SccEntry entry;
+    while (labels.Next(&entry)) {
+      while (in_fwd.has_value() && in_fwd.Peek() < entry.node) in_fwd.Pop();
+      while (in_bwd.has_value() && in_bwd.Peek() < entry.node) in_bwd.Pop();
+      const bool forward =
+          in_fwd.has_value() && in_fwd.Peek() == entry.node;
+      const bool backward =
+          in_bwd.has_value() && in_bwd.Peek() == entry.node;
+      BowtieRegion region;
+      if (entry.scc == out.core_scc) {
+        region = BowtieRegion::kCore;
+      } else if (backward) {
+        region = BowtieRegion::kIn;
+        ++out.in_size;
+      } else if (forward) {
+        region = BowtieRegion::kOut;
+        ++out.out_size;
+      } else {
+        region = BowtieRegion::kOther;
+        ++out.other_size;
+      }
+      writer.Append(
+          SccEntry{entry.node, static_cast<SccId>(region)});
+    }
+    writer.Finish();
+  }
+  if (fwd != core_nodes) context->temp_files().Remove(fwd);
+  if (bwd != core_nodes) context->temp_files().Remove(bwd);
+  context->temp_files().Remove(core_nodes);
+  return out;
+}
+
+}  // namespace extscc::app

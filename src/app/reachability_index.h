@@ -1,0 +1,91 @@
+// Reachability index over the SCC condensation — the paper's motivating
+// application (2) (§I): "almost all algorithms to process reachability
+// queries over a general directed graph G first convert G into a DAG by
+// contracting an SCC into a node".
+//
+// This module implements that pipeline end to end: Ext-SCC labels
+// (computed externally by the caller) + BuildCondensation produce the
+// DAG; on the DAG we build GRAIL-style randomized interval labels
+// (Yildirim, Chaoji, Zaki — the paper's [25]): k independent random
+// post-order traversals, each assigning node x the interval
+// [min-rank-in-subtree(x), rank(x)]. Containment of intervals is a
+// necessary condition for reachability, so any round whose intervals do
+// NOT nest refutes a query immediately; nested rounds fall back to a
+// pruned DFS.
+//
+// The index is in-memory over the *condensation*, which is exactly what
+// makes external SCC computation the enabling step: the raw graph may be
+// out of core while its DAG of SCCs fits comfortably (the paper's
+// WEBSPAM-UK2007 has 106M nodes but far fewer components).
+#ifndef EXTSCC_APP_REACHABILITY_INDEX_H_
+#define EXTSCC_APP_REACHABILITY_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/disk_graph.h"
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::app {
+
+struct ReachabilityIndexOptions {
+  // Number of independent random interval labelings. More labels refute
+  // more negative queries without DFS; GRAIL uses 2-5.
+  std::uint32_t num_labels = 3;
+  std::uint64_t seed = 1;
+};
+
+struct ReachabilityIndexStats {
+  std::uint64_t dag_nodes = 0;
+  std::uint64_t dag_edges = 0;
+  // Query counters (mutated by Reachable; reset with ResetQueryStats).
+  mutable std::uint64_t queries = 0;
+  mutable std::uint64_t same_scc_hits = 0;      // answered by label equality
+  mutable std::uint64_t interval_refutations = 0;  // answered by non-nesting
+  mutable std::uint64_t dfs_fallbacks = 0;         // needed a pruned DFS
+};
+
+class ReachabilityIndex {
+ public:
+  // Builds the index for graph `g` whose node-sorted (node, scc) labels
+  // live at `scc_path` (as produced by core::RunExtScc or any Semi-SCC
+  // backend). Reads the condensation with sequential scans/sorts; the
+  // DAG itself is then held in memory.
+  static util::Result<ReachabilityIndex> Build(
+      io::IoContext* context, const graph::DiskGraph& g,
+      const std::string& scc_path, const ReachabilityIndexOptions& options);
+
+  // True iff `from` reaches `to` in the original graph. Nodes must have
+  // been labelled at build time (CHECK otherwise).
+  bool Reachable(graph::NodeId from, graph::NodeId to) const;
+
+  // True iff SCC `from` reaches SCC `to` in the condensation.
+  bool SccReachable(graph::SccId from, graph::SccId to) const;
+
+  graph::SccId scc_of(graph::NodeId node) const;
+  const ReachabilityIndexStats& stats() const { return stats_; }
+  void ResetQueryStats() const;
+
+ private:
+  ReachabilityIndex() = default;
+
+  // Interval of SCC index `x` in labeling round r: ranks_[r][x] is the
+  // post-order rank, mins_[r][x] the minimum rank in x's subtree (i.e.
+  // over everything x reaches in the traversal forest).
+  bool IntervalsNest(std::size_t from_idx, std::size_t to_idx) const;
+
+  std::vector<graph::NodeId> node_ids_;  // sorted; parallel to labels_
+  std::vector<graph::SccId> labels_;
+  graph::Digraph dag_{std::vector<graph::Edge>{}};
+  std::vector<std::vector<std::uint32_t>> ranks_;
+  std::vector<std::vector<std::uint32_t>> mins_;
+  ReachabilityIndexStats stats_;
+};
+
+}  // namespace extscc::app
+
+#endif  // EXTSCC_APP_REACHABILITY_INDEX_H_

@@ -1,0 +1,105 @@
+#include "app/scc_stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "extsort/external_sorter.h"
+#include "io/record_stream.h"
+#include "util/logging.h"
+
+namespace extscc::app {
+
+namespace {
+
+using graph::SccEntry;
+using graph::SccId;
+
+struct SccEntryByScc {
+  bool operator()(const SccEntry& a, const SccEntry& b) const {
+    if (a.scc != b.scc) return a.scc < b.scc;
+    return a.node < b.node;
+  }
+};
+
+// Bucket index for a component of `size`: floor(log2(size)).
+std::size_t BucketIndex(std::uint64_t size) {
+  DCHECK_GT(size, 0u);
+  return static_cast<std::size_t>(std::bit_width(size) - 1);
+}
+
+}  // namespace
+
+std::string SccStats::ToString() const {
+  std::ostringstream out;
+  out << num_components << " SCCs over " << num_nodes << " nodes; largest "
+      << largest_size << " (#" << largest_scc << "); " << num_singletons
+      << " singletons";
+  if (!histogram.empty()) {
+    out << "; histogram:";
+    for (const auto& bucket : histogram) {
+      if (bucket.num_components == 0) continue;
+      out << " [" << bucket.lo << "-" << bucket.hi << "]x"
+          << bucket.num_components;
+    }
+  }
+  return out.str();
+}
+
+util::Result<SccStats> ComputeSccStats(io::IoContext* context,
+                                       const std::string& scc_path,
+                                       std::uint32_t top_k) {
+  SccStats stats;
+  const std::string by_scc = context->NewTempPath("sccstats");
+  extsort::SortFile<SccEntry, SccEntryByScc>(context, scc_path, by_scc,
+                                             SccEntryByScc{});
+
+  io::RecordReader<SccEntry> reader(context, by_scc);
+  SccEntry entry;
+  SccId run_label = graph::kInvalidScc;
+  std::uint64_t run_size = 0;
+
+  auto close_run = [&]() {
+    if (run_size == 0) return;
+    ++stats.num_components;
+    if (run_size == 1) ++stats.num_singletons;
+    if (run_size > stats.largest_size) {
+      stats.largest_size = run_size;
+      stats.largest_scc = run_label;
+    }
+    // top-k: insertion into a small sorted vector.
+    auto& top = stats.top_sizes;
+    const auto pos = std::lower_bound(top.begin(), top.end(), run_size,
+                                      std::greater<std::uint64_t>());
+    if (pos != top.end() || top.size() < top_k) {
+      top.insert(pos, run_size);
+      if (top.size() > top_k) top.pop_back();
+    }
+    const std::size_t bucket = BucketIndex(run_size);
+    if (stats.histogram.size() <= bucket) {
+      const std::size_t old = stats.histogram.size();
+      stats.histogram.resize(bucket + 1);
+      for (std::size_t b = old; b <= bucket; ++b) {
+        stats.histogram[b].lo = 1ull << b;
+        stats.histogram[b].hi = (1ull << (b + 1)) - 1;
+      }
+    }
+    ++stats.histogram[bucket].num_components;
+    stats.histogram[bucket].num_nodes += run_size;
+  };
+
+  while (reader.Next(&entry)) {
+    ++stats.num_nodes;
+    if (entry.scc != run_label) {
+      close_run();
+      run_label = entry.scc;
+      run_size = 0;
+    }
+    ++run_size;
+  }
+  close_run();
+  context->temp_files().Remove(by_scc);
+  return stats;
+}
+
+}  // namespace extscc::app

@@ -1,0 +1,55 @@
+// External SCC statistics — summarises a (node, scc) label file without
+// assuming it fits in memory: component count, size histogram by powers
+// of two, the largest components, and singleton share. This is the
+// report every downstream consumer wants first (how big is the giant
+// SCC? how heavy is the singleton tail?), and it doubles as a sanity
+// check on generator post-conditions (Table I's planted sizes).
+//
+// Cost: one external sort of the label file by component plus two
+// sequential scans.
+#ifndef EXTSCC_APP_SCC_STATS_H_
+#define EXTSCC_APP_SCC_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::app {
+
+struct SccSizeBucket {
+  // Sizes in [lo, hi] (inclusive); power-of-two ranges: [1,1], [2,3],
+  // [4,7], ...
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  std::uint64_t num_components = 0;
+  std::uint64_t num_nodes = 0;
+};
+
+struct SccStats {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_components = 0;
+  std::uint64_t num_singletons = 0;
+  std::uint64_t largest_size = 0;
+  graph::SccId largest_scc = graph::kInvalidScc;
+  // Largest component sizes, descending, at most `top_k` of them.
+  std::vector<std::uint64_t> top_sizes;
+  std::vector<SccSizeBucket> histogram;  // ascending by size range
+
+  // Paper-style one-block summary for logs and examples.
+  std::string ToString() const;
+};
+
+// Computes statistics for the label file at `scc_path` (any (node, scc)
+// record order; need not be node-sorted). `top_k` bounds the in-memory
+// top list (O(top_k) extra memory).
+util::Result<SccStats> ComputeSccStats(io::IoContext* context,
+                                       const std::string& scc_path,
+                                       std::uint32_t top_k = 5);
+
+}  // namespace extscc::app
+
+#endif  // EXTSCC_APP_SCC_STATS_H_

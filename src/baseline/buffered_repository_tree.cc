@@ -1,0 +1,225 @@
+#include "baseline/buffered_repository_tree.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace extscc::baseline {
+
+namespace {
+
+std::uint32_t NextPowerOfTwo(std::uint32_t v) {
+  std::uint32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+BufferedRepositoryTree::BufferedRepositoryTree(io::IoContext* context,
+                                               std::uint32_t num_keys)
+    : context_(context),
+      storage_(std::make_unique<io::BlockFile>(
+          context, context->NewTempPath("brt"), io::OpenMode::kReadWrite)),
+      num_keys_(num_keys) {
+  CHECK_GT(num_keys, 0u);
+  items_per_block_ =
+      (context->block_size() - sizeof(BlockHeader)) / sizeof(Item);
+  CHECK_GT(items_per_block_, 0u);
+  leaf_base_ = NextPowerOfTwo(num_keys);
+  chains_.resize(static_cast<std::size_t>(leaf_base_) * 2);
+}
+
+BufferedRepositoryTree::~BufferedRepositoryTree() {
+  context_->temp_files().Remove(storage_->path());
+}
+
+std::uint64_t BufferedRepositoryTree::AllocateBlock() {
+  if (!free_blocks_.empty()) {
+    const std::uint64_t block = free_blocks_.back();
+    free_blocks_.pop_back();
+    return block;
+  }
+  return next_fresh_block_++;
+}
+
+void BufferedRepositoryTree::FreeBlock(std::uint64_t block) {
+  free_blocks_.push_back(block);
+}
+
+std::vector<BufferedRepositoryTree::Item> BufferedRepositoryTree::TakeChain(
+    Chain* chain) {
+  std::vector<Item> items;
+  items.reserve(chain->count);
+  std::vector<char> buf(storage_->block_size());
+  std::int64_t block = chain->head;
+  while (block >= 0) {
+    storage_->ReadBlock(static_cast<std::uint64_t>(block), buf.data());
+    BlockHeader header;
+    std::memcpy(&header, buf.data(), sizeof(header));
+    const Item* records =
+        reinterpret_cast<const Item*>(buf.data() + sizeof(header));
+    items.insert(items.end(), records, records + header.count);
+    FreeBlock(static_cast<std::uint64_t>(block));
+    block = header.next;
+  }
+  CHECK_EQ(items.size(), chain->count);
+  chain->head = -1;
+  chain->count = 0;
+  return items;
+}
+
+void BufferedRepositoryTree::AppendToChain(Chain* chain,
+                                           const std::vector<Item>& items) {
+  if (items.empty()) return;
+  std::vector<char> buf(storage_->block_size());
+  std::size_t pos = 0;
+  // New blocks are prepended, so appends never rewrite existing blocks
+  // except implicitly through TakeChain/flush cycles.
+  while (pos < items.size()) {
+    const std::size_t batch =
+        std::min(items_per_block_, items.size() - pos);
+    BlockHeader header;
+    header.next = chain->head;
+    header.count = static_cast<std::uint32_t>(batch);
+    std::memcpy(buf.data(), &header, sizeof(header));
+    std::memcpy(buf.data() + sizeof(header), items.data() + pos,
+                batch * sizeof(Item));
+    const std::uint64_t block = AllocateBlock();
+    storage_->WriteBlock(block, buf.data(),
+                         sizeof(header) + batch * sizeof(Item));
+    chain->head = static_cast<std::int64_t>(block);
+    chain->count += static_cast<std::uint32_t>(batch);
+    pos += batch;
+  }
+}
+
+void BufferedRepositoryTree::FlushNode(std::uint32_t node) {
+  DCHECK(!IsLeaf(node));
+  Chain* chain = &chains_[node];
+  if (chain->count == 0) return;
+  const std::vector<Item> items = TakeChain(chain);
+
+  // Key range split: the implicit subtree of `node` covers keys
+  // [lo, hi); left child covers the lower half.
+  // Compute from heap position: depth d, subtree width leaf_base_ >> d.
+  std::uint32_t depth = 0;
+  std::uint32_t first_at_depth = 1;
+  while (first_at_depth * 2 <= node) {
+    first_at_depth *= 2;
+    ++depth;
+  }
+  const std::uint32_t width = leaf_base_ >> depth;
+  const std::uint32_t lo = (node - first_at_depth) * width;
+  const std::uint32_t mid = lo + width / 2;
+
+  std::vector<Item> left, right;
+  left.reserve(items.size());
+  right.reserve(items.size());
+  for (const Item& item : items) {
+    (item.key < mid ? left : right).push_back(item);
+  }
+  const std::uint32_t left_child = node * 2;
+  const std::uint32_t right_child = node * 2 + 1;
+  AppendToChain(&chains_[left_child], left);
+  AppendToChain(&chains_[right_child], right);
+  // Cascade: children that now overflow flush too (leaves never flush —
+  // a leaf buffer is the final repository for its key).
+  for (const std::uint32_t child : {left_child, right_child}) {
+    if (!IsLeaf(child) &&
+        chains_[child].count > items_per_block_) {
+      FlushNode(child);
+    }
+  }
+}
+
+void BufferedRepositoryTree::Insert(std::uint32_t key, std::uint32_t value) {
+  DCHECK_LT(key, num_keys_);
+  root_buffer_.push_back(Item{key, value});
+  ++num_items_;
+  if (root_buffer_.size() <= items_per_block_) return;
+  // Root overflow: partition the resident buffer between the root's
+  // children (heap nodes 2 and 3), cascading flushes as needed.
+  std::vector<Item> left, right;
+  left.reserve(root_buffer_.size());
+  right.reserve(root_buffer_.size());
+  const std::uint32_t mid = leaf_base_ / 2;
+  for (const Item& item : root_buffer_) {
+    (item.key < mid ? left : right).push_back(item);
+  }
+  root_buffer_.clear();
+  if (leaf_base_ == 1) {
+    // Single-key tree: node 1 is the only leaf; keep items resident.
+    root_buffer_ = std::move(right);
+    return;
+  }
+  AppendToChain(&chains_[2], left);
+  AppendToChain(&chains_[3], right);
+  for (const std::uint32_t child : {2u, 3u}) {
+    if (!IsLeaf(child) && chains_[child].count > items_per_block_) {
+      FlushNode(child);
+    }
+  }
+}
+
+std::vector<std::uint32_t> BufferedRepositoryTree::ExtractAll(
+    std::uint32_t key) {
+  DCHECK_LT(key, num_keys_);
+  std::vector<std::uint32_t> values;
+  // Resident root buffer first.
+  {
+    std::vector<Item> keep;
+    keep.reserve(root_buffer_.size());
+    for (const Item& item : root_buffer_) {
+      if (item.key == key) {
+        values.push_back(item.value);
+      } else {
+        keep.push_back(item);
+      }
+    }
+    root_buffer_ = std::move(keep);
+  }
+  if (leaf_base_ == 1) {
+    num_items_ -= values.size();
+    return values;
+  }
+  // Internal path: remove matching records, keep the rest.
+  std::uint32_t node = 1;
+  while (!IsLeaf(node)) {
+    Chain* chain = &chains_[node];
+    if (chain->count > 0) {
+      std::vector<Item> items = TakeChain(chain);
+      std::vector<Item> keep;
+      keep.reserve(items.size());
+      for (const Item& item : items) {
+        if (item.key == key) {
+          values.push_back(item.value);
+        } else {
+          keep.push_back(item);
+        }
+      }
+      AppendToChain(chain, keep);
+    }
+    const std::uint32_t depth_width = [&] {
+      std::uint32_t first = 1;
+      while (first * 2 <= node) first *= 2;
+      return leaf_base_ / first;
+    }();
+    std::uint32_t first = 1;
+    while (first * 2 <= node) first *= 2;
+    const std::uint32_t lo = (node - first) * depth_width;
+    node = (key < lo + depth_width / 2) ? node * 2 : node * 2 + 1;
+  }
+  // Leaf: everything stored here has this key.
+  Chain* leaf = &chains_[node];
+  if (leaf->count > 0) {
+    for (const Item& item : TakeChain(leaf)) {
+      DCHECK_EQ(item.key, key);
+      values.push_back(item.value);
+    }
+  }
+  num_items_ -= values.size();
+  return values;
+}
+
+}  // namespace extscc::baseline

@@ -1,0 +1,93 @@
+// Buffered Repository Tree (BRT) — the external structure of Buchsbaum,
+// Goldwasser, Venkatasubramanian & Westbrook (SODA'00) that backs the
+// DFS-SCC baseline. Supports:
+//
+//   Insert(key, value)  — O((1/B) log2(K/B)) amortized I/Os
+//   ExtractAll(key)     — O(log2(K/B)) I/Os, returns & removes all values
+//                         stored under `key`
+//
+// Layout: an implicit complete binary tree over the key space [0, K).
+// Every tree node owns a buffer stored as a chain of blocks inside one
+// BlockFile (free-list allocator). Inserts append to the root buffer;
+// when an internal buffer exceeds one block it is flushed — its records
+// are partitioned between the two children by key range. ExtractAll
+// walks the root-leaf path of the key, removing matching records from
+// each internal buffer and taking the leaf buffer whole. Chain-head
+// pointers live in memory (8 bytes per tree node — the page table of the
+// structure); every record access is charged block I/O.
+#ifndef EXTSCC_BASELINE_BUFFERED_REPOSITORY_TREE_H_
+#define EXTSCC_BASELINE_BUFFERED_REPOSITORY_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph_types.h"
+#include "io/block_file.h"
+#include "io/io_context.h"
+
+namespace extscc::baseline {
+
+class BufferedRepositoryTree {
+ public:
+  struct Item {
+    std::uint32_t key = 0;
+    std::uint32_t value = 0;
+  };
+
+  // Keys must be < num_keys.
+  BufferedRepositoryTree(io::IoContext* context, std::uint32_t num_keys);
+  ~BufferedRepositoryTree();
+
+  void Insert(std::uint32_t key, std::uint32_t value);
+
+  // Removes and returns every value stored under `key`.
+  std::vector<std::uint32_t> ExtractAll(std::uint32_t key);
+
+  std::uint64_t num_items() const { return num_items_; }
+
+ private:
+  struct Chain {
+    std::int64_t head = -1;  // block index, -1 = empty
+    std::uint32_t count = 0; // records in the chain
+  };
+
+  // Per-block header: next block in chain (-1 = end), record count.
+  struct BlockHeader {
+    std::int64_t next = -1;
+    std::uint32_t count = 0;
+  };
+
+  std::uint64_t AllocateBlock();
+  void FreeBlock(std::uint64_t block);
+
+  // Reads an entire chain into memory and frees its blocks.
+  std::vector<Item> TakeChain(Chain* chain);
+  // Appends items to a chain (packing the tail block).
+  void AppendToChain(Chain* chain, const std::vector<Item>& items);
+
+  // Flushes internal node `node` by partitioning its buffer to children.
+  void FlushNode(std::uint32_t node);
+
+  bool IsLeaf(std::uint32_t node) const { return node >= leaf_base_; }
+  std::uint32_t LeafOf(std::uint32_t key) const { return leaf_base_ + key; }
+
+  io::IoContext* context_;
+  std::unique_ptr<io::BlockFile> storage_;
+  std::size_t items_per_block_;
+  std::uint32_t num_keys_;
+  std::uint32_t leaf_base_;     // first leaf in implicit heap numbering
+  // The root buffer is memory-resident (the structure's one allowed
+  // block, giving the amortized O((1/B) log) insert bound); all other
+  // buffers live in `storage_`.
+  std::vector<Item> root_buffer_;
+  std::vector<Chain> chains_;   // indexed by heap position (1-based)
+  std::vector<std::uint64_t> free_blocks_;
+  std::uint64_t next_fresh_block_ = 0;
+  std::uint64_t num_items_ = 0;
+};
+
+}  // namespace extscc::baseline
+
+#endif  // EXTSCC_BASELINE_BUFFERED_REPOSITORY_TREE_H_

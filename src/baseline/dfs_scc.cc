@@ -1,0 +1,117 @@
+#include "baseline/dfs_scc.h"
+
+#include <memory>
+#include <vector>
+
+#include "baseline/external_dfs.h"
+#include "extsort/external_sorter.h"
+#include "io/record_stream.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace extscc::baseline {
+
+namespace {
+
+using graph::NodeId;
+using graph::SccEntry;
+using graph::SccId;
+
+}  // namespace
+
+util::Result<DfsSccStats> RunDfsScc(io::IoContext* context,
+                                    const graph::DiskGraph& input,
+                                    const std::string& scc_output) {
+  DfsSccStats stats;
+  util::Timer timer;
+  const std::uint64_t start_ios = context->stats().total_ios();
+
+  // Adjacency of G and of G-reversed (Algorithm 1 line 3).
+  const DiskCsr forward = BuildDiskCsr(context, input, /*reversed=*/false);
+  const DiskCsr reverse = BuildDiskCsr(context, input, /*reversed=*/true);
+  const std::uint32_t n = forward.num_nodes;
+
+  // ---- First DFS: decreasing postorder (lines 1-2) --------------------
+  const std::string postorder_path = context->NewTempPath("postorder");
+  {
+    io::RecordWriter<std::uint32_t> postorder(context, postorder_path);
+    std::uint32_t next_candidate = 0;
+    ExternalDfsStats dfs_stats;
+    const bool ok = RunExternalDfs(
+        context, forward, reverse,
+        [&]() -> NodeId {
+          return next_candidate < n ? next_candidate++ : graph::kInvalidNode;
+        },
+        [](std::uint32_t) {},
+        [&](std::uint32_t v) { postorder.Append(v); }, &dfs_stats);
+    stats.brt_inserts += dfs_stats.brt_inserts;
+    stats.brt_extracts += dfs_stats.brt_extracts;
+    postorder.Finish();
+    if (!ok) {
+      return util::Status::ResourceExhausted(
+          "DFS-SCC exceeded the I/O budget during the first DFS (INF)");
+    }
+  }
+
+  // ---- Second DFS on the reversed graph, roots in decreasing postorder.
+  // The postorder file is read back last-to-first (block-reversed scan).
+  const std::string label_path = context->NewTempPath("labels_by_idx");
+  SccId next_scc = 0;
+  {
+    io::RandomRecordReader<std::uint32_t> postorder(context, postorder_path);
+    CHECK_EQ(postorder.num_records(), n);
+    std::int64_t cursor = static_cast<std::int64_t>(n) - 1;
+
+    // Dense label array is written out per finalize; labels_by_idx holds
+    // (index, scc) pairs in finalize order and is re-sorted below.
+    io::RecordWriter<SccEntry> labels(context, label_path);
+    SccId current_root_label = 0;
+    ExternalDfsStats dfs_stats;
+    const bool ok = RunExternalDfs(
+        context, reverse, forward,
+        [&]() -> NodeId {
+          if (cursor < 0) return graph::kInvalidNode;
+          return postorder.Get(static_cast<std::uint64_t>(cursor--));
+        },
+        [&](std::uint32_t) { current_root_label = next_scc++; },
+        [&](std::uint32_t v) {
+          labels.Append(SccEntry{v, current_root_label});
+        },
+        &dfs_stats);
+    stats.brt_inserts += dfs_stats.brt_inserts;
+    stats.brt_extracts += dfs_stats.brt_extracts;
+    labels.Finish();
+    if (!ok) {
+      return util::Status::ResourceExhausted(
+          "DFS-SCC exceeded the I/O budget during the second DFS (INF)");
+    }
+  }
+
+  // ---- Translate dense indices back to node ids -----------------------
+  const std::string by_index = context->NewTempPath("labels_sorted");
+  extsort::SortFile<SccEntry, graph::SccEntryByNode>(
+      context, label_path, by_index, graph::SccEntryByNode());
+  context->temp_files().Remove(label_path);
+  {
+    io::PeekableReader<SccEntry> labels(context, by_index);
+    io::RecordReader<NodeId> nodes(context, input.node_path);
+    io::RecordWriter<SccEntry> writer(context, scc_output);
+    NodeId node;
+    std::uint32_t index = 0;
+    while (nodes.Next(&node)) {
+      CHECK(labels.has_value() && labels.Peek().node == index)
+          << "second DFS did not label every node";
+      writer.Append(SccEntry{node, labels.Pop().scc});
+      ++index;
+    }
+    writer.Finish();
+  }
+  context->temp_files().Remove(by_index);
+
+  stats.num_sccs = next_scc;
+  stats.total_ios = context->stats().total_ios() - start_ios;
+  stats.total_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace extscc::baseline

@@ -1,0 +1,37 @@
+// DFS-SCC (Algorithm 1 / [8]): external Kosaraju-Sharir. Two external
+// DFS passes — the first over G collecting decreasing postorder, the
+// second over the reversed graph with roots tried in that order; every
+// tree of the second forest is one SCC.
+//
+// This baseline's cost is dominated by random I/Os (adjacency fetches and
+// BRT path walks); the paper reports it as INF on every dataset at scale.
+// Callers set IoContextOptions::io_budget to censor it the same way.
+#ifndef EXTSCC_BASELINE_DFS_SCC_H_
+#define EXTSCC_BASELINE_DFS_SCC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/disk_graph.h"
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::baseline {
+
+struct DfsSccStats {
+  std::uint64_t num_sccs = 0;
+  std::uint64_t brt_inserts = 0;
+  std::uint64_t brt_extracts = 0;
+  std::uint64_t total_ios = 0;
+  double total_seconds = 0;
+};
+
+// Writes the (node, scc) file sorted by node id to `scc_output`.
+// Returns ResourceExhausted if the context's I/O budget trips (INF).
+util::Result<DfsSccStats> RunDfsScc(io::IoContext* context,
+                                    const graph::DiskGraph& input,
+                                    const std::string& scc_output);
+
+}  // namespace extscc::baseline
+
+#endif  // EXTSCC_BASELINE_DFS_SCC_H_

@@ -1,0 +1,43 @@
+// EM-SCC (Cosgaya-Lozano & Zeh [13]): the whole-graph contraction
+// heuristic. Each iteration partitions the edge file into memory-sized
+// pieces, finds SCCs inside each piece with an in-memory algorithm, and
+// contracts every (partial) SCC found to its minimum-id member; the
+// process repeats until the whole graph fits in memory.
+//
+// As the paper's Section III explains, this can fail to make progress:
+// (Case-1) an SCC straddles partitions in a way no partition can see a
+// cycle of, or (Case-2) the graph is a DAG larger than memory — in both
+// cases no iteration contracts anything. The implementation detects a
+// zero-progress iteration and returns FailedPrecondition, reproducing
+// the paper's "may end up an infinite loop" verdict without looping
+// forever.
+#ifndef EXTSCC_BASELINE_EM_SCC_H_
+#define EXTSCC_BASELINE_EM_SCC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/disk_graph.h"
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::baseline {
+
+struct EmSccStats {
+  std::uint32_t iterations = 0;
+  std::uint64_t num_sccs = 0;
+  std::uint64_t total_ios = 0;
+  double total_seconds = 0;
+};
+
+// Writes the (node, scc) file sorted by node id to `scc_output`.
+// Returns FailedPrecondition when an iteration contracts nothing (the
+// paper's non-termination cases) and ResourceExhausted on I/O-budget
+// censoring.
+util::Result<EmSccStats> RunEmScc(io::IoContext* context,
+                                  const graph::DiskGraph& input,
+                                  const std::string& scc_output);
+
+}  // namespace extscc::baseline
+
+#endif  // EXTSCC_BASELINE_EM_SCC_H_

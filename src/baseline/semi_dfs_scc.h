@@ -1,0 +1,72 @@
+// Semi-DFS-SCC: the semi-external competitor of Section III — Algorithm 1
+// (Kosaraju-Sharir) realized with the semi-external DFS of Sibeyn, Abello
+// and Meyer [23] instead of the external BRT DFS of [8].
+//
+// Phase 1 (semi-external DFS): a spanning forest of G is kept in memory
+// (parent pointer + preorder position per node) and repaired by
+// sequential scans of the edge file. An edge (u, v) with pre(u) < pre(v)
+// where u is not an ancestor of v is a "forward cross" edge — impossible
+// in a DFS forest (when u was active, v was undiscovered and reachable,
+// so v must have become a descendant). Each violation is repaired by
+// re-hanging v's subtree under u; a scan with no violations proves the
+// forest is a DFS forest, whose postorder equals DFS finish order.
+//
+// Phase 2 (Kosaraju second pass, as a fixpoint instead of a reverse DFS):
+// comp(v) = max{ fin(u) : v reaches u }. By the Kosaraju ordering lemma
+// (an edge between SCCs C -> C' implies maxfin(C) > maxfin(C')), the
+// maximum finish time reachable from v is attained inside SCC(v), and
+// maxfin values are distinct per SCC — so comp() labels SCCs exactly.
+// The fixpoint is computed by sequential edge scans propagating
+// f(src) = max(f(src), f(dst)).
+//
+// Why the paper still rejects this family (Section III): Algorithm 1
+// needs the *total* postorder of the first DFS before the second pass can
+// start, so no node can be retired or contracted early — the whole node
+// array stays pinned for the full run, and the repair loop re-scans all
+// of E until the forest converges. Ext-SCC's contraction avoids exactly
+// that. This baseline exists for the §III comparison benches; it
+// requires c·|V| <= M like any semi-external algorithm.
+#ifndef EXTSCC_BASELINE_SEMI_DFS_SCC_H_
+#define EXTSCC_BASELINE_SEMI_DFS_SCC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/disk_graph.h"
+#include "io/io_context.h"
+#include "io/memory_budget.h"
+#include "util/status.h"
+
+namespace extscc::baseline {
+
+struct SemiDfsSccStats {
+  std::uint64_t dfs_passes = 0;        // phase-1 repair scans
+  std::uint64_t rehangs = 0;           // subtree re-hangs during phase 1
+  std::uint64_t propagate_passes = 0;  // phase-2 fixpoint scans
+  std::uint64_t num_sccs = 0;
+  std::uint64_t total_ios = 0;
+  double total_seconds = 0;
+};
+
+class SemiDfsScc {
+ public:
+  // parent + preorder + finish + component word per node, plus the
+  // transient children index used to re-derive orders (one parent per
+  // node, so O(|V|) entries).
+  static constexpr std::uint64_t kBytesPerNode = 24;
+
+  static bool Fits(std::uint64_t num_nodes, const io::MemoryBudget& memory);
+
+  // Writes the (node, scc) file sorted by node id to `scc_output`.
+  // Returns ResourceExhausted if the context's I/O budget trips, and
+  // FailedPrecondition if the DFS repair loop fails to converge within
+  // its safety cap (never observed; the heuristic has no worst-case
+  // bound in [23]).
+  static util::Result<SemiDfsSccStats> Run(io::IoContext* context,
+                                           const graph::DiskGraph& input,
+                                           const std::string& scc_output);
+};
+
+}  // namespace extscc::baseline
+
+#endif  // EXTSCC_BASELINE_SEMI_DFS_SCC_H_

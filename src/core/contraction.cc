@@ -1,0 +1,168 @@
+#include "core/contraction.h"
+
+#include <vector>
+
+#include "extsort/external_sorter.h"
+#include "graph/graph_types.h"
+#include "io/record_stream.h"
+#include "util/logging.h"
+
+namespace extscc::core {
+
+namespace {
+
+using graph::Edge;
+using graph::EdgeByDst;
+using graph::EdgeBySrc;
+using graph::NodeId;
+
+// Streams `edges` (sorted so that key_of(edge) is non-decreasing) against
+// the sorted cover; routes each edge to on_member / on_removed depending
+// on whether its key endpoint is a cover member.
+template <typename KeyOf, typename OnMember, typename OnRemoved>
+void SplitByMembership(io::IoContext* context, const std::string& edge_path,
+                       const std::string& cover_path, KeyOf key_of,
+                       OnMember on_member, OnRemoved on_removed) {
+  io::PeekableReader<Edge> edges(context, edge_path);
+  io::PeekableReader<NodeId> cover(context, cover_path);
+  while (edges.has_value()) {
+    const NodeId key = key_of(edges.Peek());
+    while (cover.has_value() && cover.Peek() < key) cover.Pop();
+    const bool member = cover.has_value() && cover.Peek() == key;
+    const Edge e = edges.Pop();
+    if (member) {
+      on_member(e);
+    } else {
+      on_removed(e);
+    }
+  }
+}
+
+}  // namespace
+
+ContractionResult ContractEdges(io::IoContext* context,
+                                const std::string& ein_path,
+                                const std::string& eout_path,
+                                const std::string& cover_path,
+                                const ContractionOptions& options) {
+  (void)options;  // reserved for future Get-E variants
+  ContractionResult result;
+
+  // ---- Step 1: tail-membership split of E_out ------------------------
+  // cov_tail: tail in cover (candidates for E_pre / E_del_in).
+  // Edges with removed tails are only needed per removed node, i.e.
+  // sorted by tail — E_out is already sorted by tail, so that side can
+  // stream directly into E_del_out after a head-membership filter
+  // (step 2 below needs head-in-cover, which E_in gives us instead).
+  const std::string cov_tail_path = context->NewTempPath("cov_tail");
+  {
+    io::RecordWriter<Edge> cov_tail(context, cov_tail_path);
+    SplitByMembership(
+        context, eout_path, cover_path, [](const Edge& e) { return e.src; },
+        [&](const Edge& e) { cov_tail.Append(e); }, [](const Edge&) {});
+    cov_tail.Finish();
+  }
+
+  // Head-membership pass over cov_tail needs it sorted by head.
+  const std::string cov_tail_byhead_path = context->NewTempPath("cov_tail_h");
+  extsort::SortFile<Edge, EdgeByDst>(context, cov_tail_path,
+                                     cov_tail_byhead_path, EdgeByDst());
+  context->temp_files().Remove(cov_tail_path);
+
+  // E_pre (both endpoints covered) and E_del_in (in-edges of removed
+  // nodes with covered tails), the latter already grouped by removed head.
+  const std::string epre_path = context->NewTempPath("epre");
+  const std::string edel_in_path = context->NewTempPath("edel_in");
+  {
+    io::RecordWriter<Edge> epre(context, epre_path);
+    io::RecordWriter<Edge> edel_in(context, edel_in_path);
+    SplitByMembership(
+        context, cov_tail_byhead_path, cover_path,
+        [](const Edge& e) { return e.dst; },
+        [&](const Edge& e) { epre.Append(e); },
+        [&](const Edge& e) { edel_in.Append(e); });
+    result.preserved_edges = epre.count();
+    epre.Finish();
+    edel_in.Finish();
+  }
+  context->temp_files().Remove(cov_tail_byhead_path);
+
+  // ---- Step 2: E_del_out — out-edges of removed nodes, covered heads --
+  // E_in is sorted by head: semijoin by head membership, keep covered
+  // heads, then sort by tail and keep removed tails.
+  const std::string cov_head_path = context->NewTempPath("cov_head");
+  {
+    io::RecordWriter<Edge> cov_head(context, cov_head_path);
+    SplitByMembership(
+        context, ein_path, cover_path, [](const Edge& e) { return e.dst; },
+        [&](const Edge& e) { cov_head.Append(e); }, [](const Edge&) {});
+    cov_head.Finish();
+  }
+  const std::string cov_head_bytail_path = context->NewTempPath("cov_head_t");
+  extsort::SortFile<Edge, EdgeBySrc>(context, cov_head_path,
+                                     cov_head_bytail_path, EdgeBySrc());
+  context->temp_files().Remove(cov_head_path);
+
+  const std::string edel_out_path = context->NewTempPath("edel_out");
+  {
+    io::RecordWriter<Edge> edel_out(context, edel_out_path);
+    SplitByMembership(
+        context, cov_head_bytail_path, cover_path,
+        [](const Edge& e) { return e.src; }, [](const Edge&) {},
+        [&](const Edge& e) { edel_out.Append(e); });
+    edel_out.Finish();
+  }
+  context->temp_files().Remove(cov_head_bytail_path);
+
+  // ---- Step 3: cross product per removed node (E_add) ----------------
+  // E_del_in grouped by head (removed node), E_del_out grouped by tail
+  // (removed node); merge the groups.
+  result.edge_path = context->NewTempPath("enext");
+  {
+    io::RecordWriter<Edge> out(context, result.edge_path);
+    // E_pre first (line 12's union is a concatenation).
+    {
+      io::RecordReader<Edge> epre(context, epre_path);
+      Edge e;
+      while (epre.Next(&e)) out.Append(e);
+    }
+
+    io::PeekableReader<Edge> del_in(context, edel_in_path);
+    io::PeekableReader<Edge> del_out(context, edel_out_path);
+    while (del_in.has_value() || del_out.has_value()) {
+      NodeId v;
+      if (!del_out.has_value()) {
+        v = del_in.Peek().dst;
+      } else if (!del_in.has_value()) {
+        v = del_out.Peek().src;
+      } else {
+        v = std::min(del_in.Peek().dst, del_out.Peek().src);
+      }
+      ++result.removed_with_edges;
+      // Buffer v's covered out-neighbours (deg bounded by Theorem 5.3).
+      std::vector<NodeId> out_heads;
+      while (del_out.has_value() && del_out.Peek().src == v) {
+        out_heads.push_back(del_out.Pop().dst);
+      }
+      bool had_in = false;
+      while (del_in.has_value() && del_in.Peek().dst == v) {
+        const NodeId u = del_in.Pop().src;
+        had_in = true;
+        for (const NodeId w : out_heads) {
+          if (u == w) continue;  // self-loop shortcut: see header comment
+          out.Append(Edge{u, w});
+          ++result.new_edges;
+        }
+      }
+      (void)had_in;  // nodes with only one side simply add no shortcuts
+    }
+    result.num_edges = out.count();
+    out.Finish();
+  }
+  context->temp_files().Remove(epre_path);
+  context->temp_files().Remove(edel_in_path);
+  context->temp_files().Remove(edel_out_path);
+  return result;
+}
+
+}  // namespace extscc::core

@@ -1,0 +1,64 @@
+// Get-E (Algorithm 4): builds the edge set E_{i+1} of the contracted
+// graph from G_i and the cover V_{i+1}, preserving SCCs (Lemma 5.3):
+//
+//   E_pre — edges of E_i with both endpoints in V_{i+1};
+//   E_add — for every removed node v and every (v_in, v, v_out) wedge,
+//           the shortcut edge (v_in, v_out), which keeps every path
+//           through v alive among the surviving nodes.
+//
+// Pipeline (sorts + sequential scans only; same shape as Alg. 4, with the
+// in/out sides arranged so that every endpoint-membership test is an
+// explicit semijoin — this also covers Op-mode Type-1 removals, whose
+// incident edges are dropped rather than rewired):
+//   1. From E_out ✶ V_{i+1}: split into edges with tail in the cover
+//      (sorted by tail). Of those, a second semijoin by head yields
+//      E_pre (head in cover too) and E_del_in = in-edges of removed
+//      nodes, sorted by removed head (Alg. 4 lines 3, 9-11).
+//   2. From E_in ✶ V_{i+1}: edges with head in the cover, re-sorted by
+//      tail, then filtered to removed tails: E_del_out = out-edges of
+//      removed nodes, sorted by removed tail (the nbr_out augmentation of
+//      line 4, materialized as its own sorted stream).
+//   3. Merge E_del_in and E_del_out by removed node; per node, the cross
+//      product of in-tails x out-heads is appended to E_add
+//      (lines 5-8). The out-list is buffered in memory; Theorem 5.3
+//      bounds every removed node's degree by sqrt(2|E_i|).
+//   4. E_{i+1} = E_pre ∪ E_add (line 12). Op mode drops self-loop
+//      shortcuts here; parallel edges are removed lazily by the next
+//      iteration's E_in/E_out sorts (§VII edge reduction).
+#ifndef EXTSCC_CORE_CONTRACTION_H_
+#define EXTSCC_CORE_CONTRACTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/io_context.h"
+
+namespace extscc::core {
+
+struct ContractionOptions {
+  // Reserved for future §VII toggles. Self-loop shortcuts (u, u) from the
+  // cross product are ALWAYS dropped: a self-loop forces its node into
+  // every later cover (recoverability would need v ∈ nbr(v) ⊆ V_{i+1}),
+  // which breaks the strict shrinkage of Lemma 5.2. Example 5.1 shows the
+  // paper's base algorithm removing "self circles" as well.
+};
+
+struct ContractionResult {
+  std::string edge_path;  // E_{i+1}
+  std::uint64_t num_edges = 0;
+  std::uint64_t preserved_edges = 0;  // |E_pre|
+  std::uint64_t new_edges = 0;        // |E_add|
+  std::uint64_t removed_with_edges = 0;  // removed nodes seen in step 3
+};
+
+// `ein_path` / `eout_path`: level edge file sorted by (dst, src) and
+// (src, dst). `cover_path`: sorted unique V_{i+1}.
+ContractionResult ContractEdges(io::IoContext* context,
+                                const std::string& ein_path,
+                                const std::string& eout_path,
+                                const std::string& cover_path,
+                                const ContractionOptions& options);
+
+}  // namespace extscc::core
+
+#endif  // EXTSCC_CORE_CONTRACTION_H_

@@ -1,0 +1,176 @@
+#include "core/expansion.h"
+
+#include <vector>
+
+#include "extsort/external_sorter.h"
+#include "graph/scc_file.h"
+#include "io/record_stream.h"
+#include "util/logging.h"
+
+namespace extscc::core {
+
+namespace {
+
+using graph::Edge;
+using graph::EdgeByDst;
+using graph::EdgeBySrc;
+using graph::NodeId;
+using graph::SccEntry;
+using graph::SccEntryByNode;
+using graph::SccId;
+
+// The `augment` procedure (Alg. 5 lines 8-14) for one direction.
+// `edges_by_removed_key` must be sorted with the removed-node endpoint
+// as group key; `removed_is_head` says which endpoint that is. Produces
+// a (removed node, neighbour label) stream sorted by (node, label),
+// deduplicated.
+std::string AugmentDirection(io::IoContext* context,
+                             const std::string& edge_path,
+                             bool removed_is_head,
+                             const std::string& cover_path,
+                             const std::string& scc_next_path) {
+  // 1. Keep only edges whose removed-side endpoint is NOT in the cover.
+  const std::string removed_side_path = context->NewTempPath("exp_removed");
+  {
+    io::PeekableReader<Edge> edges(context, edge_path);
+    io::PeekableReader<NodeId> cover(context, cover_path);
+    io::RecordWriter<Edge> writer(context, removed_side_path);
+    while (edges.has_value()) {
+      const NodeId key = removed_is_head ? edges.Peek().dst
+                                         : edges.Peek().src;
+      while (cover.has_value() && cover.Peek() < key) cover.Pop();
+      const bool member = cover.has_value() && cover.Peek() == key;
+      const Edge e = edges.Pop();
+      if (!member) writer.Append(e);
+    }
+    writer.Finish();
+  }
+
+  // 2. Sort by the *neighbour* endpoint to look its label up.
+  const std::string by_neighbor_path = context->NewTempPath("exp_bynbr");
+  if (removed_is_head) {
+    extsort::SortFile<Edge, EdgeBySrc>(context, removed_side_path,
+                                       by_neighbor_path, EdgeBySrc());
+  } else {
+    extsort::SortFile<Edge, EdgeByDst>(context, removed_side_path,
+                                       by_neighbor_path, EdgeByDst());
+  }
+  context->temp_files().Remove(removed_side_path);
+
+  // 3. Attach the neighbour's SCC label (skip same-iteration removals —
+  //    provably Type-1 singletons that witness nothing).
+  const std::string labeled_path = context->NewTempPath("exp_labeled");
+  {
+    io::PeekableReader<Edge> edges(context, by_neighbor_path);
+    io::PeekableReader<SccEntry> labels(context, scc_next_path);
+    io::RecordWriter<SccEntry> writer(context, labeled_path);
+    while (edges.has_value()) {
+      const Edge e = edges.Pop();
+      const NodeId neighbor = removed_is_head ? e.src : e.dst;
+      const NodeId removed = removed_is_head ? e.dst : e.src;
+      while (labels.has_value() && labels.Peek().node < neighbor) {
+        labels.Pop();
+      }
+      if (labels.has_value() && labels.Peek().node == neighbor) {
+        writer.Append(SccEntry{removed, labels.Peek().scc});
+      }
+    }
+    writer.Finish();
+  }
+  context->temp_files().Remove(by_neighbor_path);
+
+  // 4. Sort by (removed node, label) and dedup (Alg. 5 line 13).
+  const std::string out_path = context->NewTempPath("exp_nbrscc");
+  extsort::SortFile<SccEntry, SccEntryByNode>(context, labeled_path, out_path,
+                                              SccEntryByNode(),
+                                              /*dedup=*/true);
+  context->temp_files().Remove(labeled_path);
+  return out_path;
+}
+
+}  // namespace
+
+ExpansionResult ExpandLevel(io::IoContext* context,
+                            const std::string& ein_path,
+                            const std::string& eout_path,
+                            const std::string& cover_path,
+                            const std::string& removed_path,
+                            const std::string& scc_next_path,
+                            SccId* next_scc_id) {
+  ExpansionResult result;
+
+  // E_in is grouped by head: removed-head edges give in-neighbour labels.
+  const std::string in_labels_path = AugmentDirection(
+      context, ein_path, /*removed_is_head=*/true, cover_path, scc_next_path);
+  // E_out is grouped by tail: removed-tail edges give out-neighbour labels.
+  const std::string out_labels_path =
+      AugmentDirection(context, eout_path, /*removed_is_head=*/false,
+                       cover_path, scc_next_path);
+
+  // ---- Intersect per removed node (Alg. 5 line 4) --------------------
+  const std::string scc_del_path = context->NewTempPath("scc_del");
+  {
+    io::PeekableReader<NodeId> removed(context, removed_path);
+    io::PeekableReader<SccEntry> in_labels(context, in_labels_path);
+    io::PeekableReader<SccEntry> out_labels(context, out_labels_path);
+    io::RecordWriter<SccEntry> writer(context, scc_del_path);
+    while (removed.has_value()) {
+      const NodeId v = removed.Pop();
+      // Both label streams are sorted by (node, label); intersect the two
+      // sorted label groups of v with one merge pass.
+      while (in_labels.has_value() && in_labels.Peek().node < v) {
+        in_labels.Pop();
+      }
+      while (out_labels.has_value() && out_labels.Peek().node < v) {
+        out_labels.Pop();
+      }
+      SccId common = graph::kInvalidScc;
+      std::uint32_t matches = 0;
+      while (in_labels.has_value() && in_labels.Peek().node == v &&
+             out_labels.has_value() && out_labels.Peek().node == v) {
+        const SccId a = in_labels.Peek().scc;
+        const SccId b = out_labels.Peek().scc;
+        if (a == b) {
+          common = a;
+          ++matches;
+          in_labels.Pop();
+          out_labels.Pop();
+        } else if (a < b) {
+          in_labels.Pop();
+        } else {
+          out_labels.Pop();
+        }
+      }
+      // Lemma 6.2: the intersection holds at most one label.
+      CHECK_LE(matches, 1u)
+          << "removed node " << v
+          << " intersects two distinct neighbour SCCs — SCC-preservable "
+             "property violated";
+      if (common != graph::kInvalidScc) {
+        writer.Append(SccEntry{v, common});
+        ++result.removed_in_existing_scc;
+      } else {
+        writer.Append(SccEntry{v, (*next_scc_id)++});
+        ++result.removed_singletons;
+      }
+      // Drain any leftover labels of v.
+      while (in_labels.has_value() && in_labels.Peek().node == v) {
+        in_labels.Pop();
+      }
+      while (out_labels.has_value() && out_labels.Peek().node == v) {
+        out_labels.Pop();
+      }
+    }
+    writer.Finish();
+  }
+  context->temp_files().Remove(in_labels_path);
+  context->temp_files().Remove(out_labels_path);
+
+  // ---- SCC_i = SCC_{i+1} ∪ SCC_del, sorted by node (lines 5-6) --------
+  result.scc_path = context->NewTempPath("scc_level");
+  graph::MergeSccFiles(context, scc_next_path, scc_del_path, result.scc_path);
+  context->temp_files().Remove(scc_del_path);
+  return result;
+}
+
+}  // namespace extscc::core

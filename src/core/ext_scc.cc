@@ -1,0 +1,179 @@
+#include "core/ext_scc.h"
+
+#include <memory>
+
+#include "core/contraction.h"
+#include "core/expansion.h"
+#include "core/vertex_cover.h"
+#include "graph/edge_file.h"
+#include "graph/node_file.h"
+#include "io/record_stream.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace extscc::core {
+
+namespace {
+
+using graph::DiskGraph;
+using graph::SccId;
+
+// Everything the expansion phase needs to re-open level i.
+struct LevelFiles {
+  std::string ein;      // E_i by (dst, src)
+  std::string eout;     // E_i by (src, dst)
+  std::string cover;    // V_{i+1}
+  std::string removed;  // V_i - V_{i+1}
+};
+
+util::Status BudgetCheck(io::IoContext* context, const char* where) {
+  if (context->io_budget_exceeded()) {
+    return util::Status::ResourceExhausted(
+        std::string("Ext-SCC exceeded the I/O budget during ") + where);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+util::Result<ExtSccStats> RunExtScc(io::IoContext* context,
+                                    const DiskGraph& input,
+                                    const std::string& scc_output,
+                                    const ExtSccOptions& options) {
+  ExtSccStats stats;
+  util::Timer total_timer;
+  const std::uint64_t start_ios = context->stats().total_ios();
+
+  CoverOptions cover_options;
+  cover_options.order = options.refined_order ? OrderVariant::kDegreeFanoutId
+                                              : OrderVariant::kDegreeId;
+  cover_options.type1_reduction = options.type1_reduction;
+  cover_options.type2_reduction = options.type2_reduction;
+  ContractionOptions contraction_options;
+
+  // ---- Contraction phase (Alg. 2 lines 1-4) ---------------------------
+  util::Timer phase_timer;
+  std::vector<LevelFiles> levels;
+  DiskGraph current = input;
+  while (!scc::SemiSccFits(options.semi_backend, current.num_nodes,
+                           context->memory())) {
+    if (levels.size() >= options.max_iterations) {
+      return util::Status::FailedPrecondition(
+          "contraction did not converge within max_iterations — this "
+          "contradicts Lemma 5.2 and indicates a bug or absurd budget");
+    }
+    util::Timer iter_timer;
+    const std::uint64_t iter_start_ios = context->stats().total_ios();
+
+    LevelFiles level;
+    // Self-loops carry no SCC information and would pin their nodes into
+    // every cover (see contraction.h); strip them from the input once.
+    // Contraction never re-creates them, so later levels are clean.
+    std::string edge_source = current.edge_path;
+    std::string filtered;
+    if (levels.empty()) {
+      filtered = context->NewTempPath("noself");
+      io::RecordReader<graph::Edge> reader(context, current.edge_path);
+      io::RecordWriter<graph::Edge> writer(context, filtered);
+      graph::Edge e;
+      while (reader.Next(&e)) {
+        if (e.src != e.dst) writer.Append(e);
+      }
+      writer.Finish();
+      edge_source = filtered;
+    }
+    level.ein = context->NewTempPath("ein");
+    level.eout = context->NewTempPath("eout");
+    graph::SortEdgesByDst(context, edge_source, level.ein,
+                          options.dedup_parallel_edges);
+    graph::SortEdgesBySrc(context, edge_source, level.eout,
+                          options.dedup_parallel_edges);
+    if (!filtered.empty()) context->temp_files().Remove(filtered);
+    const std::uint64_t level_edges = graph::CountEdges(context, level.ein);
+
+    const CoverResult cover =
+        ComputeVertexCover(context, level.ein, level.eout, cover_options);
+    CHECK_LT(cover.cover_count, current.num_nodes)
+        << "cover did not shrink the node set (Lemma 5.2 violated)";
+    level.cover = cover.cover_path;
+
+    ContractionResult contraction = ContractEdges(
+        context, level.ein, level.eout, level.cover, contraction_options);
+
+    // Parallel-edge elimination. The cross product of Get-E multiplies
+    // parallel wedges, so leaving duplicates across levels grows |E_i|
+    // geometrically (Example 5.1's base run also removes them). The base
+    // algorithm pays an eager dedup pass here; Op mode instead folds the
+    // dedup into the next level's E_in/E_out sorts (§VII "lazy" edge
+    // reduction), saving this pass — part of the measured Op advantage.
+    if (!options.dedup_parallel_edges) {
+      const std::string deduped = context->NewTempPath("enext_dedup");
+      graph::SortEdgesBySrc(context, contraction.edge_path, deduped,
+                            /*dedup=*/true);
+      context->temp_files().Remove(contraction.edge_path);
+      contraction.edge_path = deduped;
+      contraction.num_edges = graph::CountEdges(context, deduped);
+    }
+
+    level.removed = context->NewTempPath("removed");
+    graph::NodeFileDifference(context, current.node_path, level.cover,
+                              level.removed);
+
+    ContractionIterationStats iter;
+    iter.level = static_cast<std::uint32_t>(levels.size() + 1);
+    iter.nodes = current.num_nodes;
+    iter.edges = level_edges;
+    iter.cover_nodes = cover.cover_count;
+    iter.next_edges = contraction.num_edges;
+    iter.new_edges = contraction.new_edges;
+    iter.type2_skips = cover.type2_skips;
+    iter.seconds = iter_timer.ElapsedSeconds();
+    iter.ios = context->stats().total_ios() - iter_start_ios;
+    stats.iterations.push_back(iter);
+
+    levels.push_back(level);
+    current = DiskGraph{level.cover, contraction.edge_path,
+                        cover.cover_count, contraction.num_edges};
+    RETURN_IF_ERROR(BudgetCheck(context, "graph contraction"));
+  }
+  stats.contraction_seconds = phase_timer.ElapsedSeconds();
+
+  // ---- Semi-external base case (Alg. 2 line 5) ------------------------
+  phase_timer.Restart();
+  SccId next_scc_id = 0;
+  std::string scc_path = context->NewTempPath("scc_semi");
+  stats.semi_nodes = current.num_nodes;
+  stats.semi = scc::RunSemiScc(options.semi_backend, context, current,
+                               scc_path, &next_scc_id);
+  stats.semi_seconds = phase_timer.ElapsedSeconds();
+  RETURN_IF_ERROR(BudgetCheck(context, "semi-external base case"));
+
+  // ---- Expansion phase (Alg. 2 lines 6-9) ------------------------------
+  phase_timer.Restart();
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const ExpansionResult expanded =
+        ExpandLevel(context, it->ein, it->eout, it->cover, it->removed,
+                    scc_path, &next_scc_id);
+    context->temp_files().Remove(scc_path);
+    scc_path = expanded.scc_path;
+    RETURN_IF_ERROR(BudgetCheck(context, "graph expansion"));
+  }
+  stats.expansion_seconds = phase_timer.ElapsedSeconds();
+
+  // ---- Emit SCC_1 (line 10) -------------------------------------------
+  {
+    io::RecordReader<graph::SccEntry> reader(context, scc_path);
+    io::RecordWriter<graph::SccEntry> writer(context, scc_output);
+    graph::SccEntry entry;
+    while (reader.Next(&entry)) writer.Append(entry);
+    writer.Finish();
+  }
+  context->temp_files().Remove(scc_path);
+
+  stats.num_sccs = next_scc_id;
+  stats.total_ios = context->stats().total_ios() - start_ios;
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace extscc::core

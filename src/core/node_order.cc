@@ -1,0 +1,36 @@
+#include "core/node_order.h"
+
+#include "util/logging.h"
+
+namespace extscc::core {
+
+bool NodeGreater(const NodeKey& a, const NodeKey& b, OrderVariant variant) {
+  if (a.deg() != b.deg()) return a.deg() > b.deg();
+  if (variant == OrderVariant::kDegreeFanoutId && a.fanout() != b.fanout()) {
+    return a.fanout() > b.fanout();
+  }
+  return a.id > b.id;
+}
+
+BoundedNodeCache::BoundedNodeCache(std::size_t capacity, OrderVariant variant)
+    : capacity_(capacity), ordered_(Less{variant}) {
+  CHECK_GT(capacity, 0u);
+}
+
+void BoundedNodeCache::Insert(const NodeKey& key) {
+  if (members_.count(key.id) > 0) return;
+  if (ordered_.size() >= capacity_) {
+    // Evict the largest cached node if `key` is smaller than it;
+    // otherwise `key` is not among the s smallest and is not cached.
+    auto largest = std::prev(ordered_.end());
+    if (!NodeGreater(*largest, key, ordered_.key_comp().variant)) {
+      return;
+    }
+    members_.erase(largest->id);
+    ordered_.erase(largest);
+  }
+  ordered_.insert(key);
+  members_.insert(key.id);
+}
+
+}  // namespace extscc::core

@@ -1,0 +1,85 @@
+// The paper's total order `>` over nodes, used by Get-V to pick which
+// endpoint of every edge joins the vertex cover.
+//
+//   Definition 5.1 (base):    deg, then id.
+//   Definition 7.1 (refined): deg, then deg_in x deg_out, then id.
+//
+// The refined order prefers keeping nodes whose removal would fan out
+// many new edges (deg_in x deg_out is exactly the number of edges
+// Get-E creates for a removed node), which is the §VII edge-reduction
+// optimization.
+//
+// Also hosts the bounded dictionary T used by the Type-2 node reduction:
+// it caches the `s` smallest cover members under `>` (small nodes are the
+// likely Type-2 candidates per Theorem 5.3) within a fixed memory
+// allowance, so membership tests never add I/O.
+#ifndef EXTSCC_CORE_NODE_ORDER_H_
+#define EXTSCC_CORE_NODE_ORDER_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+
+#include "graph/graph_types.h"
+
+namespace extscc::core {
+
+enum class OrderVariant {
+  kDegreeId,        // Definition 5.1 (Ext-SCC)
+  kDegreeFanoutId,  // Definition 7.1 (Ext-SCC-Op)
+};
+
+// Everything `>` looks at for one node.
+struct NodeKey {
+  graph::NodeId id = 0;
+  std::uint32_t deg_in = 0;
+  std::uint32_t deg_out = 0;
+
+  std::uint32_t deg() const { return deg_in + deg_out; }
+  std::uint64_t fanout() const {
+    return static_cast<std::uint64_t>(deg_in) *
+           static_cast<std::uint64_t>(deg_out);
+  }
+};
+
+// True iff a > b under `variant`. A strict total order: ties always break
+// on the unique node id.
+bool NodeGreater(const NodeKey& a, const NodeKey& b, OrderVariant variant);
+
+// Bounded cover-membership cache (the dictionary T of §VII). Holds at
+// most `capacity` entries; when full, inserting a node smaller (under >)
+// than the current maximum evicts that maximum, so T converges to the `s`
+// smallest cover members.
+class BoundedNodeCache {
+ public:
+  BoundedNodeCache(std::size_t capacity, OrderVariant variant);
+
+  // Records that `key` joined the cover.
+  void Insert(const NodeKey& key);
+
+  // May return false negatives (evicted members), never false positives.
+  bool Contains(graph::NodeId id) const { return members_.count(id) > 0; }
+
+  std::size_t size() const { return members_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  // Estimated bytes per cached entry, for deriving `s` from the budget.
+  static constexpr std::size_t kBytesPerEntry = 64;
+
+ private:
+  struct Less {
+    OrderVariant variant;
+    bool operator()(const NodeKey& a, const NodeKey& b) const {
+      // Strict-weak order consistent with NodeGreater: a < b iff b > a.
+      return NodeGreater(b, a, variant);
+    }
+  };
+
+  std::size_t capacity_;
+  std::set<NodeKey, Less> ordered_;
+  std::unordered_set<graph::NodeId> members_;
+};
+
+}  // namespace extscc::core
+
+#endif  // EXTSCC_CORE_NODE_ORDER_H_

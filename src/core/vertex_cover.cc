@@ -1,0 +1,185 @@
+#include "core/vertex_cover.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "extsort/external_sorter.h"
+#include "graph/graph_types.h"
+#include "io/record_stream.h"
+#include "util/logging.h"
+
+namespace extscc::core {
+
+namespace {
+
+using graph::DegreeEntry;
+using graph::Edge;
+using graph::NodeId;
+
+// Edge with the tail's degrees attached (the intermediate E_d of
+// Algorithm 3 after line 5).
+struct HalfDegEdge {
+  NodeId u = 0;
+  std::uint32_t u_in = 0;
+  std::uint32_t u_out = 0;
+  NodeId v = 0;
+};
+
+struct HalfDegEdgeByHead {
+  bool operator()(const HalfDegEdge& a, const HalfDegEdge& b) const {
+    if (a.v != b.v) return a.v < b.v;
+    return a.u < b.u;
+  }
+};
+
+struct NodeLess {
+  bool operator()(NodeId a, NodeId b) const { return a < b; }
+};
+
+// Builds V_d by merging the two grouped edge streams: E_in grouped by
+// head yields deg_in, E_out grouped by tail yields deg_out (Alg. 3 l.4).
+std::uint64_t BuildDegreeFile(io::IoContext* context,
+                              const std::string& ein_path,
+                              const std::string& eout_path,
+                              const std::string& vd_path, bool type1) {
+  io::PeekableReader<Edge> ein(context, ein_path);
+  io::PeekableReader<Edge> eout(context, eout_path);
+  io::RecordWriter<DegreeEntry> writer(context, vd_path);
+  std::uint64_t emitted = 0;
+
+  auto drain_group = [](auto& reader, NodeId node, auto key_of) {
+    std::uint32_t count = 0;
+    while (reader.has_value() && key_of(reader.Peek()) == node) {
+      reader.Pop();
+      ++count;
+    }
+    return count;
+  };
+  const auto head = [](const Edge& e) { return e.dst; };
+  const auto tail = [](const Edge& e) { return e.src; };
+
+  while (ein.has_value() || eout.has_value()) {
+    NodeId node;
+    if (!eout.has_value()) {
+      node = ein.Peek().dst;
+    } else if (!ein.has_value()) {
+      node = eout.Peek().src;
+    } else {
+      node = std::min(ein.Peek().dst, eout.Peek().src);
+    }
+    DegreeEntry entry;
+    entry.node = node;
+    if (ein.has_value() && ein.Peek().dst == node) {
+      entry.deg_in = drain_group(ein, node, head);
+    }
+    if (eout.has_value() && eout.Peek().src == node) {
+      entry.deg_out = drain_group(eout, node, tail);
+    }
+    if (type1 && (entry.deg_in == 0 || entry.deg_out == 0)) {
+      continue;  // Lemma 7.1: source/sink — a guaranteed singleton SCC.
+    }
+    writer.Append(entry);
+    ++emitted;
+  }
+  writer.Finish();
+  return emitted;
+}
+
+}  // namespace
+
+CoverResult ComputeVertexCover(io::IoContext* context,
+                               const std::string& ein_path,
+                               const std::string& eout_path,
+                               const CoverOptions& options) {
+  CoverResult result;
+
+  // ---- V_d: degrees per node (line 4) -------------------------------
+  const std::string vd_path = context->NewTempPath("vd");
+  result.degree_nodes =
+      BuildDegreeFile(context, ein_path, eout_path, vd_path,
+                      options.type1_reduction);
+
+  // ---- E_d: augment tail degrees (line 5) ----------------------------
+  const std::string ed_path = context->NewTempPath("ed_bytail");
+  {
+    io::PeekableReader<Edge> eout(context, eout_path);
+    io::PeekableReader<DegreeEntry> vd(context, vd_path);
+    io::RecordWriter<HalfDegEdge> writer(context, ed_path);
+    while (eout.has_value()) {
+      const NodeId u = eout.Peek().src;
+      while (vd.has_value() && vd.Peek().node < u) vd.Pop();
+      if (!vd.has_value() || vd.Peek().node != u) {
+        // Tail was Type-1-dropped: its edges cannot lie on a cycle.
+        eout.Pop();
+        continue;
+      }
+      const DegreeEntry u_deg = vd.Peek();
+      while (eout.has_value() && eout.Peek().src == u) {
+        const Edge e = eout.Pop();
+        writer.Append(HalfDegEdge{u, u_deg.deg_in, u_deg.deg_out, e.dst});
+      }
+    }
+    writer.Finish();
+  }
+
+  // ---- Sort E_d by head (line 6) -------------------------------------
+  const std::string ed_byhead_path = context->NewTempPath("ed_byhead");
+  extsort::SortFile<HalfDegEdge, HalfDegEdgeByHead>(
+      context, ed_path, ed_byhead_path, HalfDegEdgeByHead());
+  context->temp_files().Remove(ed_path);
+
+  // ---- Augment head degrees + selection scan (lines 7-9, fused) ------
+  // Cover candidates stream into a sorting writer that dedups (line 10).
+  extsort::SortingWriter<NodeId, NodeLess> cover_writer(context, NodeLess(),
+                                                        /*dedup=*/true);
+  {
+    io::PeekableReader<HalfDegEdge> ed(context, ed_byhead_path);
+    io::PeekableReader<DegreeEntry> vd(context, vd_path);
+    // Dictionary T for the Type-2 reduction, sized from the free budget.
+    std::unique_ptr<BoundedNodeCache> cache;
+    if (options.type2_reduction) {
+      const std::uint64_t cap = std::max<std::uint64_t>(
+          16, context->memory().available_bytes() /
+                  (2 * BoundedNodeCache::kBytesPerEntry));
+      cache = std::make_unique<BoundedNodeCache>(
+          static_cast<std::size_t>(cap), options.order);
+    }
+    while (ed.has_value()) {
+      const NodeId v = ed.Peek().v;
+      while (vd.has_value() && vd.Peek().node < v) vd.Pop();
+      if (!vd.has_value() || vd.Peek().node != v) {
+        // Head was Type-1-dropped.
+        ed.Pop();
+        continue;
+      }
+      const DegreeEntry v_deg = vd.Peek();
+      while (ed.has_value() && ed.Peek().v == v) {
+        const HalfDegEdge e = ed.Pop();
+        const NodeKey u_key{e.u, e.u_in, e.u_out};
+        const NodeKey v_key{v, v_deg.deg_in, v_deg.deg_out};
+        const bool u_greater = NodeGreater(u_key, v_key, options.order);
+        const NodeKey& winner = u_greater ? u_key : v_key;
+        const NodeKey& loser = u_greater ? v_key : u_key;
+        if (cache != nullptr && cache->Contains(loser.id)) {
+          // Edge already covered by its smaller endpoint (§VII Type-2).
+          ++result.type2_skips;
+          continue;
+        }
+        cover_writer.Add(winner.id);
+        if (cache != nullptr) cache->Insert(winner);
+      }
+    }
+  }
+  context->temp_files().Remove(ed_byhead_path);
+  context->temp_files().Remove(vd_path);
+
+  // ---- Sort + dedup (line 10) ----------------------------------------
+  result.cover_path = context->NewTempPath("cover");
+  extsort::SortRunInfo info = cover_writer.FinishInto(result.cover_path);
+  (void)info;
+  result.cover_count =
+      io::NumRecordsInFile<NodeId>(context, result.cover_path);
+  return result;
+}
+
+}  // namespace extscc::core

@@ -1,0 +1,60 @@
+// Get-V (Algorithm 3): computes the node set V_{i+1} of the contracted
+// graph as a vertex cover of G_i, selected edge-by-edge with the paper's
+// `>` total order (adapting the external 2-approximation of Angel et al.
+// [7]). By Lemma 5.1/5.2 the result is recoverable and contractible.
+//
+// Pipeline (sorts + sequential scans only, mirroring Alg. 3 lines 1-10):
+//   1.  E_in  := edges sorted by (dst, src)     [driver provides]
+//       E_out := edges sorted by (src, dst)     [driver provides]
+//   2.  V_d   := per-node (deg_in, deg_out), by merging the grouped
+//                E_in / E_out streams (line 4). Op-mode Type-1 reduction
+//                (Lemma 7.1) drops nodes with deg_in = 0 or deg_out = 0
+//                here; their incident edges drop out of the joins below,
+//                which is safe because no cycle passes through them.
+//   3.  E_d'  := E_out ✶ V_d, augmenting tail degrees (line 5), then
+//                sorted by head (line 6).
+//   4.  Final merge E_d' ✶ V_d augments head degrees (line 7) and is
+//                fused with the selection scan (lines 8-9): the larger
+//                endpoint under `>` joins the cover. Op-mode Type-2
+//                reduction consults the bounded dictionary T: when the
+//                smaller endpoint is already a cover member, the edge is
+//                already covered and the larger endpoint is not added.
+//   5.  Cover candidates are sorted and deduplicated (line 10).
+//
+// Fusing line 7's join with the line 8-9 scan saves one materialization;
+// the sequence of sorts and scans — and hence the I/O complexity
+// O(sort(|E_i|) + sort(|V_i|)) of Theorem 5.1 — is unchanged.
+#ifndef EXTSCC_CORE_VERTEX_COVER_H_
+#define EXTSCC_CORE_VERTEX_COVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/node_order.h"
+#include "io/io_context.h"
+
+namespace extscc::core {
+
+struct CoverOptions {
+  OrderVariant order = OrderVariant::kDegreeId;
+  bool type1_reduction = false;  // Lemma 7.1 (Op mode)
+  bool type2_reduction = false;  // bounded dictionary T (Op mode)
+};
+
+struct CoverResult {
+  std::string cover_path;      // sorted unique NodeId file (V_{i+1})
+  std::uint64_t cover_count = 0;
+  std::uint64_t degree_nodes = 0;   // |V_d| after Type-1 reduction
+  std::uint64_t type2_skips = 0;    // edges whose add was suppressed by T
+};
+
+// `ein_path` / `eout_path` are the level's edge file sorted by (dst, src)
+// and (src, dst) respectively.
+CoverResult ComputeVertexCover(io::IoContext* context,
+                               const std::string& ein_path,
+                               const std::string& eout_path,
+                               const CoverOptions& options);
+
+}  // namespace extscc::core
+
+#endif  // EXTSCC_CORE_VERTEX_COVER_H_

@@ -1,0 +1,3 @@
+// The sorter is a header template (extsort/external_sorter.h). This
+// translation unit only anchors the module in the build.
+#include "extsort/external_sorter.h"

@@ -1,0 +1,226 @@
+// External merge sort in the Aggarwal-Vitter model.
+//
+// Run formation fills an in-memory buffer of at most
+// memory.MaxRecordsInMemory(sizeof(T)) records, sorts it and spills a run;
+// merging uses a loser tree whose fan-in is memory.MergeFanIn(B)
+// (one block buffer per run + one output buffer), with as many merge
+// passes as the fan-in requires. Total cost is the model's
+// sort(n) = Θ(n/B · log_{M/B}(n/B)) — the paper's Algorithms 3–5 are
+// built exclusively from these sorts plus sequential scans.
+//
+// Sorting is stable ties are broken by run order, which the callers never
+// rely on; comparators used by the paper's algorithms are total orders.
+#ifndef EXTSCC_EXTSORT_EXTERNAL_SORTER_H_
+#define EXTSCC_EXTSORT_EXTERNAL_SORTER_H_
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/io_context.h"
+#include "io/record_stream.h"
+#include "util/logging.h"
+
+namespace extscc::extsort {
+
+// Diagnostics exposed for tests and the contraction profiler.
+struct SortRunInfo {
+  std::uint64_t num_records = 0;
+  std::uint64_t num_runs = 0;
+  std::uint64_t merge_passes = 0;
+};
+
+namespace internal {
+
+// Loser-tree k-way merge over peekable readers; pulls the minimum under
+// Less on each Pop. A plain tournament over indices — O(log k) per record.
+template <typename T, typename Less>
+class LoserTree {
+ public:
+  LoserTree(std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs,
+            Less less)
+      : inputs_(std::move(inputs)), less_(less) {}
+
+  // Returns false when all inputs are exhausted.
+  bool Next(T* out) {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(inputs_.size()); ++i) {
+      if (!inputs_[i]->has_value()) continue;
+      if (best < 0 || less_(inputs_[i]->Peek(), inputs_[best]->Peek())) {
+        best = i;
+      }
+    }
+    if (best < 0) return false;
+    *out = inputs_[best]->Pop();
+    return true;
+  }
+
+ private:
+  std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs_;
+  Less less_;
+};
+
+}  // namespace internal
+
+// One-shot external sort of `input_path` into `output_path`.
+// If `dedup` is true, records equal under Less (neither compares before
+// the other) are collapsed to one — used for V_{i+1} dedup (Alg. 3 l.10)
+// and the Op-mode lazy parallel-edge elimination (§VII).
+template <typename T, typename Less>
+SortRunInfo SortFile(io::IoContext* context, const std::string& input_path,
+                     const std::string& output_path, Less less,
+                     bool dedup = false) {
+  SortRunInfo info;
+  // --- Run formation -------------------------------------------------
+  const std::uint64_t run_capacity =
+      context->memory().MaxRecordsInMemory(sizeof(T));
+  std::vector<std::string> runs;
+  {
+    io::RecordReader<T> reader(context, input_path);
+    std::vector<T> buffer;
+    buffer.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(run_capacity, reader.num_records() + 1)));
+    T record;
+    auto spill = [&]() {
+      if (buffer.empty()) return;
+      std::stable_sort(buffer.begin(), buffer.end(), less);
+      const std::string run_path = context->NewTempPath("sortrun");
+      io::RecordWriter<T> writer(context, run_path);
+      for (const T& r : buffer) writer.Append(r);
+      writer.Finish();
+      runs.push_back(run_path);
+      buffer.clear();
+    };
+    while (reader.Next(&record)) {
+      ++info.num_records;
+      buffer.push_back(record);
+      if (buffer.size() >= run_capacity) spill();
+    }
+    spill();
+  }
+  info.num_runs = runs.size();
+
+  // --- Merge passes ---------------------------------------------------
+  const std::uint64_t fan_in =
+      context->memory().MergeFanIn(context->block_size());
+  while (runs.size() > 1) {
+    ++info.merge_passes;
+    std::vector<std::string> next_runs;
+    for (std::size_t group = 0; group < runs.size(); group += fan_in) {
+      const std::size_t end =
+          std::min(runs.size(), group + static_cast<std::size_t>(fan_in));
+      std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs;
+      inputs.reserve(end - group);
+      for (std::size_t i = group; i < end; ++i) {
+        inputs.push_back(
+            std::make_unique<io::PeekableReader<T>>(context, runs[i]));
+      }
+      const bool last_merge = group == 0 && end == runs.size();
+      const std::string out_path =
+          last_merge ? output_path : context->NewTempPath("mergerun");
+      internal::LoserTree<T, Less> tree(std::move(inputs), less);
+      io::RecordWriter<T> writer(context, out_path);
+      T record;
+      if (dedup && last_merge) {
+        bool have_prev = false;
+        T prev{};
+        while (tree.Next(&record)) {
+          if (have_prev && !less(prev, record) && !less(record, prev)) {
+            continue;
+          }
+          writer.Append(record);
+          prev = record;
+          have_prev = true;
+        }
+      } else {
+        while (tree.Next(&record)) writer.Append(record);
+      }
+      writer.Finish();
+      next_runs.push_back(out_path);
+      for (std::size_t i = group; i < end; ++i) {
+        context->temp_files().Remove(runs[i]);
+      }
+    }
+    runs = std::move(next_runs);
+    if (runs.size() == 1 && runs[0] == output_path) {
+      return info;
+    }
+  }
+
+  // 0 or 1 runs: copy (applying dedup) into output_path.
+  io::RecordWriter<T> writer(context, output_path);
+  if (!runs.empty()) {
+    io::RecordReader<T> reader(context, runs[0]);
+    T record;
+    bool have_prev = false;
+    T prev{};
+    while (reader.Next(&record)) {
+      if (dedup && have_prev && !less(prev, record) && !less(record, prev)) {
+        continue;
+      }
+      writer.Append(record);
+      prev = record;
+      have_prev = true;
+    }
+    context->temp_files().Remove(runs[0]);
+  }
+  writer.Finish();
+  return info;
+}
+
+// Accumulating variant: Add() records, then FinishInto() sorts them to a
+// file. Spills runs as the budget fills, so it never holds more than the
+// budget in memory.
+template <typename T, typename Less>
+class SortingWriter {
+ public:
+  SortingWriter(io::IoContext* context, Less less, bool dedup = false)
+      : context_(context),
+        less_(less),
+        dedup_(dedup),
+        staging_path_(context->NewTempPath("sortstage")),
+        staging_(std::make_unique<io::RecordWriter<T>>(context,
+                                                       staging_path_)) {}
+
+  void Add(const T& record) { staging_->Append(record); }
+
+  SortRunInfo FinishInto(const std::string& output_path) {
+    staging_->Finish();
+    SortRunInfo info =
+        SortFile<T, Less>(context_, staging_path_, output_path, less_, dedup_);
+    context_->temp_files().Remove(staging_path_);
+    return info;
+  }
+
+ private:
+  io::IoContext* context_;
+  Less less_;
+  bool dedup_;
+  std::string staging_path_;
+  std::unique_ptr<io::RecordWriter<T>> staging_;
+};
+
+// Returns true iff `path` is sorted (and strictly sorted when
+// `strictly` — i.e. no duplicates under the order). Test helper.
+template <typename T, typename Less>
+bool IsFileSorted(io::IoContext* context, const std::string& path, Less less,
+                  bool strictly = false) {
+  io::RecordReader<T> reader(context, path);
+  T prev{};
+  T cur;
+  bool have_prev = false;
+  while (reader.Next(&cur)) {
+    if (have_prev) {
+      if (less(cur, prev)) return false;
+      if (strictly && !less(prev, cur)) return false;
+    }
+    prev = cur;
+    have_prev = true;
+  }
+  return true;
+}
+
+}  // namespace extscc::extsort
+
+#endif  // EXTSCC_EXTSORT_EXTERNAL_SORTER_H_

@@ -1,0 +1,105 @@
+#include "gen/classic_graphs.h"
+
+#include "util/logging.h"
+
+namespace extscc::gen {
+
+namespace {
+using graph::Edge;
+using graph::NodeId;
+}  // namespace
+
+std::vector<Edge> Fig1Edges() {
+  // a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10 l=11 m=12.
+  // SCC1 ring b->c->d->e->f->g->b plus chords; SCC2 ring i->j->k->l->i
+  // plus chords; a feeds b, g feeds h feeds i, k feeds m.
+  return {
+      {0, 1},                                            // a->b
+      {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 1},    // SCC1 ring
+      {3, 6}, {5, 2}, {1, 4},                            // SCC1 chords
+      {6, 7},                                            // g->h
+      {7, 8},                                            // h->i
+      {8, 9}, {9, 10}, {10, 11}, {11, 8},                // SCC2 ring
+      {9, 8}, {11, 10},                                  // SCC2 chords
+      {10, 12},                                          // k->m
+      {0, 5},                                            // a->f
+  };
+}
+
+std::vector<Edge> CycleEdges(std::uint32_t n) {
+  CHECK_GT(n, 0u);
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    edges.push_back(Edge{i, (i + 1) % n});
+  }
+  return edges;
+}
+
+std::vector<Edge> PathEdges(std::uint32_t n) {
+  std::vector<Edge> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) {
+    edges.push_back(Edge{i, i + 1});
+  }
+  return edges;
+}
+
+std::vector<Edge> CompleteDigraphEdges(std::uint32_t n) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * (n - 1));
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u != v) edges.push_back(Edge{u, v});
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> RandomDigraphEdges(std::uint32_t n, std::uint64_t m,
+                                     std::uint64_t seed,
+                                     bool allow_degenerate) {
+  CHECK_GT(n, 0u);
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    const auto u = static_cast<NodeId>(rng.Uniform(n));
+    const auto v = static_cast<NodeId>(rng.Uniform(n));
+    if (!allow_degenerate && u == v) continue;
+    edges.push_back(Edge{u, v});
+  }
+  return edges;
+}
+
+std::vector<Edge> RandomDagEdges(std::uint32_t n, std::uint64_t m,
+                                 std::uint64_t seed) {
+  CHECK_GT(n, 1u);
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    auto u = static_cast<NodeId>(rng.Uniform(n));
+    auto v = static_cast<NodeId>(rng.Uniform(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges.push_back(Edge{u, v});
+  }
+  return edges;
+}
+
+std::vector<Edge> CycleChainEdges(std::uint32_t k, std::uint32_t len) {
+  CHECK_GT(len, 0u);
+  std::vector<Edge> edges;
+  for (std::uint32_t c = 0; c < k; ++c) {
+    const NodeId base = c * len;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      edges.push_back(Edge{base + i, base + (i + 1) % len});
+    }
+    if (c + 1 < k) {
+      edges.push_back(Edge{base, base + len});  // DAG link to next cycle
+    }
+  }
+  return edges;
+}
+
+}  // namespace extscc::gen

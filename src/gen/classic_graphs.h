@@ -1,0 +1,45 @@
+// Small deterministic graphs used by tests and examples, including the
+// paper's running example (Fig. 1).
+#ifndef EXTSCC_GEN_CLASSIC_GRAPHS_H_
+#define EXTSCC_GEN_CLASSIC_GRAPHS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph_types.h"
+#include "util/random.h"
+
+namespace extscc::gen {
+
+// The 13-node / 20-edge graph of Fig. 1 (Example 2.1): nodes a..m mapped
+// to 0..12. SCC1 = {b,c,d,e,f,g} = {1..6}, SCC2 = {i,j,k,l} = {8..11},
+// and a (0), h (7), m (12) are singletons.
+std::vector<graph::Edge> Fig1Edges();
+
+// Directed cycle 0 -> 1 -> ... -> n-1 -> 0 (one SCC).
+std::vector<graph::Edge> CycleEdges(std::uint32_t n);
+
+// Directed path 0 -> 1 -> ... -> n-1 (all singletons).
+std::vector<graph::Edge> PathEdges(std::uint32_t n);
+
+// Complete digraph on n nodes without self-loops (one SCC).
+std::vector<graph::Edge> CompleteDigraphEdges(std::uint32_t n);
+
+// Uniform random digraph G(n, m); may contain parallel edges and
+// self-loops when allow_degenerate is true (stresses the Op-mode
+// reductions).
+std::vector<graph::Edge> RandomDigraphEdges(std::uint32_t n, std::uint64_t m,
+                                            std::uint64_t seed,
+                                            bool allow_degenerate = false);
+
+// Random DAG with edges only from lower to higher ids (EM-SCC's Case-2).
+std::vector<graph::Edge> RandomDagEdges(std::uint32_t n, std::uint64_t m,
+                                        std::uint64_t seed);
+
+// `k` disjoint cycles of length `len` chained by one DAG edge each —
+// a stress shape with many same-size SCCs.
+std::vector<graph::Edge> CycleChainEdges(std::uint32_t k, std::uint32_t len);
+
+}  // namespace extscc::gen
+
+#endif  // EXTSCC_GEN_CLASSIC_GRAPHS_H_

@@ -1,0 +1,48 @@
+// R-MAT recursive-matrix generator (Chakrabarti, Zhan, Faloutsos) — a
+// standard stress family for external graph algorithms: power-law
+// degrees, community structure, and tunable skew from one knob set
+// (a, b, c, d). Complements the copying-model web graph (Figs. 6-7) and
+// the planted-SCC synthetics (Table I): R-MAT's hub nodes produce the
+// adversarial case for the vertex-cover contraction (high-degree nodes
+// never leave the cover) and for the E_add cross-product bound of
+// Theorem 5.4.
+#ifndef EXTSCC_GEN_RMAT_GENERATOR_H_
+#define EXTSCC_GEN_RMAT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/disk_graph.h"
+#include "io/io_context.h"
+
+namespace extscc::gen {
+
+struct RmatParams {
+  // Number of nodes, rounded up internally to the next power of two for
+  // the quadrant recursion; edges land only on [0, num_nodes).
+  std::uint64_t num_nodes = 1 << 16;
+  std::uint64_t num_edges = 1 << 18;
+
+  // Quadrant probabilities; must be positive and sum to ~1. The default
+  // (0.57, 0.19, 0.19, 0.05) is the Graph500 parameterization.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+
+  // Per-level probability perturbation (+-noise * U[-1,1]) that breaks
+  // the exact self-similarity, as recommended in the R-MAT paper.
+  double noise = 0.1;
+
+  std::uint64_t seed = 42;
+};
+
+// Streams `num_edges` R-MAT edges to a scratch edge file and assembles
+// the DiskGraph (node file = all of [0, num_nodes), so isolated nodes are
+// kept — they are legitimate singleton SCCs). Self-loops are possible in
+// the raw R-MAT distribution and are kept; Ext-SCC strips them on input.
+graph::DiskGraph GenerateRmat(io::IoContext* context,
+                              const RmatParams& params);
+
+}  // namespace extscc::gen
+
+#endif  // EXTSCC_GEN_RMAT_GENERATOR_H_

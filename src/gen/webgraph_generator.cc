@@ -1,0 +1,77 @@
+#include "gen/webgraph_generator.h"
+
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "graph/graph_types.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace extscc::gen {
+
+namespace {
+
+using graph::NodeId;
+
+}  // namespace
+
+graph::DiskGraph GenerateWebGraph(io::IoContext* context,
+                                  const WebGraphParams& params) {
+  const std::uint64_t n = params.num_nodes;
+  CHECK_GT(n, 1u);
+  CHECK_GT(params.edge_fraction, 0.0);
+  util::Rng rng(params.seed);
+
+  // In-memory copy of the forward adjacency, needed by the copying model
+  // (generator-side RAM, not part of any measured algorithm).
+  std::vector<std::vector<NodeId>> out_links(n);
+
+  graph::GraphBuilder builder(context);
+  // Total-edge cap implementing Fig. 6's edge_fraction.
+  const double expected_edges =
+      static_cast<double>(n) * params.avg_out_degree *
+      (1.0 + params.reciprocal_prob);
+  const auto edge_cap = static_cast<std::uint64_t>(
+      params.edge_fraction * expected_edges) + 1;
+  std::uint64_t emitted = 0;
+
+  auto emit = [&](NodeId u, NodeId v) {
+    if (emitted >= edge_cap) return;
+    builder.AddEdge(u, v);
+    out_links[u].push_back(v);
+    ++emitted;
+  };
+
+  // Seed 2-cycle so prototypes exist.
+  emit(0, 1);
+  emit(1, 0);
+
+  for (NodeId t = 2; t < n; ++t) {
+    // Out-degree ~ geometric with the requested mean (>= 1).
+    std::uint32_t d = 1;
+    while (rng.Bernoulli(1.0 - 1.0 / params.avg_out_degree) &&
+           d < 4 * params.avg_out_degree) {
+      ++d;
+    }
+    const NodeId prototype = static_cast<NodeId>(rng.Uniform(t));
+    for (std::uint32_t k = 0; k < d; ++k) {
+      NodeId target;
+      if (!out_links[prototype].empty() && rng.Bernoulli(params.copy_prob)) {
+        target =
+            out_links[prototype][rng.Uniform(out_links[prototype].size())];
+      } else {
+        // Zipf-biased fresh target: old pages attract more links.
+        target = static_cast<NodeId>(rng.Zipf(t, 0.6));
+      }
+      if (target == t) continue;
+      emit(t, target);
+      if (rng.Bernoulli(params.reciprocal_prob)) {
+        emit(target, t);
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) builder.AddNode(v);
+  return builder.Finish();
+}
+
+}  // namespace extscc::gen

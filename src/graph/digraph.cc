@@ -1,0 +1,67 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace extscc::graph {
+
+Digraph::Digraph(std::vector<NodeId> nodes, const std::vector<Edge>& edges)
+    : ids_(std::move(nodes)) {
+  ids_.reserve(ids_.size() + 2 * edges.size());
+  for (const Edge& e : edges) {
+    ids_.push_back(e.src);
+    ids_.push_back(e.dst);
+  }
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+  Build(edges);
+}
+
+Digraph::Digraph(const std::vector<Edge>& edges) : Digraph({}, edges) {}
+
+void Digraph::Build(const std::vector<Edge>& edges) {
+  const std::size_t n = ids_.size();
+  fwd_offsets_.assign(n + 1, 0);
+  rev_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges) {
+    fwd_offsets_[index_of(e.src) + 1] += 1;
+    rev_offsets_[index_of(e.dst) + 1] += 1;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    fwd_offsets_[i + 1] += fwd_offsets_[i];
+    rev_offsets_[i + 1] += rev_offsets_[i];
+  }
+  fwd_targets_.resize(edges.size());
+  rev_targets_.resize(edges.size());
+  std::vector<std::uint32_t> fwd_fill(n, 0), rev_fill(n, 0);
+  for (const Edge& e : edges) {
+    const std::size_t s = index_of(e.src);
+    const std::size_t d = index_of(e.dst);
+    fwd_targets_[fwd_offsets_[s] + fwd_fill[s]++] =
+        static_cast<std::uint32_t>(d);
+    rev_targets_[rev_offsets_[d] + rev_fill[d]++] =
+        static_cast<std::uint32_t>(s);
+  }
+}
+
+std::size_t Digraph::index_of(NodeId id) const {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) return ids_.size();
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+std::span<const std::uint32_t> Digraph::out_neighbors(
+    std::size_t index) const {
+  DCHECK_LT(index, num_nodes());
+  return {fwd_targets_.data() + fwd_offsets_[index],
+          fwd_targets_.data() + fwd_offsets_[index + 1]};
+}
+
+std::span<const std::uint32_t> Digraph::in_neighbors(std::size_t index) const {
+  DCHECK_LT(index, num_nodes());
+  return {rev_targets_.data() + rev_offsets_[index],
+          rev_targets_.data() + rev_offsets_[index + 1]};
+}
+
+}  // namespace extscc::graph

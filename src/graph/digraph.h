@@ -1,0 +1,55 @@
+// In-memory directed graph in CSR form (forward and reverse adjacency),
+// over arbitrary (non-contiguous) node ids. Used by the in-memory SCC
+// algorithms, the EM-SCC partition step, and as the test oracle. Not used
+// anywhere inside Ext-SCC's external phases.
+#ifndef EXTSCC_GRAPH_DIGRAPH_H_
+#define EXTSCC_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph_types.h"
+
+namespace extscc::graph {
+
+class Digraph {
+ public:
+  // `nodes` may contain ids not mentioned by any edge (isolated nodes)
+  // and is deduplicated; edge endpoints are added implicitly.
+  Digraph(std::vector<NodeId> nodes, const std::vector<Edge>& edges);
+
+  // Convenience: nodes derived from edge endpoints only.
+  explicit Digraph(const std::vector<Edge>& edges);
+
+  std::size_t num_nodes() const { return ids_.size(); }
+  std::size_t num_edges() const { return fwd_targets_.size(); }
+
+  // Dense index <-> external NodeId.
+  NodeId id_of(std::size_t index) const { return ids_[index]; }
+  // Returns num_nodes() when `id` is not a node of this graph.
+  std::size_t index_of(NodeId id) const;
+
+  std::span<const std::uint32_t> out_neighbors(std::size_t index) const;
+  std::span<const std::uint32_t> in_neighbors(std::size_t index) const;
+
+  std::uint32_t out_degree(std::size_t index) const {
+    return fwd_offsets_[index + 1] - fwd_offsets_[index];
+  }
+  std::uint32_t in_degree(std::size_t index) const {
+    return rev_offsets_[index + 1] - rev_offsets_[index];
+  }
+
+  const std::vector<NodeId>& ids() const { return ids_; }
+
+ private:
+  void Build(const std::vector<Edge>& edges);
+
+  std::vector<NodeId> ids_;  // sorted unique external ids
+  std::vector<std::uint32_t> fwd_offsets_, fwd_targets_;
+  std::vector<std::uint32_t> rev_offsets_, rev_targets_;
+};
+
+}  // namespace extscc::graph
+
+#endif  // EXTSCC_GRAPH_DIGRAPH_H_

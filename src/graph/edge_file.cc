@@ -1,0 +1,50 @@
+#include "graph/edge_file.h"
+
+#include "extsort/external_sorter.h"
+#include "io/record_stream.h"
+
+namespace extscc::graph {
+
+std::uint64_t CountEdges(io::IoContext* context, const std::string& path) {
+  return io::NumRecordsInFile<Edge>(context, path);
+}
+
+void SortEdgesBySrc(io::IoContext* context, const std::string& input,
+                    const std::string& output, bool dedup) {
+  extsort::SortFile<Edge, EdgeBySrc>(context, input, output, EdgeBySrc(),
+                                     dedup);
+}
+
+void SortEdgesByDst(io::IoContext* context, const std::string& input,
+                    const std::string& output, bool dedup) {
+  extsort::SortFile<Edge, EdgeByDst>(context, input, output, EdgeByDst(),
+                                     dedup);
+}
+
+void ReverseEdges(io::IoContext* context, const std::string& input,
+                  const std::string& output) {
+  io::RecordReader<Edge> reader(context, input);
+  io::RecordWriter<Edge> writer(context, output);
+  Edge e;
+  while (reader.Next(&e)) {
+    writer.Append(Edge{e.dst, e.src});
+  }
+  writer.Finish();
+}
+
+void ConcatEdges(io::IoContext* context, const std::string& base,
+                 const std::string& extra, const std::string& output) {
+  io::RecordWriter<Edge> writer(context, output);
+  Edge e;
+  {
+    io::RecordReader<Edge> reader(context, base);
+    while (reader.Next(&e)) writer.Append(e);
+  }
+  {
+    io::RecordReader<Edge> reader(context, extra);
+    while (reader.Next(&e)) writer.Append(e);
+  }
+  writer.Finish();
+}
+
+}  // namespace extscc::graph

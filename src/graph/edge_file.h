@@ -1,0 +1,40 @@
+// Stream operations over edge files: the primitive vocabulary the paper's
+// Algorithms 3-5 are phrased in (sorted edge lists E_in / E_out, edge
+// reversal, counting). Everything here is sequential scans + external
+// sorts only.
+#ifndef EXTSCC_GRAPH_EDGE_FILE_H_
+#define EXTSCC_GRAPH_EDGE_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+
+namespace extscc::graph {
+
+// Number of edges in `path`.
+std::uint64_t CountEdges(io::IoContext* context, const std::string& path);
+
+// Writes `input` sorted by (src, dst) to `output` (the paper's E_out).
+// When `dedup`, parallel edges collapse to one (§VII edge reduction).
+void SortEdgesBySrc(io::IoContext* context, const std::string& input,
+                    const std::string& output, bool dedup = false);
+
+// Writes `input` sorted by (dst, src) to `output` (the paper's E_in).
+void SortEdgesByDst(io::IoContext* context, const std::string& input,
+                    const std::string& output, bool dedup = false);
+
+// Streams (u, v) -> (v, u) into `output` (the reversed graph of
+// Algorithm 5 line 1 and of Kosaraju's second pass).
+void ReverseEdges(io::IoContext* context, const std::string& input,
+                  const std::string& output);
+
+// Appends all edges of `extra` to a copy of `base` in `output`
+// (E_{i+1} = E_pre ∪ E_add, Algorithm 4 line 12).
+void ConcatEdges(io::IoContext* context, const std::string& base,
+                 const std::string& extra, const std::string& output);
+
+}  // namespace extscc::graph
+
+#endif  // EXTSCC_GRAPH_EDGE_FILE_H_

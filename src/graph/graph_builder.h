@@ -1,0 +1,46 @@
+// Streaming graph builder: generators append edges/nodes without ever
+// materializing the graph in memory; Finish() canonicalizes the node file
+// externally and returns the DiskGraph.
+#ifndef EXTSCC_GRAPH_GRAPH_BUILDER_H_
+#define EXTSCC_GRAPH_GRAPH_BUILDER_H_
+
+#include <memory>
+#include <string>
+
+#include "graph/disk_graph.h"
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "io/record_stream.h"
+
+namespace extscc::graph {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(io::IoContext* context);
+
+  // Appends a directed edge; endpoints are registered as nodes.
+  void AddEdge(NodeId src, NodeId dst);
+  void AddEdge(const Edge& edge) { AddEdge(edge.src, edge.dst); }
+
+  // Registers a node that may otherwise be isolated.
+  void AddNode(NodeId node);
+
+  std::uint64_t edges_added() const { return edges_added_; }
+
+  // Sorts/dedups the node side and returns the finished graph.
+  // The builder must not be reused afterwards.
+  DiskGraph Finish();
+
+ private:
+  io::IoContext* context_;
+  std::string edge_path_;
+  std::string node_staging_path_;
+  std::unique_ptr<io::RecordWriter<Edge>> edge_writer_;
+  std::unique_ptr<io::RecordWriter<NodeId>> node_writer_;
+  std::uint64_t edges_added_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace extscc::graph
+
+#endif  // EXTSCC_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,72 @@
+#include "graph/graph_io.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+#include "io/record_stream.h"
+
+namespace extscc::graph {
+
+util::Result<DiskGraph> LoadTextEdgeList(io::IoContext* context,
+                                         const std::string& text_path) {
+  std::ifstream in(text_path);
+  if (!in) {
+    return util::Status::NotFound("cannot open edge list: " + text_path);
+  }
+  GraphBuilder builder(context);
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    std::uint64_t src = 0, dst = 0;
+    if (!(fields >> src >> dst)) {
+      return util::Status::Corruption("malformed line " +
+                                      std::to_string(line_no) + " in " +
+                                      text_path + ": '" + line + "'");
+    }
+    if (src > kInvalidNode - 1 || dst > kInvalidNode - 1) {
+      return util::Status::InvalidArgument(
+          "node id out of 32-bit range at line " + std::to_string(line_no));
+    }
+    builder.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+  }
+  return builder.Finish();
+}
+
+util::Status SaveTextEdgeList(io::IoContext* context, const DiskGraph& graph,
+                              const std::string& text_path) {
+  std::ofstream out(text_path);
+  if (!out) {
+    return util::Status::IoError("cannot create " + text_path);
+  }
+  io::RecordReader<Edge> reader(context, graph.edge_path);
+  Edge e;
+  while (reader.Next(&e)) {
+    out << e.src << ' ' << e.dst << '\n';
+  }
+  if (!out) {
+    return util::Status::IoError("short write to " + text_path);
+  }
+  return util::Status::Ok();
+}
+
+util::Result<DiskGraph> OpenBinaryEdgeFile(io::IoContext* context,
+                                           const std::string& edge_path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(edge_path, ec);
+  if (ec) {
+    return util::Status::NotFound("cannot stat edge file: " + edge_path);
+  }
+  if (size % sizeof(Edge) != 0) {
+    return util::Status::Corruption(edge_path +
+                                    " is not a whole number of edge records");
+  }
+  return AssembleDiskGraph(context, edge_path);
+}
+
+}  // namespace extscc::graph

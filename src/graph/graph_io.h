@@ -1,0 +1,32 @@
+// User-facing graph loading/saving: whitespace-separated text edge lists
+// ("u v" per line, '#' comments) and the library's binary edge format.
+// These are the only Status-returning entry points in the graph layer —
+// user files may be missing or malformed.
+#ifndef EXTSCC_GRAPH_GRAPH_IO_H_
+#define EXTSCC_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/disk_graph.h"
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::graph {
+
+// Parses a text edge list at `text_path` into a DiskGraph backed by
+// scratch files of `context`.
+util::Result<DiskGraph> LoadTextEdgeList(io::IoContext* context,
+                                         const std::string& text_path);
+
+// Writes `graph`'s edges as a text edge list.
+util::Status SaveTextEdgeList(io::IoContext* context, const DiskGraph& graph,
+                              const std::string& text_path);
+
+// Opens a binary Edge-record file that already exists outside the scratch
+// directory and assembles its DiskGraph.
+util::Result<DiskGraph> OpenBinaryEdgeFile(io::IoContext* context,
+                                           const std::string& edge_path);
+
+}  // namespace extscc::graph
+
+#endif  // EXTSCC_GRAPH_GRAPH_IO_H_

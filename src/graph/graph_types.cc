@@ -1,0 +1,13 @@
+#include "graph/graph_types.h"
+
+#include <sstream>
+
+namespace extscc::graph {
+
+std::string DescribeGraph(std::uint64_t num_nodes, std::uint64_t num_edges) {
+  std::ostringstream out;
+  out << "G(|V|=" << num_nodes << ", |E|=" << num_edges << ")";
+  return out.str();
+}
+
+}  // namespace extscc::graph

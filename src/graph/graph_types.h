@@ -1,0 +1,91 @@
+// Core on-disk record types for directed graphs.
+//
+// A graph level G_i is a pair of scratch files: a node file (sorted unique
+// NodeId records — nodes need NOT be contiguous, contracted levels are
+// subsets) and an edge file (Edge records in arbitrary order unless a
+// stage states otherwise). Node ids double as the paper's id(v) total
+// order tie-breaker.
+#ifndef EXTSCC_GRAPH_GRAPH_TYPES_H_
+#define EXTSCC_GRAPH_GRAPH_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace extscc::graph {
+
+using NodeId = std::uint32_t;
+using SccId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+inline constexpr SccId kInvalidScc = 0xffffffffu;
+
+// A directed edge (src -> dst).
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+// Orders by (src, dst) — the paper's E_out layout (grouped by tail).
+struct EdgeBySrc {
+  bool operator()(const Edge& a, const Edge& b) const {
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  }
+};
+
+// Orders by (dst, src) — the paper's E_in layout (grouped by head).
+struct EdgeByDst {
+  bool operator()(const Edge& a, const Edge& b) const {
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.src < b.src;
+  }
+};
+
+// Node id with full degree information (the paper's V_d entries).
+// Degrees are with respect to the level's edge multiset, counting
+// parallel edges and self-loops as stored.
+struct DegreeEntry {
+  NodeId node = 0;
+  std::uint32_t deg_in = 0;
+  std::uint32_t deg_out = 0;
+
+  std::uint32_t deg() const { return deg_in + deg_out; }
+  // deg_in * deg_out is the number of new edges removing this node would
+  // create (Section VII's refined operator uses it).
+  std::uint64_t fanout_product() const {
+    return static_cast<std::uint64_t>(deg_in) *
+           static_cast<std::uint64_t>(deg_out);
+  }
+};
+
+struct DegreeEntryByNode {
+  bool operator()(const DegreeEntry& a, const DegreeEntry& b) const {
+    return a.node < b.node;
+  }
+};
+
+// SCC assignment of one node (the SCC_i files of Algorithm 5).
+struct SccEntry {
+  NodeId node = 0;
+  SccId scc = 0;
+
+  friend bool operator==(const SccEntry&, const SccEntry&) = default;
+};
+
+struct SccEntryByNode {
+  bool operator()(const SccEntry& a, const SccEntry& b) const {
+    if (a.node != b.node) return a.node < b.node;
+    return a.scc < b.scc;
+  }
+};
+
+// Returns the paper-style "G(V, E)" one-liner for logs.
+std::string DescribeGraph(std::uint64_t num_nodes, std::uint64_t num_edges);
+
+}  // namespace extscc::graph
+
+#endif  // EXTSCC_GRAPH_GRAPH_TYPES_H_

@@ -1,0 +1,75 @@
+#include "graph/node_file.h"
+
+#include "extsort/external_sorter.h"
+#include "io/record_stream.h"
+
+namespace extscc::graph {
+
+namespace {
+struct NodeLess {
+  bool operator()(NodeId a, NodeId b) const { return a < b; }
+};
+}  // namespace
+
+std::uint64_t CountNodes(io::IoContext* context, const std::string& path) {
+  return io::NumRecordsInFile<NodeId>(context, path);
+}
+
+void SortNodeFile(io::IoContext* context, const std::string& input,
+                  const std::string& output) {
+  extsort::SortFile<NodeId, NodeLess>(context, input, output, NodeLess(),
+                                      /*dedup=*/true);
+}
+
+std::uint64_t NodeFileDifference(io::IoContext* context, const std::string& a,
+                                 const std::string& b,
+                                 const std::string& output) {
+  io::PeekableReader<NodeId> in_a(context, a);
+  io::PeekableReader<NodeId> in_b(context, b);
+  io::RecordWriter<NodeId> writer(context, output);
+  while (in_a.has_value()) {
+    if (!in_b.has_value() || in_a.Peek() < in_b.Peek()) {
+      writer.Append(in_a.Pop());
+    } else if (in_a.Peek() == in_b.Peek()) {
+      in_a.Pop();
+      in_b.Pop();
+    } else {
+      in_b.Pop();
+    }
+  }
+  const std::uint64_t count = writer.count();
+  writer.Finish();
+  return count;
+}
+
+void NodesFromEdges(io::IoContext* context, const std::string& edge_path,
+                    const std::string& node_output) {
+  const std::string staging = context->NewTempPath("endpoints");
+  {
+    io::RecordReader<Edge> reader(context, edge_path);
+    io::RecordWriter<NodeId> writer(context, staging);
+    Edge e;
+    while (reader.Next(&e)) {
+      writer.Append(e.src);
+      writer.Append(e.dst);
+    }
+    writer.Finish();
+  }
+  SortNodeFile(context, staging, node_output);
+  context->temp_files().Remove(staging);
+}
+
+bool IsNodeFileCanonical(io::IoContext* context, const std::string& path) {
+  io::RecordReader<NodeId> reader(context, path);
+  NodeId prev = 0;
+  NodeId cur;
+  bool first = true;
+  while (reader.Next(&cur)) {
+    if (!first && cur <= prev) return false;
+    prev = cur;
+    first = false;
+  }
+  return true;
+}
+
+}  // namespace extscc::graph

@@ -1,0 +1,102 @@
+#include "io/block_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "io/io_context.h"
+#include "util/logging.h"
+
+namespace extscc::io {
+
+BlockFile::BlockFile(IoContext* context, const std::string& path,
+                     OpenMode mode)
+    : context_(context), path_(path), block_size_(context->block_size()) {
+  int flags = 0;
+  switch (mode) {
+    case OpenMode::kRead:
+      flags = O_RDONLY;
+      break;
+    case OpenMode::kTruncateWrite:
+      flags = O_RDWR | O_CREAT | O_TRUNC;
+      break;
+    case OpenMode::kReadWrite:
+      flags = O_RDWR | O_CREAT;
+      break;
+  }
+  fd_ = ::open(path.c_str(), flags, 0644);
+  CHECK_GE(fd_, 0) << "open(" << path << ") failed: " << std::strerror(errno);
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  CHECK_GE(end, 0) << "lseek(" << path << ") failed";
+  size_bytes_ = static_cast<std::uint64_t>(end);
+  if (mode == OpenMode::kTruncateWrite) {
+    context_->stats().files_created += 1;
+  }
+}
+
+BlockFile::~BlockFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t BlockFile::num_blocks() const {
+  return (size_bytes_ + block_size_ - 1) / block_size_;
+}
+
+std::size_t BlockFile::ReadBlock(std::uint64_t block_index, void* buf) {
+  const std::uint64_t offset = block_index * block_size_;
+  if (offset >= size_bytes_) return 0;
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(block_size_, size_bytes_ - offset));
+  std::size_t done = 0;
+  while (done < want) {
+    const ssize_t n = ::pread(fd_, static_cast<char*>(buf) + done,
+                              want - done, static_cast<off_t>(offset + done));
+    CHECK_GT(n, 0) << "pread(" << path_ << ") failed: "
+                   << std::strerror(errno);
+    done += static_cast<std::size_t>(n);
+  }
+  IoStats& stats = context_->stats();
+  if (static_cast<std::int64_t>(block_index) == last_read_block_ + 1) {
+    stats.sequential_reads += 1;
+  } else {
+    stats.random_reads += 1;
+  }
+  last_read_block_ = static_cast<std::int64_t>(block_index);
+  stats.bytes_read += want;
+  context_->OnIo();
+  return want;
+}
+
+void BlockFile::WriteBlock(std::uint64_t block_index, const void* data,
+                           std::size_t bytes) {
+  CHECK_LE(bytes, block_size_);
+  const std::uint64_t offset = block_index * block_size_;
+  // Writing beyond the current final partial block would leave a hole of
+  // undefined record data; the streaming writers never do this.
+  std::size_t done = 0;
+  while (done < bytes) {
+    const ssize_t n =
+        ::pwrite(fd_, static_cast<const char*>(data) + done, bytes - done,
+                 static_cast<off_t>(offset + done));
+    CHECK_GT(n, 0) << "pwrite(" << path_ << ") failed: "
+                   << std::strerror(errno);
+    done += static_cast<std::size_t>(n);
+  }
+  size_bytes_ = std::max(size_bytes_, offset + bytes);
+  IoStats& stats = context_->stats();
+  if (static_cast<std::int64_t>(block_index) == last_write_block_ + 1 ||
+      static_cast<std::int64_t>(block_index) == last_write_block_) {
+    // Re-writing the same (tail) block counts as sequential append traffic.
+    stats.sequential_writes += 1;
+  } else {
+    stats.random_writes += 1;
+  }
+  last_write_block_ = static_cast<std::int64_t>(block_index);
+  stats.bytes_written += bytes;
+  context_->OnIo();
+}
+
+}  // namespace extscc::io

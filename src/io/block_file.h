@@ -1,0 +1,62 @@
+// Block-granular file abstraction. All disk traffic in the library flows
+// through BlockFile so the IoContext can count I/Os in the external-memory
+// model: one counted I/O per block read/written, classified sequential or
+// random by adjacency to the previous access of the same file+direction.
+#ifndef EXTSCC_IO_BLOCK_FILE_H_
+#define EXTSCC_IO_BLOCK_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace extscc::io {
+
+class IoContext;
+
+// Open modes. kReadWrite supports the random-access structures
+// (buffered repository tree, external DFS adjacency fetches).
+enum class OpenMode { kRead, kTruncateWrite, kReadWrite };
+
+class BlockFile {
+ public:
+  // Opens `path`. CHECK-fails on OS errors for scratch files the library
+  // itself created; callers opening user-supplied paths should check
+  // Exists() first (graph_io does).
+  BlockFile(IoContext* context, const std::string& path, OpenMode mode);
+  ~BlockFile();
+
+  BlockFile(const BlockFile&) = delete;
+  BlockFile& operator=(const BlockFile&) = delete;
+
+  // Reads block `block_index` into `buf` (must hold block_size bytes).
+  // Returns the number of valid bytes (< block_size only for the final,
+  // partial block; 0 past EOF). Counts one I/O.
+  std::size_t ReadBlock(std::uint64_t block_index, void* buf);
+
+  // Writes `bytes` bytes (<= block_size) at block `block_index`.
+  // Counts one I/O.
+  void WriteBlock(std::uint64_t block_index, const void* data,
+                  std::size_t bytes);
+
+  // Logical file size in bytes / in blocks.
+  std::uint64_t size_bytes() const { return size_bytes_; }
+  std::uint64_t num_blocks() const;
+
+  std::size_t block_size() const { return block_size_; }
+  const std::string& path() const { return path_; }
+  IoContext* context() const { return context_; }
+
+ private:
+  IoContext* context_;
+  std::string path_;
+  int fd_ = -1;
+  std::size_t block_size_;
+  std::uint64_t size_bytes_ = 0;
+  // Sequential/random classification state.
+  std::int64_t last_read_block_ = -2;
+  std::int64_t last_write_block_ = -2;
+};
+
+}  // namespace extscc::io
+
+#endif  // EXTSCC_IO_BLOCK_FILE_H_

@@ -1,0 +1,38 @@
+#include "io/io_stats.h"
+
+#include <sstream>
+
+namespace extscc::io {
+
+IoStats& IoStats::operator+=(const IoStats& other) {
+  sequential_reads += other.sequential_reads;
+  random_reads += other.random_reads;
+  sequential_writes += other.sequential_writes;
+  random_writes += other.random_writes;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  files_created += other.files_created;
+  return *this;
+}
+
+IoStats IoStats::operator-(const IoStats& other) const {
+  IoStats out;
+  out.sequential_reads = sequential_reads - other.sequential_reads;
+  out.random_reads = random_reads - other.random_reads;
+  out.sequential_writes = sequential_writes - other.sequential_writes;
+  out.random_writes = random_writes - other.random_writes;
+  out.bytes_read = bytes_read - other.bytes_read;
+  out.bytes_written = bytes_written - other.bytes_written;
+  out.files_created = files_created - other.files_created;
+  return out;
+}
+
+std::string IoStats::ToString() const {
+  std::ostringstream out;
+  out << "ios=" << total_ios() << " (reads=" << total_reads() << " writes="
+      << total_writes() << " random=" << random_ios() << ") bytes_read="
+      << bytes_read << " bytes_written=" << bytes_written;
+  return out.str();
+}
+
+}  // namespace extscc::io

@@ -1,0 +1,41 @@
+// I/O statistics in the Aggarwal-Vitter model: every block read/write on
+// any file owned by an IoContext is counted here, classified sequential
+// (the block follows the previously accessed block of the same file and
+// direction) or random (anything else, including the first access after a
+// reopen or a direction switch to a different position).
+//
+// The paper's "Number of I/Os" axis (Figs. 6(b), 7(b), 8(b/d/f), 9(b/d/f/h))
+// is total_ios() of the algorithm's context.
+#ifndef EXTSCC_IO_IO_STATS_H_
+#define EXTSCC_IO_IO_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace extscc::io {
+
+struct IoStats {
+  std::uint64_t sequential_reads = 0;
+  std::uint64_t random_reads = 0;
+  std::uint64_t sequential_writes = 0;
+  std::uint64_t random_writes = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t files_created = 0;
+
+  std::uint64_t total_reads() const { return sequential_reads + random_reads; }
+  std::uint64_t total_writes() const {
+    return sequential_writes + random_writes;
+  }
+  std::uint64_t total_ios() const { return total_reads() + total_writes(); }
+  std::uint64_t random_ios() const { return random_reads + random_writes; }
+
+  IoStats& operator+=(const IoStats& other);
+  IoStats operator-(const IoStats& other) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace extscc::io
+
+#endif  // EXTSCC_IO_IO_STATS_H_

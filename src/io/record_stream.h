@@ -1,0 +1,246 @@
+// Typed record streams over BlockFile. Records are fixed-size trivially
+// copyable PODs (graph::Edge, DegreeEntry, SccEntry, ...). Streaming
+// readers/writers buffer exactly one block, so the in-memory footprint of
+// a scan is B bytes per open stream — the accounting the external-memory
+// analyses in the paper assume.
+#ifndef EXTSCC_IO_RECORD_STREAM_H_
+#define EXTSCC_IO_RECORD_STREAM_H_
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "io/block_file.h"
+#include "io/io_context.h"
+#include "util/logging.h"
+
+namespace extscc::io {
+
+// Number of T records stored in the file at `path` (by its byte size).
+// The file must exist; missing files CHECK-fail (scratch discipline).
+template <typename T>
+std::uint64_t NumRecordsInFile(IoContext* context, const std::string& path) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  BlockFile file(context, path, OpenMode::kRead);
+  CHECK_EQ(file.size_bytes() % sizeof(T), 0u)
+      << path << " is not a whole number of records";
+  return file.size_bytes() / sizeof(T);
+}
+
+// Sequential append-only writer.
+template <typename T>
+class RecordWriter {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "on-disk records must be PODs");
+
+  RecordWriter(IoContext* context, const std::string& path)
+      : file_(std::make_unique<BlockFile>(context, path,
+                                          OpenMode::kTruncateWrite)),
+        buffer_(file_->block_size()) {}
+
+  ~RecordWriter() {
+    if (file_ != nullptr) Finish();
+  }
+
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  void Append(const T& record) {
+    DCHECK(file_ != nullptr) << "Append after Finish";
+    // Records pack contiguously and may straddle block boundaries, so the
+    // file is exactly count() * sizeof(T) bytes.
+    const char* src = reinterpret_cast<const char*>(&record);
+    std::size_t remaining = sizeof(T);
+    while (remaining > 0) {
+      const std::size_t chunk =
+          std::min(buffer_.size() - fill_, remaining);
+      std::memcpy(buffer_.data() + fill_, src, chunk);
+      fill_ += chunk;
+      src += chunk;
+      remaining -= chunk;
+      if (fill_ == buffer_.size()) Flush();
+    }
+    ++count_;
+  }
+
+  // Flushes the tail block and closes the file. Idempotent via destructor.
+  void Finish() {
+    if (file_ == nullptr) return;
+    if (fill_ > 0) Flush();
+    file_.reset();
+  }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  void Flush() {
+    file_->WriteBlock(next_block_++, buffer_.data(), fill_);
+    fill_ = 0;
+  }
+
+  std::unique_ptr<BlockFile> file_;
+  std::vector<char> buffer_;
+  std::size_t fill_ = 0;
+  std::uint64_t next_block_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+// Sequential reader.
+template <typename T>
+class RecordReader {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  RecordReader(IoContext* context, const std::string& path)
+      : file_(std::make_unique<BlockFile>(context, path, OpenMode::kRead)),
+        buffer_(file_->block_size()) {
+    CHECK_EQ(file_->size_bytes() % sizeof(T), 0u)
+        << path << " is not a whole number of records";
+  }
+
+  RecordReader(const RecordReader&) = delete;
+  RecordReader& operator=(const RecordReader&) = delete;
+
+  // Reads the next record into *out; returns false at end of stream.
+  // Records may straddle block boundaries (see RecordWriter::Append).
+  bool Next(T* out) {
+    char* dst = reinterpret_cast<char*>(out);
+    std::size_t remaining = sizeof(T);
+    while (remaining > 0) {
+      if (pos_ == valid_) {
+        valid_ = file_->ReadBlock(next_block_++, buffer_.data());
+        pos_ = 0;
+        if (valid_ == 0) {
+          DCHECK_EQ(remaining, sizeof(T))
+              << "file ends mid-record despite the size check";
+          return false;
+        }
+      }
+      const std::size_t chunk = std::min(valid_ - pos_, remaining);
+      std::memcpy(dst, buffer_.data() + pos_, chunk);
+      pos_ += chunk;
+      dst += chunk;
+      remaining -= chunk;
+    }
+    return true;
+  }
+
+  std::uint64_t num_records() const { return file_->size_bytes() / sizeof(T); }
+
+ private:
+  std::unique_ptr<BlockFile> file_;
+  std::vector<char> buffer_;
+  std::size_t pos_ = 0;
+  std::size_t valid_ = 0;
+  std::uint64_t next_block_ = 0;
+};
+
+// One-record lookahead on top of RecordReader — the merge joins in
+// Get-V / Get-E / Expansion are written against Peek()/Pop().
+template <typename T>
+class PeekableReader {
+ public:
+  PeekableReader(IoContext* context, const std::string& path)
+      : reader_(context, path) {
+    has_value_ = reader_.Next(&value_);
+  }
+
+  bool has_value() const { return has_value_; }
+  const T& Peek() const {
+    DCHECK(has_value_);
+    return value_;
+  }
+  T Pop() {
+    DCHECK(has_value_);
+    T out = value_;
+    has_value_ = reader_.Next(&value_);
+    return out;
+  }
+
+  std::uint64_t num_records() const { return reader_.num_records(); }
+
+ private:
+  RecordReader<T> reader_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+// Random-access reader used only by the DFS baseline (and by nothing in
+// Ext-SCC): Get(i) fetches the block containing record i, generating the
+// random I/Os the paper charges external DFS for. A single-block cache
+// keeps repeated hits to the same block free, which is exactly the
+// M >= 2B machine: one cached block per open structure.
+template <typename T>
+class RandomRecordReader {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  RandomRecordReader(IoContext* context, const std::string& path)
+      : file_(std::make_unique<BlockFile>(context, path, OpenMode::kRead)),
+        buffer_(file_->block_size()) {
+    CHECK_EQ(file_->size_bytes() % sizeof(T), 0u);
+  }
+
+  std::uint64_t num_records() const { return file_->size_bytes() / sizeof(T); }
+
+  T Get(std::uint64_t index) {
+    DCHECK_LT(index, num_records());
+    // Records pack byte-contiguously, so a record may straddle two
+    // blocks; fetch bytes through the one-block cache.
+    T out;
+    char* dst = reinterpret_cast<char*>(&out);
+    std::uint64_t offset = index * sizeof(T);
+    std::size_t remaining = sizeof(T);
+    while (remaining > 0) {
+      const std::uint64_t block = offset / file_->block_size();
+      const std::size_t in_block =
+          static_cast<std::size_t>(offset % file_->block_size());
+      if (static_cast<std::int64_t>(block) != cached_block_) {
+        valid_ = file_->ReadBlock(block, buffer_.data());
+        cached_block_ = static_cast<std::int64_t>(block);
+      }
+      const std::size_t chunk = std::min(valid_ - in_block, remaining);
+      DCHECK_GT(chunk, 0u);
+      std::memcpy(dst, buffer_.data() + in_block, chunk);
+      dst += chunk;
+      offset += chunk;
+      remaining -= chunk;
+    }
+    return out;
+  }
+
+ private:
+  std::unique_ptr<BlockFile> file_;
+  std::vector<char> buffer_;
+  std::int64_t cached_block_ = -1;
+  std::size_t valid_ = 0;
+};
+
+// Convenience: materializes an entire record file into memory.
+// Only for tests and for in-memory base cases whose size was already
+// validated against the memory budget by the caller.
+template <typename T>
+std::vector<T> ReadAllRecords(IoContext* context, const std::string& path) {
+  RecordReader<T> reader(context, path);
+  std::vector<T> out;
+  out.reserve(reader.num_records());
+  T record;
+  while (reader.Next(&record)) out.push_back(record);
+  return out;
+}
+
+// Convenience: writes `records` to `path` sequentially.
+template <typename T>
+void WriteAllRecords(IoContext* context, const std::string& path,
+                     const std::vector<T>& records) {
+  RecordWriter<T> writer(context, path);
+  for (const T& r : records) writer.Append(r);
+  writer.Finish();
+}
+
+}  // namespace extscc::io
+
+#endif  // EXTSCC_IO_RECORD_STREAM_H_

@@ -1,0 +1,59 @@
+#include "io/temp_file_manager.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/logging.h"
+
+namespace extscc::io {
+
+namespace fs = std::filesystem;
+
+TempFileManager::TempFileManager(const std::string& parent_dir) {
+  std::string parent = parent_dir;
+  if (parent.empty()) {
+    const char* env = std::getenv("TMPDIR");
+    parent = (env != nullptr && env[0] != '\0') ? env : "/tmp";
+  }
+  // Unique directory name: pid + monotonically increasing suffix probe.
+  static std::uint64_t counter = 0;
+  std::error_code ec;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::string candidate = parent + "/extscc_" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(counter++);
+    if (fs::create_directories(candidate, ec) && !ec) {
+      dir_ = candidate;
+      return;
+    }
+  }
+  LOG_FATAL << "TempFileManager: cannot create scratch directory under "
+            << parent;
+}
+
+TempFileManager::~TempFileManager() {
+  if (keep_files_) {
+    LOG_INFO << "TempFileManager: keeping scratch files in " << dir_;
+    return;
+  }
+  std::error_code ec;
+  fs::remove_all(dir_, ec);
+  if (ec) {
+    LOG_WARNING << "TempFileManager: failed to remove " << dir_ << ": "
+                << ec.message();
+  }
+}
+
+std::string TempFileManager::NewPath(const std::string& tag) {
+  return dir_ + "/" + std::to_string(next_id_++) + "_" + tag;
+}
+
+void TempFileManager::Remove(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+}  // namespace extscc::io

@@ -1,0 +1,42 @@
+// Scratch-file manager. Every intermediate of the external algorithms
+// (edge lists E_in/E_out/E_del/E_pre, node lists V_i, SCC label files,
+// sort runs) is a named scratch file under one session directory, removed
+// when the manager is destroyed unless keep_files is set (useful when
+// debugging a failing property test).
+#ifndef EXTSCC_IO_TEMP_FILE_MANAGER_H_
+#define EXTSCC_IO_TEMP_FILE_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace extscc::io {
+
+class TempFileManager {
+ public:
+  // Creates a fresh directory under `parent_dir` (default: $TMPDIR or
+  // /tmp). CHECK-fails if the directory cannot be created.
+  explicit TempFileManager(const std::string& parent_dir = "");
+  ~TempFileManager();
+
+  TempFileManager(const TempFileManager&) = delete;
+  TempFileManager& operator=(const TempFileManager&) = delete;
+
+  // Returns a unique path "<dir>/<seq>_<tag>". The file is not created.
+  std::string NewPath(const std::string& tag);
+
+  // Deletes the file if it exists (ignores missing files).
+  void Remove(const std::string& path);
+
+  const std::string& dir() const { return dir_; }
+
+  void set_keep_files(bool keep) { keep_files_ = keep; }
+
+ private:
+  std::string dir_;
+  std::uint64_t next_id_ = 0;
+  bool keep_files_ = false;
+};
+
+}  // namespace extscc::io
+
+#endif  // EXTSCC_IO_TEMP_FILE_MANAGER_H_

@@ -1,0 +1,89 @@
+// BR-tree semi-external SCC — the spanning-tree algorithm family of
+// Zhang et al. [26] (SIGMOD'13, "1PB-SCC"), the base case the paper
+// actually plugs into Ext-SCC.
+//
+// The algorithm keeps one spanning tree of G in memory (O(|V|) words: a
+// parent pointer, a depth, and a union-find cell per node) rooted at a
+// virtual node, and repeats sequential scans of the edge file. For each
+// edge (u, v) between distinct partial-SCC representatives it restores
+// the tree invariant "every edge points strictly downward in depth":
+//
+//   * v is an ancestor of u     -> the tree path v .. u plus (u, v) is a
+//     real directed cycle (every parent link was created from a real
+//     edge), so the whole path is contracted into one union-find group —
+//     the paper's "each partial SCC can be contracted into one node".
+//   * depth(v) <= depth(u)      -> re-hang v below u (parent(v) = u,
+//     depth(v) = depth(u) + 1). Depths only grow, so the pass fixpoint
+//     is well defined.
+//
+// At the fixpoint every surviving edge goes strictly downward, so no
+// directed cycle can remain between representatives: each union-find
+// group is exactly one SCC (groups of size one are singleton SCCs).
+//
+// Like SemiExternalScc (the colouring backend) this honours the Semi-SCC
+// contract Ext-SCC relies on — c·|V| bytes of memory plus O(1) blocks,
+// edge access by sequential scans only — so the two backends are
+// interchangeable under ExtSccOptions::semi_backend.
+#ifndef EXTSCC_SCC_BR_TREE_SCC_H_
+#define EXTSCC_SCC_BR_TREE_SCC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/disk_graph.h"
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "scc/semi_external_scc.h"
+
+namespace extscc::scc {
+
+struct BrTreeStats {
+  std::uint64_t passes = 0;        // sequential scans until fixpoint
+  std::uint64_t contractions = 0;  // tree-path contractions (partial SCCs)
+  std::uint64_t rehangs = 0;       // parent re-assignments
+  std::uint64_t num_sccs = 0;
+};
+
+class BrTreeScc {
+ public:
+  // Per-node in-memory state: union-find cell + tree parent + depth +
+  // label. Matches SemiExternalScc::kBytesPerNode so the Ext-SCC stop
+  // condition (and hence every bench's iteration structure) is identical
+  // whichever backend is selected.
+  static constexpr std::uint64_t kBytesPerNode = 16;
+
+  static bool Fits(std::uint64_t num_nodes, const io::MemoryBudget& memory);
+
+  // Computes all SCCs of `g`, allocating labels from *next_scc_id, and
+  // writes the (node, scc) file sorted by node id to `scc_output`.
+  // CHECK-fails if !Fits(...) — see SemiExternalScc::Run.
+  static BrTreeStats Run(io::IoContext* context, const graph::DiskGraph& g,
+                         const std::string& scc_output,
+                         graph::SccId* next_scc_id);
+};
+
+// ---- backend selection -----------------------------------------------
+
+// Which semi-external algorithm Ext-SCC uses once the node set fits.
+enum class SemiSccBackend {
+  kColoring,  // forward-backward colouring (SemiExternalScc)
+  kBrTree,    // spanning-tree contraction (BrTreeScc), as in the paper
+};
+
+const char* SemiSccBackendName(SemiSccBackend backend);
+
+// Stop-condition probe for the selected backend (both charge the same
+// bytes/node by construction; asserted in tests).
+bool SemiSccFits(SemiSccBackend backend, std::uint64_t num_nodes,
+                 const io::MemoryBudget& memory);
+
+// Runs the selected backend, normalizing its stats into SemiSccStats
+// (rounds <- colour rounds / BR passes, trimmed <- trims / contractions).
+SemiSccStats RunSemiScc(SemiSccBackend backend, io::IoContext* context,
+                        const graph::DiskGraph& g,
+                        const std::string& scc_output,
+                        graph::SccId* next_scc_id);
+
+}  // namespace extscc::scc
+
+#endif  // EXTSCC_SCC_BR_TREE_SCC_H_

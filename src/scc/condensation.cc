@@ -1,0 +1,206 @@
+#include "scc/condensation.h"
+
+#include "extsort/external_sorter.h"
+#include "graph/edge_file.h"
+#include "graph/node_file.h"
+#include "graph/scc_file.h"
+#include "io/record_stream.h"
+#include "util/logging.h"
+
+namespace extscc::scc {
+
+namespace {
+
+using graph::Edge;
+using graph::EdgeByDst;
+using graph::EdgeBySrc;
+using graph::NodeId;
+using graph::SccEntry;
+
+// Relabels one endpoint of every edge with its SCC label by merging the
+// endpoint-sorted edge stream against the node-sorted label stream.
+void RelabelEndpoint(io::IoContext* context, const std::string& edges_in,
+                     const std::string& scc_path, bool relabel_src,
+                     const std::string& edges_out) {
+  io::PeekableReader<Edge> edges(context, edges_in);
+  io::PeekableReader<SccEntry> labels(context, scc_path);
+  io::RecordWriter<Edge> writer(context, edges_out);
+  while (edges.has_value()) {
+    const NodeId key = relabel_src ? edges.Peek().src : edges.Peek().dst;
+    while (labels.has_value() && labels.Peek().node < key) labels.Pop();
+    CHECK(labels.has_value() && labels.Peek().node == key)
+        << "node " << key << " has no SCC label";
+    Edge e = edges.Pop();
+    if (relabel_src) {
+      e.src = labels.Peek().scc;
+    } else {
+      e.dst = labels.Peek().scc;
+    }
+    writer.Append(e);
+  }
+  writer.Finish();
+}
+
+}  // namespace
+
+CondensationResult BuildCondensation(io::IoContext* context,
+                                     const graph::DiskGraph& g,
+                                     const std::string& scc_path) {
+  CondensationResult result;
+
+  const std::string by_src = context->NewTempPath("cond_bysrc");
+  graph::SortEdgesBySrc(context, g.edge_path, by_src);
+  const std::string src_mapped = context->NewTempPath("cond_srcmap");
+  RelabelEndpoint(context, by_src, scc_path, /*relabel_src=*/true,
+                  src_mapped);
+  context->temp_files().Remove(by_src);
+
+  const std::string by_dst = context->NewTempPath("cond_bydst");
+  graph::SortEdgesByDst(context, src_mapped, by_dst);
+  context->temp_files().Remove(src_mapped);
+  const std::string mapped = context->NewTempPath("cond_map");
+  RelabelEndpoint(context, by_dst, scc_path, /*relabel_src=*/false, mapped);
+  context->temp_files().Remove(by_dst);
+
+  // Drop intra-SCC loops, then sort + dedup parallel condensation edges.
+  const std::string loop_free = context->NewTempPath("cond_loopfree");
+  std::uint64_t kept = 0;
+  {
+    io::RecordReader<Edge> reader(context, mapped);
+    io::RecordWriter<Edge> writer(context, loop_free);
+    Edge e;
+    while (reader.Next(&e)) {
+      if (e.src == e.dst) {
+        ++result.intra_scc_edges;
+      } else {
+        writer.Append(e);
+        ++kept;
+      }
+    }
+    writer.Finish();
+  }
+  context->temp_files().Remove(mapped);
+
+  const std::string dag_edges = context->NewTempPath("cond_dagedges");
+  graph::SortEdgesBySrc(context, loop_free, dag_edges, /*dedup=*/true);
+  context->temp_files().Remove(loop_free);
+  const std::uint64_t simple = graph::CountEdges(context, dag_edges);
+  result.parallel_edges = kept - simple;
+
+  // DAG node file: every SCC label (from the label file's scc column).
+  const std::string label_nodes = context->NewTempPath("cond_labels");
+  {
+    io::RecordReader<SccEntry> reader(context, scc_path);
+    io::RecordWriter<NodeId> writer(context, label_nodes);
+    SccEntry entry;
+    while (reader.Next(&entry)) writer.Append(entry.scc);
+    writer.Finish();
+  }
+  result.dag.node_path = context->NewTempPath("cond_dagnodes");
+  graph::SortNodeFile(context, label_nodes, result.dag.node_path);
+  context->temp_files().Remove(label_nodes);
+
+  result.dag.edge_path = dag_edges;
+  result.dag.num_nodes = graph::CountNodes(context, result.dag.node_path);
+  result.dag.num_edges = simple;
+  return result;
+}
+
+util::Result<TopoSortResult> ExternalTopoSort(io::IoContext* context,
+                                              const graph::DiskGraph& dag) {
+  TopoSortResult result;
+  const std::string rank_staging = context->NewTempPath("topo_ranks_raw");
+
+  std::string active_nodes = context->NewTempPath("topo_nodes");
+  {
+    // Copy so the peeling loop may consume/replace its own files.
+    io::RecordReader<NodeId> reader(context, dag.node_path);
+    io::RecordWriter<NodeId> writer(context, active_nodes);
+    NodeId v;
+    while (reader.Next(&v)) writer.Append(v);
+    writer.Finish();
+  }
+  std::string active_edges = context->NewTempPath("topo_edges");
+  {
+    io::RecordReader<Edge> reader(context, dag.edge_path);
+    io::RecordWriter<Edge> writer(context, active_edges);
+    Edge e;
+    while (reader.Next(&e)) writer.Append(e);
+    writer.Finish();
+  }
+
+  io::RecordWriter<SccEntry> ranks(context, rank_staging);
+  std::uint64_t active_count = graph::CountNodes(context, active_nodes);
+  std::uint32_t level = 0;
+  while (active_count > 0) {
+    // Heads of remaining edges = nodes with in-degree > 0.
+    const std::string heads = context->NewTempPath("topo_heads");
+    {
+      const std::string staging = context->NewTempPath("topo_heads_raw");
+      io::RecordReader<Edge> reader(context, active_edges);
+      io::RecordWriter<NodeId> writer(context, staging);
+      Edge e;
+      while (reader.Next(&e)) writer.Append(e.dst);
+      writer.Finish();
+      graph::SortNodeFile(context, staging, heads);
+      context->temp_files().Remove(staging);
+    }
+    // zero = active \ heads.
+    const std::string zero = context->NewTempPath("topo_zero");
+    const std::uint64_t zero_count =
+        graph::NodeFileDifference(context, active_nodes, heads, zero);
+    context->temp_files().Remove(heads);
+    if (zero_count == 0) {
+      return util::Status::FailedPrecondition(
+          "topological sort input has a cycle (" +
+          std::to_string(active_count) + " nodes cannot be peeled)");
+    }
+    {
+      io::RecordReader<NodeId> reader(context, zero);
+      NodeId v;
+      while (reader.Next(&v)) {
+        ranks.Append(SccEntry{v, level});
+        ++result.ranked_nodes;
+      }
+    }
+    // Shrink the active node set and drop edges leaving peeled nodes.
+    const std::string next_nodes = context->NewTempPath("topo_nodes");
+    active_count =
+        graph::NodeFileDifference(context, active_nodes, zero, next_nodes);
+    context->temp_files().Remove(active_nodes);
+    active_nodes = next_nodes;
+
+    const std::string by_src = context->NewTempPath("topo_bysrc");
+    graph::SortEdgesBySrc(context, active_edges, by_src);
+    context->temp_files().Remove(active_edges);
+    const std::string next_edges = context->NewTempPath("topo_edges");
+    {
+      io::PeekableReader<Edge> edges(context, by_src);
+      io::PeekableReader<NodeId> peeled(context, zero);
+      io::RecordWriter<Edge> writer(context, next_edges);
+      while (edges.has_value()) {
+        const NodeId src = edges.Peek().src;
+        while (peeled.has_value() && peeled.Peek() < src) peeled.Pop();
+        const bool drop = peeled.has_value() && peeled.Peek() == src;
+        const Edge e = edges.Pop();
+        if (!drop) writer.Append(e);
+      }
+      writer.Finish();
+    }
+    context->temp_files().Remove(by_src);
+    context->temp_files().Remove(zero);
+    active_edges = next_edges;
+    ++level;
+  }
+  ranks.Finish();
+  context->temp_files().Remove(active_nodes);
+  context->temp_files().Remove(active_edges);
+
+  result.num_levels = level;
+  result.rank_path = context->NewTempPath("topo_ranks");
+  graph::SortSccFileByNode(context, rank_staging, result.rank_path);
+  context->temp_files().Remove(rank_staging);
+  return result;
+}
+
+}  // namespace extscc::scc

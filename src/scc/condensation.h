@@ -1,0 +1,53 @@
+// SCC condensation and external topological sort — the paper's two
+// motivating applications (§I): contracting every SCC to one node turns
+// any digraph into a DAG; topological sort then ranks the DAG.
+//
+// Both operations are built from the same sort/scan vocabulary as the
+// core algorithm: endpoint relabelling is two sort+merge passes against
+// the node-sorted SCC file; topological sort is iterative peeling of
+// zero-in-degree nodes where each round is one degree-count scan
+// (an external Kahn — O(depth) scans, fine for the shallow DAGs
+// condensation produces).
+#ifndef EXTSCC_SCC_CONDENSATION_H_
+#define EXTSCC_SCC_CONDENSATION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/disk_graph.h"
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::scc {
+
+struct CondensationResult {
+  // DAG over SCC labels: node file + simple (dedupped, loop-free) edges.
+  graph::DiskGraph dag;
+  std::uint64_t intra_scc_edges = 0;   // dropped (both endpoints same SCC)
+  std::uint64_t parallel_edges = 0;    // dropped duplicates
+};
+
+// Builds the condensation of `g` under the node-sorted (node, scc)
+// assignment at `scc_path` (every node of `g` must be labelled; labels
+// are expected dense as produced by RunExtScc / Semi-SCC).
+CondensationResult BuildCondensation(io::IoContext* context,
+                                     const graph::DiskGraph& g,
+                                     const std::string& scc_path);
+
+struct TopoSortResult {
+  // (node, rank) as SccEntry records sorted by node; ranks are level
+  // numbers (all rank-0 nodes have no predecessors, etc.).
+  std::string rank_path;
+  std::uint64_t num_levels = 0;
+  std::uint64_t ranked_nodes = 0;
+};
+
+// External Kahn levelling of a DAG. Returns FailedPrecondition if the
+// input has a cycle (some nodes can never be peeled).
+util::Result<TopoSortResult> ExternalTopoSort(io::IoContext* context,
+                                              const graph::DiskGraph& dag);
+
+}  // namespace extscc::scc
+
+#endif  // EXTSCC_SCC_CONDENSATION_H_

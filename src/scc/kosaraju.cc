@@ -1,0 +1,80 @@
+#include "scc/kosaraju.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace extscc::scc {
+
+namespace {
+
+// Iterative DFS emitting reverse postorder of the whole forest.
+std::vector<std::uint32_t> ReversePostorder(const graph::Digraph& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<bool> visited(n, false);
+  std::vector<std::uint32_t> postorder;
+  postorder.reserve(n);
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t edge_pos;
+  };
+  std::vector<Frame> stack;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (visited[root]) continue;
+    visited[root] = true;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto neighbors = g.out_neighbors(frame.node);
+      if (frame.edge_pos < neighbors.size()) {
+        const std::uint32_t next = neighbors[frame.edge_pos++];
+        if (!visited[next]) {
+          visited[next] = true;
+          stack.push_back({next, 0});
+        }
+        continue;
+      }
+      postorder.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+  std::vector<std::uint32_t> out(postorder.rbegin(), postorder.rend());
+  return out;
+}
+
+}  // namespace
+
+SccResult KosarajuScc(const graph::Digraph& g, graph::SccId* next_scc_id) {
+  const std::size_t n = g.num_nodes();
+  const std::vector<std::uint32_t> order = ReversePostorder(g);
+
+  // Second pass: DFS the reversed graph (in_neighbors) in decreasing
+  // postorder; every tree found is one SCC.
+  std::vector<bool> visited(n, false);
+  SccResult result;
+  std::vector<std::uint32_t> stack;
+  for (const std::uint32_t root : order) {
+    if (visited[root]) continue;
+    const graph::SccId scc = (*next_scc_id)++;
+    visited[root] = true;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const std::uint32_t node = stack.back();
+      stack.pop_back();
+      result.Assign(g.id_of(node), scc);
+      for (const std::uint32_t prev : g.in_neighbors(node)) {
+        if (!visited[prev]) {
+          visited[prev] = true;
+          stack.push_back(prev);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+SccResult KosarajuScc(const graph::Digraph& g) {
+  graph::SccId next = 0;
+  return KosarajuScc(g, &next);
+}
+
+}  // namespace extscc::scc

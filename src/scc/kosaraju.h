@@ -1,0 +1,18 @@
+// Iterative Kosaraju-Sharir SCC (Algorithm 1's in-memory form): one DFS
+// for decreasing postorder, a second DFS on the reversed graph. Kept as
+// an independent oracle to cross-check Tarjan, and as the in-memory model
+// that the external DFS-SCC baseline simulates.
+#ifndef EXTSCC_SCC_KOSARAJU_H_
+#define EXTSCC_SCC_KOSARAJU_H_
+
+#include "graph/digraph.h"
+#include "scc/scc_result.h"
+
+namespace extscc::scc {
+
+SccResult KosarajuScc(const graph::Digraph& g, graph::SccId* next_scc_id);
+SccResult KosarajuScc(const graph::Digraph& g);
+
+}  // namespace extscc::scc
+
+#endif  // EXTSCC_SCC_KOSARAJU_H_

@@ -1,0 +1,91 @@
+#include "scc/scc_result.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace extscc::scc {
+
+graph::SccId SccResult::LabelOf(graph::NodeId node) const {
+  const auto it = labels_.find(node);
+  CHECK(it != labels_.end()) << "node " << node << " has no SCC label";
+  return it->second;
+}
+
+std::size_t SccResult::num_sccs() const {
+  std::unordered_set<graph::SccId> distinct;
+  distinct.reserve(labels_.size());
+  for (const auto& [node, scc] : labels_) distinct.insert(scc);
+  return distinct.size();
+}
+
+std::unordered_map<graph::SccId, std::uint64_t> SccResult::ComponentSizes()
+    const {
+  std::unordered_map<graph::SccId, std::uint64_t> sizes;
+  for (const auto& [node, scc] : labels_) sizes[scc] += 1;
+  return sizes;
+}
+
+std::vector<std::uint64_t> SccResult::SortedComponentSizes() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [scc, size] : ComponentSizes()) out.push_back(size);
+  std::sort(out.rbegin(), out.rend());
+  return out;
+}
+
+std::uint64_t SccResult::LargestComponent() const {
+  std::uint64_t best = 0;
+  for (const auto& [scc, size] : ComponentSizes()) best = std::max(best, size);
+  return best;
+}
+
+bool SamePartition(const SccResult& a, const SccResult& b) {
+  if (a.num_nodes() != b.num_nodes()) return false;
+  std::unordered_map<graph::SccId, graph::SccId> a_to_b;
+  std::unordered_map<graph::SccId, graph::SccId> b_to_a;
+  for (const auto& [node, label_a] : a.labels()) {
+    if (!b.Contains(node)) return false;
+    const graph::SccId label_b = b.LabelOf(node);
+    const auto [it_ab, inserted_ab] = a_to_b.emplace(label_a, label_b);
+    if (!inserted_ab && it_ab->second != label_b) return false;
+    const auto [it_ba, inserted_ba] = b_to_a.emplace(label_b, label_a);
+    if (!inserted_ba && it_ba->second != label_a) return false;
+  }
+  return true;
+}
+
+std::string ExplainPartitionDifference(const SccResult& a,
+                                       const SccResult& b) {
+  if (a.num_nodes() != b.num_nodes()) {
+    std::ostringstream out;
+    out << "node-set sizes differ: " << a.num_nodes() << " vs "
+        << b.num_nodes();
+    return out.str();
+  }
+  std::unordered_map<graph::SccId, graph::SccId> a_to_b;
+  std::unordered_map<graph::SccId, graph::SccId> b_to_a;
+  for (const auto& [node, label_a] : a.labels()) {
+    if (!b.Contains(node)) {
+      return "node " + std::to_string(node) + " missing from second result";
+    }
+    const graph::SccId label_b = b.LabelOf(node);
+    const auto [it_ab, inserted_ab] = a_to_b.emplace(label_a, label_b);
+    if (!inserted_ab && it_ab->second != label_b) {
+      return "nodes with first-label " + std::to_string(label_a) +
+             " split across second-labels " + std::to_string(it_ab->second) +
+             " and " + std::to_string(label_b) + " (witness node " +
+             std::to_string(node) + ")";
+    }
+    const auto [it_ba, inserted_ba] = b_to_a.emplace(label_b, label_a);
+    if (!inserted_ba && it_ba->second != label_a) {
+      return "nodes with second-label " + std::to_string(label_b) +
+             " split across first-labels (witness node " +
+             std::to_string(node) + ")";
+    }
+  }
+  return "partitions are identical";
+}
+
+}  // namespace extscc::scc

@@ -1,0 +1,56 @@
+// In-memory SCC assignment plus the partition-comparison helpers the
+// tests and examples use. Disk-resident assignments use graph::SccEntry
+// files; this type is for results small enough to inspect.
+#ifndef EXTSCC_SCC_SCC_RESULT_H_
+#define EXTSCC_SCC_SCC_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph_types.h"
+
+namespace extscc::scc {
+
+class SccResult {
+ public:
+  SccResult() = default;
+  explicit SccResult(std::unordered_map<graph::NodeId, graph::SccId> labels)
+      : labels_(std::move(labels)) {}
+
+  void Assign(graph::NodeId node, graph::SccId scc) { labels_[node] = scc; }
+
+  bool Contains(graph::NodeId node) const { return labels_.count(node) > 0; }
+  graph::SccId LabelOf(graph::NodeId node) const;
+
+  std::size_t num_nodes() const { return labels_.size(); }
+  std::size_t num_sccs() const;
+
+  // Size of each component, keyed by label.
+  std::unordered_map<graph::SccId, std::uint64_t> ComponentSizes() const;
+
+  // Sorted (descending) component sizes — convenient for examples.
+  std::vector<std::uint64_t> SortedComponentSizes() const;
+
+  // Size of the largest SCC.
+  std::uint64_t LargestComponent() const;
+
+  const std::unordered_map<graph::NodeId, graph::SccId>& labels() const {
+    return labels_;
+  }
+
+ private:
+  std::unordered_map<graph::NodeId, graph::SccId> labels_;
+};
+
+// True iff the two assignments induce the same partition of the same node
+// set (labels themselves may differ — every algorithm allocates its own).
+bool SamePartition(const SccResult& a, const SccResult& b);
+
+// Human-readable first difference, for test failure messages.
+std::string ExplainPartitionDifference(const SccResult& a, const SccResult& b);
+
+}  // namespace extscc::scc
+
+#endif  // EXTSCC_SCC_SCC_RESULT_H_

@@ -1,0 +1,32 @@
+#include "scc/scc_verify.h"
+
+#include "graph/digraph.h"
+#include "graph/scc_file.h"
+#include "io/record_stream.h"
+#include "scc/tarjan.h"
+
+namespace extscc::scc {
+
+SccResult OraclePartition(io::IoContext* context, const graph::DiskGraph& g) {
+  const auto nodes = io::ReadAllRecords<graph::NodeId>(context, g.node_path);
+  const auto edges = io::ReadAllRecords<graph::Edge>(context, g.edge_path);
+  graph::Digraph digraph(nodes, edges);
+  return TarjanScc(digraph);
+}
+
+SccResult LoadSccResult(io::IoContext* context, const std::string& scc_path) {
+  return SccResult(graph::ReadSccFile(context, scc_path));
+}
+
+bool VerifySccFile(io::IoContext* context, const graph::DiskGraph& g,
+                   const std::string& scc_path, std::string* explanation) {
+  const SccResult oracle = OraclePartition(context, g);
+  const SccResult actual = LoadSccResult(context, scc_path);
+  if (SamePartition(oracle, actual)) return true;
+  if (explanation != nullptr) {
+    *explanation = ExplainPartitionDifference(oracle, actual);
+  }
+  return false;
+}
+
+}  // namespace extscc::scc

@@ -1,0 +1,30 @@
+// Verification helpers: load a DiskGraph fully into memory, compute the
+// oracle partition with Tarjan, and compare against an algorithm's
+// on-disk SCC file. Test/QA utilities only — they deliberately ignore the
+// memory budget.
+#ifndef EXTSCC_SCC_SCC_VERIFY_H_
+#define EXTSCC_SCC_SCC_VERIFY_H_
+
+#include <string>
+
+#include "graph/disk_graph.h"
+#include "scc/scc_result.h"
+
+namespace extscc::scc {
+
+// In-memory oracle partition of a disk graph.
+SccResult OraclePartition(io::IoContext* context, const graph::DiskGraph& g);
+
+// Reads the (node, scc) file into an SccResult.
+SccResult LoadSccResult(io::IoContext* context, const std::string& scc_path);
+
+// True iff the on-disk assignment equals the oracle partition (up to
+// relabeling). On mismatch, *explanation (if non-null) receives the first
+// difference.
+bool VerifySccFile(io::IoContext* context, const graph::DiskGraph& g,
+                   const std::string& scc_path,
+                   std::string* explanation = nullptr);
+
+}  // namespace extscc::scc
+
+#endif  // EXTSCC_SCC_SCC_VERIFY_H_

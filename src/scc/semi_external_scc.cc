@@ -1,0 +1,195 @@
+#include "scc/semi_external_scc.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "io/record_stream.h"
+#include "util/logging.h"
+
+namespace extscc::scc {
+
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+using graph::SccId;
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+// Dense per-node state; index into the sorted node-id array.
+struct NodeState {
+  std::vector<NodeId> ids;          // sorted
+  std::vector<std::uint32_t> color;
+  std::vector<SccId> label;
+  std::vector<bool> alive;
+  std::vector<bool> marked;
+
+  std::size_t IndexOf(NodeId id) const {
+    const auto it = std::lower_bound(ids.begin(), ids.end(), id);
+    DCHECK(it != ids.end() && *it == id);
+    return static_cast<std::size_t>(it - ids.begin());
+  }
+};
+
+}  // namespace
+
+bool SemiExternalScc::Fits(std::uint64_t num_nodes,
+                           const io::MemoryBudget& memory) {
+  return num_nodes * kBytesPerNode <= memory.total_bytes();
+}
+
+SemiSccStats SemiExternalScc::Run(io::IoContext* context,
+                                  const graph::DiskGraph& g,
+                                  const std::string& scc_output,
+                                  SccId* next_scc_id) {
+  CHECK(Fits(g.num_nodes, context->memory()))
+      << "Semi-SCC invoked on " << g.num_nodes
+      << " nodes with M=" << context->memory().total_bytes()
+      << " — the contraction phase must shrink the node set first";
+
+  SemiSccStats stats;
+  NodeState state;
+  state.ids = io::ReadAllRecords<NodeId>(context, g.node_path);
+  const std::size_t n = state.ids.size();
+  CHECK_EQ(n, g.num_nodes);
+  state.color.assign(n, kNone);
+  state.label.assign(n, graph::kInvalidScc);
+  state.alive.assign(n, true);
+  state.marked.assign(n, false);
+  io::ScopedReservation reservation(
+      &context->memory(), std::min<std::uint64_t>(
+                              n * kBytesPerNode,
+                              context->memory().available_bytes()));
+
+  std::uint64_t live = n;
+
+  // One-time endpoint translation to dense indices so the fixpoint scans
+  // below are lookup-free. Costs one extra sequential pass; the id->index
+  // map is the node array we already hold (within the O(|V|) contract).
+  const std::string translated = context->NewTempPath("semi_edges_idx");
+  {
+    io::RecordReader<Edge> reader(context, g.edge_path);
+    io::RecordWriter<Edge> writer(context, translated);
+    Edge e;
+    while (reader.Next(&e)) {
+      writer.Append(Edge{static_cast<NodeId>(state.IndexOf(e.src)),
+                         static_cast<NodeId>(state.IndexOf(e.dst))});
+    }
+    writer.Finish();
+  }
+
+  auto scan_edges = [&](auto&& per_edge) {
+    ++stats.edge_scans;
+    io::RecordReader<Edge> reader(context, translated);
+    Edge e;
+    while (reader.Next(&e)) per_edge(e);
+  };
+
+  // ---- 1. Trim ------------------------------------------------------
+  auto trim = [&]() {
+    while (live > 0) {
+      std::vector<std::uint32_t> in_deg(n, 0), out_deg(n, 0);
+      scan_edges([&](const Edge& e) {
+        const std::size_t s = e.src;  // already dense indices
+        const std::size_t d = e.dst;
+        if (state.alive[s] && state.alive[d]) {
+          out_deg[s] += 1;
+          in_deg[d] += 1;
+        }
+      });
+      std::uint64_t killed = 0;
+      for (std::size_t v = 0; v < n; ++v) {
+        if (state.alive[v] && (in_deg[v] == 0 || out_deg[v] == 0)) {
+          state.label[v] = (*next_scc_id)++;
+          state.alive[v] = false;
+          ++killed;
+        }
+      }
+      stats.trimmed += killed;
+      stats.num_sccs += killed;
+      live -= killed;
+      if (killed == 0) break;
+    }
+  };
+
+  trim();
+
+  // ---- 2-4. Colour / mark / retire rounds ---------------------------
+  while (live > 0) {
+    ++stats.rounds;
+    // Colour propagation: colour(v) = max over ancestors (Gauss-Seidel
+    // within a pass, so chains aligned with edge order converge fast).
+    for (std::size_t v = 0; v < n; ++v) {
+      state.color[v] = state.alive[v] ? static_cast<std::uint32_t>(v) : kNone;
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      scan_edges([&](const Edge& e) {
+        const std::size_t s = e.src;  // already dense indices
+        const std::size_t d = e.dst;
+        if (!state.alive[s] || !state.alive[d]) return;
+        if (state.color[s] > state.color[d]) {
+          state.color[d] = state.color[s];
+          changed = true;
+        }
+      });
+    }
+
+    // Backward mark within colour classes, seeded at the roots.
+    std::fill(state.marked.begin(), state.marked.end(), false);
+    for (std::size_t v = 0; v < n; ++v) {
+      if (state.alive[v] && state.color[v] == static_cast<std::uint32_t>(v)) {
+        state.marked[v] = true;
+      }
+    }
+    changed = true;
+    while (changed) {
+      changed = false;
+      scan_edges([&](const Edge& e) {
+        const std::size_t s = e.src;  // already dense indices
+        const std::size_t d = e.dst;
+        if (!state.alive[s] || !state.alive[d]) return;
+        if (state.color[s] == state.color[d] && state.marked[d] &&
+            !state.marked[s]) {
+          state.marked[s] = true;
+          changed = true;
+        }
+      });
+    }
+
+    // Retire the SCC of every root.
+    std::unordered_map<std::uint32_t, SccId> root_label;
+    std::uint64_t killed = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!state.alive[v] || !state.marked[v]) continue;
+      const auto [it, inserted] =
+          root_label.emplace(state.color[v], SccId{0});
+      if (inserted) {
+        it->second = (*next_scc_id)++;
+        ++stats.num_sccs;
+      }
+      state.label[v] = it->second;
+      state.alive[v] = false;
+      ++killed;
+    }
+    CHECK_GT(killed, 0u) << "colouring round retired no node — bug";
+    live -= killed;
+
+    trim();
+  }
+
+  context->temp_files().Remove(translated);
+
+  // ---- Output: ids are sorted, so the label file is node-sorted. -----
+  io::RecordWriter<graph::SccEntry> writer(context, scc_output);
+  for (std::size_t v = 0; v < n; ++v) {
+    DCHECK(state.label[v] != graph::kInvalidScc);
+    writer.Append(graph::SccEntry{state.ids[v], state.label[v]});
+  }
+  writer.Finish();
+  return stats;
+}
+
+}  // namespace extscc::scc

@@ -1,0 +1,91 @@
+#include "scc/tarjan.h"
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace extscc::scc {
+
+namespace {
+
+constexpr std::uint32_t kUnvisited = 0xffffffffu;
+
+}  // namespace
+
+std::vector<graph::SccId> TarjanSccDense(const graph::Digraph& g,
+                                         graph::SccId* next_scc_id) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> scc_stack;
+  std::vector<graph::SccId> label(n, graph::kInvalidScc);
+
+  // Explicit DFS frame: node + position within its adjacency list.
+  struct Frame {
+    std::uint32_t node;
+    std::uint32_t edge_pos;
+  };
+  std::vector<Frame> dfs_stack;
+  std::uint32_t next_index = 0;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    dfs_stack.push_back({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!dfs_stack.empty()) {
+      Frame& frame = dfs_stack.back();
+      const auto neighbors = g.out_neighbors(frame.node);
+      if (frame.edge_pos < neighbors.size()) {
+        const std::uint32_t next = neighbors[frame.edge_pos++];
+        if (index[next] == kUnvisited) {
+          index[next] = lowlink[next] = next_index++;
+          scc_stack.push_back(next);
+          on_stack[next] = true;
+          dfs_stack.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[next]);
+        }
+        continue;
+      }
+      // Node finished: pop an SCC if this is a root, then propagate
+      // lowlink to the parent.
+      const std::uint32_t node = frame.node;
+      dfs_stack.pop_back();
+      if (lowlink[node] == index[node]) {
+        const graph::SccId scc = (*next_scc_id)++;
+        while (true) {
+          const std::uint32_t member = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[member] = false;
+          label[member] = scc;
+          if (member == node) break;
+        }
+      }
+      if (!dfs_stack.empty()) {
+        Frame& parent = dfs_stack.back();
+        lowlink[parent.node] = std::min(lowlink[parent.node], lowlink[node]);
+      }
+    }
+  }
+  return label;
+}
+
+SccResult TarjanScc(const graph::Digraph& g, graph::SccId* next_scc_id) {
+  const std::vector<graph::SccId> dense = TarjanSccDense(g, next_scc_id);
+  SccResult result;
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    result.Assign(g.id_of(i), dense[i]);
+  }
+  return result;
+}
+
+SccResult TarjanScc(const graph::Digraph& g) {
+  graph::SccId next = 0;
+  return TarjanScc(g, &next);
+}
+
+}  // namespace extscc::scc

@@ -1,0 +1,28 @@
+// Iterative (explicit-stack) Tarjan SCC over an in-memory Digraph.
+// Linear time; the library's in-memory base case and the test oracle.
+#ifndef EXTSCC_SCC_TARJAN_H_
+#define EXTSCC_SCC_TARJAN_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "scc/scc_result.h"
+
+namespace extscc::scc {
+
+// Labels every node of `g`; component labels are allocated from
+// *next_scc_id upwards (incremented per SCC found) so callers can keep a
+// globally unique label space across phases.
+SccResult TarjanScc(const graph::Digraph& g, graph::SccId* next_scc_id);
+
+// Convenience with a fresh label space starting at 0.
+SccResult TarjanScc(const graph::Digraph& g);
+
+// Dense variant used by EM-SCC: returns component index per dense node
+// index (no NodeId mapping), labels from *next_scc_id.
+std::vector<graph::SccId> TarjanSccDense(const graph::Digraph& g,
+                                         graph::SccId* next_scc_id);
+
+}  // namespace extscc::scc
+
+#endif  // EXTSCC_SCC_TARJAN_H_

@@ -1,0 +1,85 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace extscc::util {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::Uniform(std::uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  while (true) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Rng::UniformRange(std::uint64_t lo, std::uint64_t hi) {
+  CHECK_LE(lo, hi);
+  return lo + Uniform(hi - lo + 1);
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::uint64_t Rng::Zipf(std::uint64_t n, double theta) {
+  CHECK_GT(n, 0u);
+  if (n == 1) return 0;
+  // Inverse-CDF approximation: integral of x^-theta.
+  const double u = NextDouble();
+  if (theta == 1.0) {
+    const double r = std::pow(static_cast<double>(n), u);
+    const auto idx = static_cast<std::uint64_t>(r) - 1;
+    return idx < n ? idx : n - 1;
+  }
+  const double exp = 1.0 - theta;
+  const double max_cdf = std::pow(static_cast<double>(n), exp);
+  const double r = std::pow(u * (max_cdf - 1.0) + 1.0, 1.0 / exp);
+  auto idx = static_cast<std::uint64_t>(r);
+  if (idx >= 1) idx -= 1;
+  return idx < n ? idx : n - 1;
+}
+
+}  // namespace extscc::util

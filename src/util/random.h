@@ -1,0 +1,56 @@
+// Deterministic, fast pseudo-random generator used by the workload
+// generators and the property-test suites. SplitMix64 seeding +
+// xoshiro256** core: reproducible across platforms, unlike
+// std::default_random_engine.
+#ifndef EXTSCC_UTIL_RANDOM_H_
+#define EXTSCC_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace extscc::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling, so
+  // the distribution is exactly uniform.
+  std::uint64_t Uniform(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t UniformRange(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform real in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Zipf-like sample in [0, n): probability of rank r proportional to
+  // 1 / (r + 1)^theta. Used by the web-graph generator's preferential
+  // attachment fallback. Uses the standard inverse-CDF approximation.
+  std::uint64_t Zipf(std::uint64_t n, double theta);
+
+  // Fisher-Yates shuffle of a random-access container in place.
+  template <typename Container>
+  void Shuffle(Container* items) {
+    const std::size_t n = items->size();
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(Uniform(i));
+      using std::swap;
+      swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace extscc::util
+
+#endif  // EXTSCC_UTIL_RANDOM_H_

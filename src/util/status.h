@@ -1,0 +1,111 @@
+// Error propagation for fallible public operations (file loading, driver
+// entry points). Modeled after the Status/Result idiom used by
+// LevelDB/RocksDB/Arrow; the library does not throw.
+#ifndef EXTSCC_UTIL_STATUS_H_
+#define EXTSCC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace extscc::util {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIoError = 3,
+  kResourceExhausted = 4,   // e.g. DFS-SCC exceeded its I/O budget ("INF")
+  kFailedPrecondition = 5,  // e.g. EM-SCC stalled without progress
+  kCorruption = 6,
+  kUnimplemented = 7,
+};
+
+// Human-readable name for a status code ("OK", "IoError", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> is a Status or a value. Access to the value CHECKs ok().
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`
+  // like absl::StatusOr.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    CHECK(!status_.ok()) << "Result constructed from OK status without value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << status_.ToString();
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace extscc::util
+
+// Propagates a non-OK status out of the enclosing function.
+#define RETURN_IF_ERROR(expr)                 \
+  do {                                        \
+    ::extscc::util::Status _st = (expr);      \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#endif  // EXTSCC_UTIL_STATUS_H_

@@ -1,0 +1,17 @@
+#include "util/timer.h"
+
+namespace extscc::util {
+
+void Timer::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedMicros()) * 1e-6;
+}
+
+std::int64_t Timer::ElapsedMicros() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(now - start_)
+      .count();
+}
+
+}  // namespace extscc::util

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used by the benchmark harnesses.
+#ifndef EXTSCC_UTIL_TIMER_H_
+#define EXTSCC_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace extscc::util {
+
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  void Restart();
+
+  // Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+  std::int64_t ElapsedMicros() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace extscc::util
+
+#endif  // EXTSCC_UTIL_TIMER_H_

@@ -1,0 +1,195 @@
+#include "app/bisimulation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/ext_scc.h"
+#include "gen/classic_graphs.h"
+#include "graph/digraph.h"
+#include "graph/disk_graph.h"
+#include "io/record_stream.h"
+#include "scc/condensation.h"
+#include "test_util.h"
+
+namespace extscc {
+namespace {
+
+using app::ExternalBisimulation;
+using graph::Edge;
+using graph::NodeId;
+using graph::SccId;
+using testing::MakeTestContext;
+
+// In-memory maximum-bisimulation oracle: refine from the trivial
+// partition by successor-block signatures until stable.
+std::map<NodeId, SccId> OracleBisimulation(
+    const std::vector<Edge>& edges, const std::vector<NodeId>& nodes) {
+  graph::Digraph g(nodes, edges);
+  std::vector<SccId> block(g.num_nodes(), 0);
+  bool changed = true;
+  while (changed) {
+    std::map<std::pair<SccId, std::set<SccId>>, SccId> sig_to_block;
+    std::vector<SccId> next(g.num_nodes());
+    for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+      std::set<SccId> succ_blocks;
+      for (const auto w : g.out_neighbors(v)) succ_blocks.insert(block[w]);
+      const auto key = std::make_pair(block[v], succ_blocks);
+      const auto [it, inserted] = sig_to_block.emplace(
+          key, static_cast<SccId>(sig_to_block.size()));
+      next[v] = it->second;
+    }
+    changed = next != block;
+    block = std::move(next);
+  }
+  std::map<NodeId, SccId> result;
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+    result[g.id_of(v)] = block[v];
+  }
+  return result;
+}
+
+// True iff two labelings induce the same partition.
+template <typename MapA, typename MapB>
+bool SamePartition(const MapA& a, const MapB& b) {
+  if (a.size() != b.size()) return false;
+  std::map<SccId, SccId> fwd, bwd;
+  for (const auto& [node, la] : a) {
+    const auto it = b.find(node);
+    if (it == b.end()) return false;
+    const SccId lb = it->second;
+    if (const auto f = fwd.emplace(la, lb); !f.second && f.first->second != lb)
+      return false;
+    if (const auto r = bwd.emplace(lb, la); !r.second && r.first->second != la)
+      return false;
+  }
+  return true;
+}
+
+std::map<NodeId, SccId> RunBisim(io::IoContext* ctx,
+                                 const graph::DiskGraph& dag,
+                                 std::uint64_t* num_blocks = nullptr,
+                                 std::uint64_t* num_heights = nullptr) {
+  auto result = ExternalBisimulation(ctx, dag);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  std::map<NodeId, SccId> blocks;
+  io::RecordReader<graph::SccEntry> reader(ctx, result.value().block_path);
+  graph::SccEntry entry;
+  while (reader.Next(&entry)) blocks[entry.node] = entry.scc;
+  if (num_blocks != nullptr) *num_blocks = result.value().num_blocks;
+  if (num_heights != nullptr) *num_heights = result.value().num_heights;
+  return blocks;
+}
+
+void VerifyAgainstOracle(const std::vector<Edge>& edges,
+                         const std::vector<NodeId>& extra_nodes = {}) {
+  auto ctx = MakeTestContext();
+  const auto dag = graph::MakeDiskGraph(ctx.get(), edges, extra_nodes);
+  const auto blocks = RunBisim(ctx.get(), dag);
+  const auto nodes = io::ReadAllRecords<NodeId>(ctx.get(), dag.node_path);
+  const auto oracle = OracleBisimulation(edges, nodes);
+  EXPECT_TRUE(SamePartition(blocks, oracle));
+}
+
+TEST(BisimulationTest, PathEveryNodeDistinct) {
+  auto ctx = MakeTestContext();
+  const auto dag = graph::MakeDiskGraph(ctx.get(), gen::PathEdges(12));
+  std::uint64_t num_blocks = 0, num_heights = 0;
+  RunBisim(ctx.get(), dag, &num_blocks, &num_heights);
+  EXPECT_EQ(num_blocks, 12u) << "each path position has its own height";
+  EXPECT_EQ(num_heights, 12u);
+}
+
+TEST(BisimulationTest, StarLeavesCollapse) {
+  // hub -> 5 leaves: leaves are mutually bisimilar, hub is not.
+  auto ctx = MakeTestContext();
+  const auto dag = graph::MakeDiskGraph(
+      ctx.get(), {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}});
+  std::uint64_t num_blocks = 0;
+  const auto blocks = RunBisim(ctx.get(), dag, &num_blocks);
+  EXPECT_EQ(num_blocks, 2u);
+  EXPECT_EQ(blocks.at(1), blocks.at(5));
+  EXPECT_NE(blocks.at(0), blocks.at(1));
+}
+
+TEST(BisimulationTest, ParallelDiamondsShareBlocks) {
+  // Two disjoint diamonds a->{b,c}->d — corresponding nodes bisimilar.
+  const std::vector<Edge> edges{{0, 1}, {0, 2}, {1, 3}, {2, 3},
+                                {10, 11}, {10, 12}, {11, 13}, {12, 13}};
+  auto ctx = MakeTestContext();
+  const auto dag = graph::MakeDiskGraph(ctx.get(), edges);
+  std::uint64_t num_blocks = 0;
+  const auto blocks = RunBisim(ctx.get(), dag, &num_blocks);
+  EXPECT_EQ(num_blocks, 3u) << "sink / middle / source";
+  EXPECT_EQ(blocks.at(0), blocks.at(10));
+  EXPECT_EQ(blocks.at(1), blocks.at(12));
+  EXPECT_EQ(blocks.at(3), blocks.at(13));
+}
+
+TEST(BisimulationTest, IsolatedNodesJoinTheSinkBlock) {
+  auto ctx = MakeTestContext();
+  const auto dag =
+      graph::MakeDiskGraph(ctx.get(), {{0, 1}}, /*extra_nodes=*/{7, 9});
+  const auto blocks = RunBisim(ctx.get(), dag);
+  EXPECT_EQ(blocks.at(7), blocks.at(9));
+  EXPECT_EQ(blocks.at(7), blocks.at(1)) << "sinks have the empty signature";
+  EXPECT_NE(blocks.at(0), blocks.at(1));
+}
+
+TEST(BisimulationTest, RejectsCyclicInput) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::CycleEdges(4));
+  auto result = ExternalBisimulation(ctx.get(), g);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(BisimulationTest, EmptyGraph) {
+  auto ctx = MakeTestContext();
+  const auto dag = graph::MakeDiskGraph(ctx.get(), {});
+  std::uint64_t num_blocks = 0;
+  const auto blocks = RunBisim(ctx.get(), dag, &num_blocks);
+  EXPECT_TRUE(blocks.empty());
+  EXPECT_EQ(num_blocks, 0u);
+}
+
+TEST(BisimulationTest, FullPipelineFromCyclicGraph) {
+  // The paper's preprocessing story ([16]): cyclic graph -> Ext-SCC ->
+  // condensation -> bisimulation on the DAG.
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::CycleChainEdges(5, 4));
+  const std::string scc_path = ctx->NewTempPath("scc");
+  ASSERT_TRUE(core::RunExtScc(ctx.get(), g, scc_path,
+                              core::ExtSccOptions::Optimized())
+                  .ok());
+  const auto condensation =
+      scc::BuildCondensation(ctx.get(), g, scc_path);
+  std::uint64_t num_blocks = 0;
+  RunBisim(ctx.get(), condensation.dag, &num_blocks);
+  // A chain of 5 contracted cycles condenses to a 5-node path: all
+  // positions distinct.
+  EXPECT_EQ(num_blocks, 5u);
+}
+
+// Property sweep vs the oracle on random DAGs.
+class BisimulationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BisimulationSweep, MatchesOracle) {
+  const auto [nodes, edges, seed] = GetParam();
+  VerifyAgainstOracle(
+      gen::RandomDagEdges(nodes, edges, seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDags, BisimulationSweep,
+    ::testing::Combine(::testing::Values(20, 80, 200),
+                       ::testing::Values(40, 320),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace extscc

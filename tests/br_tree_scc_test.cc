@@ -1,0 +1,178 @@
+#include "scc/br_tree_scc.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "gen/classic_graphs.h"
+#include "graph/disk_graph.h"
+#include "io/record_stream.h"
+#include "scc/scc_verify.h"
+#include "scc/semi_external_scc.h"
+#include "test_util.h"
+
+namespace extscc {
+namespace {
+
+using graph::Edge;
+using scc::BrTreeScc;
+using scc::BrTreeStats;
+using scc::SemiSccBackend;
+using testing::MakeTestContext;
+
+BrTreeStats RunAndVerify(const std::vector<Edge>& edges,
+                         const std::vector<graph::NodeId>& extra_nodes = {}) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), edges, extra_nodes);
+  const std::string out = ctx->NewTempPath("scc");
+  graph::SccId next = 0;
+  const BrTreeStats stats = BrTreeScc::Run(ctx.get(), g, out, &next);
+  EXPECT_EQ(stats.num_sccs, next);
+  testing::ExpectSccFileMatchesOracle(ctx.get(), g, out, "BR-tree");
+  return stats;
+}
+
+TEST(BrTreeSccTest, EmptyGraph) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), {});
+  const std::string out = ctx->NewTempPath("scc");
+  graph::SccId next = 0;
+  const auto stats = BrTreeScc::Run(ctx.get(), g, out, &next);
+  EXPECT_EQ(stats.num_sccs, 0u);
+  EXPECT_EQ(io::NumRecordsInFile<graph::SccEntry>(ctx.get(), out), 0u);
+}
+
+TEST(BrTreeSccTest, IsolatedNodesOnly) {
+  const auto stats = RunAndVerify({}, {3, 7, 11});
+  EXPECT_EQ(stats.num_sccs, 3u);
+  EXPECT_EQ(stats.contractions, 0u);
+}
+
+TEST(BrTreeSccTest, Fig1) {
+  // Paper Fig. 1: 13 nodes, SCC1 = {b..g} (6 nodes), SCC2 = {i,j,k,l},
+  // plus singletons a, h, m.
+  const auto stats = RunAndVerify(gen::Fig1Edges());
+  EXPECT_EQ(stats.num_sccs, 5u);
+}
+
+TEST(BrTreeSccTest, PathHasNoContractions) {
+  const auto stats = RunAndVerify(gen::PathEdges(50));
+  EXPECT_EQ(stats.num_sccs, 50u);
+  EXPECT_EQ(stats.contractions, 0u) << "a path has no cycles to contract";
+}
+
+TEST(BrTreeSccTest, CycleIsOneScc) {
+  const auto stats = RunAndVerify(gen::CycleEdges(64));
+  EXPECT_EQ(stats.num_sccs, 1u);
+  EXPECT_GE(stats.contractions, 1u);
+}
+
+TEST(BrTreeSccTest, TwoCycleContractsOnSecondEdge) {
+  const auto stats = RunAndVerify({{1, 2}, {2, 1}});
+  EXPECT_EQ(stats.num_sccs, 1u);
+  EXPECT_EQ(stats.contractions, 1u);
+}
+
+TEST(BrTreeSccTest, SelfLoopsAndParallelEdges) {
+  RunAndVerify({{1, 1}, {2, 3}, {3, 2}, {2, 3}, {4, 4}, {4, 5}});
+}
+
+TEST(BrTreeSccTest, CycleChains) {
+  RunAndVerify(gen::CycleChainEdges(6, 5));
+}
+
+TEST(BrTreeSccTest, ConvergesInFewPassesOnRandomGraphs) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(
+      ctx.get(), gen::RandomDigraphEdges(500, 2500, 7));
+  const std::string out = ctx->NewTempPath("scc");
+  graph::SccId next = 0;
+  const auto stats = BrTreeScc::Run(ctx.get(), g, out, &next);
+  // The fixpoint needs one clean pass to detect; anything near the
+  // safety valve (4n) would make the backend useless in practice.
+  EXPECT_LE(stats.passes, 50u);
+}
+
+TEST(BrTreeSccTest, LabelsStartAtProvidedCounter) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::CycleEdges(3));
+  const std::string out = ctx->NewTempPath("scc");
+  graph::SccId next = 17;
+  BrTreeScc::Run(ctx.get(), g, out, &next);
+  EXPECT_EQ(next, 18u);
+  for (const auto& e : io::ReadAllRecords<graph::SccEntry>(ctx.get(), out)) {
+    EXPECT_EQ(e.scc, 17u);
+  }
+}
+
+TEST(BrTreeSccTest, OutputSortedByNode) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(
+      ctx.get(), gen::RandomDigraphEdges(200, 600, 3));
+  const std::string out = ctx->NewTempPath("scc");
+  graph::SccId next = 0;
+  BrTreeScc::Run(ctx.get(), g, out, &next);
+  const auto entries = io::ReadAllRecords<graph::SccEntry>(ctx.get(), out);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].node, entries[i].node);
+  }
+}
+
+TEST(BrTreeSccTest, MemoryContractMatchesColoringBackend) {
+  // The Ext-SCC stop condition must be backend-agnostic (DESIGN.md):
+  // both backends charge the same bytes per node.
+  EXPECT_EQ(BrTreeScc::kBytesPerNode, scc::SemiExternalScc::kBytesPerNode);
+  io::MemoryBudget small(BrTreeScc::kBytesPerNode * 10);
+  EXPECT_TRUE(BrTreeScc::Fits(10, small));
+  EXPECT_FALSE(BrTreeScc::Fits(11, small));
+}
+
+TEST(BrTreeSccDeathTest, RefusesOverBudgetNodeSets) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/16 * 1024, /*block_size=*/4096);
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::CycleEdges(2000));
+  const std::string out = ctx->NewTempPath("scc");
+  graph::SccId next = 0;
+  EXPECT_DEATH(BrTreeScc::Run(ctx.get(), g, out, &next), "contraction phase");
+}
+
+// ---- dispatch ------------------------------------------------------------
+
+TEST(SemiSccBackendTest, Names) {
+  EXPECT_STREQ(scc::SemiSccBackendName(SemiSccBackend::kColoring), "coloring");
+  EXPECT_STREQ(scc::SemiSccBackendName(SemiSccBackend::kBrTree), "br-tree");
+}
+
+TEST(SemiSccBackendTest, DispatchRunsSelectedBackend) {
+  for (const auto backend :
+       {SemiSccBackend::kColoring, SemiSccBackend::kBrTree}) {
+    auto ctx = MakeTestContext();
+    const auto g = graph::MakeDiskGraph(ctx.get(), gen::Fig1Edges());
+    const std::string out = ctx->NewTempPath("scc");
+    graph::SccId next = 0;
+    const auto stats = scc::RunSemiScc(backend, ctx.get(), g, out, &next);
+    EXPECT_EQ(stats.num_sccs, 5u) << scc::SemiSccBackendName(backend);
+    testing::ExpectSccFileMatchesOracle(ctx.get(), g, out,
+                                        scc::SemiSccBackendName(backend));
+  }
+}
+
+// ---- property sweep: BR-tree == coloring == oracle on random graphs ----
+
+class BrTreeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(BrTreeSweep, MatchesOracle) {
+  const auto [nodes, edges, seed] = GetParam();
+  RunAndVerify(gen::RandomDigraphEdges(nodes, edges, seed,
+                                       /*allow_degenerate=*/seed % 2 == 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, BrTreeSweep,
+    ::testing::Combine(::testing::Values(20, 100, 400),
+                       ::testing::Values(30, 200, 1200),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace extscc

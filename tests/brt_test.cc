@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "baseline/buffered_repository_tree.h"
+#include "baseline/external_dfs.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace extscc {
+namespace {
+
+using baseline::BufferedRepositoryTree;
+using baseline::ExternalStack;
+using testing::MakeTestContext;
+
+TEST(BrtTest, InsertExtractSingleKey) {
+  auto ctx = MakeTestContext();
+  BufferedRepositoryTree brt(ctx.get(), 16);
+  brt.Insert(3, 100);
+  brt.Insert(3, 200);
+  EXPECT_EQ(brt.num_items(), 2u);
+  auto values = brt.ExtractAll(3);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<std::uint32_t>{100, 200}));
+  EXPECT_EQ(brt.num_items(), 0u);
+  EXPECT_TRUE(brt.ExtractAll(3).empty()) << "extract removes items";
+}
+
+TEST(BrtTest, ExtractOnlyMatchingKey) {
+  auto ctx = MakeTestContext();
+  BufferedRepositoryTree brt(ctx.get(), 8);
+  brt.Insert(1, 11);
+  brt.Insert(2, 22);
+  brt.Insert(1, 12);
+  auto ones = brt.ExtractAll(1);
+  std::sort(ones.begin(), ones.end());
+  EXPECT_EQ(ones, (std::vector<std::uint32_t>{11, 12}));
+  EXPECT_EQ(brt.ExtractAll(2), (std::vector<std::uint32_t>{22}));
+}
+
+TEST(BrtTest, EmptyExtract) {
+  auto ctx = MakeTestContext();
+  BufferedRepositoryTree brt(ctx.get(), 4);
+  EXPECT_TRUE(brt.ExtractAll(0).empty());
+  EXPECT_TRUE(brt.ExtractAll(3).empty());
+}
+
+TEST(BrtTest, NonPowerOfTwoKeySpace) {
+  auto ctx = MakeTestContext();
+  BufferedRepositoryTree brt(ctx.get(), 13);
+  for (std::uint32_t k = 0; k < 13; ++k) brt.Insert(k, k * 10);
+  for (std::uint32_t k = 0; k < 13; ++k) {
+    EXPECT_EQ(brt.ExtractAll(k), (std::vector<std::uint32_t>{k * 10}));
+  }
+}
+
+TEST(BrtTest, ManyInsertsForceFlushes) {
+  // Small blocks so buffers overflow and cascade down the tree.
+  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/256);
+  BufferedRepositoryTree brt(ctx.get(), 64);
+  std::map<std::uint32_t, std::vector<std::uint32_t>> expected;
+  util::Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const auto key = static_cast<std::uint32_t>(rng.Uniform(64));
+    const auto value = static_cast<std::uint32_t>(i);
+    brt.Insert(key, value);
+    expected[key].push_back(value);
+  }
+  EXPECT_EQ(brt.num_items(), 5000u);
+  for (auto& [key, want] : expected) {
+    auto got = brt.ExtractAll(key);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "key " << key;
+  }
+  EXPECT_EQ(brt.num_items(), 0u);
+}
+
+TEST(BrtTest, InterleavedInsertExtract) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/256);
+  BufferedRepositoryTree brt(ctx.get(), 32);
+  util::Rng rng(5);
+  std::map<std::uint32_t, std::vector<std::uint32_t>> expected;
+  for (int round = 0; round < 2000; ++round) {
+    const auto key = static_cast<std::uint32_t>(rng.Uniform(32));
+    if (rng.Bernoulli(0.7)) {
+      brt.Insert(key, round);
+      expected[key].push_back(round);
+    } else {
+      auto got = brt.ExtractAll(key);
+      std::sort(got.begin(), got.end());
+      std::sort(expected[key].begin(), expected[key].end());
+      EXPECT_EQ(got, expected[key]) << "round " << round;
+      expected[key].clear();
+    }
+  }
+}
+
+TEST(BrtTest, GeneratesIoTraffic) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/256);
+  const auto before = ctx->stats().total_ios();
+  BufferedRepositoryTree brt(ctx.get(), 128);
+  for (std::uint32_t i = 0; i < 2000; ++i) brt.Insert(i % 128, i);
+  for (std::uint32_t k = 0; k < 128; ++k) brt.ExtractAll(k);
+  EXPECT_GT(ctx->stats().total_ios() - before, 100u)
+      << "the BRT is an external structure; it must touch disk";
+}
+
+// ---------------- ExternalStack ------------------------------------------
+
+TEST(ExternalStackTest, LifoSmall) {
+  auto ctx = MakeTestContext();
+  ExternalStack<int> stack(ctx.get());
+  EXPECT_TRUE(stack.empty());
+  stack.Push(1);
+  stack.Push(2);
+  EXPECT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack.Pop(), 2);
+  EXPECT_EQ(stack.Pop(), 1);
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(ExternalStackTest, SpillsAndRefills) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/128);
+  ExternalStack<std::uint64_t> stack(ctx.get());
+  constexpr std::uint64_t kCount = 10'000;  // far beyond two 128B blocks
+  for (std::uint64_t i = 0; i < kCount; ++i) stack.Push(i);
+  EXPECT_EQ(stack.size(), kCount);
+  for (std::uint64_t i = kCount; i-- > 0;) {
+    ASSERT_EQ(stack.Pop(), i);
+  }
+  EXPECT_TRUE(stack.empty());
+}
+
+TEST(ExternalStackTest, InterleavedPushPopAcrossSpills) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/128);
+  ExternalStack<std::uint32_t> stack(ctx.get());
+  std::vector<std::uint32_t> mirror;
+  util::Rng rng(9);
+  for (int i = 0; i < 20'000; ++i) {
+    if (mirror.empty() || rng.Bernoulli(0.6)) {
+      stack.Push(i);
+      mirror.push_back(i);
+    } else {
+      ASSERT_EQ(stack.Pop(), mirror.back());
+      mirror.pop_back();
+    }
+    ASSERT_EQ(stack.size(), mirror.size());
+  }
+}
+
+}  // namespace
+}  // namespace extscc

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/ext_scc.h"
+#include "gen/classic_graphs.h"
+#include "graph/disk_graph.h"
+#include "graph/scc_file.h"
+#include "io/record_stream.h"
+#include "scc/condensation.h"
+#include "scc/scc_verify.h"
+#include "test_util.h"
+
+namespace extscc {
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+using graph::SccEntry;
+using testing::MakeTestContext;
+
+// Solves `edges` with Ext-SCC and returns (graph, scc label path).
+std::pair<graph::DiskGraph, std::string> Solve(
+    io::IoContext* ctx, const std::vector<Edge>& edges,
+    const std::vector<NodeId>& extra = {}) {
+  const auto g = graph::MakeDiskGraph(ctx, edges, extra);
+  const std::string scc = ctx->NewTempPath("scc");
+  auto result =
+      core::RunExtScc(ctx, g, scc, core::ExtSccOptions::Optimized());
+  CHECK(result.ok());
+  return {g, scc};
+}
+
+TEST(CondensationTest, Fig1Dag) {
+  auto ctx = MakeTestContext();
+  const auto [g, scc_path] = Solve(ctx.get(), gen::Fig1Edges());
+  const auto cond = scc::BuildCondensation(ctx.get(), g, scc_path);
+  // 5 SCCs; DAG edges: a->SCC1, a->SCC1 (a->f merges), SCC1->h, h->SCC2,
+  // SCC2->m  => simple edges {a->SCC1, SCC1->h, h->SCC2, SCC2->m}.
+  EXPECT_EQ(cond.dag.num_nodes, 5u);
+  EXPECT_EQ(cond.dag.num_edges, 4u);
+  EXPECT_GT(cond.intra_scc_edges, 0u);
+  EXPECT_GT(cond.parallel_edges, 0u) << "a->b and a->f collapse";
+}
+
+TEST(CondensationTest, CycleCondensesToSingleNode) {
+  auto ctx = MakeTestContext();
+  const auto [g, scc_path] = Solve(ctx.get(), gen::CycleEdges(30));
+  const auto cond = scc::BuildCondensation(ctx.get(), g, scc_path);
+  EXPECT_EQ(cond.dag.num_nodes, 1u);
+  EXPECT_EQ(cond.dag.num_edges, 0u);
+  EXPECT_EQ(cond.intra_scc_edges, 30u);
+}
+
+TEST(CondensationTest, DagIsUnchangedUpToRelabeling) {
+  auto ctx = MakeTestContext();
+  const auto edges = gen::RandomDagEdges(100, 300, 5);
+  const auto [g, scc_path] = Solve(ctx.get(), edges);
+  const auto cond = scc::BuildCondensation(ctx.get(), g, scc_path);
+  EXPECT_EQ(cond.dag.num_nodes, g.num_nodes);
+  EXPECT_EQ(cond.intra_scc_edges, 0u);
+  // Parallel duplicates in the generator collapse; nothing else changes.
+  EXPECT_LE(cond.dag.num_edges, g.num_edges);
+}
+
+TEST(CondensationTest, CondensationIsAcyclic) {
+  auto ctx = MakeTestContext();
+  const auto edges =
+      gen::RandomDigraphEdges(300, 1200, 7, /*allow_degenerate=*/true);
+  const auto [g, scc_path] = Solve(ctx.get(), edges);
+  const auto cond = scc::BuildCondensation(ctx.get(), g, scc_path);
+  const auto topo = scc::ExternalTopoSort(ctx.get(), cond.dag);
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  EXPECT_EQ(topo.value().ranked_nodes, cond.dag.num_nodes);
+}
+
+TEST(CondensationTest, TopoRanksRespectEdges) {
+  auto ctx = MakeTestContext();
+  const auto edges =
+      gen::RandomDigraphEdges(150, 450, 9, /*allow_degenerate=*/true);
+  const auto [g, scc_path] = Solve(ctx.get(), edges);
+  const auto cond = scc::BuildCondensation(ctx.get(), g, scc_path);
+  const auto topo = scc::ExternalTopoSort(ctx.get(), cond.dag);
+  ASSERT_TRUE(topo.ok());
+  const auto ranks = graph::ReadSccFile(ctx.get(), topo.value().rank_path);
+  const auto dag_edges =
+      io::ReadAllRecords<Edge>(ctx.get(), cond.dag.edge_path);
+  for (const auto& e : dag_edges) {
+    ASSERT_LT(ranks.at(e.src), ranks.at(e.dst))
+        << "edge " << e.src << "->" << e.dst << " violates topo order";
+  }
+}
+
+TEST(ExternalTopoSortTest, PathLevels) {
+  auto ctx = MakeTestContext();
+  const auto dag = graph::MakeDiskGraph(ctx.get(), gen::PathEdges(6));
+  const auto topo = scc::ExternalTopoSort(ctx.get(), dag);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.value().num_levels, 6u);
+  const auto ranks = graph::ReadSccFile(ctx.get(), topo.value().rank_path);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(ranks.at(v), v);
+}
+
+TEST(ExternalTopoSortTest, WideDagHasFewLevels) {
+  auto ctx = MakeTestContext();
+  // Star from 0 to 1..20: two levels.
+  std::vector<Edge> star;
+  for (NodeId leaf = 1; leaf <= 20; ++leaf) star.push_back({0, leaf});
+  const auto dag = graph::MakeDiskGraph(ctx.get(), star);
+  const auto topo = scc::ExternalTopoSort(ctx.get(), dag);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.value().num_levels, 2u);
+}
+
+TEST(ExternalTopoSortTest, DetectsCycles) {
+  auto ctx = MakeTestContext();
+  const auto not_a_dag = graph::MakeDiskGraph(ctx.get(), gen::CycleEdges(5));
+  const auto topo = scc::ExternalTopoSort(ctx.get(), not_a_dag);
+  ASSERT_FALSE(topo.ok());
+  EXPECT_EQ(topo.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(ExternalTopoSortTest, EmptyAndIsolated) {
+  auto ctx = MakeTestContext();
+  const auto empty = graph::MakeDiskGraph(ctx.get(), {});
+  auto topo = scc::ExternalTopoSort(ctx.get(), empty);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.value().num_levels, 0u);
+
+  const auto isolated = graph::MakeDiskGraph(ctx.get(), {}, {3, 8});
+  topo = scc::ExternalTopoSort(ctx.get(), isolated);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.value().num_levels, 1u);
+  EXPECT_EQ(topo.value().ranked_nodes, 2u);
+}
+
+}  // namespace
+}  // namespace extscc

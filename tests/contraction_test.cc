@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "core/contraction.h"
+#include "core/vertex_cover.h"
+#include "gen/classic_graphs.h"
+#include "graph/digraph.h"
+#include "graph/edge_file.h"
+#include "graph/disk_graph.h"
+#include "io/record_stream.h"
+#include "scc/tarjan.h"
+#include "test_util.h"
+
+namespace extscc {
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+using testing::MakeTestContext;
+
+struct Level {
+  std::string ein, eout;
+  std::vector<NodeId> cover;
+  std::string cover_path;
+  core::ContractionResult contraction;
+};
+
+Level ContractOnce(io::IoContext* ctx, const std::vector<Edge>& edges,
+                   bool op_mode) {
+  const std::string raw = ctx->NewTempPath("raw");
+  io::WriteAllRecords(ctx, raw, edges);
+  Level level;
+  level.ein = ctx->NewTempPath("ein");
+  level.eout = ctx->NewTempPath("eout");
+  graph::SortEdgesByDst(ctx, raw, level.ein, op_mode);
+  graph::SortEdgesBySrc(ctx, raw, level.eout, op_mode);
+  core::CoverOptions cover_options;
+  core::ContractionOptions contraction_options;
+  if (op_mode) {
+    cover_options.type1_reduction = true;
+    cover_options.type2_reduction = true;
+    cover_options.order = core::OrderVariant::kDegreeFanoutId;
+  }
+  const auto cover_result =
+      core::ComputeVertexCover(ctx, level.ein, level.eout, cover_options);
+  level.cover_path = cover_result.cover_path;
+  level.cover = io::ReadAllRecords<NodeId>(ctx, cover_result.cover_path);
+  level.contraction = core::ContractEdges(ctx, level.ein, level.eout,
+                                          cover_result.cover_path,
+                                          contraction_options);
+  return level;
+}
+
+// SCC-preservable (Lemma 5.3): for cover nodes u, v —
+// same SCC in G_{i+1}  <=>  same SCC in G_i.
+void ExpectSccPreservable(const std::vector<Edge>& original,
+                          const std::vector<Edge>& contracted,
+                          const std::vector<NodeId>& cover) {
+  graph::Digraph g_orig(original);
+  graph::Digraph g_next(cover, contracted);
+  const auto scc_orig = scc::TarjanScc(g_orig);
+  const auto scc_next = scc::TarjanScc(g_next);
+  for (std::size_t a = 0; a < cover.size(); ++a) {
+    for (std::size_t b = a + 1; b < cover.size(); ++b) {
+      const bool same_orig =
+          scc_orig.LabelOf(cover[a]) == scc_orig.LabelOf(cover[b]);
+      const bool same_next =
+          scc_next.LabelOf(cover[a]) == scc_next.LabelOf(cover[b]);
+      EXPECT_EQ(same_orig, same_next)
+          << "nodes " << cover[a] << ", " << cover[b]
+          << ": SCC-preservable property violated";
+    }
+  }
+}
+
+TEST(ContractionTest, EndpointsStayInsideCover) {
+  auto ctx = MakeTestContext();
+  const auto edges = gen::Fig1Edges();
+  const auto level = ContractOnce(ctx.get(), edges, /*op_mode=*/false);
+  const std::unordered_set<NodeId> cover(level.cover.begin(),
+                                         level.cover.end());
+  const auto contracted =
+      io::ReadAllRecords<Edge>(ctx.get(), level.contraction.edge_path);
+  for (const Edge& e : contracted) {
+    EXPECT_TRUE(cover.count(e.src)) << e.src;
+    EXPECT_TRUE(cover.count(e.dst)) << e.dst;
+  }
+  EXPECT_EQ(contracted.size(), level.contraction.num_edges);
+  EXPECT_EQ(level.contraction.preserved_edges + level.contraction.new_edges,
+            level.contraction.num_edges);
+}
+
+TEST(ContractionTest, Fig1SccPreservable) {
+  auto ctx = MakeTestContext();
+  const auto edges = gen::Fig1Edges();
+  const auto level = ContractOnce(ctx.get(), edges, /*op_mode=*/false);
+  const auto contracted =
+      io::ReadAllRecords<Edge>(ctx.get(), level.contraction.edge_path);
+  ExpectSccPreservable(edges, contracted, level.cover);
+}
+
+TEST(ContractionTest, PathContractsToMiddleNode) {
+  auto ctx = MakeTestContext();
+  // 1 -> 2 -> 3: node 2 has deg 2, endpoints deg 1, so node 2 wins both
+  // edges and the cover is exactly {2}. Node 1 has no in-edges and node 3
+  // has no out-edges, so no shortcut edge is created.
+  const auto level =
+      ContractOnce(ctx.get(), {{1, 2}, {2, 3}}, /*op_mode=*/false);
+  EXPECT_EQ(level.cover, (std::vector<NodeId>{2}));
+  const auto contracted =
+      io::ReadAllRecords<Edge>(ctx.get(), level.contraction.edge_path);
+  EXPECT_TRUE(contracted.empty());
+  EXPECT_EQ(level.contraction.new_edges, 0u);
+}
+
+TEST(ContractionTest, WedgeCreatesShortcut) {
+  auto ctx = MakeTestContext();
+  // 5 -> 1 -> 6: middle node 1 has deg 2, endpoints deg 1, so cover =
+  // {1, ...}? No: per-edge winners: (5,1): deg(1)=2 > deg(5)=1 -> add 1;
+  // (1,6): deg(1)=2 > deg(6)=1 -> add 1. Cover = {1}; removed = {5, 6}.
+  // 5 has no in-edges and 6 has no out-edges -> no shortcut.
+  // Use a shape where the removed node is internal: 2-cycle + tail.
+  // a=1 <-> b=2 (cycle), plus 2 -> 0. Degrees: 1:2, 2:3, 0:1.
+  // (1,2): 2 wins; (2,1): 2 wins; (2,0): 2 wins. Cover = {2};
+  // removed = {0, 1}. Node 1's in-nbr = 2, out-nbr = 2 -> shortcut (2,2).
+  const auto level =
+      ContractOnce(ctx.get(), {{1, 2}, {2, 1}, {2, 0}}, /*op_mode=*/false);
+  EXPECT_EQ(level.cover, (std::vector<NodeId>{2}));
+  const auto contracted =
+      io::ReadAllRecords<Edge>(ctx.get(), level.contraction.edge_path);
+  // The (2,2) shortcut through removed node 1 is a self-loop and is
+  // always dropped (it would pin node 2 into every later cover).
+  EXPECT_TRUE(contracted.empty());
+  EXPECT_EQ(level.contraction.new_edges, 0u);
+}
+
+TEST(ContractionTest, OpModeDropsSelfLoopShortcuts) {
+  auto ctx = MakeTestContext();
+  const auto level =
+      ContractOnce(ctx.get(), {{1, 2}, {2, 1}, {2, 0}}, /*op_mode=*/true);
+  const auto contracted =
+      io::ReadAllRecords<Edge>(ctx.get(), level.contraction.edge_path);
+  EXPECT_TRUE(contracted.empty());
+}
+
+TEST(ContractionTest, CycleContractsToSmallerCycle) {
+  auto ctx = MakeTestContext();
+  const auto edges = gen::CycleEdges(10);
+  const auto level = ContractOnce(ctx.get(), edges, /*op_mode=*/false);
+  const auto contracted =
+      io::ReadAllRecords<Edge>(ctx.get(), level.contraction.edge_path);
+  ExpectSccPreservable(edges, contracted, level.cover);
+  // The contracted graph must still be one cycle through all cover nodes.
+  graph::Digraph g(level.cover, contracted);
+  const auto sccs = scc::TarjanScc(g);
+  EXPECT_EQ(sccs.num_sccs(), 1u);
+}
+
+TEST(ContractionTest, EdgeBoundTheorem54) {
+  // New edges <= sum over removed v of deg_in(v) * deg_out(v); in
+  // particular each removed node's degree obeys Theorem 5.3's bound.
+  auto ctx = MakeTestContext();
+  const auto edges = gen::RandomDigraphEdges(300, 1200, 21);
+  const auto level = ContractOnce(ctx.get(), edges, /*op_mode=*/false);
+  const double bound = std::sqrt(2.0 * edges.size());
+  graph::Digraph g(edges);
+  const std::unordered_set<NodeId> cover(level.cover.begin(),
+                                         level.cover.end());
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    if (cover.count(g.id_of(i)) == 0) {
+      EXPECT_LE(g.in_degree(i) + g.out_degree(i), bound + 1e-9)
+          << "removed node " << g.id_of(i) << " violates Theorem 5.3";
+    }
+  }
+}
+
+// Property sweep: SCC-preservable + endpoint containment across random
+// graphs, both modes.
+class ContractionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(ContractionSweep, InvariantsHold) {
+  const auto [nodes, edge_count, seed, op_mode] = GetParam();
+  auto ctx = MakeTestContext();
+  const auto edges = gen::RandomDigraphEdges(nodes, edge_count, seed,
+                                             /*allow_degenerate=*/true);
+  const auto level = ContractOnce(ctx.get(), edges, op_mode);
+  const std::unordered_set<NodeId> cover(level.cover.begin(),
+                                         level.cover.end());
+  const auto contracted =
+      io::ReadAllRecords<Edge>(ctx.get(), level.contraction.edge_path);
+  for (const Edge& e : contracted) {
+    ASSERT_TRUE(cover.count(e.src));
+    ASSERT_TRUE(cover.count(e.dst));
+  }
+  ExpectSccPreservable(edges, contracted, level.cover);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ContractionSweep,
+    ::testing::Combine(::testing::Values(30, 80), ::testing::Values(60, 240),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace extscc

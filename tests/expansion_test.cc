@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/contraction.h"
+#include "core/expansion.h"
+#include "core/vertex_cover.h"
+#include "gen/classic_graphs.h"
+#include "graph/digraph.h"
+#include "graph/edge_file.h"
+#include "graph/node_file.h"
+#include "graph/disk_graph.h"
+#include "io/record_stream.h"
+#include "scc/scc_verify.h"
+#include "scc/tarjan.h"
+#include "test_util.h"
+
+namespace extscc {
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+using graph::SccEntry;
+using testing::MakeTestContext;
+
+// Runs one contraction level, solves the contracted graph with the
+// in-memory oracle, expands, and verifies SCC_i against the oracle of the
+// original graph. This isolates Algorithm 5 from the driver and from
+// Semi-SCC.
+void ContractSolveExpandVerify(const std::vector<Edge>& edges, bool op_mode,
+                               const std::vector<NodeId>& extra_nodes = {}) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), edges, extra_nodes);
+
+  const std::string ein = ctx->NewTempPath("ein");
+  const std::string eout = ctx->NewTempPath("eout");
+  graph::SortEdgesByDst(ctx.get(), g.edge_path, ein, op_mode);
+  graph::SortEdgesBySrc(ctx.get(), g.edge_path, eout, op_mode);
+
+  core::CoverOptions cover_options;
+  core::ContractionOptions contraction_options;
+  if (op_mode) {
+    cover_options.type1_reduction = true;
+    cover_options.type2_reduction = true;
+    cover_options.order = core::OrderVariant::kDegreeFanoutId;
+  }
+  const auto cover =
+      core::ComputeVertexCover(ctx.get(), ein, eout, cover_options);
+  const auto contraction = core::ContractEdges(
+      ctx.get(), ein, eout, cover.cover_path, contraction_options);
+
+  const std::string removed = ctx->NewTempPath("removed");
+  graph::NodeFileDifference(ctx.get(), g.node_path, cover.cover_path,
+                            removed);
+
+  // Solve the contracted graph exactly (oracle), then write SCC_{i+1}.
+  graph::SccId next_scc = 0;
+  const std::string scc_next = ctx->NewTempPath("scc_next");
+  {
+    const auto cover_nodes =
+        io::ReadAllRecords<NodeId>(ctx.get(), cover.cover_path);
+    const auto contracted_edges =
+        io::ReadAllRecords<Edge>(ctx.get(), contraction.edge_path);
+    graph::Digraph contracted(cover_nodes, contracted_edges);
+    const auto labels = scc::TarjanScc(contracted, &next_scc);
+    io::RecordWriter<SccEntry> writer(ctx.get(), scc_next);
+    for (const NodeId v : cover_nodes) {
+      writer.Append(SccEntry{v, labels.LabelOf(v)});
+    }
+    writer.Finish();
+  }
+
+  const auto expanded = core::ExpandLevel(ctx.get(), ein, eout,
+                                          cover.cover_path, removed, scc_next,
+                                          &next_scc);
+  testing::ExpectSccFileMatchesOracle(ctx.get(), g, expanded.scc_path,
+                                      op_mode ? "expansion(op)"
+                                              : "expansion(base)");
+  // Every node of G_i is labelled exactly once.
+  EXPECT_EQ(io::NumRecordsInFile<SccEntry>(ctx.get(), expanded.scc_path),
+            g.num_nodes);
+}
+
+TEST(ExpansionTest, Fig1BaseMode) {
+  ContractSolveExpandVerify(gen::Fig1Edges(), /*op_mode=*/false);
+}
+
+TEST(ExpansionTest, Fig1OpMode) {
+  ContractSolveExpandVerify(gen::Fig1Edges(), /*op_mode=*/true);
+}
+
+TEST(ExpansionTest, CycleBothModes) {
+  ContractSolveExpandVerify(gen::CycleEdges(17), false);
+  ContractSolveExpandVerify(gen::CycleEdges(17), true);
+}
+
+TEST(ExpansionTest, PathProducesSingletons) {
+  ContractSolveExpandVerify(gen::PathEdges(9), false);
+  ContractSolveExpandVerify(gen::PathEdges(9), true);
+}
+
+TEST(ExpansionTest, IsolatedRemovedNodesGetSingletons) {
+  // Isolated nodes never enter the cover; expansion must label them.
+  ContractSolveExpandVerify({{1, 2}, {2, 1}}, false, {50, 60, 70});
+  ContractSolveExpandVerify({{1, 2}, {2, 1}}, true, {50, 60, 70});
+}
+
+TEST(ExpansionTest, SelfLoopsAndParallelEdges) {
+  const std::vector<Edge> edges{{1, 1}, {1, 2}, {2, 1}, {1, 2},
+                                {3, 3}, {3, 4}, {5, 4}};
+  ContractSolveExpandVerify(edges, false);
+  ContractSolveExpandVerify(edges, true);
+}
+
+TEST(ExpansionTest, WedgeRemovedNodeRejoinsItsScc) {
+  // 2-cycle 1<->2 via removed node: 1 -> 3 -> 1 plus 1 <-> 2 keeps 3 in
+  // the same SCC as {1,2}; 3 is removed (low degree) and must be
+  // re-labelled into that SCC by the in/out intersection.
+  const std::vector<Edge> edges{{1, 2}, {2, 1}, {1, 3}, {3, 1}};
+  ContractSolveExpandVerify(edges, false);
+  ContractSolveExpandVerify(edges, true);
+}
+
+TEST(ExpansionTest, CycleChains) {
+  ContractSolveExpandVerify(gen::CycleChainEdges(4, 5), false);
+  ContractSolveExpandVerify(gen::CycleChainEdges(4, 5), true);
+}
+
+TEST(ExpansionTest, SingletonCountsAreConsistent) {
+  auto ctx = MakeTestContext();
+  const auto edges = gen::PathEdges(6);  // all singletons
+  const auto g = graph::MakeDiskGraph(ctx.get(), edges);
+  const std::string ein = ctx->NewTempPath("ein");
+  const std::string eout = ctx->NewTempPath("eout");
+  graph::SortEdgesByDst(ctx.get(), g.edge_path, ein);
+  graph::SortEdgesBySrc(ctx.get(), g.edge_path, eout);
+  const auto cover =
+      core::ComputeVertexCover(ctx.get(), ein, eout, core::CoverOptions{});
+  const auto contraction = core::ContractEdges(ctx.get(), ein, eout,
+                                               cover.cover_path,
+                                               core::ContractionOptions{});
+  const std::string removed = ctx->NewTempPath("removed");
+  const std::uint64_t removed_count = graph::NodeFileDifference(
+      ctx.get(), g.node_path, cover.cover_path, removed);
+
+  graph::SccId next_scc = 0;
+  const std::string scc_next = ctx->NewTempPath("scc_next");
+  {
+    const auto cover_nodes =
+        io::ReadAllRecords<NodeId>(ctx.get(), cover.cover_path);
+    const auto contracted_edges =
+        io::ReadAllRecords<Edge>(ctx.get(), contraction.edge_path);
+    graph::Digraph contracted(cover_nodes, contracted_edges);
+    const auto labels = scc::TarjanScc(contracted, &next_scc);
+    io::RecordWriter<SccEntry> writer(ctx.get(), scc_next);
+    for (const NodeId v : cover_nodes) {
+      writer.Append(SccEntry{v, labels.LabelOf(v)});
+    }
+    writer.Finish();
+  }
+  const auto expanded = core::ExpandLevel(ctx.get(), ein, eout,
+                                          cover.cover_path, removed, scc_next,
+                                          &next_scc);
+  EXPECT_EQ(expanded.removed_in_existing_scc + expanded.removed_singletons,
+            removed_count);
+  // A DAG admits no removed node joining an existing SCC.
+  EXPECT_EQ(expanded.removed_in_existing_scc, 0u);
+}
+
+// Property sweep mirroring the contraction sweep but checking the full
+// contract-solve-expand round trip.
+class ExpansionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(ExpansionSweep, RoundTripMatchesOracle) {
+  const auto [nodes, edge_count, seed, op_mode] = GetParam();
+  ContractSolveExpandVerify(
+      gen::RandomDigraphEdges(nodes, edge_count, seed,
+                              /*allow_degenerate=*/true),
+      op_mode);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ExpansionSweep,
+    ::testing::Combine(::testing::Values(30, 80, 200),
+                       ::testing::Values(50, 300),
+                       ::testing::Values(5, 6, 7), ::testing::Bool()));
+
+}  // namespace
+}  // namespace extscc

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "extsort/external_sorter.h"
+#include "graph/graph_types.h"
+#include "io/record_stream.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace extscc {
+namespace {
+
+using testing::MakeTestContext;
+
+struct U64Less {
+  bool operator()(std::uint64_t a, std::uint64_t b) const { return a < b; }
+};
+
+std::vector<std::uint64_t> RandomValues(std::size_t n, std::uint64_t seed,
+                                        std::uint64_t bound) {
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) v = rng.Uniform(bound);
+  return out;
+}
+
+TEST(ExternalSortTest, MatchesStdSortSingleRun) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20);
+  auto values = RandomValues(1000, 42, 1 << 30);
+  const std::string in = ctx->NewTempPath("in");
+  const std::string out = ctx->NewTempPath("out");
+  io::WriteAllRecords(ctx.get(), in, values);
+  const auto info =
+      extsort::SortFile<std::uint64_t, U64Less>(ctx.get(), in, out, U64Less());
+  EXPECT_EQ(info.num_records, 1000u);
+  EXPECT_EQ(info.num_runs, 1u);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(io::ReadAllRecords<std::uint64_t>(ctx.get(), out), values);
+}
+
+TEST(ExternalSortTest, MatchesStdSortManyRuns) {
+  // Budget of 16 KB over 8-byte records -> 2K-record runs; 100K records
+  // force a multi-run merge (and, with 4K blocks, a modest fan-in).
+  auto ctx = MakeTestContext(/*memory_bytes=*/16 << 10);
+  auto values = RandomValues(100'000, 7, 1u << 31);
+  const std::string in = ctx->NewTempPath("in");
+  const std::string out = ctx->NewTempPath("out");
+  io::WriteAllRecords(ctx.get(), in, values);
+  const auto info =
+      extsort::SortFile<std::uint64_t, U64Less>(ctx.get(), in, out, U64Less());
+  EXPECT_GT(info.num_runs, 1u);
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(io::ReadAllRecords<std::uint64_t>(ctx.get(), out), values);
+}
+
+TEST(ExternalSortTest, TinyBudgetMultiPassMerge) {
+  // M = 2 blocks of 4K: binary merges, multiple passes.
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 10, /*block_size=*/4096);
+  auto values = RandomValues(50'000, 11, 1000);
+  const std::string in = ctx->NewTempPath("in");
+  const std::string out = ctx->NewTempPath("out");
+  io::WriteAllRecords(ctx.get(), in, values);
+  const auto info =
+      extsort::SortFile<std::uint64_t, U64Less>(ctx.get(), in, out, U64Less());
+  EXPECT_GT(info.merge_passes, 1u) << "tiny budget must force multiple passes";
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(io::ReadAllRecords<std::uint64_t>(ctx.get(), out), values);
+}
+
+TEST(ExternalSortTest, EmptyInput) {
+  auto ctx = MakeTestContext();
+  const std::string in = ctx->NewTempPath("in");
+  const std::string out = ctx->NewTempPath("out");
+  io::WriteAllRecords<std::uint64_t>(ctx.get(), in, {});
+  const auto info =
+      extsort::SortFile<std::uint64_t, U64Less>(ctx.get(), in, out, U64Less());
+  EXPECT_EQ(info.num_records, 0u);
+  EXPECT_TRUE(io::ReadAllRecords<std::uint64_t>(ctx.get(), out).empty());
+}
+
+TEST(ExternalSortTest, DedupCollapsesEqualRecords) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/16 << 10);
+  std::vector<std::uint64_t> values;
+  for (int rep = 0; rep < 50; ++rep) {
+    for (std::uint64_t v = 0; v < 200; ++v) values.push_back(v);
+  }
+  const std::string in = ctx->NewTempPath("in");
+  const std::string out = ctx->NewTempPath("out");
+  io::WriteAllRecords(ctx.get(), in, values);
+  extsort::SortFile<std::uint64_t, U64Less>(ctx.get(), in, out, U64Less(),
+                                            /*dedup=*/true);
+  const auto result = io::ReadAllRecords<std::uint64_t>(ctx.get(), out);
+  ASSERT_EQ(result.size(), 200u);
+  for (std::uint64_t v = 0; v < 200; ++v) EXPECT_EQ(result[v], v);
+}
+
+TEST(ExternalSortTest, DedupOnSingleRun) {
+  auto ctx = MakeTestContext();
+  const std::string in = ctx->NewTempPath("in");
+  const std::string out = ctx->NewTempPath("out");
+  io::WriteAllRecords<std::uint64_t>(ctx.get(), in, {5, 1, 5, 1, 5});
+  extsort::SortFile<std::uint64_t, U64Less>(ctx.get(), in, out, U64Less(),
+                                            /*dedup=*/true);
+  EXPECT_EQ(io::ReadAllRecords<std::uint64_t>(ctx.get(), out),
+            (std::vector<std::uint64_t>{1, 5}));
+}
+
+TEST(ExternalSortTest, EdgeComparators) {
+  auto ctx = MakeTestContext();
+  const std::vector<graph::Edge> edges{{3, 1}, {1, 2}, {2, 1}, {1, 1}};
+  const std::string in = ctx->NewTempPath("in");
+  io::WriteAllRecords(ctx.get(), in, edges);
+
+  const std::string by_src = ctx->NewTempPath("bysrc");
+  extsort::SortFile<graph::Edge, graph::EdgeBySrc>(ctx.get(), in, by_src,
+                                                   graph::EdgeBySrc());
+  const auto src_sorted = io::ReadAllRecords<graph::Edge>(ctx.get(), by_src);
+  EXPECT_EQ(src_sorted, (std::vector<graph::Edge>{
+                            {1, 1}, {1, 2}, {2, 1}, {3, 1}}));
+
+  const std::string by_dst = ctx->NewTempPath("bydst");
+  extsort::SortFile<graph::Edge, graph::EdgeByDst>(ctx.get(), in, by_dst,
+                                                   graph::EdgeByDst());
+  const auto dst_sorted = io::ReadAllRecords<graph::Edge>(ctx.get(), by_dst);
+  EXPECT_EQ(dst_sorted, (std::vector<graph::Edge>{
+                            {1, 1}, {2, 1}, {3, 1}, {1, 2}}));
+}
+
+TEST(SortingWriterTest, AccumulateAndSort) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/16 << 10);
+  extsort::SortingWriter<std::uint64_t, U64Less> writer(ctx.get(), U64Less(),
+                                                        /*dedup=*/true);
+  util::Rng rng(3);
+  for (int i = 0; i < 20'000; ++i) writer.Add(rng.Uniform(500));
+  const std::string out = ctx->NewTempPath("out");
+  writer.FinishInto(out);
+  const auto result = io::ReadAllRecords<std::uint64_t>(ctx.get(), out);
+  EXPECT_EQ(result.size(), 500u);
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end()));
+}
+
+TEST(IsFileSortedTest, DetectsOrderAndStrictness) {
+  auto ctx = MakeTestContext();
+  const std::string sorted = ctx->NewTempPath("s");
+  io::WriteAllRecords<std::uint64_t>(ctx.get(), sorted, {1, 2, 2, 3});
+  EXPECT_TRUE((extsort::IsFileSorted<std::uint64_t, U64Less>(
+      ctx.get(), sorted, U64Less())));
+  EXPECT_FALSE((extsort::IsFileSorted<std::uint64_t, U64Less>(
+      ctx.get(), sorted, U64Less(), /*strictly=*/true)));
+  const std::string unsorted = ctx->NewTempPath("u");
+  io::WriteAllRecords<std::uint64_t>(ctx.get(), unsorted, {2, 1});
+  EXPECT_FALSE((extsort::IsFileSorted<std::uint64_t, U64Less>(
+      ctx.get(), unsorted, U64Less())));
+}
+
+// Parameterized sweep: sort correctness across budget/block combinations.
+struct SortSweepParam {
+  std::uint64_t memory;
+  std::size_t block;
+  std::size_t count;
+};
+
+class ExternalSortSweep : public ::testing::TestWithParam<SortSweepParam> {};
+
+TEST_P(ExternalSortSweep, SortedAndPermutationPreserved) {
+  const auto param = GetParam();
+  auto ctx = MakeTestContext(param.memory, param.block);
+  auto values = RandomValues(param.count, param.memory ^ param.count, 1000);
+  const std::string in = ctx->NewTempPath("in");
+  const std::string out = ctx->NewTempPath("out");
+  io::WriteAllRecords(ctx.get(), in, values);
+  extsort::SortFile<std::uint64_t, U64Less>(ctx.get(), in, out, U64Less());
+  auto result = io::ReadAllRecords<std::uint64_t>(ctx.get(), out);
+  ASSERT_EQ(result.size(), values.size());
+  EXPECT_TRUE(std::is_sorted(result.begin(), result.end()));
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(result, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BudgetsAndBlocks, ExternalSortSweep,
+    ::testing::Values(SortSweepParam{8 << 10, 4096, 10'000},
+                      SortSweepParam{16 << 10, 4096, 30'000},
+                      SortSweepParam{64 << 10, 4096, 30'000},
+                      SortSweepParam{8 << 10, 1024, 5'000},
+                      SortSweepParam{1 << 20, 16384, 100'000},
+                      SortSweepParam{2 << 10, 1024, 2'000}));
+
+}  // namespace
+}  // namespace extscc

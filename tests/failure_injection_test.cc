@@ -1,0 +1,126 @@
+// Failure injection: corrupt inputs, absurd configurations, and budget
+// exhaustion must surface as Status errors or CHECK aborts — never as
+// silent wrong answers.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "baseline/dfs_scc.h"
+#include "baseline/em_scc.h"
+#include "core/ext_scc.h"
+#include "gen/classic_graphs.h"
+#include "graph/disk_graph.h"
+#include "graph/graph_io.h"
+#include "io/record_stream.h"
+#include "scc/semi_external_scc.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace extscc {
+namespace {
+
+using core::ExtSccOptions;
+using graph::Edge;
+using testing::MakeTestContext;
+
+TEST(FailureInjectionTest, TruncatedRecordFileAborts) {
+  auto ctx = MakeTestContext();
+  const std::string path = ctx->NewTempPath("truncated");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "abc";  // 3 bytes: not a whole Edge record
+  }
+  EXPECT_DEATH(io::NumRecordsInFile<Edge>(ctx.get(), path),
+               "whole number of records");
+}
+
+TEST(FailureInjectionTest, MaxIterationsSafetyValve) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/
+                             scc::SemiExternalScc::kBytesPerNode * 16,
+                             /*block_size=*/128);
+  // A 200-cycle under a 16-node budget needs many levels; capping the
+  // iteration count must produce FailedPrecondition, not a wrong result.
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::CycleEdges(200));
+  ExtSccOptions options = ExtSccOptions::Basic();
+  options.max_iterations = 2;
+  const std::string out = ctx->NewTempPath("out");
+  auto result = core::RunExtScc(ctx.get(), g, out, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(FailureInjectionTest, IoBudgetDuringEachPhase) {
+  // Sweep the budget upward: every prefix-censoring must fail cleanly,
+  // and once the budget is high enough the run must succeed and verify.
+  const auto edges = gen::RandomDigraphEdges(120, 360, 61);
+  bool seen_failure = false;
+  bool seen_success = false;
+  for (const std::uint64_t budget :
+       {200ull, 2'000ull, 20'000ull, 0ull /* unlimited */}) {
+    auto ctx = MakeTestContext(/*memory_bytes=*/
+                               scc::SemiExternalScc::kBytesPerNode * 32,
+                               /*block_size=*/256);
+    const auto g = graph::MakeDiskGraph(ctx.get(), edges);
+    if (budget > 0) ctx->set_io_budget(budget);
+    const std::string out = ctx->NewTempPath("out");
+    auto result =
+        core::RunExtScc(ctx.get(), g, out, ExtSccOptions::Optimized());
+    if (result.ok()) {
+      seen_success = true;
+      testing::ExpectSccFileMatchesOracle(ctx.get(), g, out, "budget-sweep");
+    } else {
+      seen_failure = true;
+      EXPECT_EQ(result.status().code(),
+                util::StatusCode::kResourceExhausted);
+    }
+  }
+  EXPECT_TRUE(seen_failure) << "the tightest budget must censor";
+  EXPECT_TRUE(seen_success) << "the unlimited budget must succeed";
+}
+
+TEST(FailureInjectionTest, EmSccBudgetCensoring) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/4 << 10, /*block_size=*/1024);
+  // Cyclic-rich workload EM-SCC can normally solve...
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::CycleChainEdges(60, 6));
+  ctx->set_io_budget(ctx->stats().total_ios() + 50);
+  const std::string out = ctx->NewTempPath("out");
+  auto result = baseline::RunEmScc(ctx.get(), g, out);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(FailureInjectionTest, LoadRejectsHugeNodeIds) {
+  auto ctx = MakeTestContext();
+  const std::string path = ctx->NewTempPath("huge.txt");
+  {
+    std::ofstream out(path);
+    out << "1 99999999999\n";  // exceeds 32-bit node id space
+  }
+  auto result = graph::LoadTextEdgeList(ctx.get(), path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(FailureInjectionTest, SolverOutputsAreReproducibleAfterFailure) {
+  // A censored run must not poison a later successful run in the same
+  // context (scratch files are independent; the budget flag is reset).
+  auto ctx = MakeTestContext(/*memory_bytes=*/
+                             scc::SemiExternalScc::kBytesPerNode * 32,
+                             /*block_size=*/256);
+  const auto g = graph::MakeDiskGraph(
+      ctx.get(), gen::RandomDigraphEdges(100, 300, 63));
+  ctx->set_io_budget(ctx->stats().total_ios() + 100);
+  const std::string out1 = ctx->NewTempPath("out1");
+  ASSERT_FALSE(
+      core::RunExtScc(ctx.get(), g, out1, ExtSccOptions::Basic()).ok());
+  // Lift the budget and retry.
+  ctx->set_io_budget(0);
+  ctx->reset_io_budget_flag();
+  const std::string out2 = ctx->NewTempPath("out2");
+  auto retry = core::RunExtScc(ctx.get(), g, out2, ExtSccOptions::Basic());
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  testing::ExpectSccFileMatchesOracle(ctx.get(), g, out2, "retry");
+}
+
+}  // namespace
+}  // namespace extscc

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gen/classic_graphs.h"
+#include "gen/rmat_generator.h"
+#include "gen/synthetic_generator.h"
+#include "gen/webgraph_generator.h"
+#include "graph/digraph.h"
+#include "graph/node_file.h"
+#include "io/record_stream.h"
+#include "scc/scc_verify.h"
+#include "scc/tarjan.h"
+#include "test_util.h"
+
+namespace extscc {
+namespace {
+
+using testing::MakeTestContext;
+
+// ---------------- classic graphs -----------------------------------------
+
+TEST(ClassicGraphsTest, Fig1Shape) {
+  const auto edges = gen::Fig1Edges();
+  EXPECT_EQ(edges.size(), 20u);
+  graph::Digraph g(edges);
+  EXPECT_EQ(g.num_nodes(), 13u);
+  const auto sccs = scc::TarjanScc(g);
+  EXPECT_EQ(sccs.SortedComponentSizes(),
+            (std::vector<std::uint64_t>{6, 4, 1, 1, 1}));
+}
+
+TEST(ClassicGraphsTest, CyclePathComplete) {
+  EXPECT_EQ(gen::CycleEdges(7).size(), 7u);
+  EXPECT_EQ(gen::PathEdges(7).size(), 6u);
+  EXPECT_EQ(gen::CompleteDigraphEdges(5).size(), 20u);
+  EXPECT_TRUE(gen::PathEdges(1).empty());
+}
+
+TEST(ClassicGraphsTest, RandomDagIsAcyclic) {
+  const auto edges = gen::RandomDagEdges(100, 400, 3);
+  for (const auto& e : edges) EXPECT_LT(e.src, e.dst);
+  graph::Digraph g(edges);
+  EXPECT_EQ(scc::TarjanScc(g).num_sccs(), g.num_nodes());
+}
+
+TEST(ClassicGraphsTest, CycleChainSccs) {
+  graph::Digraph g(gen::CycleChainEdges(4, 5));
+  const auto sccs = scc::TarjanScc(g);
+  EXPECT_EQ(sccs.num_sccs(), 4u);
+  EXPECT_EQ(sccs.LargestComponent(), 5u);
+}
+
+TEST(ClassicGraphsTest, RandomDigraphDeterministicPerSeed) {
+  EXPECT_EQ(gen::RandomDigraphEdges(50, 100, 9),
+            gen::RandomDigraphEdges(50, 100, 9));
+  EXPECT_NE(gen::RandomDigraphEdges(50, 100, 9),
+            gen::RandomDigraphEdges(50, 100, 10));
+}
+
+// ---------------- synthetic (Table I) ------------------------------------
+
+TEST(SyntheticGeneratorTest, PlantedSccsExactWithoutNoise) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::SyntheticParams params;
+  params.num_nodes = 2000;
+  params.sccs = {{3, 50}, {10, 5}};
+  params.extra_random_edges = false;
+  params.seed = 5;
+  const auto g = gen::GenerateSynthetic(ctx.get(), params);
+  EXPECT_EQ(g.num_nodes, 2000u);
+  const auto oracle = scc::OraclePartition(ctx.get(), g);
+  auto sizes = oracle.SortedComponentSizes();
+  // 3 SCCs of 50, 10 of 5, rest singletons.
+  ASSERT_GE(sizes.size(), 13u);
+  EXPECT_EQ(sizes[0], 50u);
+  EXPECT_EQ(sizes[1], 50u);
+  EXPECT_EQ(sizes[2], 50u);
+  for (int i = 3; i < 13; ++i) EXPECT_EQ(sizes[i], 5u);
+  EXPECT_EQ(oracle.num_sccs(), 3u + 10u + (2000u - 200u));
+}
+
+TEST(SyntheticGeneratorTest, EdgeBudgetHonored) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::SyntheticParams params;
+  params.num_nodes = 5000;
+  params.avg_degree = 4.0;
+  params.sccs = {{5, 40}};
+  params.seed = 6;
+  const auto g = gen::GenerateSynthetic(ctx.get(), params);
+  EXPECT_GE(g.num_edges, 20000u);
+  EXPECT_LE(g.num_edges, 20000u + 300u) << "roughly |V| * D edges";
+  EXPECT_EQ(g.num_nodes, 5000u);
+}
+
+TEST(SyntheticGeneratorTest, TableIPresets) {
+  const auto massive = gen::MassiveSccParams(10'000, 4.0, 400, 1);
+  ASSERT_EQ(massive.sccs.size(), 1u);
+  EXPECT_EQ(massive.sccs[0].count, 1u);
+  EXPECT_EQ(massive.sccs[0].size, 400u);
+
+  const auto large = gen::LargeSccParams(10'000, 4.0, 50, 80, 1);
+  EXPECT_EQ(large.sccs[0].count, 50u);
+  EXPECT_EQ(large.sccs[0].size, 80u);
+
+  const auto small = gen::SmallSccParams(10'000, 4.0, 100, 40, 1);
+  EXPECT_EQ(small.sccs[0].count, 100u);
+  EXPECT_EQ(small.sccs[0].size, 40u);
+}
+
+TEST(SyntheticGeneratorTest, MassivePresetContainsItsGiantScc) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  const auto params = gen::MassiveSccParams(3000, 3.0, 300, 9);
+  const auto g = gen::GenerateSynthetic(ctx.get(), params);
+  const auto oracle = scc::OraclePartition(ctx.get(), g);
+  // Random noise edges may only enlarge the planted SCC, never shrink it.
+  EXPECT_GE(oracle.LargestComponent(), 300u);
+}
+
+TEST(SyntheticGeneratorDeathTest, RejectsOversizedPlanting) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::SyntheticParams params;
+  params.num_nodes = 10;
+  params.sccs = {{1, 100}};
+  EXPECT_DEATH(gen::GenerateSynthetic(ctx.get(), params), "exceed");
+}
+
+// ---------------- web graph ----------------------------------------------
+
+TEST(WebGraphGeneratorTest, BasicShape) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::WebGraphParams params;
+  params.num_nodes = 3000;
+  params.avg_out_degree = 6.0;
+  params.seed = 11;
+  const auto g = gen::GenerateWebGraph(ctx.get(), params);
+  EXPECT_EQ(g.num_nodes, 3000u);
+  EXPECT_GT(g.num_edges, 3000u);
+  EXPECT_TRUE(graph::IsNodeFileCanonical(ctx.get(), g.node_path));
+}
+
+TEST(WebGraphGeneratorTest, GrowsAGiantScc) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::WebGraphParams params;
+  params.num_nodes = 3000;
+  params.reciprocal_prob = 0.3;
+  params.seed = 12;
+  const auto g = gen::GenerateWebGraph(ctx.get(), params);
+  const auto oracle = scc::OraclePartition(ctx.get(), g);
+  EXPECT_GT(oracle.LargestComponent(), g.num_nodes / 5)
+      << "bow-tie core should be a sizable fraction of the graph";
+}
+
+TEST(WebGraphGeneratorTest, HeavyTailInDegrees) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::WebGraphParams params;
+  params.num_nodes = 5000;
+  params.seed = 13;
+  const auto g = gen::GenerateWebGraph(ctx.get(), params);
+  const auto edges = io::ReadAllRecords<graph::Edge>(ctx.get(), g.edge_path);
+  std::vector<std::uint32_t> in_deg(params.num_nodes, 0);
+  for (const auto& e : edges) in_deg[e.dst] += 1;
+  const auto max_in = *std::max_element(in_deg.begin(), in_deg.end());
+  const double mean_in = static_cast<double>(edges.size()) /
+                         static_cast<double>(params.num_nodes);
+  EXPECT_GT(max_in, 20 * mean_in)
+      << "copying model must produce heavy-tailed in-degrees";
+}
+
+TEST(WebGraphGeneratorTest, EdgeFractionScalesSize) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::WebGraphParams full;
+  full.num_nodes = 2000;
+  full.seed = 14;
+  const auto g_full = gen::GenerateWebGraph(ctx.get(), full);
+  gen::WebGraphParams fifth = full;
+  fifth.edge_fraction = 0.2;
+  const auto g_fifth = gen::GenerateWebGraph(ctx.get(), fifth);
+  EXPECT_EQ(g_fifth.num_nodes, g_full.num_nodes);
+  EXPECT_LT(g_fifth.num_edges, g_full.num_edges / 3);
+  EXPECT_GT(g_fifth.num_edges, 0u);
+}
+
+TEST(WebGraphGeneratorTest, DeterministicPerSeed) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::WebGraphParams params;
+  params.num_nodes = 500;
+  params.seed = 15;
+  const auto a = gen::GenerateWebGraph(ctx.get(), params);
+  const auto b = gen::GenerateWebGraph(ctx.get(), params);
+  EXPECT_EQ(a.num_edges, b.num_edges);
+  EXPECT_EQ(io::ReadAllRecords<graph::Edge>(ctx.get(), a.edge_path),
+            io::ReadAllRecords<graph::Edge>(ctx.get(), b.edge_path));
+}
+
+// ---- R-MAT ---------------------------------------------------------------
+
+TEST(RmatGeneratorTest, ProducesRequestedCounts) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::RmatParams params;
+  params.num_nodes = 1000;  // not a power of two on purpose
+  params.num_edges = 4000;
+  const auto g = gen::GenerateRmat(ctx.get(), params);
+  EXPECT_EQ(g.num_nodes, 1000u) << "every node of [0, n) must be present";
+  EXPECT_EQ(g.num_edges, 4000u);
+  for (const auto& e : io::ReadAllRecords<graph::Edge>(ctx.get(),
+                                                       g.edge_path)) {
+    EXPECT_LT(e.src, 1000u);
+    EXPECT_LT(e.dst, 1000u);
+  }
+}
+
+TEST(RmatGeneratorTest, DeterministicPerSeed) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::RmatParams params;
+  params.num_nodes = 512;
+  params.num_edges = 2048;
+  params.seed = 9;
+  const auto a = gen::GenerateRmat(ctx.get(), params);
+  const auto b = gen::GenerateRmat(ctx.get(), params);
+  EXPECT_EQ(io::ReadAllRecords<graph::Edge>(ctx.get(), a.edge_path),
+            io::ReadAllRecords<graph::Edge>(ctx.get(), b.edge_path));
+  gen::RmatParams other = params;
+  other.seed = 10;
+  const auto c = gen::GenerateRmat(ctx.get(), other);
+  EXPECT_NE(io::ReadAllRecords<graph::Edge>(ctx.get(), a.edge_path),
+            io::ReadAllRecords<graph::Edge>(ctx.get(), c.edge_path));
+}
+
+TEST(RmatGeneratorTest, SkewProducesHubs) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::RmatParams params;
+  params.num_nodes = 1024;
+  params.num_edges = 8192;
+  const auto g = gen::GenerateRmat(ctx.get(), params);
+  std::vector<std::uint32_t> out_deg(1024, 0);
+  for (const auto& e : io::ReadAllRecords<graph::Edge>(ctx.get(),
+                                                       g.edge_path)) {
+    ++out_deg[e.src];
+  }
+  const auto max_deg = *std::max_element(out_deg.begin(), out_deg.end());
+  const double avg = 8192.0 / 1024.0;
+  EXPECT_GT(max_deg, 8 * avg)
+      << "Graph500 parameters should produce heavy-tailed out-degrees";
+}
+
+TEST(RmatGeneratorDeathTest, RejectsBadProbabilities) {
+  auto ctx = MakeTestContext();
+  gen::RmatParams params;
+  params.a = 0.6;  // sum now 1.03
+  EXPECT_DEATH(gen::GenerateRmat(ctx.get(), params), "sum to 1");
+}
+
+}  // namespace
+}  // namespace extscc

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <vector>
+
+#include "gen/classic_graphs.h"
+#include "graph/digraph.h"
+#include "graph/disk_graph.h"
+#include "graph/edge_file.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/node_file.h"
+#include "graph/scc_file.h"
+#include "io/record_stream.h"
+#include "test_util.h"
+
+namespace extscc {
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+using graph::SccEntry;
+using testing::MakeTestContext;
+
+// ---------------- edge_file ----------------------------------------------
+
+TEST(EdgeFileTest, SortAndCount) {
+  auto ctx = MakeTestContext();
+  const std::string raw = ctx->NewTempPath("raw");
+  io::WriteAllRecords<Edge>(ctx.get(), raw, {{2, 1}, {1, 3}, {1, 2}, {2, 1}});
+  EXPECT_EQ(graph::CountEdges(ctx.get(), raw), 4u);
+
+  const std::string by_src = ctx->NewTempPath("bysrc");
+  graph::SortEdgesBySrc(ctx.get(), raw, by_src);
+  EXPECT_EQ(io::ReadAllRecords<Edge>(ctx.get(), by_src),
+            (std::vector<Edge>{{1, 2}, {1, 3}, {2, 1}, {2, 1}}));
+
+  const std::string dedup = ctx->NewTempPath("dedup");
+  graph::SortEdgesBySrc(ctx.get(), raw, dedup, /*dedup=*/true);
+  EXPECT_EQ(io::ReadAllRecords<Edge>(ctx.get(), dedup),
+            (std::vector<Edge>{{1, 2}, {1, 3}, {2, 1}}));
+}
+
+TEST(EdgeFileTest, ReverseAndConcat) {
+  auto ctx = MakeTestContext();
+  const std::string a = ctx->NewTempPath("a");
+  const std::string b = ctx->NewTempPath("b");
+  io::WriteAllRecords<Edge>(ctx.get(), a, {{1, 2}, {3, 4}});
+  io::WriteAllRecords<Edge>(ctx.get(), b, {{5, 6}});
+
+  const std::string reversed = ctx->NewTempPath("rev");
+  graph::ReverseEdges(ctx.get(), a, reversed);
+  EXPECT_EQ(io::ReadAllRecords<Edge>(ctx.get(), reversed),
+            (std::vector<Edge>{{2, 1}, {4, 3}}));
+
+  const std::string both = ctx->NewTempPath("cat");
+  graph::ConcatEdges(ctx.get(), a, b, both);
+  EXPECT_EQ(io::ReadAllRecords<Edge>(ctx.get(), both),
+            (std::vector<Edge>{{1, 2}, {3, 4}, {5, 6}}));
+}
+
+// ---------------- node_file ----------------------------------------------
+
+TEST(NodeFileTest, SortDedupAndCanonicalCheck) {
+  auto ctx = MakeTestContext();
+  const std::string raw = ctx->NewTempPath("raw");
+  io::WriteAllRecords<NodeId>(ctx.get(), raw, {5, 1, 5, 3, 1});
+  const std::string canonical = ctx->NewTempPath("canon");
+  graph::SortNodeFile(ctx.get(), raw, canonical);
+  EXPECT_EQ(io::ReadAllRecords<NodeId>(ctx.get(), canonical),
+            (std::vector<NodeId>{1, 3, 5}));
+  EXPECT_TRUE(graph::IsNodeFileCanonical(ctx.get(), canonical));
+  EXPECT_FALSE(graph::IsNodeFileCanonical(ctx.get(), raw));
+  EXPECT_EQ(graph::CountNodes(ctx.get(), canonical), 3u);
+}
+
+TEST(NodeFileTest, Difference) {
+  auto ctx = MakeTestContext();
+  const std::string a = ctx->NewTempPath("a");
+  const std::string b = ctx->NewTempPath("b");
+  const std::string out = ctx->NewTempPath("out");
+  io::WriteAllRecords<NodeId>(ctx.get(), a, {1, 2, 3, 5, 8});
+  io::WriteAllRecords<NodeId>(ctx.get(), b, {2, 5, 9});
+  EXPECT_EQ(graph::NodeFileDifference(ctx.get(), a, b, out), 3u);
+  EXPECT_EQ(io::ReadAllRecords<NodeId>(ctx.get(), out),
+            (std::vector<NodeId>{1, 3, 8}));
+}
+
+TEST(NodeFileTest, DifferenceWithEmptySides) {
+  auto ctx = MakeTestContext();
+  const std::string a = ctx->NewTempPath("a");
+  const std::string empty = ctx->NewTempPath("b");
+  const std::string out = ctx->NewTempPath("out");
+  io::WriteAllRecords<NodeId>(ctx.get(), a, {1, 2});
+  io::WriteAllRecords<NodeId>(ctx.get(), empty, {});
+  EXPECT_EQ(graph::NodeFileDifference(ctx.get(), a, empty, out), 2u);
+  const std::string out2 = ctx->NewTempPath("out2");
+  EXPECT_EQ(graph::NodeFileDifference(ctx.get(), empty, a, out2), 0u);
+}
+
+TEST(NodeFileTest, NodesFromEdges) {
+  auto ctx = MakeTestContext();
+  const std::string edges = ctx->NewTempPath("e");
+  io::WriteAllRecords<Edge>(ctx.get(), edges, {{4, 2}, {2, 4}, {9, 9}});
+  const std::string nodes = ctx->NewTempPath("n");
+  graph::NodesFromEdges(ctx.get(), edges, nodes);
+  EXPECT_EQ(io::ReadAllRecords<NodeId>(ctx.get(), nodes),
+            (std::vector<NodeId>{2, 4, 9}));
+}
+
+// ---------------- scc_file -----------------------------------------------
+
+TEST(SccFileTest, SortAndMerge) {
+  auto ctx = MakeTestContext();
+  const std::string raw = ctx->NewTempPath("raw");
+  io::WriteAllRecords<SccEntry>(ctx.get(), raw, {{3, 0}, {1, 1}, {2, 0}});
+  const std::string sorted = ctx->NewTempPath("sorted");
+  graph::SortSccFileByNode(ctx.get(), raw, sorted);
+  EXPECT_EQ(io::ReadAllRecords<SccEntry>(ctx.get(), sorted),
+            (std::vector<SccEntry>{{1, 1}, {2, 0}, {3, 0}}));
+
+  const std::string other = ctx->NewTempPath("other");
+  io::WriteAllRecords<SccEntry>(ctx.get(), other, {{0, 5}, {4, 6}});
+  const std::string merged = ctx->NewTempPath("merged");
+  graph::MergeSccFiles(ctx.get(), sorted, other, merged);
+  EXPECT_EQ(io::ReadAllRecords<SccEntry>(ctx.get(), merged),
+            (std::vector<SccEntry>{{0, 5}, {1, 1}, {2, 0}, {3, 0}, {4, 6}}));
+
+  const auto map = graph::ReadSccFile(ctx.get(), merged);
+  EXPECT_EQ(map.size(), 5u);
+  EXPECT_EQ(map.at(4), 6u);
+}
+
+TEST(SccFileDeathTest, MergeRejectsOverlappingNodeSets) {
+  auto ctx = MakeTestContext();
+  const std::string a = ctx->NewTempPath("a");
+  const std::string b = ctx->NewTempPath("b");
+  io::WriteAllRecords<SccEntry>(ctx.get(), a, {{1, 0}});
+  io::WriteAllRecords<SccEntry>(ctx.get(), b, {{1, 9}});
+  const std::string out = ctx->NewTempPath("out");
+  EXPECT_DEATH(graph::MergeSccFiles(ctx.get(), a, b, out), "disjoint");
+}
+
+// ---------------- Digraph ------------------------------------------------
+
+TEST(DigraphTest, CsrStructure) {
+  const std::vector<Edge> edges{{10, 20}, {10, 30}, {20, 10}};
+  graph::Digraph g(edges);
+  ASSERT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const std::size_t i10 = g.index_of(10);
+  const std::size_t i20 = g.index_of(20);
+  const std::size_t i30 = g.index_of(30);
+  EXPECT_EQ(g.out_degree(i10), 2u);
+  EXPECT_EQ(g.in_degree(i10), 1u);
+  EXPECT_EQ(g.out_degree(i30), 0u);
+  EXPECT_EQ(g.in_degree(i30), 1u);
+  EXPECT_EQ(g.out_neighbors(i20).size(), 1u);
+  EXPECT_EQ(g.out_neighbors(i20)[0], i10);
+  EXPECT_EQ(g.index_of(999), g.num_nodes()) << "missing id sentinel";
+  EXPECT_EQ(g.id_of(i10), 10u);
+}
+
+TEST(DigraphTest, IsolatedNodesViaExplicitList) {
+  graph::Digraph g({42, 7}, {{1, 2}});
+  EXPECT_EQ(g.num_nodes(), 4u);  // 1, 2, 7, 42
+  EXPECT_EQ(g.out_degree(g.index_of(42)), 0u);
+}
+
+// ---------------- DiskGraph / builder / io -------------------------------
+
+TEST(DiskGraphTest, MakeFromVectors) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), {{1, 2}, {2, 3}}, {99});
+  EXPECT_EQ(g.num_nodes, 4u);
+  EXPECT_EQ(g.num_edges, 2u);
+  EXPECT_TRUE(graph::IsNodeFileCanonical(ctx.get(), g.node_path));
+  EXPECT_NE(g.Describe().find("|V|=4"), std::string::npos);
+}
+
+TEST(GraphBuilderTest, StreamingBuild) {
+  auto ctx = MakeTestContext();
+  graph::GraphBuilder builder(ctx.get());
+  for (NodeId v = 0; v < 1000; ++v) {
+    builder.AddEdge(v, (v + 1) % 1000);
+  }
+  builder.AddNode(5000);
+  const auto g = builder.Finish();
+  EXPECT_EQ(g.num_edges, 1000u);
+  EXPECT_EQ(g.num_nodes, 1001u);
+}
+
+TEST(GraphIoTest, TextRoundTrip) {
+  auto ctx = MakeTestContext();
+  const std::string text_path = ctx->NewTempPath("graph.txt");
+  {
+    std::ofstream out(text_path);
+    out << "# comment line\n";
+    out << "1 2\n2 3\n3 1\n";
+  }
+  auto loaded = graph::LoadTextEdgeList(ctx.get(), text_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_edges, 3u);
+  EXPECT_EQ(loaded.value().num_nodes, 3u);
+
+  const std::string out_path = ctx->NewTempPath("out.txt");
+  ASSERT_TRUE(
+      graph::SaveTextEdgeList(ctx.get(), loaded.value(), out_path).ok());
+  auto reloaded = graph::LoadTextEdgeList(ctx.get(), out_path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().num_edges, 3u);
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  auto ctx = MakeTestContext();
+  const auto result =
+      graph::LoadTextEdgeList(ctx.get(), "/nonexistent/really/not.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(GraphIoTest, MalformedLineIsCorruption) {
+  auto ctx = MakeTestContext();
+  const std::string path = ctx->NewTempPath("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2\nnot an edge\n";
+  }
+  const auto result = graph::LoadTextEdgeList(ctx.get(), path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruption);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, BinaryEdgeFileValidation) {
+  auto ctx = MakeTestContext();
+  const std::string path = ctx->NewTempPath("edges.bin");
+  io::WriteAllRecords<Edge>(ctx.get(), path, {{1, 2}});
+  auto ok = graph::OpenBinaryEdgeFile(ctx.get(), path);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().num_edges, 1u);
+
+  // Truncated file: not a whole number of records.
+  const std::string bad = ctx->NewTempPath("bad.bin");
+  {
+    std::ofstream out(bad, std::ios::binary);
+    out << "xyz";
+  }
+  auto corrupt = graph::OpenBinaryEdgeFile(ctx.get(), bad);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), util::StatusCode::kCorruption);
+
+  auto missing = graph::OpenBinaryEdgeFile(ctx.get(), "/no/such/file.bin");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), util::StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace extscc

@@ -1,0 +1,227 @@
+#include "app/reachability_index.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "core/ext_scc.h"
+#include "gen/classic_graphs.h"
+#include "graph/digraph.h"
+#include "graph/disk_graph.h"
+#include "io/record_stream.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace extscc {
+namespace {
+
+using app::ReachabilityIndex;
+using app::ReachabilityIndexOptions;
+using graph::Edge;
+using graph::NodeId;
+using testing::MakeTestContext;
+
+// In-memory reachability oracle by DFS over the original edges.
+bool OracleReach(const graph::Digraph& g, NodeId from, NodeId to) {
+  const std::size_t s = g.index_of(from);
+  const std::size_t t = g.index_of(to);
+  if (s == g.num_nodes() || t == g.num_nodes()) return from == to;
+  if (s == t) return true;
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<std::size_t> stack{s};
+  seen[s] = true;
+  while (!stack.empty()) {
+    const auto v = stack.back();
+    stack.pop_back();
+    for (const auto w : g.out_neighbors(v)) {
+      if (w == t) return true;
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+// Builds the index via Ext-SCC labels and cross-checks every node pair
+// against the oracle.
+void BuildAndVerifyAllPairs(const std::vector<Edge>& edges,
+                            const std::vector<NodeId>& extra_nodes = {},
+                            std::uint32_t num_labels = 3) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), edges, extra_nodes);
+  const std::string scc_path = ctx->NewTempPath("scc");
+  auto scc = core::RunExtScc(ctx.get(), g, scc_path,
+                             core::ExtSccOptions::Optimized());
+  ASSERT_TRUE(scc.ok()) << scc.status().ToString();
+
+  ReachabilityIndexOptions options;
+  options.num_labels = num_labels;
+  auto built =
+      ReachabilityIndex::Build(ctx.get(), g, scc_path, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const ReachabilityIndex& index = built.value();
+
+  const auto nodes = io::ReadAllRecords<NodeId>(ctx.get(), g.node_path);
+  graph::Digraph oracle_graph(nodes, edges);
+  for (const NodeId u : nodes) {
+    for (const NodeId v : nodes) {
+      EXPECT_EQ(index.Reachable(u, v), OracleReach(oracle_graph, u, v))
+          << u << " -> " << v;
+    }
+  }
+}
+
+TEST(ReachabilityIndexTest, Fig1AllPairs) {
+  BuildAndVerifyAllPairs(gen::Fig1Edges());
+}
+
+TEST(ReachabilityIndexTest, PathAllPairs) {
+  BuildAndVerifyAllPairs(gen::PathEdges(24));
+}
+
+TEST(ReachabilityIndexTest, CycleEverythingReachesEverything) {
+  BuildAndVerifyAllPairs(gen::CycleEdges(16));
+}
+
+TEST(ReachabilityIndexTest, IsolatedNodesReachOnlyThemselves) {
+  BuildAndVerifyAllPairs(gen::PathEdges(4), /*extra_nodes=*/{90, 91});
+}
+
+TEST(ReachabilityIndexTest, CycleChainsAllPairs) {
+  BuildAndVerifyAllPairs(gen::CycleChainEdges(4, 4));
+}
+
+TEST(ReachabilityIndexTest, SingleLabelStillCorrect) {
+  BuildAndVerifyAllPairs(gen::RandomDigraphEdges(40, 100, 5),
+                         /*extra_nodes=*/{}, /*num_labels=*/1);
+}
+
+TEST(ReachabilityIndexTest, ZeroLabelsRejected) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::PathEdges(4));
+  const std::string scc_path = ctx->NewTempPath("scc");
+  ASSERT_TRUE(core::RunExtScc(ctx.get(), g, scc_path,
+                              core::ExtSccOptions::Basic())
+                  .ok());
+  ReachabilityIndexOptions options;
+  options.num_labels = 0;
+  auto built = ReachabilityIndex::Build(ctx.get(), g, scc_path, options);
+  EXPECT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ReachabilityIndexTest, MismatchedLabelFileRejected) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::PathEdges(8));
+  // Labels for a *different* (smaller) graph.
+  const auto g_small = graph::MakeDiskGraph(ctx.get(), gen::PathEdges(3));
+  const std::string scc_path = ctx->NewTempPath("scc");
+  ASSERT_TRUE(core::RunExtScc(ctx.get(), g_small, scc_path,
+                              core::ExtSccOptions::Basic())
+                  .ok());
+  auto built = ReachabilityIndex::Build(ctx.get(), g, scc_path, {});
+  EXPECT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ReachabilityIndexTest, IntervalLabelsRefuteMostNegativeQueries) {
+  // On a long path the DAG is a chain; interval containment is exact, so
+  // no negative query should ever need the DFS fallback.
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::PathEdges(64));
+  const std::string scc_path = ctx->NewTempPath("scc");
+  ASSERT_TRUE(core::RunExtScc(ctx.get(), g, scc_path,
+                              core::ExtSccOptions::Basic())
+                  .ok());
+  auto built = ReachabilityIndex::Build(ctx.get(), g, scc_path, {});
+  ASSERT_TRUE(built.ok());
+  const auto& index = built.value();
+  std::uint64_t negatives = 0;
+  for (NodeId u = 0; u < 64; ++u) {
+    for (NodeId v = 0; v < u; ++v) {
+      ASSERT_FALSE(index.Reachable(u, v));  // path edges point forward
+      ++negatives;
+    }
+  }
+  EXPECT_EQ(index.stats().queries, negatives);
+  EXPECT_EQ(index.stats().interval_refutations, negatives)
+      << "a chain's intervals nest exactly; no fallback DFS expected";
+  EXPECT_EQ(index.stats().dfs_fallbacks, 0u);
+}
+
+TEST(ReachabilityIndexTest, QueryStatsAccumulateAndReset) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::CycleEdges(8));
+  const std::string scc_path = ctx->NewTempPath("scc");
+  ASSERT_TRUE(core::RunExtScc(ctx.get(), g, scc_path,
+                              core::ExtSccOptions::Basic())
+                  .ok());
+  auto built = ReachabilityIndex::Build(ctx.get(), g, scc_path, {});
+  ASSERT_TRUE(built.ok());
+  const auto& index = built.value();
+  EXPECT_TRUE(index.Reachable(0, 5));
+  EXPECT_EQ(index.stats().queries, 1u);
+  EXPECT_EQ(index.stats().same_scc_hits, 1u);
+  index.ResetQueryStats();
+  EXPECT_EQ(index.stats().queries, 0u);
+}
+
+TEST(ReachabilityIndexTest, DagStatsMatchCondensation) {
+  auto ctx = MakeTestContext();
+  // Two 4-cycles joined by one edge: condensation = 2 nodes, 1 edge.
+  std::vector<Edge> edges = gen::CycleEdges(4);
+  for (const auto& e : gen::CycleEdges(4)) {
+    edges.push_back({e.src + 10, e.dst + 10});
+  }
+  edges.push_back({0, 10});
+  const auto g = graph::MakeDiskGraph(ctx.get(), edges);
+  const std::string scc_path = ctx->NewTempPath("scc");
+  ASSERT_TRUE(core::RunExtScc(ctx.get(), g, scc_path,
+                              core::ExtSccOptions::Basic())
+                  .ok());
+  auto built = ReachabilityIndex::Build(ctx.get(), g, scc_path, {});
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built.value().stats().dag_nodes, 2u);
+  EXPECT_EQ(built.value().stats().dag_edges, 1u);
+}
+
+// Property sweep: random graphs, sampled query pairs vs oracle.
+class ReachabilitySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ReachabilitySweep, MatchesOracleOnSampledPairs) {
+  const auto [nodes, edges, seed] = GetParam();
+  const auto edge_list = gen::RandomDigraphEdges(nodes, edges, seed);
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), edge_list);
+  const std::string scc_path = ctx->NewTempPath("scc");
+  ASSERT_TRUE(core::RunExtScc(ctx.get(), g, scc_path,
+                              core::ExtSccOptions::Optimized())
+                  .ok());
+  auto built = ReachabilityIndex::Build(ctx.get(), g, scc_path, {});
+  ASSERT_TRUE(built.ok());
+  const auto& index = built.value();
+
+  const auto node_ids = io::ReadAllRecords<graph::NodeId>(
+      ctx.get(), g.node_path);
+  graph::Digraph oracle_graph(node_ids, edge_list);
+  util::Rng rng(seed * 1000 + 7);
+  for (int q = 0; q < 300; ++q) {
+    const NodeId u = node_ids[rng.Uniform(node_ids.size())];
+    const NodeId v = node_ids[rng.Uniform(node_ids.size())];
+    ASSERT_EQ(index.Reachable(u, v), OracleReach(oracle_graph, u, v))
+        << u << " -> " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, ReachabilitySweep,
+    ::testing::Combine(::testing::Values(30, 120),
+                       ::testing::Values(60, 360),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace extscc

@@ -1,0 +1,121 @@
+#include "app/scc_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ext_scc.h"
+#include "gen/classic_graphs.h"
+#include "gen/synthetic_generator.h"
+#include "graph/disk_graph.h"
+#include "io/record_stream.h"
+#include "test_util.h"
+
+namespace extscc {
+namespace {
+
+using app::ComputeSccStats;
+using app::SccStats;
+using graph::SccEntry;
+using testing::MakeTestContext;
+
+SccStats StatsOf(io::IoContext* ctx, const std::vector<SccEntry>& entries,
+                 std::uint32_t top_k = 5) {
+  const std::string path = ctx->NewTempPath("labels");
+  io::WriteAllRecords(ctx, path, entries);
+  auto result = ComputeSccStats(ctx, path, top_k);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+TEST(SccStatsTest, EmptyFile) {
+  auto ctx = MakeTestContext();
+  const auto stats = StatsOf(ctx.get(), {});
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_components, 0u);
+  EXPECT_TRUE(stats.histogram.empty());
+}
+
+TEST(SccStatsTest, CountsComponentsAndSingletons) {
+  auto ctx = MakeTestContext();
+  // Component 0: 3 nodes; component 1: 1 node; component 2: 2 nodes.
+  const auto stats = StatsOf(
+      ctx.get(),
+      {{10, 0}, {11, 0}, {12, 0}, {20, 1}, {30, 2}, {31, 2}});
+  EXPECT_EQ(stats.num_nodes, 6u);
+  EXPECT_EQ(stats.num_components, 3u);
+  EXPECT_EQ(stats.num_singletons, 1u);
+  EXPECT_EQ(stats.largest_size, 3u);
+  EXPECT_EQ(stats.largest_scc, 0u);
+  EXPECT_EQ(stats.top_sizes, (std::vector<std::uint64_t>{3, 2, 1}));
+}
+
+TEST(SccStatsTest, HistogramBucketsArePowersOfTwo) {
+  auto ctx = MakeTestContext();
+  // Sizes 1, 2, 5: buckets [1,1], [2,3], [4,7].
+  std::vector<SccEntry> entries{{1, 0}};
+  for (graph::NodeId n = 10; n < 12; ++n) entries.push_back({n, 1});
+  for (graph::NodeId n = 20; n < 25; ++n) entries.push_back({n, 2});
+  const auto stats = StatsOf(ctx.get(), entries);
+  ASSERT_EQ(stats.histogram.size(), 3u);
+  EXPECT_EQ(stats.histogram[0].lo, 1u);
+  EXPECT_EQ(stats.histogram[0].hi, 1u);
+  EXPECT_EQ(stats.histogram[0].num_components, 1u);
+  EXPECT_EQ(stats.histogram[1].lo, 2u);
+  EXPECT_EQ(stats.histogram[1].hi, 3u);
+  EXPECT_EQ(stats.histogram[1].num_components, 1u);
+  EXPECT_EQ(stats.histogram[2].lo, 4u);
+  EXPECT_EQ(stats.histogram[2].hi, 7u);
+  EXPECT_EQ(stats.histogram[2].num_nodes, 5u);
+}
+
+TEST(SccStatsTest, TopKBounded) {
+  auto ctx = MakeTestContext();
+  std::vector<SccEntry> entries;
+  graph::NodeId next = 0;
+  for (graph::SccId c = 0; c < 10; ++c) {
+    for (graph::SccId i = 0; i <= c; ++i) entries.push_back({next++, c});
+  }
+  const auto stats = StatsOf(ctx.get(), entries, /*top_k=*/3);
+  EXPECT_EQ(stats.top_sizes, (std::vector<std::uint64_t>{10, 9, 8}));
+}
+
+TEST(SccStatsTest, UnsortedInputAccepted) {
+  auto ctx = MakeTestContext();
+  // Deliberately interleaved labels — the module sorts internally.
+  const auto stats = StatsOf(
+      ctx.get(), {{5, 1}, {1, 0}, {6, 1}, {2, 0}, {7, 1}});
+  EXPECT_EQ(stats.num_components, 2u);
+  EXPECT_EQ(stats.largest_size, 3u);
+}
+
+TEST(SccStatsTest, ToStringMentionsKeyNumbers) {
+  auto ctx = MakeTestContext();
+  const auto stats =
+      StatsOf(ctx.get(), {{1, 0}, {2, 0}, {3, 1}});
+  const std::string s = stats.ToString();
+  EXPECT_NE(s.find("2 SCCs"), std::string::npos) << s;
+  EXPECT_NE(s.find("3 nodes"), std::string::npos) << s;
+}
+
+TEST(SccStatsTest, AgreesWithExtSccOnPlantedStructure) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 20);
+  gen::SyntheticParams params;
+  params.num_nodes = 3000;
+  params.avg_degree = 1.0;  // sparse filler so planted SCCs dominate
+  params.sccs = {{1, 200}, {4, 50}};
+  params.seed = 23;
+  const auto g = gen::GenerateSynthetic(ctx.get(), params);
+  const std::string scc_path = ctx->NewTempPath("scc");
+  ASSERT_TRUE(core::RunExtScc(ctx.get(), g, scc_path,
+                              core::ExtSccOptions::Optimized())
+                  .ok());
+  auto result = ComputeSccStats(ctx.get(), scc_path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_nodes, g.num_nodes);
+  EXPECT_GE(result.value().largest_size, 200u)
+      << "the planted massive SCC must surface as the largest";
+}
+
+}  // namespace
+}  // namespace extscc

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gen/classic_graphs.h"
+#include "graph/digraph.h"
+#include "scc/kosaraju.h"
+#include "scc/scc_result.h"
+#include "scc/tarjan.h"
+#include "test_util.h"
+
+namespace extscc {
+namespace {
+
+using graph::Edge;
+using scc::KosarajuScc;
+using scc::SamePartition;
+using scc::SccResult;
+using scc::TarjanScc;
+
+// ---------------- SccResult ----------------------------------------------
+
+TEST(SccResultTest, BasicAccounting) {
+  SccResult r;
+  r.Assign(1, 0);
+  r.Assign(2, 0);
+  r.Assign(3, 1);
+  EXPECT_EQ(r.num_nodes(), 3u);
+  EXPECT_EQ(r.num_sccs(), 2u);
+  EXPECT_EQ(r.LabelOf(2), 0u);
+  EXPECT_TRUE(r.Contains(3));
+  EXPECT_FALSE(r.Contains(4));
+  EXPECT_EQ(r.LargestComponent(), 2u);
+  EXPECT_EQ(r.SortedComponentSizes(), (std::vector<std::uint64_t>{2, 1}));
+}
+
+TEST(SccResultTest, SamePartitionUpToRelabeling) {
+  SccResult a, b;
+  a.Assign(1, 0);
+  a.Assign(2, 0);
+  a.Assign(3, 1);
+  b.Assign(1, 7);
+  b.Assign(2, 7);
+  b.Assign(3, 9);
+  EXPECT_TRUE(SamePartition(a, b));
+  b.Assign(3, 7);  // merge 3 into the same component
+  EXPECT_FALSE(SamePartition(a, b));
+  EXPECT_NE(scc::ExplainPartitionDifference(a, b), "partitions are identical");
+}
+
+TEST(SccResultTest, SamePartitionDetectsSplits) {
+  SccResult a, b;
+  a.Assign(1, 0);
+  a.Assign(2, 0);
+  b.Assign(1, 0);
+  b.Assign(2, 1);
+  EXPECT_FALSE(SamePartition(a, b));
+  // And the symmetric case: b coarser than a.
+  EXPECT_FALSE(SamePartition(b, a));
+}
+
+TEST(SccResultTest, DifferentNodeSets) {
+  SccResult a, b;
+  a.Assign(1, 0);
+  b.Assign(2, 0);
+  EXPECT_FALSE(SamePartition(a, b));
+}
+
+// ---------------- Tarjan / Kosaraju --------------------------------------
+
+TEST(TarjanTest, SinglesAndCycle) {
+  {
+    graph::Digraph g(gen::PathEdges(5));
+    const auto result = TarjanScc(g);
+    EXPECT_EQ(result.num_sccs(), 5u);
+  }
+  {
+    graph::Digraph g(gen::CycleEdges(5));
+    const auto result = TarjanScc(g);
+    EXPECT_EQ(result.num_sccs(), 1u);
+    EXPECT_EQ(result.LargestComponent(), 5u);
+  }
+}
+
+TEST(TarjanTest, Fig1Partition) {
+  graph::Digraph g(gen::Fig1Edges());
+  const auto result = TarjanScc(g);
+  EXPECT_EQ(result.num_nodes(), 13u);
+  EXPECT_EQ(result.num_sccs(), 5u);  // SCC1, SCC2, a, h, m
+  EXPECT_EQ(result.SortedComponentSizes(),
+            (std::vector<std::uint64_t>{6, 4, 1, 1, 1}));
+  // b..g (1..6) together:
+  for (graph::NodeId v = 2; v <= 6; ++v) {
+    EXPECT_EQ(result.LabelOf(v), result.LabelOf(1));
+  }
+  // i..l (8..11) together, distinct from SCC1:
+  for (graph::NodeId v = 9; v <= 11; ++v) {
+    EXPECT_EQ(result.LabelOf(v), result.LabelOf(8));
+  }
+  EXPECT_NE(result.LabelOf(1), result.LabelOf(8));
+  // a, h, m singletons:
+  EXPECT_NE(result.LabelOf(0), result.LabelOf(1));
+  EXPECT_NE(result.LabelOf(7), result.LabelOf(1));
+  EXPECT_NE(result.LabelOf(7), result.LabelOf(8));
+}
+
+TEST(TarjanTest, SelfLoopIsItsOwnScc) {
+  graph::Digraph g({{1, 1}, {1, 2}});
+  const auto result = TarjanScc(g);
+  EXPECT_EQ(result.num_sccs(), 2u);
+}
+
+TEST(TarjanTest, ParallelEdgesDoNotBreakAnything) {
+  graph::Digraph g({{1, 2}, {1, 2}, {2, 1}, {2, 1}});
+  const auto result = TarjanScc(g);
+  EXPECT_EQ(result.num_sccs(), 1u);
+}
+
+TEST(TarjanTest, LabelAllocatorIsContiguous) {
+  graph::SccId next = 100;
+  graph::Digraph g(gen::PathEdges(4));
+  const auto result = TarjanScc(g, &next);
+  EXPECT_EQ(next, 104u);
+  for (const auto& [node, label] : result.labels()) {
+    EXPECT_GE(label, 100u);
+    EXPECT_LT(label, 104u);
+  }
+}
+
+TEST(TarjanTest, DeepGraphNoStackOverflow) {
+  // 200K-node path: a recursive Tarjan would blow the call stack.
+  graph::Digraph g(gen::PathEdges(200'000));
+  const auto result = TarjanScc(g);
+  EXPECT_EQ(result.num_sccs(), 200'000u);
+}
+
+TEST(KosarajuTest, AgreesWithTarjanOnClassics) {
+  const std::vector<std::vector<Edge>> cases = {
+      gen::Fig1Edges(), gen::CycleEdges(10), gen::PathEdges(10),
+      gen::CompleteDigraphEdges(6), gen::CycleChainEdges(5, 4)};
+  for (const auto& edges : cases) {
+    graph::Digraph g(edges);
+    EXPECT_TRUE(SamePartition(TarjanScc(g), KosarajuScc(g)));
+  }
+}
+
+// Property sweep: Tarjan == Kosaraju on random graphs of varying density.
+struct RandomGraphParam {
+  std::uint32_t nodes;
+  std::uint64_t edges;
+  std::uint64_t seed;
+  bool degenerate;
+};
+
+class SccOracleSweep : public ::testing::TestWithParam<RandomGraphParam> {};
+
+TEST_P(SccOracleSweep, TarjanEqualsKosaraju) {
+  const auto p = GetParam();
+  const auto edges =
+      gen::RandomDigraphEdges(p.nodes, p.edges, p.seed, p.degenerate);
+  graph::Digraph g(edges);
+  const auto tarjan = TarjanScc(g);
+  const auto kosaraju = KosarajuScc(g);
+  EXPECT_TRUE(SamePartition(tarjan, kosaraju))
+      << scc::ExplainPartitionDifference(tarjan, kosaraju);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, SccOracleSweep,
+    ::testing::Values(RandomGraphParam{50, 60, 1, false},
+                      RandomGraphParam{50, 200, 2, false},
+                      RandomGraphParam{100, 100, 3, true},
+                      RandomGraphParam{200, 800, 4, false},
+                      RandomGraphParam{500, 2000, 5, true},
+                      RandomGraphParam{1000, 1500, 6, false},
+                      RandomGraphParam{1000, 8000, 7, true},
+                      RandomGraphParam{30, 900, 8, false}));
+
+}  // namespace
+}  // namespace extscc

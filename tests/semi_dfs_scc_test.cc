@@ -1,0 +1,133 @@
+#include "baseline/semi_dfs_scc.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "gen/classic_graphs.h"
+#include "graph/disk_graph.h"
+#include "io/record_stream.h"
+#include "test_util.h"
+
+namespace extscc {
+namespace {
+
+using baseline::SemiDfsScc;
+using baseline::SemiDfsSccStats;
+using graph::Edge;
+using testing::MakeTestContext;
+
+SemiDfsSccStats RunAndVerify(
+    const std::vector<Edge>& edges,
+    const std::vector<graph::NodeId>& extra_nodes = {}) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), edges, extra_nodes);
+  const std::string out = ctx->NewTempPath("scc");
+  auto result = SemiDfsScc::Run(ctx.get(), g, out);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  testing::ExpectSccFileMatchesOracle(ctx.get(), g, out, "Semi-DFS-SCC");
+  return result.value();
+}
+
+TEST(SemiDfsSccTest, EmptyGraph) {
+  auto ctx = MakeTestContext();
+  const auto g = graph::MakeDiskGraph(ctx.get(), {});
+  const std::string out = ctx->NewTempPath("scc");
+  auto result = SemiDfsScc::Run(ctx.get(), g, out);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_sccs, 0u);
+  EXPECT_EQ(io::NumRecordsInFile<graph::SccEntry>(ctx.get(), out), 0u);
+}
+
+TEST(SemiDfsSccTest, IsolatedNodesOnly) {
+  const auto stats = RunAndVerify({}, {2, 4, 6});
+  EXPECT_EQ(stats.num_sccs, 3u);
+  EXPECT_EQ(stats.rehangs, 0u);
+}
+
+TEST(SemiDfsSccTest, Fig1) {
+  // Paper Fig. 1 / Example 3.1: the DFS-based algorithm finds 5 SCCs:
+  // {a}, {b..g}, {h}, {i,j,k,l}, {m}.
+  const auto stats = RunAndVerify(gen::Fig1Edges());
+  EXPECT_EQ(stats.num_sccs, 5u);
+}
+
+TEST(SemiDfsSccTest, PathNeedsNoRepairWhenIdsFollowEdges) {
+  // Path 0->1->...->k: preorder by id already realizes a DFS, so the
+  // forest converges with zero re-hangs... only if edges agree with id
+  // order, which PathEdges guarantees.
+  const auto stats = RunAndVerify(gen::PathEdges(40));
+  EXPECT_EQ(stats.num_sccs, 40u);
+}
+
+TEST(SemiDfsSccTest, CycleIsOneScc) {
+  const auto stats = RunAndVerify(gen::CycleEdges(64));
+  EXPECT_EQ(stats.num_sccs, 1u);
+}
+
+TEST(SemiDfsSccTest, SelfLoopsAndParallelEdges) {
+  RunAndVerify({{1, 1}, {2, 3}, {3, 2}, {2, 3}, {4, 4}, {4, 5}});
+}
+
+TEST(SemiDfsSccTest, CycleChains) { RunAndVerify(gen::CycleChainEdges(6, 5)); }
+
+TEST(SemiDfsSccTest, ConvergesInFewPasses) {
+  const auto stats = RunAndVerify(gen::RandomDigraphEdges(400, 2000, 9));
+  // The repair heuristic must be far from its safety cap to be usable.
+  EXPECT_LE(stats.dfs_passes, 64u);
+  EXPECT_GE(stats.dfs_passes, 1u);
+  EXPECT_GE(stats.propagate_passes, 1u);
+}
+
+TEST(SemiDfsSccTest, OutputSortedByNode) {
+  auto ctx = MakeTestContext();
+  const auto g =
+      graph::MakeDiskGraph(ctx.get(), gen::RandomDigraphEdges(200, 600, 3));
+  const std::string out = ctx->NewTempPath("scc");
+  ASSERT_TRUE(SemiDfsScc::Run(ctx.get(), g, out).ok());
+  const auto entries = io::ReadAllRecords<graph::SccEntry>(ctx.get(), out);
+  ASSERT_EQ(entries.size(), g.num_nodes);
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].node, entries[i].node);
+  }
+}
+
+TEST(SemiDfsSccTest, IoBudgetCensoring) {
+  auto ctx = MakeTestContext();
+  ctx->set_io_budget(1);  // trips on the first pass
+  const auto g =
+      graph::MakeDiskGraph(ctx.get(), gen::RandomDigraphEdges(300, 1500, 5));
+  const std::string out = ctx->NewTempPath("scc");
+  const auto result = SemiDfsScc::Run(ctx.get(), g, out);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kResourceExhausted)
+      << result.status().ToString();
+}
+
+TEST(SemiDfsSccDeathTest, RefusesOverBudgetNodeSets) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/16 * 1024, /*block_size=*/4096);
+  // 16 KB / 24 B per node ~ 682 nodes max; build 2000.
+  const auto g = graph::MakeDiskGraph(ctx.get(), gen::CycleEdges(2000));
+  const std::string out = ctx->NewTempPath("scc");
+  EXPECT_DEATH(SemiDfsScc::Run(ctx.get(), g, out).ok(), "semi-external");
+}
+
+// Property sweep across random graphs, including degenerate families.
+class SemiDfsSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SemiDfsSweep, MatchesOracle) {
+  const auto [nodes, edges, seed] = GetParam();
+  RunAndVerify(gen::RandomDigraphEdges(nodes, edges, seed,
+                                       /*allow_degenerate=*/seed % 2 == 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, SemiDfsSweep,
+    ::testing::Combine(::testing::Values(20, 100, 400),
+                       ::testing::Values(30, 200, 1200),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace extscc

@@ -1,0 +1,34 @@
+#include "test_util.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "scc/scc_verify.h"
+#include "scc/tarjan.h"
+
+namespace extscc::testing {
+
+std::unique_ptr<io::IoContext> MakeTestContext(std::uint64_t memory_bytes,
+                                               std::size_t block_size) {
+  io::IoContextOptions options;
+  options.block_size = block_size;
+  options.memory_bytes = memory_bytes;
+  return std::make_unique<io::IoContext>(options);
+}
+
+scc::SccResult Oracle(const std::vector<graph::Edge>& edges,
+                      const std::vector<graph::NodeId>& extra_nodes) {
+  graph::Digraph g(extra_nodes, edges);
+  return scc::TarjanScc(g);
+}
+
+void ExpectSccFileMatchesOracle(io::IoContext* context,
+                                const graph::DiskGraph& g,
+                                const std::string& scc_path,
+                                const char* label) {
+  std::string explanation;
+  const bool ok = scc::VerifySccFile(context, g, scc_path, &explanation);
+  EXPECT_TRUE(ok) << label << ": " << explanation;
+}
+
+}  // namespace extscc::testing

@@ -1,0 +1,33 @@
+// Shared fixtures/helpers for the extscc test suites.
+#ifndef EXTSCC_TESTS_TEST_UTIL_H_
+#define EXTSCC_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/disk_graph.h"
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "scc/scc_result.h"
+
+namespace extscc::testing {
+
+// Fresh IoContext with a small block size so even tiny inputs span
+// multiple blocks (exercises the block machinery), and a budget large
+// enough that in-memory fast paths fit.
+std::unique_ptr<io::IoContext> MakeTestContext(
+    std::uint64_t memory_bytes = 1 << 20, std::size_t block_size = 4096);
+
+// In-memory oracle partition of an edge list (+ optional isolated nodes).
+scc::SccResult Oracle(const std::vector<graph::Edge>& edges,
+                      const std::vector<graph::NodeId>& extra_nodes = {});
+
+// Asserts (gtest EXPECT) that `scc_path` matches the oracle of `g`.
+void ExpectSccFileMatchesOracle(io::IoContext* context,
+                                const graph::DiskGraph& g,
+                                const std::string& scc_path,
+                                const char* label);
+
+}  // namespace extscc::testing
+
+#endif  // EXTSCC_TESTS_TEST_UTIL_H_

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/node_order.h"
+#include "core/vertex_cover.h"
+#include "gen/classic_graphs.h"
+#include "graph/edge_file.h"
+#include "graph/disk_graph.h"
+#include "io/record_stream.h"
+#include "test_util.h"
+#include "util/logging.h"
+
+namespace extscc {
+namespace {
+
+using core::BoundedNodeCache;
+using core::CoverOptions;
+using core::NodeGreater;
+using core::NodeKey;
+using core::OrderVariant;
+using graph::Edge;
+using graph::NodeId;
+using testing::MakeTestContext;
+
+// ---------------- Node order ---------------------------------------------
+
+TEST(NodeOrderTest, Definition51DegreeThenId) {
+  const NodeKey low_deg{1, 1, 1};   // deg 2
+  const NodeKey high_deg{2, 2, 2};  // deg 4
+  EXPECT_TRUE(NodeGreater(high_deg, low_deg, OrderVariant::kDegreeId));
+  EXPECT_FALSE(NodeGreater(low_deg, high_deg, OrderVariant::kDegreeId));
+  const NodeKey tie_a{5, 1, 1};
+  const NodeKey tie_b{9, 2, 0};  // same deg 2, larger id
+  EXPECT_TRUE(NodeGreater(tie_b, tie_a, OrderVariant::kDegreeId));
+}
+
+TEST(NodeOrderTest, Definition71FanoutBreaksDegreeTies) {
+  const NodeKey balanced{1, 2, 2};   // deg 4, fanout 4
+  const NodeKey skewed{9, 4, 0};     // deg 4, fanout 0, larger id
+  // Def 5.1: id decides -> skewed greater.
+  EXPECT_TRUE(NodeGreater(skewed, balanced, OrderVariant::kDegreeId));
+  // Def 7.1: fanout decides -> balanced greater (kept in the cover, so
+  // its expensive removal is avoided).
+  EXPECT_TRUE(NodeGreater(balanced, skewed, OrderVariant::kDegreeFanoutId));
+  EXPECT_FALSE(NodeGreater(skewed, balanced, OrderVariant::kDegreeFanoutId));
+}
+
+TEST(NodeOrderTest, TotalOrderIsAntisymmetric) {
+  const NodeKey a{3, 1, 2};
+  const NodeKey b{4, 2, 1};
+  for (const auto variant :
+       {OrderVariant::kDegreeId, OrderVariant::kDegreeFanoutId}) {
+    EXPECT_NE(NodeGreater(a, b, variant), NodeGreater(b, a, variant));
+    EXPECT_FALSE(NodeGreater(a, a, variant));
+  }
+}
+
+TEST(BoundedNodeCacheTest, InsertAndContains) {
+  BoundedNodeCache cache(4, OrderVariant::kDegreeId);
+  cache.Insert(NodeKey{1, 1, 1});
+  cache.Insert(NodeKey{2, 1, 1});
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_FALSE(cache.Contains(3));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(BoundedNodeCacheTest, KeepsSmallestUnderPressure) {
+  BoundedNodeCache cache(2, OrderVariant::kDegreeId);
+  cache.Insert(NodeKey{10, 5, 5});  // deg 10 (largest)
+  cache.Insert(NodeKey{20, 1, 1});  // deg 2
+  cache.Insert(NodeKey{30, 2, 2});  // deg 4 -> evicts node 10
+  EXPECT_FALSE(cache.Contains(10));
+  EXPECT_TRUE(cache.Contains(20));
+  EXPECT_TRUE(cache.Contains(30));
+  // A node larger than everything cached is simply not admitted.
+  cache.Insert(NodeKey{40, 9, 9});
+  EXPECT_FALSE(cache.Contains(40));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(BoundedNodeCacheTest, DuplicateInsertIsNoop) {
+  BoundedNodeCache cache(2, OrderVariant::kDegreeId);
+  cache.Insert(NodeKey{1, 1, 1});
+  cache.Insert(NodeKey{1, 1, 1});
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---------------- Get-V --------------------------------------------------
+
+struct CoverRun {
+  std::vector<NodeId> cover;
+  core::CoverResult result;
+};
+
+CoverRun RunCover(io::IoContext* ctx, const std::vector<Edge>& edges,
+                  const CoverOptions& options) {
+  const std::string raw = ctx->NewTempPath("raw");
+  io::WriteAllRecords(ctx, raw, edges);
+  const std::string ein = ctx->NewTempPath("ein");
+  const std::string eout = ctx->NewTempPath("eout");
+  graph::SortEdgesByDst(ctx, raw, ein);
+  graph::SortEdgesBySrc(ctx, raw, eout);
+  CoverRun run;
+  run.result = core::ComputeVertexCover(ctx, ein, eout, options);
+  run.cover = io::ReadAllRecords<NodeId>(ctx, run.result.cover_path);
+  return run;
+}
+
+bool IsVertexCover(const std::vector<Edge>& edges,
+                   const std::vector<NodeId>& cover) {
+  const std::unordered_set<NodeId> in_cover(cover.begin(), cover.end());
+  for (const Edge& e : edges) {
+    if (in_cover.count(e.src) == 0 && in_cover.count(e.dst) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(VertexCoverTest, CoversEveryEdgeBaseMode) {
+  auto ctx = MakeTestContext();
+  const auto edges = gen::Fig1Edges();
+  const auto run = RunCover(ctx.get(), edges, CoverOptions{});
+  EXPECT_TRUE(IsVertexCover(edges, run.cover));
+  // Contractible: strictly fewer cover nodes than graph nodes (13).
+  EXPECT_LT(run.cover.size(), 13u);
+  EXPECT_GT(run.cover.size(), 0u);
+}
+
+TEST(VertexCoverTest, SingleEdgePicksLargerEndpoint) {
+  auto ctx = MakeTestContext();
+  // deg equal (1 each) -> id decides: 7 > 3.
+  const auto run = RunCover(ctx.get(), {{3, 7}}, CoverOptions{});
+  EXPECT_EQ(run.cover, (std::vector<NodeId>{7}));
+}
+
+TEST(VertexCoverTest, StarKeepsCenter) {
+  auto ctx = MakeTestContext();
+  // Center 0 with 5 out-spokes: center has deg 5, leaves deg 1.
+  std::vector<Edge> star;
+  for (NodeId leaf = 1; leaf <= 5; ++leaf) star.push_back({0, leaf});
+  const auto run = RunCover(ctx.get(), star, CoverOptions{});
+  EXPECT_EQ(run.cover, (std::vector<NodeId>{0}));
+}
+
+TEST(VertexCoverTest, SelfLoopNodeAlwaysInCover) {
+  auto ctx = MakeTestContext();
+  const auto run = RunCover(ctx.get(), {{4, 4}, {1, 2}}, CoverOptions{});
+  EXPECT_NE(std::find(run.cover.begin(), run.cover.end(), 4u),
+            run.cover.end());
+}
+
+TEST(VertexCoverTest, EmptyEdgeSetYieldsEmptyCover) {
+  auto ctx = MakeTestContext();
+  const auto run = RunCover(ctx.get(), {}, CoverOptions{});
+  EXPECT_TRUE(run.cover.empty());
+}
+
+TEST(VertexCoverTest, Type1DropsSourcesAndSinks) {
+  auto ctx = MakeTestContext();
+  // Pure DAG path: every node is (eventually) source/sink but degrees are
+  // computed once — only the interior nodes have in>0 and out>0.
+  CoverOptions op;
+  op.type1_reduction = true;
+  const auto run = RunCover(ctx.get(), gen::PathEdges(6), op);
+  // Nodes 0 and 5 are source/sink; all edges incident to interior
+  // nodes remain and must still be covered by interior nodes only.
+  for (const NodeId v : run.cover) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 4u);
+  }
+}
+
+TEST(VertexCoverTest, Type1KeepsCycleNodesEligible) {
+  auto ctx = MakeTestContext();
+  CoverOptions op;
+  op.type1_reduction = true;
+  const auto edges = gen::CycleEdges(8);
+  const auto run = RunCover(ctx.get(), edges, op);
+  EXPECT_TRUE(IsVertexCover(edges, run.cover));
+  EXPECT_LT(run.cover.size(), 8u);
+}
+
+TEST(VertexCoverTest, Type2ShrinksCover) {
+  auto ctx = MakeTestContext();
+  const auto edges = gen::RandomDigraphEdges(500, 2000, 17);
+  const auto base = RunCover(ctx.get(), edges, CoverOptions{});
+  CoverOptions op;
+  op.type2_reduction = true;
+  const auto reduced = RunCover(ctx.get(), edges, op);
+  EXPECT_TRUE(IsVertexCover(edges, reduced.cover))
+      << "Type-2 reduction must preserve covering";
+  EXPECT_LE(reduced.cover.size(), base.cover.size());
+  EXPECT_GT(reduced.result.type2_skips, 0u);
+}
+
+TEST(VertexCoverTest, CoverIsSortedUnique) {
+  auto ctx = MakeTestContext();
+  const auto run =
+      RunCover(ctx.get(), gen::RandomDigraphEdges(300, 900, 5), CoverOptions{});
+  for (std::size_t i = 1; i < run.cover.size(); ++i) {
+    EXPECT_LT(run.cover[i - 1], run.cover[i]);
+  }
+  EXPECT_EQ(run.result.cover_count, run.cover.size());
+}
+
+// Property sweep: base and Op covers across random graphs.
+class CoverSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(CoverSweep, CoverPropertyAndShrinkage) {
+  const auto [nodes, edges_count, seed] = GetParam();
+  auto ctx = MakeTestContext();
+  const auto edges = gen::RandomDigraphEdges(nodes, edges_count, seed,
+                                             /*allow_degenerate=*/true);
+  // Base mode: full vertex-cover property.
+  const auto base = RunCover(ctx.get(), edges, CoverOptions{});
+  EXPECT_TRUE(IsVertexCover(edges, base.cover));
+  const auto g = graph::MakeDiskGraph(ctx.get(), edges);
+  EXPECT_LT(base.cover.size(), g.num_nodes) << "contractible (Lemma 5.2)";
+
+  // Op mode (same order so the cover is a subset of the base cover):
+  // only edges not incident to a Type-1 node need covering.
+  CoverOptions op;
+  op.type1_reduction = true;
+  op.type2_reduction = true;
+  const auto opt = RunCover(ctx.get(), edges, op);
+  EXPECT_LE(opt.cover.size(), base.cover.size());
+  EXPECT_LT(opt.cover.size(), g.num_nodes);
+
+  // Refined order (Def. 7.1) still yields a valid cover.
+  CoverOptions refined;
+  refined.order = OrderVariant::kDegreeFanoutId;
+  const auto ref = RunCover(ctx.get(), edges, refined);
+  EXPECT_TRUE(IsVertexCover(edges, ref.cover));
+  EXPECT_LT(ref.cover.size(), g.num_nodes);
+
+  // Theorem 5.3: every removed node (outside the base cover) has degree
+  // at most sqrt(2 |E|) — the bound behind the E_add analysis.
+  {
+    std::map<NodeId, std::uint32_t> deg;
+    for (const Edge& e : edges) {
+      ++deg[e.src];
+      ++deg[e.dst];
+    }
+    const std::unordered_set<NodeId> in_cover(base.cover.begin(),
+                                              base.cover.end());
+    const double bound = std::sqrt(2.0 * static_cast<double>(edges.size()));
+    for (const auto& [node, d] : deg) {
+      if (in_cover.count(node) == 0) {
+        EXPECT_LE(static_cast<double>(d), bound)
+            << "Theorem 5.3 violated for removed node " << node;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, CoverSweep,
+    ::testing::Combine(::testing::Values(50, 200, 500),
+                       ::testing::Values(100, 600, 2000),
+                       ::testing::Values(11, 12)));
+
+// ---- approximation quality (paper's [7]: ratio sqrt(D)/2 + 3/2) ----------
+
+// Brute-force minimum vertex cover by subset enumeration (n <= 16).
+std::size_t BruteForceMinCover(const std::vector<Edge>& edges,
+                               const std::vector<NodeId>& nodes) {
+  const std::size_t n = nodes.size();
+  CHECK_LE(n, 16u);
+  std::size_t best = n;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const auto size = static_cast<std::size_t>(__builtin_popcount(mask));
+    if (size >= best) continue;
+    bool covers = true;
+    for (const Edge& e : edges) {
+      const auto si = static_cast<std::size_t>(
+          std::lower_bound(nodes.begin(), nodes.end(), e.src) -
+          nodes.begin());
+      const auto di = static_cast<std::size_t>(
+          std::lower_bound(nodes.begin(), nodes.end(), e.dst) -
+          nodes.begin());
+      if ((mask & (1u << si)) == 0 && (mask & (1u << di)) == 0) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) best = size;
+  }
+  return best;
+}
+
+class CoverApproximationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverApproximationSweep, WithinPaperRatioOfOptimal) {
+  const int seed = GetParam();
+  const auto edges =
+      gen::RandomDigraphEdges(12, 24, seed, /*allow_degenerate=*/true);
+  std::vector<NodeId> nodes;
+  std::uint32_t max_deg = 0;
+  {
+    std::map<NodeId, std::uint32_t> deg;
+    for (const Edge& e : edges) {
+      ++deg[e.src];
+      ++deg[e.dst];
+    }
+    for (const auto& [node, d] : deg) {
+      nodes.push_back(node);
+      max_deg = std::max(max_deg, d);
+    }
+  }
+  if (nodes.empty()) return;
+  const std::size_t optimal = BruteForceMinCover(edges, nodes);
+
+  auto ctx = MakeTestContext();
+  for (const auto order :
+       {core::OrderVariant::kDegreeId, core::OrderVariant::kDegreeFanoutId}) {
+    CoverOptions options;
+    options.order = order;
+    const auto run = RunCover(ctx.get(), edges, options);
+    EXPECT_TRUE(IsVertexCover(edges, run.cover));
+    // The algorithm of [7] guarantees ratio sqrt(D)/2 + 3/2 where D is
+    // the max degree. (Optimal 0 only for empty edge sets.)
+    if (optimal > 0) {
+      const double ratio = static_cast<double>(run.cover.size()) /
+                           static_cast<double>(optimal);
+      EXPECT_LE(ratio, std::sqrt(static_cast<double>(max_deg)) / 2.0 + 1.5)
+          << "seed " << seed << " cover " << run.cover.size() << " opt "
+          << optimal;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverApproximationSweep,
+                         ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace extscc
