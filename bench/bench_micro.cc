@@ -5,7 +5,10 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "app/bisimulation.h"
 #include "app/reachability_index.h"
@@ -59,6 +62,209 @@ void BM_ExternalSortEdges(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * count);
 }
 BENCHMARK(BM_ExternalSortEdges)->Arg(10'000)->Arg(100'000)->Arg(500'000);
+
+// ---- sort/scan engine microbenches ---------------------------------------
+// These quantify the PR-1 overhaul: tournament loser tree vs the linear
+// O(k) scan it replaced, batched vs per-record streaming, and prefetch.
+
+// Faithful replica of the seed's merge stack, kept here as the measured
+// baseline: a one-record lookahead reader (the pre-batching
+// PeekableReader, which walked the reader's per-record copy path on
+// every Pop) under an O(k) linear scan of Peek()s per output record
+// (the class the seed shipped under the name "LoserTree").
+template <typename T>
+class SeedPeekableReader {
+ public:
+  SeedPeekableReader(io::IoContext* context, const std::string& path)
+      : reader_(context, path) {
+    has_value_ = reader_.Next(&value_);
+  }
+
+  bool has_value() const { return has_value_; }
+  const T& Peek() const { return value_; }
+  T Pop() {
+    T out = value_;
+    has_value_ = reader_.Next(&value_);
+    return out;
+  }
+
+ private:
+  io::RecordReader<T> reader_;
+  T value_{};
+  bool has_value_ = false;
+};
+
+template <typename T, typename Less>
+class SeedLinearScanMerge {
+ public:
+  SeedLinearScanMerge(
+      std::vector<std::unique_ptr<SeedPeekableReader<T>>> inputs, Less less)
+      : inputs_(std::move(inputs)), less_(less) {}
+
+  bool Next(T* out) {
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(inputs_.size()); ++i) {
+      if (!inputs_[i]->has_value()) continue;
+      if (best < 0 || less_(inputs_[i]->Peek(), inputs_[best]->Peek())) {
+        best = i;
+      }
+    }
+    if (best < 0) return false;
+    *out = inputs_[best]->Pop();
+    return true;
+  }
+
+ private:
+  std::vector<std::unique_ptr<SeedPeekableReader<T>>> inputs_;
+  Less less_;
+};
+
+struct U64Less {
+  bool operator()(std::uint64_t a, std::uint64_t b) const { return a < b; }
+};
+
+// Writes `runs` sorted runs of `run_len` Edge records each (the
+// system's dominant record type); returns paths.
+std::vector<std::string> MakeSortedRuns(io::IoContext* ctx, int runs,
+                                        std::uint64_t run_len,
+                                        std::uint64_t seed) {
+  std::vector<std::string> paths;
+  util::Rng rng(seed);
+  for (int r = 0; r < runs; ++r) {
+    std::vector<graph::Edge> values(run_len);
+    for (auto& e : values) {
+      e.src = static_cast<graph::NodeId>(rng.Uniform(1u << 20));
+      e.dst = static_cast<graph::NodeId>(rng.Uniform(1u << 20));
+    }
+    std::stable_sort(values.begin(), values.end(), graph::EdgeBySrc());
+    const std::string path = ctx->NewTempPath("run");
+    io::WriteAllRecords(ctx, path, values);
+    paths.push_back(path);
+  }
+  return paths;
+}
+
+// k-way merge throughput: the seed engine (linear scan + one-record
+// streaming + per-record output) vs the overhauled engine (tournament
+// loser tree + batched readers + block-batched output), exactly as each
+// SortFile merge pass ran before and after the overhaul.
+// arg0: fan-in, arg1: 0 = seed engine, 1 = loser-tree engine.
+void BM_MergeKWay(benchmark::State& state) {
+  const int fan_in = static_cast<int>(state.range(0));
+  const bool loser_tree = state.range(1) != 0;
+  constexpr std::uint64_t kRunLen = 64 * 1024;
+  auto ctx = MakeCtx(8 << 20, 64 * 1024);
+  const auto runs = MakeSortedRuns(ctx.get(), fan_in, kRunLen, 11);
+  std::uint64_t merged = 0;
+  for (auto _ : state) {
+    const std::string out = ctx->NewTempPath("merged");
+    io::RecordWriter<graph::Edge> writer(ctx.get(), out);
+    if (loser_tree) {
+      std::vector<std::unique_ptr<io::PeekableReader<graph::Edge>>> inputs;
+      for (const auto& path : runs) {
+        inputs.push_back(std::make_unique<io::PeekableReader<graph::Edge>>(
+            ctx.get(), path));
+      }
+      extsort::internal::LoserTree<graph::Edge, graph::EdgeBySrc> merge(
+          std::move(inputs), graph::EdgeBySrc());
+      extsort::internal::DrainMerge(&merge, &writer, graph::EdgeBySrc(),
+                                    /*dedup=*/false);
+    } else {
+      std::vector<std::unique_ptr<SeedPeekableReader<graph::Edge>>> inputs;
+      for (const auto& path : runs) {
+        inputs.push_back(
+            std::make_unique<SeedPeekableReader<graph::Edge>>(ctx.get(),
+                                                              path));
+      }
+      SeedLinearScanMerge<graph::Edge, graph::EdgeBySrc> merge(
+          std::move(inputs), graph::EdgeBySrc());
+      graph::Edge e;
+      while (merge.Next(&e)) writer.Append(e);
+    }
+    merged = writer.count();
+    writer.Finish();
+    ctx->temp_files().Remove(out);
+  }
+  state.SetItemsProcessed(state.iterations() * merged);
+  state.SetBytesProcessed(state.iterations() * merged * sizeof(graph::Edge));
+}
+BENCHMARK(BM_MergeKWay)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1});
+
+// End-to-end external sort throughput with merge-pass count reported
+// (arg0: record count, arg1: memory budget KB — smaller budget, more runs).
+void BM_SortThroughput(benchmark::State& state) {
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  const auto memory_kb = static_cast<std::uint64_t>(state.range(1));
+  auto ctx = MakeCtx(memory_kb << 10);
+  const std::string in = ctx->NewTempPath("in");
+  {
+    util::Rng rng(5);
+    io::RecordWriter<std::uint64_t> writer(ctx.get(), in);
+    for (std::uint64_t i = 0; i < count; ++i) writer.Append(rng.Next());
+  }
+  std::uint64_t passes = 0;
+  std::uint64_t num_runs = 0;
+  for (auto _ : state) {
+    const std::string out = ctx->NewTempPath("out");
+    const auto info = extsort::SortFile<std::uint64_t, U64Less>(
+        ctx.get(), in, out, U64Less());
+    passes = info.merge_passes;
+    num_runs = info.num_runs;
+    ctx->temp_files().Remove(out);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+  state.SetBytesProcessed(state.iterations() * count * sizeof(std::uint64_t));
+  state.counters["runs"] = static_cast<double>(num_runs);
+  state.counters["merge_passes"] = static_cast<double>(passes);
+}
+BENCHMARK(BM_SortThroughput)
+    ->Args({1'000'000, 64})
+    ->Args({1'000'000, 1024})
+    ->Args({4'000'000, 1024});
+
+// Sequential scan throughput: per-record Next vs batched NextBatch vs
+// batched with background prefetch (arg: 0/1/2).
+void BM_ScanThroughput(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  io::IoContextOptions options;
+  options.block_size = 64 * 1024;
+  options.memory_bytes = 4 << 20;
+  options.prefetch = mode == 2;
+  auto ctx = std::make_unique<io::IoContext>(options);
+  constexpr std::uint64_t kCount = 8 * 1024 * 1024;  // 64 MB of u64
+  const std::string path = ctx->NewTempPath("scan");
+  {
+    util::Rng rng(7);
+    io::RecordWriter<std::uint64_t> writer(ctx.get(), path);
+    for (std::uint64_t i = 0; i < kCount; ++i) writer.Append(rng.Next());
+  }
+  for (auto _ : state) {
+    io::RecordReader<std::uint64_t> reader(ctx.get(), path);
+    std::uint64_t checksum = 0;
+    if (mode == 0) {
+      std::uint64_t v;
+      while (reader.Next(&v)) checksum ^= v;
+    } else {
+      std::vector<std::uint64_t> chunk(
+          io::RecordsPerBlock<std::uint64_t>(ctx.get()));
+      std::size_t got;
+      while ((got = reader.NextBatch(chunk.data(), chunk.size())) > 0) {
+        for (std::size_t i = 0; i < got; ++i) checksum ^= chunk[i];
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+  state.SetBytesProcessed(state.iterations() * kCount *
+                          sizeof(std::uint64_t));
+}
+BENCHMARK(BM_ScanThroughput)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_BrtInsertExtract(benchmark::State& state) {
   const auto keys = static_cast<std::uint32_t>(state.range(0));

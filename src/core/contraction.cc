@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/membership_split.h"
 #include "extsort/external_sorter.h"
 #include "graph/graph_types.h"
 #include "io/record_stream.h"
@@ -15,28 +16,6 @@ using graph::Edge;
 using graph::EdgeByDst;
 using graph::EdgeBySrc;
 using graph::NodeId;
-
-// Streams `edges` (sorted so that key_of(edge) is non-decreasing) against
-// the sorted cover; routes each edge to on_member / on_removed depending
-// on whether its key endpoint is a cover member.
-template <typename KeyOf, typename OnMember, typename OnRemoved>
-void SplitByMembership(io::IoContext* context, const std::string& edge_path,
-                       const std::string& cover_path, KeyOf key_of,
-                       OnMember on_member, OnRemoved on_removed) {
-  io::PeekableReader<Edge> edges(context, edge_path);
-  io::PeekableReader<NodeId> cover(context, cover_path);
-  while (edges.has_value()) {
-    const NodeId key = key_of(edges.Peek());
-    while (cover.has_value() && cover.Peek() < key) cover.Pop();
-    const bool member = cover.has_value() && cover.Peek() == key;
-    const Edge e = edges.Pop();
-    if (member) {
-      on_member(e);
-    } else {
-      on_removed(e);
-    }
-  }
-}
 
 }  // namespace
 
@@ -121,11 +100,7 @@ ContractionResult ContractEdges(io::IoContext* context,
   {
     io::RecordWriter<Edge> out(context, result.edge_path);
     // E_pre first (line 12's union is a concatenation).
-    {
-      io::RecordReader<Edge> epre(context, epre_path);
-      Edge e;
-      while (epre.Next(&e)) out.Append(e);
-    }
+    io::AppendAllRecords<Edge>(context, epre_path, &out);
 
     io::PeekableReader<Edge> del_in(context, edel_in_path);
     io::PeekableReader<Edge> del_out(context, edel_out_path);

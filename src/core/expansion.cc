@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/membership_split.h"
 #include "extsort/external_sorter.h"
 #include "graph/scc_file.h"
 #include "io/record_stream.h"
@@ -32,17 +33,13 @@ std::string AugmentDirection(io::IoContext* context,
   // 1. Keep only edges whose removed-side endpoint is NOT in the cover.
   const std::string removed_side_path = context->NewTempPath("exp_removed");
   {
-    io::PeekableReader<Edge> edges(context, edge_path);
-    io::PeekableReader<NodeId> cover(context, cover_path);
     io::RecordWriter<Edge> writer(context, removed_side_path);
-    while (edges.has_value()) {
-      const NodeId key = removed_is_head ? edges.Peek().dst
-                                         : edges.Peek().src;
-      while (cover.has_value() && cover.Peek() < key) cover.Pop();
-      const bool member = cover.has_value() && cover.Peek() == key;
-      const Edge e = edges.Pop();
-      if (!member) writer.Append(e);
-    }
+    SplitByMembership(
+        context, edge_path, cover_path,
+        [removed_is_head](const Edge& e) {
+          return removed_is_head ? e.dst : e.src;
+        },
+        [](const Edge&) {}, [&](const Edge& e) { writer.Append(e); });
     writer.Finish();
   }
 

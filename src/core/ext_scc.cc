@@ -1,6 +1,7 @@
 #include "core/ext_scc.h"
 
 #include <memory>
+#include <vector>
 
 #include "core/contraction.h"
 #include "core/expansion.h"
@@ -75,9 +76,16 @@ util::Result<ExtSccStats> RunExtScc(io::IoContext* context,
       filtered = context->NewTempPath("noself");
       io::RecordReader<graph::Edge> reader(context, current.edge_path);
       io::RecordWriter<graph::Edge> writer(context, filtered);
-      graph::Edge e;
-      while (reader.Next(&e)) {
-        if (e.src != e.dst) writer.Append(e);
+      // Batched filter: compact survivors in place, append block-wise.
+      const std::size_t batch = io::RecordsPerBlock<graph::Edge>(context);
+      std::vector<graph::Edge> chunk(batch);
+      std::size_t got;
+      while ((got = reader.NextBatch(chunk.data(), batch)) > 0) {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < got; ++i) {
+          if (chunk[i].src != chunk[i].dst) chunk[kept++] = chunk[i];
+        }
+        writer.AppendBatch(chunk.data(), kept);
       }
       writer.Finish();
       edge_source = filtered;
@@ -161,13 +169,7 @@ util::Result<ExtSccStats> RunExtScc(io::IoContext* context,
   stats.expansion_seconds = phase_timer.ElapsedSeconds();
 
   // ---- Emit SCC_1 (line 10) -------------------------------------------
-  {
-    io::RecordReader<graph::SccEntry> reader(context, scc_path);
-    io::RecordWriter<graph::SccEntry> writer(context, scc_output);
-    graph::SccEntry entry;
-    while (reader.Next(&entry)) writer.Append(entry);
-    writer.Finish();
-  }
+  io::CopyAllRecords<graph::SccEntry>(context, scc_path, scc_output);
   context->temp_files().Remove(scc_path);
 
   stats.num_sccs = next_scc_id;

@@ -1,0 +1,45 @@
+// Batched membership semijoin shared by the contraction (Get-E) and
+// expansion (augment) phases: streams an edge file — sorted so that
+// key_of(edge) is non-decreasing — against a sorted cover node list and
+// routes each edge to on_member / on_removed depending on whether its
+// key endpoint is a cover member. The edge side moves in block-sized
+// batches (one memcpy per block instead of one per edge) while the
+// (much smaller) cover side stays a one-record lookahead.
+#ifndef EXTSCC_CORE_MEMBERSHIP_SPLIT_H_
+#define EXTSCC_CORE_MEMBERSHIP_SPLIT_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "io/record_stream.h"
+
+namespace extscc::core {
+
+template <typename KeyOf, typename OnMember, typename OnRemoved>
+void SplitByMembership(io::IoContext* context, const std::string& edge_path,
+                       const std::string& cover_path, KeyOf key_of,
+                       OnMember on_member, OnRemoved on_removed) {
+  io::RecordReader<graph::Edge> edges(context, edge_path);
+  io::PeekableReader<graph::NodeId> cover(context, cover_path);
+  const std::size_t batch = io::RecordsPerBlock<graph::Edge>(context);
+  std::vector<graph::Edge> chunk(batch);
+  std::size_t got;
+  while ((got = edges.NextBatch(chunk.data(), batch)) > 0) {
+    for (std::size_t i = 0; i < got; ++i) {
+      const graph::Edge& e = chunk[i];
+      const graph::NodeId key = key_of(e);
+      while (cover.has_value() && cover.Peek() < key) cover.Pop();
+      if (cover.has_value() && cover.Peek() == key) {
+        on_member(e);
+      } else {
+        on_removed(e);
+      }
+    }
+  }
+}
+
+}  // namespace extscc::core
+
+#endif  // EXTSCC_CORE_MEMBERSHIP_SPLIT_H_

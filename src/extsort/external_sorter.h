@@ -1,21 +1,37 @@
 // External merge sort in the Aggarwal-Vitter model.
 //
 // Run formation fills an in-memory buffer of at most
-// memory.MaxRecordsInMemory(sizeof(T)) records, sorts it and spills a run;
-// merging uses a loser tree whose fan-in is memory.MergeFanIn(B)
-// (one block buffer per run + one output buffer), with as many merge
-// passes as the fan-in requires. Total cost is the model's
-// sort(n) = Θ(n/B · log_{M/B}(n/B)) — the paper's Algorithms 3–5 are
-// built exclusively from these sorts plus sequential scans.
+// memory.MaxRecordsInMemory(sizeof(T)) records with batched block reads,
+// sorts it and spills a run; merging uses a tournament loser tree whose
+// fan-in is memory.MergeFanIn(B) (one block buffer per run + one output
+// buffer), with as many merge passes as the fan-in requires. Total cost
+// is the model's sort(n) = Θ(n/B · log_{M/B}(n/B)) — the paper's
+// Algorithms 3–5 are built exclusively from these sorts plus sequential
+// scans.
 //
-// Sorting is stable ties are broken by run order, which the callers never
-// rely on; comparators used by the paper's algorithms are total orders.
+// Run formation is stable, but the merge breaks key ties in arbitrary
+// run order: the callers never rely on stability, and the comparators
+// used by the paper's algorithms are total orders on the whole record
+// (equal keys mean identical records), so tie order is unobservable.
+// Keeping the tie-break out of the merge shortens the loser tree's
+// per-record dependency chain by a comparator evaluation.
+//
+// When dedup is requested it is applied at every stage — inside each
+// in-memory run, during every merge pass, and on the final output — so
+// intermediate runs shrink instead of carrying duplicates through each
+// merge level (the lazy parallel-edge elimination of §VII benefits most:
+// contracted levels produce heavy duplication).
 #ifndef EXTSCC_EXTSORT_EXTERNAL_SORTER_H_
 #define EXTSCC_EXTSORT_EXTERNAL_SORTER_H_
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "io/io_context.h"
@@ -33,33 +49,192 @@ struct SortRunInfo {
 
 namespace internal {
 
-// Loser-tree k-way merge over peekable readers; pulls the minimum under
-// Less on each Pop. A plain tournament over indices — O(log k) per record.
+// Tournament loser tree over k peekable readers. Implicit layout: the
+// positions 1..k-1 are internal nodes storing the *loser* of the match
+// played there, positions k..2k-1 are the leaves (player i at k+i), and
+// the overall winner is cached in winner_. Popping the winner replays
+// exactly one leaf-to-root path — O(log k) comparisons per record,
+// instead of the O(k) linear scan this structure replaces. An exhausted
+// run becomes a +infinity sentinel (dead flag) and sinks down the tree
+// on the next replay, which restructures the tournament without a full
+// rebuild.
+//
+// Two micro-architectural choices matter on the per-record path:
+//  - Each node carries its player's current *key* next to the index, so
+//    a match is one contiguous node load plus register arithmetic —
+//    never a dependent chase through index -> key array -> reader.
+//  - The replay swap is branch-free (byte-masked XOR): merge
+//    comparisons are data-dependent coin flips, and a conditional swap
+//    would eat a branch misprediction per tree level.
 template <typename T, typename Less>
 class LoserTree {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "LoserTree players are value-swapped");
+
  public:
   LoserTree(std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs,
             Less less)
-      : inputs_(std::move(inputs)), less_(less) {}
+      : inputs_(std::move(inputs)),
+        less_(less),
+        k_(static_cast<int>(inputs_.size())) {
+    if (k_ == 0) return;
+    // Parallel leaf-state arrays (key / run index / exhausted) rather
+    // than an array of structs: the replay loop then works on scalar
+    // locals the compiler keeps in registers.
+    std::vector<T> lkey(static_cast<std::size_t>(k_));
+    std::vector<std::int32_t> lidx(static_cast<std::size_t>(k_));
+    std::vector<std::uint8_t> ldead(static_cast<std::size_t>(k_));
+    for (int i = 0; i < k_; ++i) {
+      lidx[i] = i;
+      if (inputs_[i]->has_value()) {
+        lkey[i] = inputs_[i]->Peek();
+        ldead[i] = 0;
+      } else {
+        lkey[i] = T{};
+        ldead[i] = 1;
+      }
+    }
+    const std::size_t nodes = static_cast<std::size_t>(std::max(k_, 1));
+    node_key_.assign(nodes, T{});
+    node_idx_.assign(nodes, 0);
+    node_dead_.assign(nodes, 1);
+    const int w = k_ == 1 ? 0 : Build(1, lkey, lidx, ldead);
+    wkey_ = lkey[w];
+    widx_ = lidx[w];
+    wdead_ = ldead[w] != 0;
+  }
 
   // Returns false when all inputs are exhausted.
   bool Next(T* out) {
-    int best = -1;
-    for (int i = 0; i < static_cast<int>(inputs_.size()); ++i) {
-      if (!inputs_[i]->has_value()) continue;
-      if (best < 0 || less_(inputs_[i]->Peek(), inputs_[best]->Peek())) {
-        best = i;
-      }
+    if (wdead_) return false;
+    *out = wkey_;
+    // Advance the winning run and replay its leaf's path: the stored
+    // losers along it are exactly the players the new value has not yet
+    // been compared against. The loop body is branch-free — merge
+    // comparisons are data-dependent coin flips, so a conditional swap
+    // would eat a branch misprediction per tree level — and each node's
+    // key lives next to its index, so a match is independent loads plus
+    // register selects, never a chase through an index indirection.
+    // Both comparator directions are evaluated unconditionally
+    // (comparators here are cheap POD field compares; a dead player's
+    // stale key feeds a comparison masked out by the dead bits).
+    const int w = widx_;
+    if (!inputs_[w]->AdvanceInto(&wkey_)) wdead_ = true;
+    T ck = wkey_;
+    std::int32_t ci = widx_;
+    std::int32_t cd = wdead_ ? 1 : 0;
+    T* const nkey = node_key_.data();
+    std::int32_t* const nidx = node_idx_.data();
+    std::uint8_t* const ndead = node_dead_.data();
+    for (int pos = (w + k_) / 2; pos >= 1; pos /= 2) {
+      const T ok = nkey[pos];
+      const std::int32_t oi = nidx[pos];
+      const std::int32_t od = ndead[pos];
+      // `other` (the stored loser) beats the climbing player: smaller
+      // key (ties resolve to the climber — see the header comment on
+      // merge stability), or the climber is exhausted; dead players
+      // beat no one.
+      const bool ab = less_(ok, ck);
+      const bool beats = static_cast<bool>((od == 0) & ((cd != 0) | ab));
+      // XOR-mask swaps: the selects must stay arithmetic — the compiler
+      // re-materializes ternaries on a computed bool into the very
+      // mispredicting branch this loop exists to avoid.
+      const std::int32_t m32 = -static_cast<std::int32_t>(beats);
+      const std::int32_t di = (oi ^ ci) & m32;
+      const std::int32_t dd = (od ^ cd) & m32;
+      nidx[pos] = oi ^ di;
+      ndead[pos] = static_cast<std::uint8_t>(od ^ dd);
+      ci ^= di;
+      cd ^= dd;
+      const T nk = MaskSelect(beats, ok, ck);  // node keeps the loser
+      ck = MaskSelect(beats, ck, ok);          // climber takes the winner
+      nkey[pos] = nk;
     }
-    if (best < 0) return false;
-    *out = inputs_[best]->Pop();
+    wkey_ = ck;
+    widx_ = ci;
+    wdead_ = cd != 0;
     return true;
   }
 
  private:
+  // Integer type of T's exact size, when one exists — the key select is
+  // then a bit-cast XOR mask the compiler cannot turn back into a
+  // branch. Covers every hot record type (NodeId, Edge, SccEntry, u64).
+  static constexpr bool kHasWordForm =
+      sizeof(T) == 1 || sizeof(T) == 2 || sizeof(T) == 4 || sizeof(T) == 8;
+
+  // Returns `swap ? b : a`, branchlessly when T is word-sized.
+  static T MaskSelect(bool swap, const T& a, const T& b) {
+    if constexpr (kHasWordForm) {
+      using U = std::conditional_t<
+          sizeof(T) == 1, std::uint8_t,
+          std::conditional_t<sizeof(T) == 2, std::uint16_t,
+                             std::conditional_t<sizeof(T) == 4, std::uint32_t,
+                                                std::uint64_t>>>;
+      const U ua = std::bit_cast<U>(a);
+      const U ub = std::bit_cast<U>(b);
+      const U m = static_cast<U>(-static_cast<U>(swap));
+      return std::bit_cast<T>(static_cast<U>(ua ^ ((ua ^ ub) & m)));
+    } else {
+      return swap ? b : a;  // 12-byte+ records: rare, let it branch
+    }
+  }
+  // Plays the initial matches bottom-up over the leaf arrays; stores
+  // losers in the internal nodes, returns the winning leaf. Positions
+  // >= k_ are leaves, so the recursion never reads an unset node.
+  int Build(int pos, const std::vector<T>& lkey,
+            const std::vector<std::int32_t>& lidx,
+            const std::vector<std::uint8_t>& ldead) {
+    if (pos >= k_) return pos - k_;
+    const int a = Build(2 * pos, lkey, lidx, ldead);
+    const int b = Build(2 * pos + 1, lkey, lidx, ldead);
+    // b beats a: alive, and (a dead, or strictly smaller key).
+    const bool b_beats =
+        !ldead[b] && (ldead[a] || less_(lkey[b], lkey[a]));
+    const int winner = b_beats ? b : a;
+    const int loser = b_beats ? a : b;
+    node_key_[pos] = lkey[loser];
+    node_idx_[pos] = lidx[loser];
+    node_dead_[pos] = ldead[loser];
+    return winner;
+  }
+
   std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs_;
   Less less_;
+  int k_ = 0;
+  // Internal nodes 1..k-1 as parallel arrays (loser's key / run / dead).
+  std::vector<T> node_key_;
+  std::vector<std::int32_t> node_idx_;
+  std::vector<std::uint8_t> node_dead_;
+  // The cached tournament winner.
+  T wkey_{};
+  std::int32_t widx_ = 0;
+  bool wdead_ = true;
 };
+
+// Drains `tree` into `writer`, collapsing equal-under-Less neighbours
+// to one when `dedup` (inputs are individually deduped runs, so equal
+// records are adjacent in the merged order). Writes land directly in
+// the writer's block buffer — no staging block, so a merge's resident
+// memory stays at one block per input run plus the output block and
+// MergeFanIn can hand every spare block to fan-in.
+template <typename T, typename Less>
+void DrainMerge(LoserTree<T, Less>* tree, io::RecordWriter<T>* writer,
+                Less less, bool dedup) {
+  T record;
+  if (dedup) {
+    bool have_prev = false;
+    T prev{};
+    while (tree->Next(&record)) {
+      if (have_prev && !less(prev, record) && !less(record, prev)) continue;
+      prev = record;
+      have_prev = true;
+      writer->Append(record);
+    }
+  } else {
+    while (tree->Next(&record)) writer->Append(record);
+  }
+}
 
 }  // namespace internal
 
@@ -73,31 +248,36 @@ SortRunInfo SortFile(io::IoContext* context, const std::string& input_path,
                      bool dedup = false) {
   SortRunInfo info;
   // --- Run formation -------------------------------------------------
+  // Batched block reads fill the run buffer; each run is sorted and, when
+  // requested, deduped before it is spilled, so no duplicate ever leaves
+  // the first level.
   const std::uint64_t run_capacity =
       context->memory().MaxRecordsInMemory(sizeof(T));
   std::vector<std::string> runs;
   {
     io::RecordReader<T> reader(context, input_path);
-    std::vector<T> buffer;
-    buffer.reserve(static_cast<std::size_t>(
-        std::min<std::uint64_t>(run_capacity, reader.num_records() + 1)));
-    T record;
-    auto spill = [&]() {
-      if (buffer.empty()) return;
-      std::stable_sort(buffer.begin(), buffer.end(), less);
+    info.num_records = reader.num_records();
+    const std::size_t capacity = static_cast<std::size_t>(
+        std::min<std::uint64_t>(run_capacity, reader.num_records()));
+    std::vector<T> buffer(capacity);
+    std::size_t got;
+    while (capacity > 0 &&
+           (got = reader.NextBatch(buffer.data(), capacity)) > 0) {
+      std::stable_sort(buffer.begin(), buffer.begin() + got, less);
+      auto end = buffer.begin() + static_cast<std::ptrdiff_t>(got);
+      if (dedup) {
+        end = std::unique(buffer.begin(), end, [&less](const T& a,
+                                                       const T& b) {
+          return !less(a, b) && !less(b, a);
+        });
+      }
       const std::string run_path = context->NewTempPath("sortrun");
       io::RecordWriter<T> writer(context, run_path);
-      for (const T& r : buffer) writer.Append(r);
+      writer.AppendBatch(buffer.data(),
+                         static_cast<std::size_t>(end - buffer.begin()));
       writer.Finish();
       runs.push_back(run_path);
-      buffer.clear();
-    };
-    while (reader.Next(&record)) {
-      ++info.num_records;
-      buffer.push_back(record);
-      if (buffer.size() >= run_capacity) spill();
     }
-    spill();
   }
   info.num_runs = runs.size();
 
@@ -121,21 +301,7 @@ SortRunInfo SortFile(io::IoContext* context, const std::string& input_path,
           last_merge ? output_path : context->NewTempPath("mergerun");
       internal::LoserTree<T, Less> tree(std::move(inputs), less);
       io::RecordWriter<T> writer(context, out_path);
-      T record;
-      if (dedup && last_merge) {
-        bool have_prev = false;
-        T prev{};
-        while (tree.Next(&record)) {
-          if (have_prev && !less(prev, record) && !less(record, prev)) {
-            continue;
-          }
-          writer.Append(record);
-          prev = record;
-          have_prev = true;
-        }
-      } else {
-        while (tree.Next(&record)) writer.Append(record);
-      }
+      internal::DrainMerge(&tree, &writer, less, dedup);
       writer.Finish();
       next_runs.push_back(out_path);
       for (std::size_t i = group; i < end; ++i) {
@@ -148,24 +314,19 @@ SortRunInfo SortFile(io::IoContext* context, const std::string& input_path,
     }
   }
 
-  // 0 or 1 runs: copy (applying dedup) into output_path.
-  io::RecordWriter<T> writer(context, output_path);
-  if (!runs.empty()) {
-    io::RecordReader<T> reader(context, runs[0]);
-    T record;
-    bool have_prev = false;
-    T prev{};
-    while (reader.Next(&record)) {
-      if (dedup && have_prev && !less(prev, record) && !less(record, prev)) {
-        continue;
-      }
-      writer.Append(record);
-      prev = record;
-      have_prev = true;
-    }
+  if (runs.empty()) {
+    io::RecordWriter<T> writer(context, output_path);
+    writer.Finish();
+    return info;
+  }
+  // Exactly one run straight out of formation: it is already sorted (and
+  // already deduped when requested, since a run is one in-memory buffer),
+  // so rename it into place instead of paying a full read+write scan.
+  // Fall back to a streamed copy if the rename crosses filesystems.
+  if (!context->temp_files().Promote(runs[0], output_path)) {
+    io::CopyAllRecords<T>(context, runs[0], output_path);
     context->temp_files().Remove(runs[0]);
   }
-  writer.Finish();
   return info;
 }
 

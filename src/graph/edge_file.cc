@@ -1,5 +1,8 @@
 #include "graph/edge_file.h"
 
+#include <utility>
+#include <vector>
+
 #include "extsort/external_sorter.h"
 #include "io/record_stream.h"
 
@@ -25,9 +28,15 @@ void ReverseEdges(io::IoContext* context, const std::string& input,
                   const std::string& output) {
   io::RecordReader<Edge> reader(context, input);
   io::RecordWriter<Edge> writer(context, output);
-  Edge e;
-  while (reader.Next(&e)) {
-    writer.Append(Edge{e.dst, e.src});
+  // Batched: flip each block's worth in place, then append it whole.
+  const std::size_t batch = io::RecordsPerBlock<Edge>(context);
+  std::vector<Edge> chunk(batch);
+  std::size_t got;
+  while ((got = reader.NextBatch(chunk.data(), batch)) > 0) {
+    for (std::size_t i = 0; i < got; ++i) {
+      std::swap(chunk[i].src, chunk[i].dst);
+    }
+    writer.AppendBatch(chunk.data(), got);
   }
   writer.Finish();
 }
@@ -35,15 +44,8 @@ void ReverseEdges(io::IoContext* context, const std::string& input,
 void ConcatEdges(io::IoContext* context, const std::string& base,
                  const std::string& extra, const std::string& output) {
   io::RecordWriter<Edge> writer(context, output);
-  Edge e;
-  {
-    io::RecordReader<Edge> reader(context, base);
-    while (reader.Next(&e)) writer.Append(e);
-  }
-  {
-    io::RecordReader<Edge> reader(context, extra);
-    while (reader.Next(&e)) writer.Append(e);
-  }
+  io::AppendAllRecords<Edge>(context, base, &writer);
+  io::AppendAllRecords<Edge>(context, extra, &writer);
   writer.Finish();
 }
 

@@ -5,12 +5,120 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "io/io_context.h"
 #include "util/logging.h"
 
 namespace extscc::io {
+
+// Background reader for sequential scans. One thread per prefetching
+// file keeps up to `depth` blocks decoded ahead of the consumer in a
+// ring of slots; the consumer takes the head slot in TakeBlock. Raw
+// preads happen on the prefetch thread, but no IoStats are touched here —
+// the consumer records the model I/O when it consumes the block, keeping
+// the Aggarwal-Vitter counters identical to the unprefetched execution.
+class BlockFile::Prefetcher {
+ public:
+  Prefetcher(BlockFile* file, std::uint64_t start_block, std::size_t depth)
+      : file_(file),
+        depth_(std::max<std::size_t>(1, depth)),
+        next_block_(start_block),
+        consume_block_(start_block) {
+    file_->context_->memory().Reserve(depth_ * file_->block_size_);
+    slots_.resize(depth_);
+    for (Slot& slot : slots_) slot.data.resize(file_->block_size_);
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~Prefetcher() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    file_->context_->memory().Release(depth_ * file_->block_size_);
+  }
+
+  // If `block_index` is the next block of the prefetched sequence, blocks
+  // until its slot is filled, copies it into `buf` and returns true with
+  // the payload size in *bytes. Returns false when the request is off the
+  // sequence (caller seeked) — the caller then preads directly.
+  bool TakeBlock(std::uint64_t block_index, void* buf, std::size_t* bytes) {
+    std::unique_lock<std::mutex> lock(mu_);
+    // The sequence the thread produces is fixed; anything not equal to
+    // the oldest unconsumed block is a seek.
+    if (block_index != consume_block_) return false;
+    cv_.wait(lock, [this] { return filled_ > 0 || done_; });
+    if (filled_ == 0) {
+      // Producer hit EOF before this block: past-EOF read.
+      *bytes = 0;
+      ++consume_block_;
+      return true;
+    }
+    Slot& slot = slots_[head_];
+    DCHECK_EQ(slot.block, block_index);
+    std::memcpy(buf, slot.data.data(), slot.bytes);
+    *bytes = slot.bytes;
+    head_ = (head_ + 1) % depth_;
+    --filled_;
+    ++consume_block_;
+    lock.unlock();
+    cv_.notify_all();
+    return true;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t block = 0;
+    std::size_t bytes = 0;
+    std::vector<char> data;
+  };
+
+  void Run() {
+    const std::uint64_t end_block = file_->num_blocks();
+    while (true) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || filled_ < depth_; });
+      if (stop_) return;
+      if (next_block_ >= end_block) {
+        done_ = true;
+        lock.unlock();
+        cv_.notify_all();
+        return;
+      }
+      const std::uint64_t block = next_block_++;
+      Slot& slot = slots_[(head_ + filled_) % depth_];
+      lock.unlock();
+      // Read outside the lock: this is the latency being hidden.
+      slot.block = block;
+      slot.bytes = file_->PreadBlock(block, slot.data.data());
+      lock.lock();
+      ++filled_;
+      lock.unlock();
+      cv_.notify_all();
+    }
+  }
+
+  BlockFile* file_;
+  const std::size_t depth_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  std::vector<Slot> slots_;
+  std::size_t head_ = 0;        // oldest filled slot
+  std::size_t filled_ = 0;      // filled slot count
+  std::uint64_t next_block_ = 0;     // next block the producer reads
+  std::uint64_t consume_block_ = 0;  // next block the consumer may take
+  bool stop_ = false;
+  bool done_ = false;  // producer reached EOF
+};
 
 BlockFile::BlockFile(IoContext* context, const std::string& path,
                      OpenMode mode)
@@ -38,6 +146,7 @@ BlockFile::BlockFile(IoContext* context, const std::string& path,
 }
 
 BlockFile::~BlockFile() {
+  prefetcher_.reset();
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -45,7 +154,22 @@ std::uint64_t BlockFile::num_blocks() const {
   return (size_bytes_ + block_size_ - 1) / block_size_;
 }
 
-std::size_t BlockFile::ReadBlock(std::uint64_t block_index, void* buf) {
+void BlockFile::StartSequentialPrefetch(std::uint64_t start_block) {
+  if (prefetcher_ != nullptr) return;
+  if (!context_->prefetch_enabled()) return;
+  const std::size_t depth =
+      std::max<std::size_t>(1, context_->prefetch_depth());
+  // Degrade gracefully to the unprefetched path when the budget cannot
+  // cover the ring — Reserve() treats oversubscription as a logic error.
+  if (context_->memory().available_bytes() <
+      static_cast<std::uint64_t>(depth) * block_size_) {
+    return;
+  }
+  if (start_block >= num_blocks()) return;  // nothing to read ahead
+  prefetcher_ = std::make_unique<Prefetcher>(this, start_block, depth);
+}
+
+std::size_t BlockFile::PreadBlock(std::uint64_t block_index, void* buf) {
   const std::uint64_t offset = block_index * block_size_;
   if (offset >= size_bytes_) return 0;
   const std::size_t want = static_cast<std::size_t>(
@@ -58,6 +182,10 @@ std::size_t BlockFile::ReadBlock(std::uint64_t block_index, void* buf) {
                    << std::strerror(errno);
     done += static_cast<std::size_t>(n);
   }
+  return want;
+}
+
+void BlockFile::CountRead(std::uint64_t block_index, std::size_t bytes) {
   IoStats& stats = context_->stats();
   if (static_cast<std::int64_t>(block_index) == last_read_block_ + 1) {
     stats.sequential_reads += 1;
@@ -65,9 +193,26 @@ std::size_t BlockFile::ReadBlock(std::uint64_t block_index, void* buf) {
     stats.random_reads += 1;
   }
   last_read_block_ = static_cast<std::int64_t>(block_index);
-  stats.bytes_read += want;
+  stats.bytes_read += bytes;
   context_->OnIo();
-  return want;
+}
+
+std::size_t BlockFile::ReadBlock(std::uint64_t block_index, void* buf) {
+  if (prefetcher_ != nullptr) {
+    std::size_t bytes = 0;
+    if (prefetcher_->TakeBlock(block_index, buf, &bytes)) {
+      if (bytes == 0) return 0;  // past EOF: uncounted, like the direct path
+      CountRead(block_index, bytes);
+      return bytes;
+    }
+    // Off-sequence request: the stream is no longer sequential, so the
+    // read-ahead is useless — drop it and serve directly from here on.
+    prefetcher_.reset();
+  }
+  const std::size_t bytes = PreadBlock(block_index, buf);
+  if (bytes == 0) return 0;
+  CountRead(block_index, bytes);
+  return bytes;
 }
 
 void BlockFile::WriteBlock(std::uint64_t block_index, const void* data,

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace extscc::io {
@@ -38,6 +39,17 @@ class BlockFile {
   void WriteBlock(std::uint64_t block_index, const void* data,
                   std::size_t bytes);
 
+  // Starts a background thread that reads blocks `start_block`..EOF ahead
+  // of the consumer into a bounded ring of context()->prefetch_depth()
+  // buffers, overlapping disk latency with compute. kRead files only.
+  // I/O statistics are still recorded on the consumer thread as each
+  // block is consumed by ReadBlock, so the model accounting is identical
+  // with and without prefetch. A no-op when the IoContext has prefetch
+  // disabled or the MemoryBudget cannot cover the buffers; ReadBlock
+  // falls back to a direct pread whenever a request leaves the prefetched
+  // sequence (sequential readers never do).
+  void StartSequentialPrefetch(std::uint64_t start_block = 0);
+
   // Logical file size in bytes / in blocks.
   std::uint64_t size_bytes() const { return size_bytes_; }
   std::uint64_t num_blocks() const;
@@ -47,6 +59,17 @@ class BlockFile {
   IoContext* context() const { return context_; }
 
  private:
+  class Prefetcher;
+
+  // Records the model accounting for a consumed read of `block_index`
+  // carrying `bytes` payload bytes (shared by the direct and prefetched
+  // paths; always runs on the consumer thread).
+  void CountRead(std::uint64_t block_index, std::size_t bytes);
+
+  // Uncounted raw read of one block; returns the payload size (0 past
+  // EOF). Thread-safe (pread) — the prefetch thread uses it directly.
+  std::size_t PreadBlock(std::uint64_t block_index, void* buf);
+
   IoContext* context_;
   std::string path_;
   int fd_ = -1;
@@ -55,6 +78,7 @@ class BlockFile {
   // Sequential/random classification state.
   std::int64_t last_read_block_ = -2;
   std::int64_t last_write_block_ = -2;
+  std::unique_ptr<Prefetcher> prefetcher_;
 };
 
 }  // namespace extscc::io

@@ -30,6 +30,20 @@ struct IoContextOptions {
   // ResourceExhausted, which benches print as the paper's INF.
   std::uint64_t io_budget = 0;
 
+  // Background prefetch for sequential streams. Off by default so the
+  // Aggarwal-Vitter accounting (io_model_test) is bit-identical; when on,
+  // every sequential RecordReader spawns one reader thread that stays up
+  // to `prefetch_depth` blocks ahead of the consumer. I/Os are still
+  // counted on the consumer thread as blocks are consumed, so the model
+  // numbers do not change — only the wall-clock overlap does.
+  bool prefetch = false;
+
+  // Blocks each prefetch thread may hold ahead of the consumer (>= 1;
+  // 2 = classic double buffering). Each open prefetching stream asks the
+  // MemoryBudget for prefetch_depth * block_size bytes and silently runs
+  // unprefetched when the budget cannot cover it.
+  std::size_t prefetch_depth = 2;
+
   // Scratch directory parent ("" = $TMPDIR or /tmp).
   std::string temp_parent_dir;
 
@@ -45,6 +59,9 @@ class IoContext {
   IoContext& operator=(const IoContext&) = delete;
 
   std::size_t block_size() const { return options_.block_size; }
+
+  bool prefetch_enabled() const { return options_.prefetch; }
+  std::size_t prefetch_depth() const { return options_.prefetch_depth; }
 
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }

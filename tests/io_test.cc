@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
+#include <memory>
 #include <numeric>
 #include <vector>
 
@@ -258,6 +260,152 @@ TEST(RecordStreamTest, ReadAllWriteAllRoundTrip) {
   const std::vector<std::uint32_t> values{9, 8, 7, 6};
   io::WriteAllRecords(ctx.get(), path, values);
   EXPECT_EQ(io::ReadAllRecords<std::uint32_t>(ctx.get(), path), values);
+}
+
+// ---------------- Batched record I/O --------------------------------------
+
+TEST(RecordStreamTest, BatchRoundTripAcrossBlockBoundaries) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/1024);
+  const std::string path = ctx->NewTempPath("batch");
+  std::vector<Record> values(10'000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = Record{i, static_cast<std::uint32_t>(i * 7)};
+  }
+  {
+    io::RecordWriter<Record> writer(ctx.get(), path);
+    // Uneven batch sizes so appends repeatedly straddle block boundaries.
+    std::size_t at = 0;
+    const std::size_t sizes[] = {1, 33, 700, 9, 2048};
+    std::size_t s = 0;
+    while (at < values.size()) {
+      const std::size_t n = std::min(sizes[s++ % 5], values.size() - at);
+      writer.AppendBatch(values.data() + at, n);
+      at += n;
+    }
+    EXPECT_EQ(writer.count(), values.size());
+    writer.Finish();
+  }
+  io::RecordReader<Record> reader(ctx.get(), path);
+  std::vector<Record> got(values.size());
+  std::size_t at = 0;
+  std::size_t n;
+  while ((n = reader.NextBatch(got.data() + at, 777)) > 0) at += n;
+  ASSERT_EQ(at, values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(got[i].key, values[i].key) << i;
+    ASSERT_EQ(got[i].payload, values[i].payload) << i;
+  }
+}
+
+TEST(RecordStreamTest, NextBatchReturnsShortCountAtEof) {
+  auto ctx = MakeTestContext();
+  const std::string path = ctx->NewTempPath("short");
+  io::WriteAllRecords<std::uint32_t>(ctx.get(), path, {1, 2, 3});
+  io::RecordReader<std::uint32_t> reader(ctx.get(), path);
+  std::uint32_t buf[8];
+  EXPECT_EQ(reader.NextBatch(buf, 8), 3u);
+  EXPECT_EQ(buf[0], 1u);
+  EXPECT_EQ(buf[2], 3u);
+  EXPECT_EQ(reader.NextBatch(buf, 8), 0u);
+}
+
+TEST(RecordStreamTest, CopyAllRecordsCopiesAndCounts) {
+  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/512);
+  const std::string from = ctx->NewTempPath("from");
+  const std::string to = ctx->NewTempPath("to");
+  std::vector<std::uint64_t> values(5'000);
+  std::iota(values.begin(), values.end(), 100);
+  io::WriteAllRecords(ctx.get(), from, values);
+  EXPECT_EQ((io::CopyAllRecords<std::uint64_t>(ctx.get(), from, to)),
+            values.size());
+  EXPECT_EQ(io::ReadAllRecords<std::uint64_t>(ctx.get(), to), values);
+}
+
+// ---------------- Background prefetch -------------------------------------
+
+std::unique_ptr<io::IoContext> MakePrefetchContext(std::size_t depth) {
+  io::IoContextOptions options;
+  options.block_size = 4096;
+  options.memory_bytes = 1 << 20;
+  options.prefetch = true;
+  options.prefetch_depth = depth;
+  return std::make_unique<io::IoContext>(options);
+}
+
+TEST(PrefetchTest, SequentialScanSameDataAndSameAccounting) {
+  std::vector<std::uint64_t> values(50'000);
+  std::iota(values.begin(), values.end(), 0);
+
+  auto baseline = [&](io::IoContext* ctx) {
+    const std::string path = ctx->NewTempPath("pf");
+    io::WriteAllRecords(ctx, path, values);
+    const auto before = ctx->stats();
+    const auto got = io::ReadAllRecords<std::uint64_t>(ctx, path);
+    EXPECT_EQ(got, values);
+    return ctx->stats() - before;
+  };
+
+  auto plain_ctx = MakeTestContext(1 << 20, 4096);
+  const auto plain = baseline(plain_ctx.get());
+  for (const std::size_t depth : {1u, 2u, 8u}) {
+    auto ctx = MakePrefetchContext(depth);
+    const auto prefetched = baseline(ctx.get());
+    EXPECT_EQ(prefetched.total_reads(), plain.total_reads()) << depth;
+    EXPECT_EQ(prefetched.sequential_reads, plain.sequential_reads) << depth;
+    EXPECT_EQ(prefetched.random_reads, plain.random_reads) << depth;
+    EXPECT_EQ(prefetched.bytes_read, plain.bytes_read) << depth;
+  }
+}
+
+TEST(PrefetchTest, OffSequenceReadFallsBackToDirectPath) {
+  auto ctx = MakePrefetchContext(/*depth=*/2);
+  const std::string path = ctx->NewTempPath("pf");
+  std::vector<char> block(ctx->block_size());
+  {
+    io::BlockFile file(ctx.get(), path, io::OpenMode::kTruncateWrite);
+    for (int b = 0; b < 6; ++b) {
+      std::fill(block.begin(), block.end(), static_cast<char>('a' + b));
+      file.WriteBlock(b, block.data(), block.size());
+    }
+  }
+  io::BlockFile file(ctx.get(), path, io::OpenMode::kRead);
+  file.StartSequentialPrefetch();
+  EXPECT_EQ(file.ReadBlock(0, block.data()), ctx->block_size());
+  EXPECT_EQ(block[0], 'a');
+  // Seek: the prefetcher cannot serve this; the direct path must.
+  EXPECT_EQ(file.ReadBlock(5, block.data()), ctx->block_size());
+  EXPECT_EQ(block[0], 'f');
+  EXPECT_EQ(file.ReadBlock(3, block.data()), ctx->block_size());
+  EXPECT_EQ(block[0], 'd');
+}
+
+TEST(PrefetchTest, DegradesGracefullyWhenBudgetTooSmall) {
+  io::IoContextOptions options;
+  options.block_size = 4096;
+  options.memory_bytes = 2 * 4096;  // minimum legal M: no room for a ring
+  options.prefetch = true;
+  options.prefetch_depth = 4;
+  io::IoContext ctx(options);
+  // Consume the budget so the prefetch ring cannot be reserved.
+  io::ScopedReservation hog(&ctx.memory(), 2 * 4096 - 1024);
+  const std::string path = ctx.NewTempPath("pf");
+  std::vector<std::uint32_t> values(4'000);
+  std::iota(values.begin(), values.end(), 9);
+  io::WriteAllRecords(&ctx, path, values);
+  EXPECT_EQ(io::ReadAllRecords<std::uint32_t>(&ctx, path), values);
+}
+
+TEST(PrefetchTest, ReaderDestroyedBeforeEofJoinsCleanly) {
+  auto ctx = MakePrefetchContext(/*depth=*/8);
+  const std::string path = ctx->NewTempPath("pf");
+  std::vector<std::uint64_t> values(100'000);
+  std::iota(values.begin(), values.end(), 0);
+  io::WriteAllRecords(ctx.get(), path, values);
+  io::RecordReader<std::uint64_t> reader(ctx.get(), path);
+  std::uint64_t v;
+  ASSERT_TRUE(reader.Next(&v));
+  EXPECT_EQ(v, 0u);
+  // Destructor must stop and join the in-flight prefetch thread.
 }
 
 }  // namespace
