@@ -49,7 +49,8 @@ std::vector<Variant> Variants() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   std::printf("Ablation — §VII optimizations on Large-SCC; |V|=%llu, "
               "D=%.0f, M=%llu KB\n",
               static_cast<unsigned long long>(bench::DefaultNodes()),

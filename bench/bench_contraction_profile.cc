@@ -53,7 +53,8 @@ void Profile(const char* name, const extscc::core::ExtSccOptions& options) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   Profile("ext_scc", extscc::core::ExtSccOptions::Basic());
   Profile("ext_scc_op", extscc::core::ExtSccOptions::Optimized());
   return 0;

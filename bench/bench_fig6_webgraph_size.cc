@@ -10,7 +10,8 @@
 
 namespace bench = extscc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   std::printf("Fig. 6 — WEBSPAM-UK2007 stand-in, varying graph size "
               "(%% of edges); |V|=%llu, M=%llu KB, B=%zu KB\n",
               static_cast<unsigned long long>(bench::WebGraphNodes()),

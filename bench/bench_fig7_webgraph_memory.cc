@@ -11,7 +11,8 @@
 
 namespace bench = extscc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   std::printf("Fig. 7 — WEBSPAM-UK2007 stand-in, varying memory size; "
               "|V|=%llu, B=%zu KB\n",
               static_cast<unsigned long long>(bench::WebGraphNodes()),

@@ -30,7 +30,8 @@ extscc::gen::SyntheticParams DatasetParams(const std::string& name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   for (const std::string dataset :
        {"Massive-SCC", "Large-SCC", "Small-SCC"}) {
     std::printf("\nFig. 8 — %s, varying memory size; |V|=%llu, D=%.0f\n",

@@ -10,7 +10,8 @@
 
 namespace bench = extscc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   std::printf("Fig. 9(a)(b) — Large-SCC, varying node count; D=%.0f, "
               "M=%llu KB\n",
               bench::kDefaultDegree,

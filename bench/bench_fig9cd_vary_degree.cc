@@ -10,7 +10,8 @@
 
 namespace bench = extscc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   std::printf("Fig. 9(c)(d) — Large-SCC, varying average degree; "
               "|V|=%llu, M=%llu KB\n",
               static_cast<unsigned long long>(bench::DefaultNodes()),

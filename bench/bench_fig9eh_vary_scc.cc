@@ -11,7 +11,8 @@
 
 namespace bench = extscc::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   // ---- Fig. 9(e)(f): vary SCC size (paper 4K..12K -> scaled x0.1) -----
   std::printf("Fig. 9(e)(f) — Large-SCC, varying SCC size; |V|=%llu, "
               "D=%.0f, M=%llu KB\n",

@@ -228,6 +228,51 @@ BENCHMARK(BM_SortThroughput)
     ->Args({1'000'000, 1024})
     ->Args({4'000'000, 1024});
 
+// Fused sort→consumer pipeline vs materialize-then-scan: the same edge
+// sort either drains its final merge into a callback sink (SortInto) or
+// writes the sorted file and re-reads it once (SortFile + batched scan)
+// — the before/after of every fused Ext-SCC stage. The fused form saves
+// the full write+read of the sorted output.
+// arg0: record count, arg1: 0 = materialized, 1 = fused.
+void BM_SortConsume(benchmark::State& state) {
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  const bool fused = state.range(1) != 0;
+  auto ctx = MakeCtx(256 << 10, 64 * 1024);
+  const std::string in = ctx->NewTempPath("in");
+  {
+    util::Rng rng(9);
+    io::RecordWriter<graph::Edge> writer(ctx.get(), in);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      writer.Append(graph::Edge{
+          static_cast<graph::NodeId>(rng.Uniform(1u << 20)),
+          static_cast<graph::NodeId>(rng.Uniform(1u << 20))});
+    }
+  }
+  for (auto _ : state) {
+    std::uint64_t checksum = 0;
+    if (fused) {
+      auto sink = extsort::MakeCallbackSink<graph::Edge>(
+          [&](const graph::Edge& e) { checksum += e.src ^ (e.dst << 1); });
+      extsort::SortInto<graph::Edge>(ctx.get(), in, sink, graph::EdgeBySrc());
+    } else {
+      const std::string out = ctx->NewTempPath("sorted");
+      extsort::SortFile<graph::Edge, graph::EdgeBySrc>(ctx.get(), in, out,
+                                                       graph::EdgeBySrc());
+      io::ForEachRecord<graph::Edge>(ctx.get(), out, [&](const graph::Edge& e) {
+        checksum += e.src ^ (e.dst << 1);
+      });
+      ctx->temp_files().Remove(out);
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+  state.SetBytesProcessed(state.iterations() * count * sizeof(graph::Edge));
+}
+BENCHMARK(BM_SortConsume)
+    ->Args({500'000, 0})
+    ->Args({500'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // Sequential scan throughput: per-record Next vs batched NextBatch vs
 // batched with background prefetch (arg: 0/1/2).
 void BM_ScanThroughput(benchmark::State& state) {

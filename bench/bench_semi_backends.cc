@@ -40,7 +40,8 @@ graph::DiskGraph WebWorkload(io::IoContext* ctx) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::ParseBenchFlags(argc, argv);
   std::printf("Semi-external backends on the web-graph stand-in; "
               "|V|=%llu\n",
               static_cast<unsigned long long>(bench::WebGraphNodes()));

@@ -33,65 +33,52 @@ ContractionResult ContractEdges(io::IoContext* context,
   // sorted by tail — E_out is already sorted by tail, so that side can
   // stream directly into E_del_out after a head-membership filter
   // (step 2 below needs head-in-cover, which E_in gives us instead).
-  const std::string cov_tail_path = context->NewTempPath("cov_tail");
-  {
-    io::RecordWriter<Edge> cov_tail(context, cov_tail_path);
-    SplitByMembership(
-        context, eout_path, cover_path, [](const Edge& e) { return e.src; },
-        [&](const Edge& e) { cov_tail.Append(e); }, [](const Edge&) {});
-    cov_tail.Finish();
-  }
-
-  // Head-membership pass over cov_tail needs it sorted by head.
-  const std::string cov_tail_byhead_path = context->NewTempPath("cov_tail_h");
-  extsort::SortFile<Edge, EdgeByDst>(context, cov_tail_path,
-                                     cov_tail_byhead_path, EdgeByDst());
-  context->temp_files().Remove(cov_tail_path);
-
+  //
+  // The whole chain — tail split, re-sort by head, head split — is one
+  // fused pipeline: the tail split feeds a SortingWriter whose final
+  // merge drains into the head-membership sink, so neither cov_tail nor
+  // its by-head re-sort ever materializes (two write+read passes of the
+  // candidate set gone versus the file-per-stage form).
+  //
   // E_pre (both endpoints covered) and E_del_in (in-edges of removed
-  // nodes with covered tails), the latter already grouped by removed head.
+  // nodes with covered tails), the latter already grouped by removed
+  // head.
   const std::string epre_path = context->NewTempPath("epre");
   const std::string edel_in_path = context->NewTempPath("edel_in");
   {
+    extsort::SortingWriter<Edge, EdgeByDst> by_head(context, EdgeByDst());
+    SplitByMembership(
+        context, eout_path, cover_path, [](const Edge& e) { return e.src; },
+        [&](const Edge& e) { by_head.Add(e); }, [](const Edge&) {});
     io::RecordWriter<Edge> epre(context, epre_path);
     io::RecordWriter<Edge> edel_in(context, edel_in_path);
-    SplitByMembership(
-        context, cov_tail_byhead_path, cover_path,
-        [](const Edge& e) { return e.dst; },
+    MembershipSplitSink head_split(
+        context, cover_path, [](const Edge& e) { return e.dst; },
         [&](const Edge& e) { epre.Append(e); },
         [&](const Edge& e) { edel_in.Append(e); });
+    by_head.FinishInto(head_split);
     result.preserved_edges = epre.count();
     epre.Finish();
     edel_in.Finish();
   }
-  context->temp_files().Remove(cov_tail_byhead_path);
 
   // ---- Step 2: E_del_out — out-edges of removed nodes, covered heads --
   // E_in is sorted by head: semijoin by head membership, keep covered
-  // heads, then sort by tail and keep removed tails.
-  const std::string cov_head_path = context->NewTempPath("cov_head");
-  {
-    io::RecordWriter<Edge> cov_head(context, cov_head_path);
-    SplitByMembership(
-        context, ein_path, cover_path, [](const Edge& e) { return e.dst; },
-        [&](const Edge& e) { cov_head.Append(e); }, [](const Edge&) {});
-    cov_head.Finish();
-  }
-  const std::string cov_head_bytail_path = context->NewTempPath("cov_head_t");
-  extsort::SortFile<Edge, EdgeBySrc>(context, cov_head_path,
-                                     cov_head_bytail_path, EdgeBySrc());
-  context->temp_files().Remove(cov_head_path);
-
+  // heads, then re-sort by tail and keep removed tails — fused the same
+  // way as step 1.
   const std::string edel_out_path = context->NewTempPath("edel_out");
   {
-    io::RecordWriter<Edge> edel_out(context, edel_out_path);
+    extsort::SortingWriter<Edge, EdgeBySrc> by_tail(context, EdgeBySrc());
     SplitByMembership(
-        context, cov_head_bytail_path, cover_path,
-        [](const Edge& e) { return e.src; }, [](const Edge&) {},
-        [&](const Edge& e) { edel_out.Append(e); });
+        context, ein_path, cover_path, [](const Edge& e) { return e.dst; },
+        [&](const Edge& e) { by_tail.Add(e); }, [](const Edge&) {});
+    io::RecordWriter<Edge> edel_out(context, edel_out_path);
+    MembershipSplitSink tail_split(
+        context, cover_path, [](const Edge& e) { return e.src; },
+        [](const Edge&) {}, [&](const Edge& e) { edel_out.Append(e); });
+    by_tail.FinishInto(tail_split);
     edel_out.Finish();
   }
-  context->temp_files().Remove(cov_head_bytail_path);
 
   // ---- Step 3: cross product per removed node (E_add) ----------------
   // E_del_in grouped by head (removed node), E_del_out grouped by tail

@@ -21,67 +21,68 @@ using graph::SccEntryByNode;
 using graph::SccId;
 
 // The `augment` procedure (Alg. 5 lines 8-14) for one direction.
-// `edges_by_removed_key` must be sorted with the removed-node endpoint
-// as group key; `removed_is_head` says which endpoint that is. Produces
-// a (removed node, neighbour label) stream sorted by (node, label),
+// `edge_path` must be sorted with the removed-node endpoint as group
+// key; `removed_is_head` says which endpoint that is. Produces a
+// (removed node, neighbour label) file sorted by (node, label),
 // deduplicated.
+//
+// The four steps — membership filter, re-sort by neighbour, label
+// attach, re-sort by (node, label) — run as one fused pipeline: the
+// filter feeds a SortingWriter whose final merge drains into the
+// label-attach callback, which feeds the output SortingWriter. Only the
+// final (node, label) file materializes (the expansion intersect pulls
+// from both directions at once, so it needs real files); the three
+// intermediates of the stage-per-file form never exist, saving a
+// write+read of the removed-side edge set three times over per
+// direction.
 std::string AugmentDirection(io::IoContext* context,
                              const std::string& edge_path,
                              bool removed_is_head,
                              const std::string& cover_path,
                              const std::string& scc_next_path) {
-  // 1. Keep only edges whose removed-side endpoint is NOT in the cover.
-  const std::string removed_side_path = context->NewTempPath("exp_removed");
+  extsort::SortingWriter<SccEntry, SccEntryByNode> labeled(
+      context, SccEntryByNode(), /*dedup=*/true);
   {
-    io::RecordWriter<Edge> writer(context, removed_side_path);
-    SplitByMembership(
-        context, edge_path, cover_path,
-        [removed_is_head](const Edge& e) {
-          return removed_is_head ? e.dst : e.src;
-        },
-        [](const Edge&) {}, [&](const Edge& e) { writer.Append(e); });
-    writer.Finish();
-  }
-
-  // 2. Sort by the *neighbour* endpoint to look its label up.
-  const std::string by_neighbor_path = context->NewTempPath("exp_bynbr");
-  if (removed_is_head) {
-    extsort::SortFile<Edge, EdgeBySrc>(context, removed_side_path,
-                                       by_neighbor_path, EdgeBySrc());
-  } else {
-    extsort::SortFile<Edge, EdgeByDst>(context, removed_side_path,
-                                       by_neighbor_path, EdgeByDst());
-  }
-  context->temp_files().Remove(removed_side_path);
-
-  // 3. Attach the neighbour's SCC label (skip same-iteration removals —
-  //    provably Type-1 singletons that witness nothing).
-  const std::string labeled_path = context->NewTempPath("exp_labeled");
-  {
-    io::PeekableReader<Edge> edges(context, by_neighbor_path);
+    // Label attach (step 3): skip same-iteration removals — provably
+    // Type-1 singletons that witness nothing. Receives edges in
+    // neighbour order from the fused sort below, so the label stream
+    // advances monotonically.
     io::PeekableReader<SccEntry> labels(context, scc_next_path);
-    io::RecordWriter<SccEntry> writer(context, labeled_path);
-    while (edges.has_value()) {
-      const Edge e = edges.Pop();
+    auto attach = extsort::MakeCallbackSink<Edge>([&](const Edge& e) {
       const NodeId neighbor = removed_is_head ? e.src : e.dst;
       const NodeId removed = removed_is_head ? e.dst : e.src;
       while (labels.has_value() && labels.Peek().node < neighbor) {
         labels.Pop();
       }
       if (labels.has_value() && labels.Peek().node == neighbor) {
-        writer.Append(SccEntry{removed, labels.Peek().scc});
+        labeled.Add(SccEntry{removed, labels.Peek().scc});
       }
+    });
+    // Steps 1+2: keep only edges whose removed-side endpoint is NOT in
+    // the cover, re-sorted by the *neighbour* endpoint for the lookup.
+    const auto removed_key = [removed_is_head](const Edge& e) {
+      return removed_is_head ? e.dst : e.src;
+    };
+    if (removed_is_head) {
+      extsort::SortingWriter<Edge, EdgeBySrc> by_neighbor(context,
+                                                          EdgeBySrc());
+      SplitByMembership(context, edge_path, cover_path, removed_key,
+                        [](const Edge&) {},
+                        [&](const Edge& e) { by_neighbor.Add(e); });
+      by_neighbor.FinishInto(attach);
+    } else {
+      extsort::SortingWriter<Edge, EdgeByDst> by_neighbor(context,
+                                                          EdgeByDst());
+      SplitByMembership(context, edge_path, cover_path, removed_key,
+                        [](const Edge&) {},
+                        [&](const Edge& e) { by_neighbor.Add(e); });
+      by_neighbor.FinishInto(attach);
     }
-    writer.Finish();
   }
-  context->temp_files().Remove(by_neighbor_path);
 
-  // 4. Sort by (removed node, label) and dedup (Alg. 5 line 13).
+  // Step 4: sort by (removed node, label) and dedup (Alg. 5 line 13).
   const std::string out_path = context->NewTempPath("exp_nbrscc");
-  extsort::SortFile<SccEntry, SccEntryByNode>(context, labeled_path, out_path,
-                                              SccEntryByNode(),
-                                              /*dedup=*/true);
-  context->temp_files().Remove(labeled_path);
+  labeled.FinishInto(out_path);
   return out_path;
 }
 
@@ -93,7 +94,8 @@ ExpansionResult ExpandLevel(io::IoContext* context,
                             const std::string& cover_path,
                             const std::string& removed_path,
                             const std::string& scc_next_path,
-                            SccId* next_scc_id) {
+                            SccId* next_scc_id,
+                            const std::string& scc_output) {
   ExpansionResult result;
 
   // E_in is grouped by head: removed-head edges give in-neighbour labels.
@@ -164,7 +166,8 @@ ExpansionResult ExpandLevel(io::IoContext* context,
   context->temp_files().Remove(out_labels_path);
 
   // ---- SCC_i = SCC_{i+1} ∪ SCC_del, sorted by node (lines 5-6) --------
-  result.scc_path = context->NewTempPath("scc_level");
+  result.scc_path =
+      scc_output.empty() ? context->NewTempPath("scc_level") : scc_output;
   graph::MergeSccFiles(context, scc_next_path, scc_del_path, result.scc_path);
   context->temp_files().Remove(scc_del_path);
   return result;

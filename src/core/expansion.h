@@ -41,13 +41,18 @@ struct ExpansionResult {
 // `cover_path`: V_{i+1} sorted unique; `removed_path`: V_i - V_{i+1}
 // sorted unique; `scc_next_path`: SCC_{i+1} sorted by node.
 // Fresh singleton labels are allocated from *next_scc_id.
+// `scc_output` (optional) names the file to write SCC_i to — the driver
+// passes its final output path for the outermost level so SCC_1 is
+// emitted in place instead of being copied out of scratch; when empty, a
+// scratch path is allocated and returned in ExpansionResult::scc_path.
 ExpansionResult ExpandLevel(io::IoContext* context,
                             const std::string& ein_path,
                             const std::string& eout_path,
                             const std::string& cover_path,
                             const std::string& removed_path,
                             const std::string& scc_next_path,
-                            graph::SccId* next_scc_id);
+                            graph::SccId* next_scc_id,
+                            const std::string& scc_output = "");
 
 }  // namespace extscc::core
 

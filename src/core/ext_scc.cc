@@ -68,35 +68,15 @@ util::Result<ExtSccStats> RunExtScc(io::IoContext* context,
 
     LevelFiles level;
     // Self-loops carry no SCC information and would pin their nodes into
-    // every cover (see contraction.h); strip them from the input once.
-    // Contraction never re-creates them, so later levels are clean.
-    std::string edge_source = current.edge_path;
-    std::string filtered;
-    if (levels.empty()) {
-      filtered = context->NewTempPath("noself");
-      io::RecordReader<graph::Edge> reader(context, current.edge_path);
-      io::RecordWriter<graph::Edge> writer(context, filtered);
-      // Batched filter: compact survivors in place, append block-wise.
-      const std::size_t batch = io::RecordsPerBlock<graph::Edge>(context);
-      std::vector<graph::Edge> chunk(batch);
-      std::size_t got;
-      while ((got = reader.NextBatch(chunk.data(), batch)) > 0) {
-        std::size_t kept = 0;
-        for (std::size_t i = 0; i < got; ++i) {
-          if (chunk[i].src != chunk[i].dst) chunk[kept++] = chunk[i];
-        }
-        writer.AppendBatch(chunk.data(), kept);
-      }
-      writer.Finish();
-      edge_source = filtered;
-    }
+    // every cover (see contraction.h); strip them from the input once,
+    // inline with the first level's E_in/E_out sorts (no filtered copy
+    // of E is written). Contraction never re-creates them, so later
+    // levels are clean.
     level.ein = context->NewTempPath("ein");
     level.eout = context->NewTempPath("eout");
-    graph::SortEdgesByDst(context, edge_source, level.ein,
-                          options.dedup_parallel_edges);
-    graph::SortEdgesBySrc(context, edge_source, level.eout,
-                          options.dedup_parallel_edges);
-    if (!filtered.empty()) context->temp_files().Remove(filtered);
+    graph::SortEdgesBothOrders(context, current.edge_path, level.ein,
+                               level.eout, options.dedup_parallel_edges,
+                               /*drop_self_loops=*/levels.empty());
     const std::uint64_t level_edges = graph::CountEdges(context, level.ein);
 
     const CoverResult cover =
@@ -157,11 +137,14 @@ util::Result<ExtSccStats> RunExtScc(io::IoContext* context,
   RETURN_IF_ERROR(BudgetCheck(context, "semi-external base case"));
 
   // ---- Expansion phase (Alg. 2 lines 6-9) ------------------------------
+  // The outermost level writes SCC_1 straight to `scc_output` (line 10
+  // fused into the final merge) — no copy out of scratch.
   phase_timer.Restart();
   for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const bool outermost = std::next(it) == levels.rend();
     const ExpansionResult expanded =
         ExpandLevel(context, it->ein, it->eout, it->cover, it->removed,
-                    scc_path, &next_scc_id);
+                    scc_path, &next_scc_id, outermost ? scc_output : "");
     context->temp_files().Remove(scc_path);
     scc_path = expanded.scc_path;
     RETURN_IF_ERROR(BudgetCheck(context, "graph expansion"));
@@ -169,8 +152,11 @@ util::Result<ExtSccStats> RunExtScc(io::IoContext* context,
   stats.expansion_seconds = phase_timer.ElapsedSeconds();
 
   // ---- Emit SCC_1 (line 10) -------------------------------------------
-  io::CopyAllRecords<graph::SccEntry>(context, scc_path, scc_output);
-  context->temp_files().Remove(scc_path);
+  if (levels.empty()) {
+    // No contraction happened: the base case's labels are SCC_1.
+    io::CopyAllRecords<graph::SccEntry>(context, scc_path, scc_output);
+    context->temp_files().Remove(scc_path);
+  }
 
   stats.num_sccs = next_scc_id;
   stats.total_ios = context->stats().total_ios() - start_ios;

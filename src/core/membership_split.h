@@ -5,10 +5,19 @@
 // key endpoint is a cover member. The edge side moves in block-sized
 // batches (one memcpy per block instead of one per edge) while the
 // (much smaller) cover side stays a one-record lookahead.
+//
+// Two shapes of the same join:
+//  - MembershipSplitSink is the push form: an extsort RecordSink that a
+//    fused sort→consumer pipeline (SortInto / SortingWriter::FinishInto)
+//    drains its final merge pass into, so the semijoin's input file
+//    never materializes.
+//  - SplitByMembership is the pull form over an existing sorted file,
+//    phrased as a batched scan feeding the same sink.
 #ifndef EXTSCC_CORE_MEMBERSHIP_SPLIT_H_
 #define EXTSCC_CORE_MEMBERSHIP_SPLIT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph_types.h"
@@ -17,27 +26,45 @@
 
 namespace extscc::core {
 
+// Push-mode semijoin: Append(edge) requires key_of(edge) non-decreasing
+// across calls (the sort order of the producing stage). The cover
+// stream advances monotonically — one sequential scan of the cover per
+// sink lifetime, exactly the pull form's cost.
+template <typename KeyOf, typename OnMember, typename OnRemoved>
+class MembershipSplitSink {
+ public:
+  MembershipSplitSink(io::IoContext* context, const std::string& cover_path,
+                      KeyOf key_of, OnMember on_member, OnRemoved on_removed)
+      : cover_(context, cover_path),
+        key_of_(std::move(key_of)),
+        on_member_(std::move(on_member)),
+        on_removed_(std::move(on_removed)) {}
+
+  void Append(const graph::Edge& e) {
+    const graph::NodeId key = key_of_(e);
+    while (cover_.has_value() && cover_.Peek() < key) cover_.Pop();
+    if (cover_.has_value() && cover_.Peek() == key) {
+      on_member_(e);
+    } else {
+      on_removed_(e);
+    }
+  }
+
+ private:
+  io::PeekableReader<graph::NodeId> cover_;
+  KeyOf key_of_;
+  OnMember on_member_;
+  OnRemoved on_removed_;
+};
+
 template <typename KeyOf, typename OnMember, typename OnRemoved>
 void SplitByMembership(io::IoContext* context, const std::string& edge_path,
                        const std::string& cover_path, KeyOf key_of,
                        OnMember on_member, OnRemoved on_removed) {
-  io::RecordReader<graph::Edge> edges(context, edge_path);
-  io::PeekableReader<graph::NodeId> cover(context, cover_path);
-  const std::size_t batch = io::RecordsPerBlock<graph::Edge>(context);
-  std::vector<graph::Edge> chunk(batch);
-  std::size_t got;
-  while ((got = edges.NextBatch(chunk.data(), batch)) > 0) {
-    for (std::size_t i = 0; i < got; ++i) {
-      const graph::Edge& e = chunk[i];
-      const graph::NodeId key = key_of(e);
-      while (cover.has_value() && cover.Peek() < key) cover.Pop();
-      if (cover.has_value() && cover.Peek() == key) {
-        on_member(e);
-      } else {
-        on_removed(e);
-      }
-    }
-  }
+  MembershipSplitSink sink(context, cover_path, std::move(key_of),
+                           std::move(on_member), std::move(on_removed));
+  io::ForEachRecord<graph::Edge>(
+      context, edge_path, [&](const graph::Edge& e) { sink.Append(e); });
 }
 
 }  // namespace extscc::core

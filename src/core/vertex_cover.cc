@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "extsort/external_sorter.h"
 #include "graph/graph_types.h"
@@ -30,10 +31,6 @@ struct HalfDegEdgeByHead {
     if (a.v != b.v) return a.v < b.v;
     return a.u < b.u;
   }
-};
-
-struct NodeLess {
-  bool operator()(NodeId a, NodeId b) const { return a < b; }
 };
 
 // Builds V_d by merging the two grouped edge streams: E_in grouped by
@@ -99,86 +96,95 @@ CoverResult ComputeVertexCover(io::IoContext* context,
       BuildDegreeFile(context, ein_path, eout_path, vd_path,
                       options.type1_reduction);
 
-  // ---- E_d: augment tail degrees (line 5) ----------------------------
-  const std::string ed_path = context->NewTempPath("ed_bytail");
+  // ---- E_d build, by-head re-sort, and selection (lines 5-9, fused) --
+  // The stage-per-file form wrote E_d by tail, sorted it into a by-head
+  // file, and scanned that for selection. Fused, the tail-degree
+  // augmentation streams E_d straight into a SortingWriter whose final
+  // merge drains into the selection sink — neither E_d ordering ever
+  // materializes, saving two write+read passes of E_d (the largest
+  // intermediate of Get-V). Cover candidates stream into a second
+  // sorting writer that dedups (line 10).
+  extsort::SortingWriter<NodeId, graph::NodeIdLess> cover_writer(
+      context, graph::NodeIdLess{}, /*dedup=*/true);
   {
-    io::PeekableReader<Edge> eout(context, eout_path);
-    io::PeekableReader<DegreeEntry> vd(context, vd_path);
-    io::RecordWriter<HalfDegEdge> writer(context, ed_path);
-    while (eout.has_value()) {
-      const NodeId u = eout.Peek().src;
-      while (vd.has_value() && vd.Peek().node < u) vd.Pop();
-      if (!vd.has_value() || vd.Peek().node != u) {
-        // Tail was Type-1-dropped: its edges cannot lie on a cycle.
-        eout.Pop();
-        continue;
-      }
-      const DegreeEntry u_deg = vd.Peek();
-      while (eout.has_value() && eout.Peek().src == u) {
-        const Edge e = eout.Pop();
-        writer.Append(HalfDegEdge{u, u_deg.deg_in, u_deg.deg_out, e.dst});
-      }
-    }
-    writer.Finish();
-  }
-
-  // ---- Sort E_d by head (line 6) -------------------------------------
-  const std::string ed_byhead_path = context->NewTempPath("ed_byhead");
-  extsort::SortFile<HalfDegEdge, HalfDegEdgeByHead>(
-      context, ed_path, ed_byhead_path, HalfDegEdgeByHead());
-  context->temp_files().Remove(ed_path);
-
-  // ---- Augment head degrees + selection scan (lines 7-9, fused) ------
-  // Cover candidates stream into a sorting writer that dedups (line 10).
-  extsort::SortingWriter<NodeId, NodeLess> cover_writer(context, NodeLess(),
-                                                        /*dedup=*/true);
-  {
-    io::PeekableReader<HalfDegEdge> ed(context, ed_byhead_path);
-    io::PeekableReader<DegreeEntry> vd(context, vd_path);
-    // Dictionary T for the Type-2 reduction, sized from the free budget.
+    // Dictionary T for the Type-2 reduction, sized from (half) the free
+    // budget *before* the E_d sorting writer takes its reservation, and
+    // reserved for its whole lifetime — it coexists with the fused
+    // sort's buffers, so the sort must size itself from the remainder.
     std::unique_ptr<BoundedNodeCache> cache;
+    std::optional<io::ScopedReservation> cache_reservation;
     if (options.type2_reduction) {
       const std::uint64_t cap = std::max<std::uint64_t>(
           16, context->memory().available_bytes() /
                   (2 * BoundedNodeCache::kBytesPerEntry));
       cache = std::make_unique<BoundedNodeCache>(
           static_cast<std::size_t>(cap), options.order);
+      cache_reservation.emplace(
+          &context->memory(),
+          std::min<std::uint64_t>(cap * BoundedNodeCache::kBytesPerEntry,
+                                  context->memory().available_bytes()));
     }
-    while (ed.has_value()) {
-      const NodeId v = ed.Peek().v;
-      while (vd.has_value() && vd.Peek().node < v) vd.Pop();
-      if (!vd.has_value() || vd.Peek().node != v) {
-        // Head was Type-1-dropped.
-        ed.Pop();
-        continue;
-      }
-      const DegreeEntry v_deg = vd.Peek();
-      while (ed.has_value() && ed.Peek().v == v) {
-        const HalfDegEdge e = ed.Pop();
-        const NodeKey u_key{e.u, e.u_in, e.u_out};
-        const NodeKey v_key{v, v_deg.deg_in, v_deg.deg_out};
-        const bool u_greater = NodeGreater(u_key, v_key, options.order);
-        const NodeKey& winner = u_greater ? u_key : v_key;
-        const NodeKey& loser = u_greater ? v_key : u_key;
-        if (cache != nullptr && cache->Contains(loser.id)) {
-          // Edge already covered by its smaller endpoint (§VII Type-2).
-          ++result.type2_skips;
+    extsort::SortingWriter<HalfDegEdge, HalfDegEdgeByHead> ed_by_head(
+        context, HalfDegEdgeByHead());
+    {
+      // ---- E_d: augment tail degrees (line 5) ------------------------
+      io::PeekableReader<Edge> eout(context, eout_path);
+      io::PeekableReader<DegreeEntry> vd(context, vd_path);
+      while (eout.has_value()) {
+        const NodeId u = eout.Peek().src;
+        while (vd.has_value() && vd.Peek().node < u) vd.Pop();
+        if (!vd.has_value() || vd.Peek().node != u) {
+          // Tail was Type-1-dropped: its edges cannot lie on a cycle.
+          eout.Pop();
           continue;
         }
-        cover_writer.Add(winner.id);
-        if (cache != nullptr) cache->Insert(winner);
+        const DegreeEntry u_deg = vd.Peek();
+        while (eout.has_value() && eout.Peek().src == u) {
+          const Edge e = eout.Pop();
+          ed_by_head.Add(HalfDegEdge{u, u_deg.deg_in, u_deg.deg_out, e.dst});
+        }
       }
     }
+
+    // ---- Augment head degrees + selection (lines 7-9) ----------------
+    // Push-mode consumer of E_d in (v, u) order: v's degree lookup
+    // advances a fresh V_d reader monotonically, group by group.
+    io::PeekableReader<DegreeEntry> vd(context, vd_path);
+    NodeId cur_v = graph::kInvalidNode;
+    bool v_present = false;
+    DegreeEntry v_deg;
+    auto select = extsort::MakeCallbackSink<HalfDegEdge>(
+        [&](const HalfDegEdge& e) {
+          if (e.v != cur_v || cur_v == graph::kInvalidNode) {
+            cur_v = e.v;
+            while (vd.has_value() && vd.Peek().node < cur_v) vd.Pop();
+            v_present = vd.has_value() && vd.Peek().node == cur_v;
+            if (v_present) v_deg = vd.Peek();
+          }
+          if (!v_present) return;  // head was Type-1-dropped
+          const NodeKey u_key{e.u, e.u_in, e.u_out};
+          const NodeKey v_key{cur_v, v_deg.deg_in, v_deg.deg_out};
+          const bool u_greater = NodeGreater(u_key, v_key, options.order);
+          const NodeKey& winner = u_greater ? u_key : v_key;
+          const NodeKey& loser = u_greater ? v_key : u_key;
+          if (cache != nullptr && cache->Contains(loser.id)) {
+            // Edge already covered by its smaller endpoint (§VII Type-2).
+            ++result.type2_skips;
+            return;
+          }
+          cover_writer.Add(winner.id);
+          if (cache != nullptr) cache->Insert(winner);
+        });
+    ed_by_head.FinishInto(select);
   }
-  context->temp_files().Remove(ed_byhead_path);
   context->temp_files().Remove(vd_path);
 
   // ---- Sort + dedup (line 10) ----------------------------------------
   result.cover_path = context->NewTempPath("cover");
-  extsort::SortRunInfo info = cover_writer.FinishInto(result.cover_path);
-  (void)info;
-  result.cover_count =
-      io::NumRecordsInFile<NodeId>(context, result.cover_path);
+  extsort::FileSink<NodeId> cover_file(context, result.cover_path);
+  cover_writer.FinishInto(cover_file);
+  cover_file.Finish();
+  result.cover_count = cover_file.count();
   return result;
 }
 

@@ -1,3 +1,5 @@
 // The sorter is a header template (extsort/external_sorter.h). This
 // translation unit only anchors the module in the build.
 #include "extsort/external_sorter.h"
+
+#include "extsort/record_sink.h"

@@ -21,6 +21,16 @@
 // intermediate runs shrink instead of carrying duplicates through each
 // merge level (the lazy parallel-edge elimination of §VII benefits most:
 // contracted levels produce heavy duplication).
+//
+// Two entry points share the machinery:
+//  - SortFile(input, output): materializes the sorted stream in a file.
+//  - SortInto(input, sink): the final merge pass (or the single
+//    in-memory run) drains straight into a RecordSink (record_sink.h),
+//    fusing "sort, then one sequential scan" stages into one pipeline
+//    and deleting the write+read of the would-be intermediate file.
+// SortingWriter is the accumulating variant: Add() buffers records and
+// spills sorted runs directly from the add buffer (no staging file);
+// FinishInto() targets a sink or, as sugar, a path.
 #ifndef EXTSCC_EXTSORT_EXTERNAL_SORTER_H_
 #define EXTSCC_EXTSORT_EXTERNAL_SORTER_H_
 
@@ -34,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "extsort/record_sink.h"
 #include "io/io_context.h"
 #include "io/record_stream.h"
 #include "util/logging.h"
@@ -212,15 +223,15 @@ class LoserTree {
   bool wdead_ = true;
 };
 
-// Drains `tree` into `writer`, collapsing equal-under-Less neighbours
-// to one when `dedup` (inputs are individually deduped runs, so equal
-// records are adjacent in the merged order). Writes land directly in
-// the writer's block buffer — no staging block, so a merge's resident
-// memory stays at one block per input run plus the output block and
-// MergeFanIn can hand every spare block to fan-in.
-template <typename T, typename Less>
-void DrainMerge(LoserTree<T, Less>* tree, io::RecordWriter<T>* writer,
-                Less less, bool dedup) {
+// Drains `tree` into `sink` (any RecordSinkFor<T>, including a raw
+// io::RecordWriter), collapsing equal-under-Less neighbours to one when
+// `dedup` (inputs are individually deduped runs, so equal records are
+// adjacent in the merged order). Records land directly in the sink —
+// no staging block, so a merge's resident memory stays at one block per
+// input run plus the sink's own buffering and MergeFanIn can hand every
+// spare block to fan-in.
+template <typename T, typename Less, RecordSinkFor<T> S>
+void DrainMerge(LoserTree<T, Less>* tree, S* sink, Less less, bool dedup) {
   T record;
   if (dedup) {
     bool have_prev = false;
@@ -229,16 +240,188 @@ void DrainMerge(LoserTree<T, Less>* tree, io::RecordWriter<T>* writer,
       if (have_prev && !less(prev, record) && !less(record, prev)) continue;
       prev = record;
       have_prev = true;
-      writer->Append(record);
+      sink->Append(record);
     }
   } else {
-    while (tree->Next(&record)) writer->Append(record);
+    while (tree->Next(&record)) sink->Append(record);
   }
+}
+
+// Sorts buffer[0, n) and, when `dedup`, collapses equal-under-Less
+// neighbours; returns the surviving prefix length.
+template <typename T, typename Less>
+std::size_t SortDedupPrefix(std::vector<T>& buffer, std::size_t n, Less less,
+                            bool dedup) {
+  std::stable_sort(buffer.begin(), buffer.begin() + n, less);
+  if (!dedup) return n;
+  auto end = std::unique(
+      buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(n),
+      [&less](const T& a, const T& b) { return !less(a, b) && !less(b, a); });
+  return static_cast<std::size_t>(end - buffer.begin());
+}
+
+// Writes records[0, n) (already sorted/deduped) as a run file.
+template <typename T>
+std::string SpillRun(io::IoContext* context, const T* records,
+                     std::size_t n) {
+  const std::string run_path = context->NewTempPath("sortrun");
+  io::RecordWriter<T> writer(context, run_path);
+  writer.AppendBatch(records, n);
+  writer.Finish();
+  return run_path;
+}
+
+// Run formation over a file. When the entire input fits one run buffer,
+// the sorted records stay resident instead of being spilled — SortInto
+// then feeds the sink from memory (zero extra I/O beyond the input
+// scan) and SortFile writes them once, directly to its output.
+template <typename T>
+struct RunFormation {
+  std::vector<std::string> runs;  // spilled run files, formation order
+  std::vector<T> resident;        // the lone in-memory run, iff in_memory
+  std::size_t resident_count = 0;
+  bool in_memory = false;
+};
+
+template <typename T, typename Less>
+RunFormation<T> FormRuns(io::IoContext* context,
+                         const std::string& input_path, Less less, bool dedup,
+                         SortRunInfo* info) {
+  RunFormation<T> out;
+  io::RecordReader<T> reader(context, input_path);
+  info->num_records = reader.num_records();
+  const std::uint64_t run_capacity =
+      context->memory().MaxRecordsInMemory(sizeof(T));
+  const std::size_t capacity = static_cast<std::size_t>(
+      std::min<std::uint64_t>(run_capacity, reader.num_records()));
+  std::vector<T> buffer(capacity);
+  std::size_t got;
+  while (capacity > 0 &&
+         (got = reader.NextBatch(buffer.data(), capacity)) > 0) {
+    const std::size_t n = SortDedupPrefix(buffer, got, less, dedup);
+    if (out.runs.empty() && got == info->num_records) {
+      out.in_memory = true;
+      out.resident_count = n;
+      out.resident = std::move(buffer);
+      break;
+    }
+    out.runs.push_back(SpillRun(context, buffer.data(), n));
+  }
+  info->num_runs = out.in_memory ? 1 : out.runs.size();
+  return out;
+}
+
+// Reserves `blocks` block buffers from the budget for the duration of
+// a merge, clamped to what is actually available (fan-in was computed
+// from availability, so the clamp only engages when another component
+// reserved in between — the merge then proceeds, physically bounded by
+// its already-chosen fan-in).
+inline io::ScopedReservation ReserveMergeBlocks(io::IoContext* context,
+                                                std::size_t blocks) {
+  return io::ScopedReservation(
+      &context->memory(),
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(blocks) *
+                                  context->block_size(),
+                              context->memory().available_bytes()));
+}
+
+// Merges `runs` (consuming the files) into `sink`. Intermediate passes
+// write temp files as before; the final pass — the only one whose
+// output the caller sees — drains into the sink, so a fused consumer
+// never pays for a materialized result. A lone run is streamed into the
+// sink: that read is the fused stage's one scan of its sorted data.
+// Every merge holds a budget reservation for its block buffers, so a
+// fused sink that sizes its own structures mid-drain (a downstream
+// SortingWriter) sees the honest remainder.
+template <typename T, typename Less, RecordSinkFor<T> S>
+void MergeRunsInto(io::IoContext* context, std::vector<std::string> runs,
+                   S& sink, Less less, bool dedup, SortRunInfo* info) {
+  if (runs.empty()) return;
+  const std::size_t fan_in = static_cast<std::size_t>(
+      context->memory().MergeFanIn(context->block_size()));
+  while (runs.size() > fan_in) {
+    ++info->merge_passes;
+    std::vector<std::string> next_runs;
+    for (std::size_t group = 0; group < runs.size(); group += fan_in) {
+      const std::size_t end = std::min(runs.size(), group + fan_in);
+      std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs;
+      inputs.reserve(end - group);
+      for (std::size_t i = group; i < end; ++i) {
+        inputs.push_back(
+            std::make_unique<io::PeekableReader<T>>(context, runs[i]));
+      }
+      // One block per input run plus the output writer's block —
+      // reserved after the readers open so their optional prefetch
+      // rings claim budget first (the clamp absorbs the difference).
+      const auto blocks = ReserveMergeBlocks(context, end - group + 1);
+      const std::string out_path = context->NewTempPath("mergerun");
+      LoserTree<T, Less> tree(std::move(inputs), less);
+      io::RecordWriter<T> writer(context, out_path);
+      DrainMerge(&tree, &writer, less, dedup);
+      writer.Finish();
+      next_runs.push_back(out_path);
+      for (std::size_t i = group; i < end; ++i) {
+        context->temp_files().Remove(runs[i]);
+      }
+    }
+    runs = std::move(next_runs);
+  }
+  if (runs.size() == 1) {
+    // A single stream's block buffer is within the io layer's
+    // unreserved per-stream convention; no merge reservation needed.
+    SinkAppendAllRecords<T>(context, runs[0], sink);
+    context->temp_files().Remove(runs[0]);
+    return;
+  }
+  ++info->merge_passes;
+  std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs;
+  inputs.reserve(runs.size());
+  for (const auto& run : runs) {
+    inputs.push_back(std::make_unique<io::PeekableReader<T>>(context, run));
+  }
+  // Reserved after the readers open — see the intermediate-pass note.
+  const auto blocks = ReserveMergeBlocks(context, runs.size());
+  LoserTree<T, Less> tree(std::move(inputs), less);
+  DrainMerge(&tree, &sink, less, dedup);
+  for (const auto& run : runs) context->temp_files().Remove(run);
 }
 
 }  // namespace internal
 
-// One-shot external sort of `input_path` into `output_path`.
+// Fused external sort: sorts `input_path` and drains the result into
+// `sink` instead of a file. The consumer sees the records in sorted
+// order exactly once, during the final merge pass (or straight from the
+// run buffer when the input fits in memory), so the stage costs
+// sort(n) minus a full write+read of the output versus SortFile + scan.
+// If `dedup` is true, records equal under Less (neither compares before
+// the other) are collapsed to one.
+template <typename T, typename Less, RecordSinkFor<T> S>
+SortRunInfo SortInto(io::IoContext* context, const std::string& input_path,
+                     S& sink, Less less, bool dedup = false) {
+  SortRunInfo info;
+  auto formed = internal::FormRuns<T>(context, input_path, less, dedup, &info);
+  if (formed.in_memory) {
+    // Hold the resident run's bytes as a reservation while the sink
+    // consumes it, so a downstream structure that sizes itself
+    // mid-drain (a chained SortingWriter) sees the honest remainder.
+    io::ScopedReservation resident_hold(
+        &context->memory(),
+        std::min<std::uint64_t>(formed.resident.size() * sizeof(T),
+                                context->memory().available_bytes()));
+    SinkAppendBatch<T>(sink, formed.resident.data(), formed.resident_count);
+    return info;
+  }
+  internal::MergeRunsInto<T>(context, std::move(formed.runs), sink, less,
+                             dedup, &info);
+  return info;
+}
+
+// One-shot external sort of `input_path` into `output_path` — the
+// materializing adapter over the same run-formation/merge machinery
+// (morally SortInto with a FileSink), kept as a first-class entry point
+// because it preserves the file-only fast path: an input that fits in
+// memory is written once, directly to the output, with no run file or
+// re-scan (the old single-run rename-into-place, made stronger).
 // If `dedup` is true, records equal under Less (neither compares before
 // the other) are collapsed to one — used for V_{i+1} dedup (Alg. 3 l.10)
 // and the Op-mode lazy parallel-edge elimination (§VII).
@@ -247,119 +430,153 @@ SortRunInfo SortFile(io::IoContext* context, const std::string& input_path,
                      const std::string& output_path, Less less,
                      bool dedup = false) {
   SortRunInfo info;
-  // --- Run formation -------------------------------------------------
-  // Batched block reads fill the run buffer; each run is sorted and, when
-  // requested, deduped before it is spilled, so no duplicate ever leaves
-  // the first level.
-  const std::uint64_t run_capacity =
-      context->memory().MaxRecordsInMemory(sizeof(T));
-  std::vector<std::string> runs;
-  {
-    io::RecordReader<T> reader(context, input_path);
-    info.num_records = reader.num_records();
-    const std::size_t capacity = static_cast<std::size_t>(
-        std::min<std::uint64_t>(run_capacity, reader.num_records()));
-    std::vector<T> buffer(capacity);
-    std::size_t got;
-    while (capacity > 0 &&
-           (got = reader.NextBatch(buffer.data(), capacity)) > 0) {
-      std::stable_sort(buffer.begin(), buffer.begin() + got, less);
-      auto end = buffer.begin() + static_cast<std::ptrdiff_t>(got);
-      if (dedup) {
-        end = std::unique(buffer.begin(), end, [&less](const T& a,
-                                                       const T& b) {
-          return !less(a, b) && !less(b, a);
-        });
-      }
-      const std::string run_path = context->NewTempPath("sortrun");
-      io::RecordWriter<T> writer(context, run_path);
-      writer.AppendBatch(buffer.data(),
-                         static_cast<std::size_t>(end - buffer.begin()));
-      writer.Finish();
-      runs.push_back(run_path);
-    }
+  auto formed = internal::FormRuns<T>(context, input_path, less, dedup, &info);
+  if (formed.in_memory) {
+    io::RecordWriter<T> writer(context, output_path);
+    writer.AppendBatch(formed.resident.data(), formed.resident_count);
+    writer.Finish();
+    return info;
   }
-  info.num_runs = runs.size();
-
-  // --- Merge passes ---------------------------------------------------
-  const std::uint64_t fan_in =
-      context->memory().MergeFanIn(context->block_size());
-  while (runs.size() > 1) {
-    ++info.merge_passes;
-    std::vector<std::string> next_runs;
-    for (std::size_t group = 0; group < runs.size(); group += fan_in) {
-      const std::size_t end =
-          std::min(runs.size(), group + static_cast<std::size_t>(fan_in));
-      std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs;
-      inputs.reserve(end - group);
-      for (std::size_t i = group; i < end; ++i) {
-        inputs.push_back(
-            std::make_unique<io::PeekableReader<T>>(context, runs[i]));
-      }
-      const bool last_merge = group == 0 && end == runs.size();
-      const std::string out_path =
-          last_merge ? output_path : context->NewTempPath("mergerun");
-      internal::LoserTree<T, Less> tree(std::move(inputs), less);
-      io::RecordWriter<T> writer(context, out_path);
-      internal::DrainMerge(&tree, &writer, less, dedup);
-      writer.Finish();
-      next_runs.push_back(out_path);
-      for (std::size_t i = group; i < end; ++i) {
-        context->temp_files().Remove(runs[i]);
-      }
-    }
-    runs = std::move(next_runs);
-    if (runs.size() == 1 && runs[0] == output_path) {
-      return info;
-    }
-  }
-
-  if (runs.empty()) {
+  if (formed.runs.empty()) {
     io::RecordWriter<T> writer(context, output_path);
     writer.Finish();
     return info;
   }
-  // Exactly one run straight out of formation: it is already sorted (and
-  // already deduped when requested, since a run is one in-memory buffer),
-  // so rename it into place instead of paying a full read+write scan.
-  // Fall back to a streamed copy if the rename crosses filesystems.
-  if (!context->temp_files().Promote(runs[0], output_path)) {
-    io::CopyAllRecords<T>(context, runs[0], output_path);
-    context->temp_files().Remove(runs[0]);
-  }
+  // Spilled formation always yields >= 2 runs (one run that covers the
+  // whole input takes the in-memory branch above), so this is a real
+  // merge; MergeRunsInto still handles a lone run for other callers.
+  FileSink<T> sink(context, output_path);
+  internal::MergeRunsInto<T>(context, std::move(formed.runs), sink, less,
+                             dedup, &info);
+  sink.Finish();
   return info;
 }
 
-// Accumulating variant: Add() records, then FinishInto() sorts them to a
-// file. Spills runs as the budget fills, so it never holds more than the
-// budget in memory.
+// Accumulating variant: Add() records, then FinishInto() sorts them into
+// a sink or a file. Records buffer in memory up to a budget-derived run
+// capacity and spill as sorted (optionally deduped) runs straight from
+// the add buffer — there is no staging file, so an input that never
+// overflows the buffer reaches a sink with zero I/O and a file with a
+// single output write.
+//
+// Budget discipline: fused pipelines routinely keep two SortingWriters
+// alive at once (an upstream sort draining into a consumer that feeds a
+// downstream sort), so the add buffer is sized lazily — at the first
+// Add(), from *half* of the budget still available — and actually
+// Reserve()d from the MemoryBudget until FinishInto releases it (just
+// before the final merge, whose fan-in then sees the freed budget).
+// Reservations therefore serialize across pipeline stages: a downstream
+// writer whose first record arrives while an upstream buffer is live
+// sizes itself from the honest remainder, and the stacking that would
+// oversubscribe M is bounded by the halving instead of hidden.
 template <typename T, typename Less>
 class SortingWriter {
  public:
   SortingWriter(io::IoContext* context, Less less, bool dedup = false)
-      : context_(context),
-        less_(less),
-        dedup_(dedup),
-        staging_path_(context->NewTempPath("sortstage")),
-        staging_(std::make_unique<io::RecordWriter<T>>(context,
-                                                       staging_path_)) {}
+      : context_(context), less_(less), dedup_(dedup) {}
 
-  void Add(const T& record) { staging_->Append(record); }
+  ~SortingWriter() {
+    ReleaseBuffer();
+    // A writer abandoned before FinishInto (error-path unwinding) must
+    // not strand its spilled runs until IoContext teardown.
+    for (const auto& run : runs_) context_->temp_files().Remove(run);
+  }
 
+  SortingWriter(const SortingWriter&) = delete;
+  SortingWriter& operator=(const SortingWriter&) = delete;
+
+  void Add(const T& record) {
+    DCHECK(!finished_) << "Add after FinishInto";
+    if (capacity_ == 0) ReserveBuffer();
+    // Spill lazily, on the overflowing Add: an input of exactly one
+    // buffer stays resident and never touches disk.
+    if (buffer_.size() >= capacity_) Spill();
+    buffer_.push_back(record);
+    ++num_added_;
+  }
+
+  // Sorts everything added into `sink`. The final merge (or the
+  // still-resident buffer) drains straight into the consumer.
+  template <RecordSinkFor<T> S>
+  SortRunInfo FinishInto(S& sink) {
+    DCHECK(!finished_) << "FinishInto called twice";
+    finished_ = true;
+    SortRunInfo info;
+    info.num_records = num_added_;
+    if (runs_.empty()) {
+      const std::size_t n =
+          internal::SortDedupPrefix(buffer_, buffer_.size(), less_, dedup_);
+      info.num_runs = buffer_.empty() ? 0 : 1;
+      SinkAppendBatch<T>(sink, buffer_.data(), n);
+      ReleaseBuffer();
+      return info;
+    }
+    if (!buffer_.empty()) Spill();
+    ReleaseBuffer();
+    info.num_runs = runs_.size();
+    internal::MergeRunsInto<T>(context_, std::move(runs_), sink, less_,
+                               dedup_, &info);
+    runs_.clear();
+    return info;
+  }
+
+  // File sugar: FinishInto over a FileSink. A single-buffer input is one
+  // sequential output write — no staging round trip.
   SortRunInfo FinishInto(const std::string& output_path) {
-    staging_->Finish();
-    SortRunInfo info =
-        SortFile<T, Less>(context_, staging_path_, output_path, less_, dedup_);
-    context_->temp_files().Remove(staging_path_);
+    FileSink<T> sink(context_, output_path);
+    SortRunInfo info = FinishInto(sink);
+    sink.Finish();
     return info;
   }
 
  private:
+  void ReserveBuffer() {
+    // Half of the remaining budget, floored at two blocks' worth of
+    // records: block granularity is the model's minimum useful unit
+    // (the M >= 2B regime grants every active stream a block, and the
+    // io layer's per-stream block buffers are likewise unreserved), and
+    // without the floor a tight budget mostly claimed by a sibling
+    // (Type-2 dictionary, merge blocks) would collapse this writer into
+    // few-record runs that each cost a whole block write. The
+    // reservation is clamped to what is actually left, so any overshoot
+    // is bounded by ~2 blocks per live writer — never a CHECK-abort.
+    capacity_ = static_cast<std::size_t>(std::max<std::uint64_t>(
+        2 * io::RecordsPerBlock<T>(context_),
+        context_->memory().MaxRecordsInMemory(sizeof(T)) / 2));
+    reserved_bytes_ =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(capacity_) *
+                                    sizeof(T),
+                                context_->memory().available_bytes());
+    context_->memory().Reserve(reserved_bytes_);
+    // Allocate up front: push_back's geometric growth would otherwise
+    // overshoot the reserved bytes by up to 2x.
+    buffer_.reserve(capacity_);
+  }
+
+  void Spill() {
+    const std::size_t n =
+        internal::SortDedupPrefix(buffer_, buffer_.size(), less_, dedup_);
+    runs_.push_back(internal::SpillRun(context_, buffer_.data(), n));
+    buffer_.clear();
+  }
+
+  void ReleaseBuffer() {
+    std::vector<T>().swap(buffer_);  // return the run buffer eagerly
+    if (reserved_bytes_ > 0) {
+      context_->memory().Release(reserved_bytes_);
+      reserved_bytes_ = 0;
+    }
+  }
+
   io::IoContext* context_;
   Less less_;
   bool dedup_;
-  std::string staging_path_;
-  std::unique_ptr<io::RecordWriter<T>> staging_;
+  std::size_t capacity_ = 0;  // sized (and reserved) at the first Add
+  std::uint64_t reserved_bytes_ = 0;
+  std::vector<T> buffer_;
+  std::vector<std::string> runs_;
+  std::uint64_t num_added_ = 0;
+  bool finished_ = false;
 };
 
 // Returns true iff `path` is sorted (and strictly sorted when

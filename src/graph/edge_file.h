@@ -25,6 +25,16 @@ void SortEdgesBySrc(io::IoContext* context, const std::string& input,
 void SortEdgesByDst(io::IoContext* context, const std::string& input,
                     const std::string& output, bool dedup = false);
 
+// Produces both level orderings of `input` in one call: `by_dst_output`
+// gets (dst, src) order (E_in) and `by_src_output` gets (src, dst)
+// order (E_out). When `drop_self_loops`, self-loops are filtered inline
+// during each sort's run formation — the driver's first level uses this
+// instead of writing a filtered copy of E only to sort (and delete) it.
+void SortEdgesBothOrders(io::IoContext* context, const std::string& input,
+                         const std::string& by_dst_output,
+                         const std::string& by_src_output,
+                         bool dedup = false, bool drop_self_loops = false);
+
 // Streams (u, v) -> (v, u) into `output` (the reversed graph of
 // Algorithm 5 line 1 and of Kosaraju's second pass).
 void ReverseEdges(io::IoContext* context, const std::string& input,

@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 
+#include "extsort/external_sorter.h"
 #include "graph/disk_graph.h"
 #include "graph/graph_types.h"
 #include "io/io_context.h"
@@ -34,9 +35,10 @@ class GraphBuilder {
  private:
   io::IoContext* context_;
   std::string edge_path_;
-  std::string node_staging_path_;
   std::unique_ptr<io::RecordWriter<Edge>> edge_writer_;
-  std::unique_ptr<io::RecordWriter<NodeId>> node_writer_;
+  // Endpoints accumulate in a sorting writer (sorted runs spill straight
+  // from its buffer); Finish() drains it into the canonical node file.
+  std::unique_ptr<extsort::SortingWriter<NodeId, NodeIdLess>> node_writer_;
   std::uint64_t edges_added_ = 0;
   bool finished_ = false;
 };

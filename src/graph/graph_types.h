@@ -21,6 +21,11 @@ using SccId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = 0xffffffffu;
 inline constexpr SccId kInvalidScc = 0xffffffffu;
 
+// Canonical order of node files (plain id order).
+struct NodeIdLess {
+  bool operator()(NodeId a, NodeId b) const { return a < b; }
+};
+
 // A directed edge (src -> dst).
 struct Edge {
   NodeId src = 0;

@@ -5,20 +5,14 @@
 
 namespace extscc::graph {
 
-namespace {
-struct NodeLess {
-  bool operator()(NodeId a, NodeId b) const { return a < b; }
-};
-}  // namespace
-
 std::uint64_t CountNodes(io::IoContext* context, const std::string& path) {
   return io::NumRecordsInFile<NodeId>(context, path);
 }
 
 void SortNodeFile(io::IoContext* context, const std::string& input,
                   const std::string& output) {
-  extsort::SortFile<NodeId, NodeLess>(context, input, output, NodeLess(),
-                                      /*dedup=*/true);
+  extsort::SortFile<NodeId, NodeIdLess>(context, input, output, NodeIdLess(),
+                                        /*dedup=*/true);
 }
 
 std::uint64_t NodeFileDifference(io::IoContext* context, const std::string& a,
@@ -44,19 +38,15 @@ std::uint64_t NodeFileDifference(io::IoContext* context, const std::string& a,
 
 void NodesFromEdges(io::IoContext* context, const std::string& edge_path,
                     const std::string& node_output) {
-  const std::string staging = context->NewTempPath("endpoints");
-  {
-    io::RecordReader<Edge> reader(context, edge_path);
-    io::RecordWriter<NodeId> writer(context, staging);
-    Edge e;
-    while (reader.Next(&e)) {
-      writer.Append(e.src);
-      writer.Append(e.dst);
-    }
-    writer.Finish();
-  }
-  SortNodeFile(context, staging, node_output);
-  context->temp_files().Remove(staging);
+  // Endpoints stream straight into a sorting writer — the 2|E|-record
+  // staging file of the stage-per-file form never exists.
+  extsort::SortingWriter<NodeId, NodeIdLess> sorter(context, NodeIdLess{},
+                                                    /*dedup=*/true);
+  io::ForEachRecord<Edge>(context, edge_path, [&](const Edge& e) {
+    sorter.Add(e.src);
+    sorter.Add(e.dst);
+  });
+  sorter.FinishInto(node_output);
 }
 
 bool IsNodeFileCanonical(io::IoContext* context, const std::string& path) {

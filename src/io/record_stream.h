@@ -309,6 +309,24 @@ std::size_t RecordsPerBlock(const IoContext* context) {
   return std::max<std::size_t>(1, context->block_size() / sizeof(T));
 }
 
+// Streams every record of `path` through `fn` with one block-sized
+// batch buffer — the canonical batched scan loop behind the fused
+// pipeline adapters and file utilities. Returns the record count.
+template <typename T, typename Fn>
+std::uint64_t ForEachRecord(IoContext* context, const std::string& path,
+                            Fn fn) {
+  RecordReader<T> reader(context, path);
+  const std::size_t batch = RecordsPerBlock<T>(context);
+  std::vector<T> chunk(batch);
+  std::uint64_t total = 0;
+  std::size_t got;
+  while ((got = reader.NextBatch(chunk.data(), batch)) > 0) {
+    for (std::size_t i = 0; i < got; ++i) fn(chunk[i]);
+    total += got;
+  }
+  return total;
+}
+
 // Convenience: materializes an entire record file into memory.
 // Only for tests and for in-memory base cases whose size was already
 // validated against the memory budget by the caller.

@@ -56,10 +56,4 @@ void TempFileManager::Remove(const std::string& path) {
   fs::remove(path, ec);
 }
 
-bool TempFileManager::Promote(const std::string& from, const std::string& to) {
-  std::error_code ec;
-  fs::rename(from, to, ec);
-  return !ec;
-}
-
 }  // namespace extscc::io

@@ -27,13 +27,6 @@ class TempFileManager {
   // Deletes the file if it exists (ignores missing files).
   void Remove(const std::string& path);
 
-  // Moves `from` into `to` (replacing it), avoiding a read+write copy of
-  // the payload — the external sorter promotes a lone run file into the
-  // output this way. Returns false if the OS rename fails (e.g. the
-  // destination is on a different filesystem); callers then fall back to
-  // a streamed copy.
-  bool Promote(const std::string& from, const std::string& to);
-
   const std::string& dir() const { return dir_; }
 
   void set_keep_files(bool keep) { keep_files_ = keep; }

@@ -262,7 +262,7 @@ TEST(ExternalSortTest, RecordsStraddlingBlockBoundaries) {
   }
 }
 
-TEST(ExternalSortTest, SingleRunPromoteSkipsTheCopyScan) {
+TEST(ExternalSortTest, SingleRunWritesOutputDirectly) {
   auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/4096);
   auto values = RandomValues(10'000, 29, 1u << 30);  // 80 KB: one run
   const std::string in = ctx->NewTempPath("in");
@@ -274,8 +274,8 @@ TEST(ExternalSortTest, SingleRunPromoteSkipsTheCopyScan) {
   const auto delta = ctx->stats() - before;
   EXPECT_EQ(info.num_runs, 1u);
   EXPECT_EQ(info.merge_passes, 0u);
-  // One scan in (the run formation read), one scan out (the run spill);
-  // the promoted rename adds nothing.
+  // One scan in (the run formation read), one scan out (the in-memory
+  // run written straight to the output — no run file, no rename).
   const std::uint64_t file_blocks =
       (values.size() * sizeof(std::uint64_t) + 4095) / 4096;
   EXPECT_EQ(delta.total_reads(), file_blocks);
