@@ -123,6 +123,96 @@ struct U64Less {
   bool operator()(std::uint64_t a, std::uint64_t b) const { return a < b; }
 };
 
+// Keyless twins of the system comparators: same order, no normalized
+// key, so run formation takes the std::stable_sort path — the measured
+// PR-2 baseline for the radix engine.
+struct EdgeBySrcNoKey {
+  bool operator()(const graph::Edge& a, const graph::Edge& b) const {
+    return graph::EdgeBySrc::KeyOf(a) < graph::EdgeBySrc::KeyOf(b);
+  }
+};
+
+struct SccByNodeNoKey {
+  bool operator()(const graph::SccEntry& a, const graph::SccEntry& b) const {
+    return graph::SccEntryByNode::KeyOf(a) < graph::SccEntryByNode::KeyOf(b);
+  }
+};
+
+// Run-formation throughput in isolation (no merge): FormRuns over an
+// input several times the budget, so the loop is exactly the
+// fill → sort → spill stage every external sort starts with.
+// `sort_threads` 0/1 selects serial vs overlapped sort→spill.
+template <typename T, typename Less, typename Gen>
+void RunFormationBench(benchmark::State& state, Less less, Gen gen,
+                       std::size_t sort_threads) {
+  constexpr std::uint64_t kCount = 2'000'000;
+  io::IoContextOptions options;
+  options.block_size = 64 * 1024;
+  options.memory_bytes = 4 << 20;
+  options.sort_threads = sort_threads;
+  auto ctx = std::make_unique<io::IoContext>(options);
+  const std::string in = ctx->NewTempPath("in");
+  {
+    util::Rng rng(21);
+    io::RecordWriter<T> writer(ctx.get(), in);
+    for (std::uint64_t i = 0; i < kCount; ++i) writer.Append(gen(rng));
+  }
+  std::uint64_t num_runs = 0;
+  for (auto _ : state) {
+    extsort::SortRunInfo info;
+    auto formed =
+        extsort::internal::FormRuns<T>(ctx.get(), in, less, false, &info);
+    num_runs = info.num_runs;
+    for (const auto& run : formed.runs) ctx->temp_files().Remove(run);
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+  state.SetBytesProcessed(state.iterations() * kCount * sizeof(T));
+  state.counters["runs"] = static_cast<double>(num_runs);
+}
+
+graph::Edge RandomEdge(util::Rng& rng) {
+  return graph::Edge{static_cast<graph::NodeId>(rng.Uniform(1u << 20)),
+                     static_cast<graph::NodeId>(rng.Uniform(1u << 20))};
+}
+
+graph::SccEntry RandomSccEntry(util::Rng& rng) {
+  return graph::SccEntry{static_cast<graph::NodeId>(rng.Uniform(1u << 20)),
+                         static_cast<graph::SccId>(rng.Uniform(1u << 16))};
+}
+
+// arg0: engine — 0 = stable_sort (keyless baseline), 1 = LSD radix,
+// 2 = radix + overlapped sort→spill pipeline (sort_threads=1).
+void BM_RunFormation(benchmark::State& state) {
+  const int engine = static_cast<int>(state.range(0));
+  const bool scc = state.range(1) != 0;
+  const std::size_t threads = engine == 2 ? 1 : 0;
+  if (scc) {
+    if (engine == 0) {
+      RunFormationBench<graph::SccEntry>(state, SccByNodeNoKey{},
+                                         RandomSccEntry, threads);
+    } else {
+      RunFormationBench<graph::SccEntry>(state, graph::SccEntryByNode{},
+                                         RandomSccEntry, threads);
+    }
+  } else {
+    if (engine == 0) {
+      RunFormationBench<graph::Edge>(state, EdgeBySrcNoKey{}, RandomEdge,
+                                     threads);
+    } else {
+      RunFormationBench<graph::Edge>(state, graph::EdgeBySrc{}, RandomEdge,
+                                     threads);
+    }
+  }
+}
+BENCHMARK(BM_RunFormation)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
+
 // Writes `runs` sorted runs of `run_len` Edge records each (the
 // system's dominant record type); returns paths.
 std::vector<std::string> MakeSortedRuns(io::IoContext* ctx, int runs,

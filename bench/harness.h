@@ -66,30 +66,68 @@ struct PointResult {
 };
 
 // ---- bench flags -----------------------------------------------------
-// Opt-in background prefetch for every machine the bench builds:
-// `--prefetch` on the command line or EXTSCC_BENCH_PREFETCH=1 in the
-// environment. Off by default so the Aggarwal-Vitter accounting stays
-// the paper's; the I/O *counts* are identical either way (the
-// prefetcher only overlaps wall time), so turning it on is only
-// interesting on cold storage where the figure benches' wall column
-// then reflects the read-ahead.
+// Opt-in overlap/striping knobs for every machine the benches build.
+// All default off so the Aggarwal-Vitter accounting stays the paper's:
+//
+//  - `--prefetch` (EXTSCC_BENCH_PREFETCH=1): background read-ahead per
+//    sequential stream. I/O *counts* are identical either way (the
+//    prefetcher only overlaps wall time), so turning it on is only
+//    interesting on cold storage where the figure benches' wall column
+//    then reflects the read-ahead.
+//  - `--sort-threads=N` (EXTSCC_BENCH_SORT_THREADS=N): overlapped run
+//    formation — a worker sorts and spills run buffers while the
+//    producer fills the next (the write-side twin of --prefetch).
+//    Sorted outputs are byte-identical, but unlike --prefetch the I/O
+//    *counts* can shift: file sorts halve their run buffers to
+//    double-buffer, forming ~2x the runs (SortingWriter stages keep
+//    identical geometry). The figure tables stay the paper's only at
+//    the default 0.
+//  - `--scratch-dirs=a,b,...` (EXTSCC_BENCH_SCRATCH_DIRS=a,b): stripe
+//    scratch files round-robin across the listed directories (one per
+//    spindle/NVMe namespace).
 inline bool& PrefetchFlag() {
   static bool enabled = false;
   return enabled;
+}
+
+inline std::size_t& SortThreadsFlag() {
+  static std::size_t threads = 0;
+  return threads;
+}
+
+inline std::vector<std::string>& ScratchDirsFlag() {
+  static std::vector<std::string> dirs;
+  return dirs;
 }
 
 inline void ParseBenchFlags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--prefetch") == 0) {
       PrefetchFlag() = true;
+    } else if (std::strncmp(argv[i], "--sort-threads=", 15) == 0) {
+      SortThreadsFlag() =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 15, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--scratch-dirs=", 15) == 0) {
+      ScratchDirsFlag() = util::SplitCommaList(argv[i] + 15);
     } else {
-      std::fprintf(stderr, "unknown flag %s (supported: --prefetch)\n",
+      std::fprintf(stderr,
+                   "unknown flag %s (supported: --prefetch, "
+                   "--sort-threads=N, --scratch-dirs=a,b,...)\n",
                    argv[i]);
       std::exit(2);
     }
   }
   if (const char* env = std::getenv("EXTSCC_BENCH_PREFETCH")) {
     if (env[0] != '\0' && env[0] != '0') PrefetchFlag() = true;
+  }
+  if (const char* env = std::getenv("EXTSCC_BENCH_SORT_THREADS")) {
+    if (env[0] != '\0') {
+      SortThreadsFlag() =
+          static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    }
+  }
+  if (const char* env = std::getenv("EXTSCC_BENCH_SCRATCH_DIRS")) {
+    if (env[0] != '\0') ScratchDirsFlag() = util::SplitCommaList(env);
   }
 }
 
@@ -98,6 +136,8 @@ inline std::unique_ptr<io::IoContext> MakeMachine(std::uint64_t memory) {
   options.block_size = BlockSize();
   options.memory_bytes = memory;
   options.prefetch = PrefetchFlag();
+  options.sort_threads = SortThreadsFlag();
+  options.scratch_dirs = ScratchDirsFlag();
   return std::make_unique<io::IoContext>(options);
 }
 

@@ -1,10 +1,18 @@
 // extscc_tool — command-line front end over the library's public API.
 //
+//   extscc_tool [--sort-threads=N] [--scratch-dirs=a,b,...] <command> ...
+//
 //   extscc_tool generate <kind> <num_nodes> <out.txt> [seed]
 //       kind: web | massive | large | small | rmat | cycle | dag
 //   extscc_tool solve <edges.txt> <out_labels.txt> [memory_bytes] [basic]
 //   extscc_tool verify <edges.txt> <labels.txt>
 //   extscc_tool condense <edges.txt> <dag_out.txt> [memory_bytes]
+//
+// Global flags (before the command) apply to every machine the tool
+// builds: --sort-threads enables overlapped run formation (labels are
+// byte-identical; I/O counts can shift because file sorts halve their
+// run buffers to double-buffer), --scratch-dirs stripes scratch files
+// round-robin across the listed directories.
 //
 // Text formats: edge lists are "u v" per line; label files are
 // "node scc" per line.
@@ -14,6 +22,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/ext_scc.h"
 #include "gen/classic_graphs.h"
@@ -27,6 +36,7 @@
 #include "scc/condensation.h"
 #include "scc/scc_verify.h"
 #include "scc/semi_external_scc.h"
+#include "util/csv.h"
 
 namespace {
 
@@ -34,7 +44,8 @@ using namespace extscc;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage:\n"
+               "usage: extscc_tool [--sort-threads=N] "
+               "[--scratch-dirs=a,b,...] <command> ...\n"
                "  extscc_tool generate <web|massive|large|small|rmat|cycle|dag> "
                "<num_nodes> <out.txt> [seed]\n"
                "  extscc_tool solve <edges.txt> <labels_out.txt> "
@@ -45,11 +56,17 @@ int Usage() {
   return 2;
 }
 
+// Global flags, parsed (and stripped) ahead of the command word.
+std::size_t g_sort_threads = 0;
+std::vector<std::string> g_scratch_dirs;
+
 io::IoContext MakeContext(std::uint64_t memory_bytes) {
   io::IoContextOptions options;
   options.block_size = 64 * 1024;
   options.memory_bytes =
       std::max<std::uint64_t>(memory_bytes, 2 * options.block_size);
+  options.sort_threads = g_sort_threads;
+  options.scratch_dirs = g_scratch_dirs;
   return io::IoContext(options);
 }
 
@@ -211,6 +228,22 @@ int CmdCondense(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip leading global flags so the Cmd* handlers keep their
+  // positional argv layout.
+  int first = 1;
+  while (first < argc && std::strncmp(argv[first], "--", 2) == 0) {
+    if (std::strncmp(argv[first], "--sort-threads=", 15) == 0) {
+      g_sort_threads = static_cast<std::size_t>(
+          std::strtoull(argv[first] + 15, nullptr, 10));
+    } else if (std::strncmp(argv[first], "--scratch-dirs=", 15) == 0) {
+      g_scratch_dirs = util::SplitCommaList(argv[first] + 15);
+    } else {
+      return Usage();
+    }
+    ++first;
+  }
+  for (int i = first; i < argc; ++i) argv[i - first + 1] = argv[i];
+  argc -= first - 1;
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "generate") return CmdGenerate(argc, argv);

@@ -15,16 +15,10 @@ using graph::NodeId;
 using graph::SccEntry;
 using graph::SccId;
 
-struct SccEntryByScc {
-  bool operator()(const SccEntry& a, const SccEntry& b) const {
-    if (a.scc != b.scc) return a.scc < b.scc;
-    return a.node < b.node;
-  }
-};
-
-struct NodeIdLess {
-  bool operator()(NodeId a, NodeId b) const { return a < b; }
-};
+// The shared keyed orders (graph_types.h) replace the ad-hoc local
+// functors, so the closure's node sorts radix-sort too.
+using SccEntryByScc = graph::SccEntryByScc;
+using NodeIdLess = graph::NodeIdLess;
 
 // Multi-pass reachability closure: grows the node-sorted `seed_path` set
 // along `edges_by_src` (sorted by src) until a pass adds nothing.

@@ -15,12 +15,7 @@ namespace {
 using graph::SccEntry;
 using graph::SccId;
 
-struct SccEntryByScc {
-  bool operator()(const SccEntry& a, const SccEntry& b) const {
-    if (a.scc != b.scc) return a.scc < b.scc;
-    return a.node < b.node;
-  }
-};
+using graph::SccEntryByScc;
 
 // Bucket index for a component of `size`: floor(log2(size)).
 std::size_t BucketIndex(std::uint64_t size) {

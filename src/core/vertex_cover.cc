@@ -26,10 +26,16 @@ struct HalfDegEdge {
   NodeId v = 0;
 };
 
+// Orders by (head, tail). The normalized key (record_traits.h) omits
+// the degree payload like the comparator does; (v, u) determines the
+// record (u's degrees are functions of u), so the order is total on the
+// records that actually occur and the fused E_d sort radix-sorts.
 struct HalfDegEdgeByHead {
+  static std::uint64_t KeyOf(const HalfDegEdge& e) {
+    return extsort::PackKey64(e.v, e.u);
+  }
   bool operator()(const HalfDegEdge& a, const HalfDegEdge& b) const {
-    if (a.v != b.v) return a.v < b.v;
-    return a.u < b.u;
+    return KeyOf(a) < KeyOf(b);
   }
 };
 

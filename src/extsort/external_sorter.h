@@ -39,24 +39,23 @@
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "extsort/radix_sort.h"
 #include "extsort/record_sink.h"
+#include "extsort/run_pipeline.h"
 #include "io/io_context.h"
 #include "io/record_stream.h"
 #include "util/logging.h"
 
 namespace extscc::extsort {
 
-// Diagnostics exposed for tests and the contraction profiler.
-struct SortRunInfo {
-  std::uint64_t num_records = 0;
-  std::uint64_t num_runs = 0;
-  std::uint64_t merge_passes = 0;
-};
+// SortRunInfo (diagnostics) lives in run_pipeline.h with the
+// run-formation internals.
 
 namespace internal {
 
@@ -247,30 +246,6 @@ void DrainMerge(LoserTree<T, Less>* tree, S* sink, Less less, bool dedup) {
   }
 }
 
-// Sorts buffer[0, n) and, when `dedup`, collapses equal-under-Less
-// neighbours; returns the surviving prefix length.
-template <typename T, typename Less>
-std::size_t SortDedupPrefix(std::vector<T>& buffer, std::size_t n, Less less,
-                            bool dedup) {
-  std::stable_sort(buffer.begin(), buffer.begin() + n, less);
-  if (!dedup) return n;
-  auto end = std::unique(
-      buffer.begin(), buffer.begin() + static_cast<std::ptrdiff_t>(n),
-      [&less](const T& a, const T& b) { return !less(a, b) && !less(b, a); });
-  return static_cast<std::size_t>(end - buffer.begin());
-}
-
-// Writes records[0, n) (already sorted/deduped) as a run file.
-template <typename T>
-std::string SpillRun(io::IoContext* context, const T* records,
-                     std::size_t n) {
-  const std::string run_path = context->NewTempPath("sortrun");
-  io::RecordWriter<T> writer(context, run_path);
-  writer.AppendBatch(records, n);
-  writer.Finish();
-  return run_path;
-}
-
 // Run formation over a file. When the entire input fits one run buffer,
 // the sorted records stay resident instead of being spilled — SortInto
 // then feeds the sink from memory (zero extra I/O beyond the input
@@ -290,24 +265,55 @@ RunFormation<T> FormRuns(io::IoContext* context,
   RunFormation<T> out;
   io::RecordReader<T> reader(context, input_path);
   info->num_records = reader.num_records();
-  const std::uint64_t run_capacity =
+  const std::uint64_t full_capacity =
       context->memory().MaxRecordsInMemory(sizeof(T));
+
+  // In-memory fast path: the whole input fits one run buffer, sorts
+  // resident, and never spills — nothing to overlap, and bit-identical
+  // to the serial engine regardless of sort_threads.
+  if (info->num_records <= full_capacity) {
+    const std::size_t capacity = static_cast<std::size_t>(info->num_records);
+    std::vector<T> buffer(capacity);
+    std::size_t got;
+    if (capacity > 0 && (got = reader.NextBatch(buffer.data(), capacity)) > 0) {
+      out.resident_count = SortDedupPrefix(buffer, got, less, dedup);
+      out.resident = std::move(buffer);
+      out.in_memory = true;
+    }
+    info->num_runs = out.in_memory ? 1 : 0;
+    return out;
+  }
+
+  // Spilling path. With sort_threads the budget-sized run buffer is
+  // split into a double-buffered pair of half-size buffers — the
+  // producer fills one while the worker sorts and spills the other —
+  // both Reserve()d for the formation's lifetime (the halves always
+  // fit: full_capacity was derived from the same availability). Run
+  // geometry at sort_threads=0 is exactly the serial engine's.
+  const bool overlap = context->sort_threads() > 0 && full_capacity >= 4;
   const std::size_t capacity = static_cast<std::size_t>(
-      std::min<std::uint64_t>(run_capacity, reader.num_records()));
+      overlap ? full_capacity / 2 : full_capacity);
+  std::optional<io::ScopedReservation> active_hold;
+  if (overlap) {
+    active_hold.emplace(
+        &context->memory(),
+        std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(capacity) * sizeof(T),
+            context->memory().available_bytes()));
+  }
+  RunSpillPipeline<T, Less> pipeline(context, less, dedup,
+                                     overlap ? capacity : 0);
   std::vector<T> buffer(capacity);
   std::size_t got;
-  while (capacity > 0 &&
-         (got = reader.NextBatch(buffer.data(), capacity)) > 0) {
-    const std::size_t n = SortDedupPrefix(buffer, got, less, dedup);
-    if (out.runs.empty() && got == info->num_records) {
-      out.in_memory = true;
-      out.resident_count = n;
-      out.resident = std::move(buffer);
-      break;
-    }
-    out.runs.push_back(SpillRun(context, buffer.data(), n));
+  while ((got = reader.NextBatch(buffer.data(), capacity)) > 0) {
+    buffer = pipeline.SubmitAndAcquire(std::move(buffer), got);
+    // Recycled buffers keep their size (contents stale, about to be
+    // overwritten); only the pipeline's pristine second buffer arrives
+    // empty, so this value-initializes at most once per sort.
+    if (buffer.size() < capacity) buffer.resize(capacity);
   }
-  info->num_runs = out.in_memory ? 1 : out.runs.size();
+  out.runs = pipeline.Finish();
+  info->num_runs = out.runs.size();
   return out;
 }
 
@@ -469,6 +475,14 @@ SortRunInfo SortFile(io::IoContext* context, const std::string& input_path,
 // writer whose first record arrives while an upstream buffer is live
 // sizes itself from the honest remainder, and the stacking that would
 // oversubscribe M is bounded by the halving instead of hidden.
+//
+// With IoContextOptions::sort_threads > 0 the writer double-buffers:
+// spills trade the full add buffer to a RunSpillPipeline worker (which
+// sorts and spills it off-thread) for an equal-capacity empty buffer,
+// so Add() keeps streaming while the previous run writes. The second
+// buffer is reserved by the pipeline for the writer's lifetime, clamped
+// — when the remaining budget cannot cover it the writer degrades to
+// the serial spill with identical run geometry.
 template <typename T, typename Less>
 class SortingWriter {
  public:
@@ -479,7 +493,12 @@ class SortingWriter {
     ReleaseBuffer();
     // A writer abandoned before FinishInto (error-path unwinding) must
     // not strand its spilled runs until IoContext teardown.
-    for (const auto& run : runs_) context_->temp_files().Remove(run);
+    if (pipeline_ != nullptr) {
+      for (const auto& run : pipeline_->Finish()) {
+        context_->temp_files().Remove(run);
+      }
+      pipeline_.reset();
+    }
   }
 
   SortingWriter(const SortingWriter&) = delete;
@@ -503,20 +522,22 @@ class SortingWriter {
     finished_ = true;
     SortRunInfo info;
     info.num_records = num_added_;
-    if (runs_.empty()) {
+    if (!spilled_) {
       const std::size_t n =
           internal::SortDedupPrefix(buffer_, buffer_.size(), less_, dedup_);
       info.num_runs = buffer_.empty() ? 0 : 1;
       SinkAppendBatch<T>(sink, buffer_.data(), n);
       ReleaseBuffer();
+      pipeline_.reset();
       return info;
     }
     if (!buffer_.empty()) Spill();
     ReleaseBuffer();
-    info.num_runs = runs_.size();
-    internal::MergeRunsInto<T>(context_, std::move(runs_), sink, less_,
+    std::vector<std::string> runs = pipeline_->Finish();
+    pipeline_.reset();  // joins the worker, releases the second buffer
+    info.num_runs = runs.size();
+    internal::MergeRunsInto<T>(context_, std::move(runs), sink, less_,
                                dedup_, &info);
-    runs_.clear();
     return info;
   }
 
@@ -551,13 +572,21 @@ class SortingWriter {
     // Allocate up front: push_back's geometric growth would otherwise
     // overshoot the reserved bytes by up to 2x.
     buffer_.reserve(capacity_);
+    // The spill stage: serial inline at sort_threads=0; otherwise a
+    // worker plus a second `capacity_` buffer the pipeline reserves
+    // (clamped — a budget that cannot cover it degrades this writer to
+    // the serial spill, with the same run geometry either way).
+    pipeline_ = std::make_unique<internal::RunSpillPipeline<T, Less>>(
+        context_, less_, dedup_, capacity_);
   }
 
   void Spill() {
-    const std::size_t n =
-        internal::SortDedupPrefix(buffer_, buffer_.size(), less_, dedup_);
-    runs_.push_back(internal::SpillRun(context_, buffer_.data(), n));
-    buffer_.clear();
+    spilled_ = true;
+    // Hoisted: as arguments, size() and the move-construction of the
+    // by-value parameter would be indeterminately sequenced.
+    const std::size_t n = buffer_.size();
+    buffer_ = pipeline_->SubmitAndAcquire(std::move(buffer_), n);
+    buffer_.clear();  // recycled contents are stale; capacity is kept
   }
 
   void ReleaseBuffer() {
@@ -574,8 +603,9 @@ class SortingWriter {
   std::size_t capacity_ = 0;  // sized (and reserved) at the first Add
   std::uint64_t reserved_bytes_ = 0;
   std::vector<T> buffer_;
-  std::vector<std::string> runs_;
+  std::unique_ptr<internal::RunSpillPipeline<T, Less>> pipeline_;
   std::uint64_t num_added_ = 0;
+  bool spilled_ = false;  // any run left the add buffer
   bool finished_ = false;
 };
 

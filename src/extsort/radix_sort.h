@@ -1,0 +1,130 @@
+// LSD radix sort over normalized record keys (record_traits.h).
+//
+// Run formation sorts one budget-sized buffer per run; with a
+// normalized key that sort needs no comparisons at all. The sorter here
+// is a classic least-significant-byte radix sort with two structural
+// optimizations that matter on this system's key distributions:
+//
+//  - One histogram pre-pass computes the byte histograms of ALL key
+//    bytes in a single scan, so each of the up-to-sizeof(Key) scatter
+//    passes starts from ready counts.
+//  - A pass whose histogram has a single occupied bucket is skipped
+//    outright. Node ids are dense small integers (a 10^6-node graph
+//    touches 20 of the 64 key bits), so typically 5 of 8 passes on an
+//    Edge key vanish — the sort degrades gracefully toward O(n) as the
+//    key range shrinks.
+//
+// Counting-sort passes are stable, so the whole sort is stable: records
+// with equal keys keep their arrival order, exactly matching
+// std::stable_sort under a comparator that agrees with the key (the
+// RecordKeyTraits contract). Run contents are therefore byte-identical
+// to the stable_sort path — the radix engine changes CPU time, never
+// the I/O model or the output bytes.
+//
+// Memory: one scratch buffer of n records, alive only during the call —
+// the same transient working set std::stable_sort's internal temporary
+// buffer already used on this path, so run geometry and the
+// MemoryBudget accounting are unchanged.
+#ifndef EXTSCC_EXTSORT_RADIX_SORT_H_
+#define EXTSCC_EXTSORT_RADIX_SORT_H_
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "extsort/record_traits.h"
+
+namespace extscc::extsort {
+
+// Below this count the histogram setup costs more than the comparison
+// sort it replaces; both branches produce the identical stable order.
+inline constexpr std::size_t kRadixMinRecords = 128;
+
+// Stable LSD radix sort of buffer[0, n) by the normalized key of Less.
+// `scratch` is resized to n and used as the ping-pong buffer; pass a
+// reusable vector to amortize the allocation across runs.
+template <typename T, typename Less>
+  requires RadixSortable<Less, T>
+void LsdRadixSort(T* data, std::size_t n, std::vector<T>& scratch) {
+  using Traits = RecordKeyTraits<Less, T>;
+  using Key = RecordKey<Less, T>;
+  constexpr std::size_t kPasses = sizeof(Key);
+  if (n < 2) return;
+  // u32 histograms: buffers beyond 2^32 records cannot occur under any
+  // realistic budget, but degrade rather than overflow if they do.
+  if (n < kRadixMinRecords || n > 0xffffffffu) {
+    std::stable_sort(data, data + n, Less{});
+    return;
+  }
+  if (scratch.size() < n) scratch.resize(n);
+
+  // Histogram pre-pass: all byte positions in one scan.
+  std::array<std::array<std::uint32_t, 256>, kPasses> hist{};
+  for (std::size_t i = 0; i < n; ++i) {
+    Key key = Traits::KeyOf(data[i]);
+    for (std::size_t b = 0; b < kPasses; ++b) {
+      ++hist[b][static_cast<std::uint8_t>(key)];
+      key >>= 8;
+    }
+  }
+
+  T* src = data;
+  T* dst = scratch.data();
+  for (std::size_t b = 0; b < kPasses; ++b) {
+    const auto& counts = hist[b];
+    // Skip a pass whose byte is constant across the buffer — its
+    // scatter would be a full copy that reorders nothing (the common
+    // case for high key bytes of dense node-id ranges).
+    std::size_t occupied = 0;
+    for (std::uint32_t v = 0; v < 256 && occupied <= 1; ++v) {
+      if (counts[v] != 0) ++occupied;
+    }
+    if (occupied <= 1) continue;
+
+    std::array<std::uint32_t, 256> offsets;
+    std::uint32_t sum = 0;
+    for (std::uint32_t v = 0; v < 256; ++v) {
+      offsets[v] = sum;
+      sum += counts[v];
+    }
+    const unsigned shift = static_cast<unsigned>(b * 8);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto byte =
+          static_cast<std::uint8_t>(Traits::KeyOf(src[i]) >> shift);
+      dst[offsets[byte]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != data) std::memcpy(data, src, n * sizeof(T));
+}
+
+// Stable sort of buffer[0, n) under Less: the radix path when the
+// comparator exposes a normalized key, std::stable_sort otherwise.
+// The single sort entry point for run formation (run_pipeline.h) —
+// both branches produce the identical record order. `scratch` is the
+// radix ping-pong buffer; run-spilling loops pass a persistent vector
+// so the allocation amortizes across every run of a sort.
+template <typename T, typename Less>
+void StableSortRecords(T* data, std::size_t n, Less less,
+                       std::vector<T>& scratch) {
+  if constexpr (RadixSortable<Less, T>) {
+    LsdRadixSort<T, Less>(data, n, scratch);
+    (void)less;
+  } else {
+    std::stable_sort(data, data + n, less);
+  }
+}
+
+// One-shot convenience (resident single-run sorts): transient scratch.
+template <typename T, typename Less>
+void StableSortRecords(T* data, std::size_t n, Less less) {
+  std::vector<T> scratch;
+  StableSortRecords(data, n, less, scratch);
+}
+
+}  // namespace extscc::extsort
+
+#endif  // EXTSCC_EXTSORT_RADIX_SORT_H_

@@ -1,0 +1,88 @@
+// Normalized sort keys for fixed-width record types.
+//
+// Every hot comparator in the system orders records by a tuple of
+// unsigned fields compared most-significant first — (src, dst),
+// (dst, src), (node, scc), plain node ids. Each such order can be
+// *normalized*: packed into one unsigned integer whose natural `<` is
+// exactly the comparator's order (byte-lexicographic over the packed
+// big-endian field bytes). A normalized key buys two things:
+//
+//  1. Run formation can LSD-radix-sort the key bytes (radix_sort.h)
+//     instead of calling std::stable_sort's comparator O(n log n)
+//     times — the dominant CPU cost of every external sort now that
+//     merging is the fast path.
+//  2. The comparators themselves become a single integer compare
+//     (one subtraction instead of two data-dependent branches), which
+//     also shortens the loser tree's per-record dependency chain.
+//
+// A comparator opts in by exposing a static `KeyOf(record)` returning
+// an unsigned integer, with the contract
+//
+//     less(a, b)  ==  KeyOf(a) < KeyOf(b)      (for all a, b)
+//
+// i.e. key order IS the comparator order — not merely a prefix of it.
+// Orders that ignore trailing record fields (DegreeEntryByNode orders
+// by node only) satisfy the contract with a partial key as long as the
+// comparator ignores those fields too; stable sorting then preserves
+// the arrival order of key-equal records exactly like std::stable_sort.
+//
+// RecordKeyTraits<Less, T> is the vocabulary consumed by the sorter:
+// the primary template auto-detects a nested `Less::KeyOf`; orders
+// whose comparator type cannot be modified can specialize the trait
+// instead. `RadixSortable<Less, T>` gates the radix path; everything
+// else falls back to std::stable_sort with the comparator.
+#ifndef EXTSCC_EXTSORT_RECORD_TRAITS_H_
+#define EXTSCC_EXTSORT_RECORD_TRAITS_H_
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+namespace extscc::extsort {
+
+// Detects `Less::KeyOf(const T&) -> unsigned integral`.
+template <typename Less, typename T>
+concept HasKeyOfMember = requires(const T& record) {
+  { Less::KeyOf(record) } -> std::unsigned_integral;
+};
+
+// The trait the sorter consumes. Specialize for comparator types that
+// cannot carry a KeyOf member themselves; the primary template forwards
+// to the comparator's own static KeyOf when it has one.
+template <typename Less, typename T>
+struct RecordKeyTraits {
+  static constexpr bool has_key = HasKeyOfMember<Less, T>;
+
+  static constexpr auto KeyOf(const T& record)
+    requires HasKeyOfMember<Less, T>
+  {
+    return Less::KeyOf(record);
+  }
+};
+
+// True when run formation may radix-sort (T, Less) on the normalized
+// key instead of comparison-sorting.
+template <typename Less, typename T>
+concept RadixSortable =
+    std::is_trivially_copyable_v<T> && RecordKeyTraits<Less, T>::has_key &&
+    requires(const T& record) {
+      { RecordKeyTraits<Less, T>::KeyOf(record) } -> std::unsigned_integral;
+    };
+
+// Key type of a radix-sortable pair.
+template <typename Less, typename T>
+  requires RadixSortable<Less, T>
+using RecordKey =
+    decltype(RecordKeyTraits<Less, T>::KeyOf(std::declval<const T&>()));
+
+// Packs a (major, minor) u32 pair into the u64 whose natural order is
+// the lexicographic (major, minor) order — the normalization used by
+// every two-field record order (edges both ways, SCC entries).
+constexpr std::uint64_t PackKey64(std::uint32_t major, std::uint32_t minor) {
+  return (static_cast<std::uint64_t>(major) << 32) |
+         static_cast<std::uint64_t>(minor);
+}
+
+}  // namespace extscc::extsort
+
+#endif  // EXTSCC_EXTSORT_RECORD_TRAITS_H_

@@ -13,6 +13,8 @@
 #include <functional>
 #include <string>
 
+#include "extsort/record_traits.h"
+
 namespace extscc::graph {
 
 using NodeId = std::uint32_t;
@@ -21,8 +23,16 @@ using SccId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = 0xffffffffu;
 inline constexpr SccId kInvalidScc = 0xffffffffu;
 
+// Every order below is expressed through its normalized sort key
+// (extsort/record_traits.h): `KeyOf` packs the compared fields,
+// most-significant first, into one unsigned integer whose natural `<`
+// IS the order. The comparators compare keys — a single integer
+// compare instead of a branchy field cascade — and run formation
+// radix-sorts the key bytes (extsort/radix_sort.h).
+
 // Canonical order of node files (plain id order).
 struct NodeIdLess {
+  static NodeId KeyOf(NodeId id) { return id; }
   bool operator()(NodeId a, NodeId b) const { return a < b; }
 };
 
@@ -36,17 +46,21 @@ struct Edge {
 
 // Orders by (src, dst) — the paper's E_out layout (grouped by tail).
 struct EdgeBySrc {
+  static std::uint64_t KeyOf(const Edge& e) {
+    return extsort::PackKey64(e.src, e.dst);
+  }
   bool operator()(const Edge& a, const Edge& b) const {
-    if (a.src != b.src) return a.src < b.src;
-    return a.dst < b.dst;
+    return KeyOf(a) < KeyOf(b);
   }
 };
 
 // Orders by (dst, src) — the paper's E_in layout (grouped by head).
 struct EdgeByDst {
+  static std::uint64_t KeyOf(const Edge& e) {
+    return extsort::PackKey64(e.dst, e.src);
+  }
   bool operator()(const Edge& a, const Edge& b) const {
-    if (a.dst != b.dst) return a.dst < b.dst;
-    return a.src < b.src;
+    return KeyOf(a) < KeyOf(b);
   }
 };
 
@@ -67,9 +81,13 @@ struct DegreeEntry {
   }
 };
 
+// Orders by node only: the key deliberately omits the degree payload,
+// matching the comparator (key-equal entries keep arrival order under
+// the stable sorts, exactly as with std::stable_sort).
 struct DegreeEntryByNode {
+  static NodeId KeyOf(const DegreeEntry& e) { return e.node; }
   bool operator()(const DegreeEntry& a, const DegreeEntry& b) const {
-    return a.node < b.node;
+    return KeyOf(a) < KeyOf(b);
   }
 };
 
@@ -82,9 +100,22 @@ struct SccEntry {
 };
 
 struct SccEntryByNode {
+  static std::uint64_t KeyOf(const SccEntry& e) {
+    return extsort::PackKey64(e.node, e.scc);
+  }
   bool operator()(const SccEntry& a, const SccEntry& b) const {
-    if (a.node != b.node) return a.node < b.node;
-    return a.scc < b.scc;
+    return KeyOf(a) < KeyOf(b);
+  }
+};
+
+// Orders by (scc, node) — groups each component's members (per-SCC
+// statistics, bow-tie classification).
+struct SccEntryByScc {
+  static std::uint64_t KeyOf(const SccEntry& e) {
+    return extsort::PackKey64(e.scc, e.node);
+  }
+  bool operator()(const SccEntry& a, const SccEntry& b) const {
+    return KeyOf(a) < KeyOf(b);
   }
 };
 

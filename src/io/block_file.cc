@@ -141,6 +141,7 @@ BlockFile::BlockFile(IoContext* context, const std::string& path,
   CHECK_GE(end, 0) << "lseek(" << path << ") failed";
   size_bytes_ = static_cast<std::uint64_t>(end);
   if (mode == OpenMode::kTruncateWrite) {
+    std::lock_guard<std::mutex> lock(context_->stats_mutex());
     context_->stats().files_created += 1;
   }
 }
@@ -186,13 +187,20 @@ std::size_t BlockFile::PreadBlock(std::uint64_t block_index, void* buf) {
 }
 
 void BlockFile::CountRead(std::uint64_t block_index, std::size_t bytes) {
+  // Sequential/random classification is per-file state (one thread per
+  // open file); only the shared IoStats needs the context lock — a
+  // sort_threads spill worker counts its run writes concurrently with
+  // the producer's input reads.
+  const bool sequential =
+      static_cast<std::int64_t>(block_index) == last_read_block_ + 1;
+  last_read_block_ = static_cast<std::int64_t>(block_index);
+  std::lock_guard<std::mutex> lock(context_->stats_mutex());
   IoStats& stats = context_->stats();
-  if (static_cast<std::int64_t>(block_index) == last_read_block_ + 1) {
+  if (sequential) {
     stats.sequential_reads += 1;
   } else {
     stats.random_reads += 1;
   }
-  last_read_block_ = static_cast<std::int64_t>(block_index);
   stats.bytes_read += bytes;
   context_->OnIo();
 }
@@ -231,15 +239,18 @@ void BlockFile::WriteBlock(std::uint64_t block_index, const void* data,
     done += static_cast<std::size_t>(n);
   }
   size_bytes_ = std::max(size_bytes_, offset + bytes);
+  // Re-writing the same (tail) block counts as sequential append traffic.
+  const bool sequential =
+      static_cast<std::int64_t>(block_index) == last_write_block_ + 1 ||
+      static_cast<std::int64_t>(block_index) == last_write_block_;
+  last_write_block_ = static_cast<std::int64_t>(block_index);
+  std::lock_guard<std::mutex> lock(context_->stats_mutex());
   IoStats& stats = context_->stats();
-  if (static_cast<std::int64_t>(block_index) == last_write_block_ + 1 ||
-      static_cast<std::int64_t>(block_index) == last_write_block_) {
-    // Re-writing the same (tail) block counts as sequential append traffic.
+  if (sequential) {
     stats.sequential_writes += 1;
   } else {
     stats.random_writes += 1;
   }
-  last_write_block_ = static_cast<std::int64_t>(block_index);
   stats.bytes_written += bytes;
   context_->OnIo();
 }

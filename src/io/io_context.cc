@@ -7,7 +7,7 @@ namespace extscc::io {
 IoContext::IoContext(const IoContextOptions& options)
     : options_(options),
       memory_(options.memory_bytes),
-      temp_files_(options.temp_parent_dir) {
+      temp_files_(options.temp_parent_dir, options.scratch_dirs) {
   CHECK_GE(options.memory_bytes, 2 * options.block_size)
       << "external-memory model requires M >= 2B";
   temp_files_.set_keep_files(options.keep_temp_files);
@@ -15,7 +15,7 @@ IoContext::IoContext(const IoContextOptions& options)
 
 void IoContext::OnIo() {
   if (options_.io_budget > 0 && stats_.total_ios() > options_.io_budget) {
-    io_budget_exceeded_ = true;
+    io_budget_exceeded_.store(true, std::memory_order_relaxed);
   }
 }
 

@@ -5,10 +5,13 @@
 #ifndef EXTSCC_IO_IO_CONTEXT_H_
 #define EXTSCC_IO_IO_CONTEXT_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "io/io_stats.h"
 #include "io/memory_budget.h"
@@ -44,8 +47,27 @@ struct IoContextOptions {
   // unprefetched when the budget cannot cover it.
   std::size_t prefetch_depth = 2;
 
+  // Overlapped run formation: when > 0, every run-forming sort (FormRuns
+  // behind SortFile/SortInto, SortingWriter) hands full buffers to one
+  // background worker that sorts and spills them while the producer
+  // fills the other buffer of a double-buffered pair — the write-side
+  // twin of the read prefetcher. 0 (the default) keeps run formation
+  // serial, so the Aggarwal-Vitter accounting and the run geometry are
+  // bit-identical to the single-threaded engine. Values > 1 are
+  // reserved and currently behave like 1 (a single worker). Stages
+  // degrade to the serial path per sort whenever the MemoryBudget
+  // cannot cover a second run buffer.
+  std::size_t sort_threads = 0;
+
   // Scratch directory parent ("" = $TMPDIR or /tmp).
   std::string temp_parent_dir;
+
+  // Multi-disk scratch striping: when non-empty, the TempFileManager
+  // creates one session directory under each listed parent and assigns
+  // new scratch files round-robin across them (one entry per
+  // spindle/NVMe namespace), so merge passes read runs from independent
+  // devices. Overrides temp_parent_dir.
+  std::vector<std::string> scratch_dirs;
 
   // Keep scratch files on destruction (debugging aid).
   bool keep_temp_files = false;
@@ -62,9 +84,16 @@ class IoContext {
 
   bool prefetch_enabled() const { return options_.prefetch; }
   std::size_t prefetch_depth() const { return options_.prefetch_depth; }
+  std::size_t sort_threads() const { return options_.sort_threads; }
 
+  // The stats object itself; with sort_threads > 0 a spill worker and
+  // the producing thread count I/Os concurrently, so all mutation (and
+  // any read racing a live sort) must hold stats_mutex(). BlockFile is
+  // the only mutator; callers snapshotting between phases (no sorter
+  // live) may read without the lock, as before.
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
+  std::mutex& stats_mutex() { return stats_mu_; }
 
   MemoryBudget& memory() { return memory_; }
   TempFileManager& temp_files() { return temp_files_; }
@@ -77,18 +106,25 @@ class IoContext {
   // I/O budget censoring.
   void set_io_budget(std::uint64_t budget) { options_.io_budget = budget; }
   std::uint64_t io_budget() const { return options_.io_budget; }
-  bool io_budget_exceeded() const { return io_budget_exceeded_; }
-  void reset_io_budget_flag() { io_budget_exceeded_ = false; }
+  bool io_budget_exceeded() const {
+    return io_budget_exceeded_.load(std::memory_order_relaxed);
+  }
+  void reset_io_budget_flag() {
+    io_budget_exceeded_.store(false, std::memory_order_relaxed);
+  }
 
-  // Called by BlockFile after every counted I/O.
+  // Called by BlockFile after every counted I/O (under stats_mutex()).
   void OnIo();
 
  private:
   IoContextOptions options_;
   IoStats stats_;
+  std::mutex stats_mu_;
   MemoryBudget memory_;
   TempFileManager temp_files_;
-  bool io_budget_exceeded_ = false;
+  // Atomic: set under stats_mutex() by whichever thread trips the
+  // budget, polled lock-free by the algorithm's main loop.
+  std::atomic<bool> io_budget_exceeded_{false};
 };
 
 }  // namespace extscc::io

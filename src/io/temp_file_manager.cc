@@ -12,7 +12,7 @@ namespace extscc::io {
 
 namespace fs = std::filesystem;
 
-TempFileManager::TempFileManager(const std::string& parent_dir) {
+std::string TempFileManager::CreateSessionDir(const std::string& parent_dir) {
   std::string parent = parent_dir;
   if (parent.empty()) {
     const char* env = std::getenv("TMPDIR");
@@ -26,29 +26,49 @@ TempFileManager::TempFileManager(const std::string& parent_dir) {
                             std::to_string(::getpid()) + "_" +
                             std::to_string(counter++);
     if (fs::create_directories(candidate, ec) && !ec) {
-      dir_ = candidate;
-      return;
+      return candidate;
     }
   }
   LOG_FATAL << "TempFileManager: cannot create scratch directory under "
             << parent;
+  return {};
+}
+
+TempFileManager::TempFileManager(
+    const std::string& parent_dir,
+    const std::vector<std::string>& scratch_parents) {
+  if (scratch_parents.empty()) {
+    dirs_.push_back(CreateSessionDir(parent_dir));
+    return;
+  }
+  dirs_.reserve(scratch_parents.size());
+  for (const auto& parent : scratch_parents) {
+    dirs_.push_back(CreateSessionDir(parent));
+  }
 }
 
 TempFileManager::~TempFileManager() {
-  if (keep_files_) {
-    LOG_INFO << "TempFileManager: keeping scratch files in " << dir_;
-    return;
-  }
-  std::error_code ec;
-  fs::remove_all(dir_, ec);
-  if (ec) {
-    LOG_WARNING << "TempFileManager: failed to remove " << dir_ << ": "
-                << ec.message();
+  for (const auto& dir : dirs_) {
+    if (keep_files_) {
+      LOG_INFO << "TempFileManager: keeping scratch files in " << dir;
+      continue;
+    }
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    if (ec) {
+      LOG_WARNING << "TempFileManager: failed to remove " << dir << ": "
+                  << ec.message();
+    }
   }
 }
 
 std::string TempFileManager::NewPath(const std::string& tag) {
-  return dir_ + "/" + std::to_string(next_id_++) + "_" + tag;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t id = next_id_++;
+  // Round-robin by sequence number: consecutive scratch files (and in
+  // particular consecutive sort runs) land on distinct devices.
+  const std::string& dir = dirs_[id % dirs_.size()];
+  return dir + "/" + std::to_string(id) + "_" + tag;
 }
 
 void TempFileManager::Remove(const std::string& path) {

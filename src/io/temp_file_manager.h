@@ -1,38 +1,58 @@
 // Scratch-file manager. Every intermediate of the external algorithms
 // (edge lists E_in/E_out/E_del/E_pre, node lists V_i, SCC label files,
-// sort runs) is a named scratch file under one session directory, removed
-// when the manager is destroyed unless keep_files is set (useful when
-// debugging a failing property test).
+// sort runs) is a named scratch file under one session directory — or,
+// with multi-disk striping, one session directory per configured
+// scratch parent, with new files assigned round-robin so merge passes
+// pull runs from independent devices. Directories are removed when the
+// manager is destroyed unless keep_files is set (useful when debugging
+// a failing property test).
+//
+// NewPath/Remove are thread-safe: with IoContextOptions::sort_threads
+// the run-formation spill worker names run files concurrently with the
+// producing thread.
 #ifndef EXTSCC_IO_TEMP_FILE_MANAGER_H_
 #define EXTSCC_IO_TEMP_FILE_MANAGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace extscc::io {
 
 class TempFileManager {
  public:
-  // Creates a fresh directory under `parent_dir` (default: $TMPDIR or
-  // /tmp). CHECK-fails if the directory cannot be created.
-  explicit TempFileManager(const std::string& parent_dir = "");
+  // Creates one fresh session directory under each entry of
+  // `scratch_parents`, or a single one under `parent_dir` (default:
+  // $TMPDIR or /tmp) when the list is empty. CHECK-fails if any
+  // directory cannot be created.
+  explicit TempFileManager(const std::string& parent_dir = "",
+                           const std::vector<std::string>& scratch_parents =
+                               {});
   ~TempFileManager();
 
   TempFileManager(const TempFileManager&) = delete;
   TempFileManager& operator=(const TempFileManager&) = delete;
 
-  // Returns a unique path "<dir>/<seq>_<tag>". The file is not created.
+  // Returns a unique path "<dir>/<seq>_<tag>", striping round-robin
+  // across the session directories. The file is not created.
   std::string NewPath(const std::string& tag);
 
   // Deletes the file if it exists (ignores missing files).
   void Remove(const std::string& path);
 
-  const std::string& dir() const { return dir_; }
+  // First (primary) session directory.
+  const std::string& dir() const { return dirs_.front(); }
+  // All session directories, one per scratch parent.
+  const std::vector<std::string>& dirs() const { return dirs_; }
 
   void set_keep_files(bool keep) { keep_files_ = keep; }
 
  private:
-  std::string dir_;
+  std::string CreateSessionDir(const std::string& parent);
+
+  std::vector<std::string> dirs_;
+  std::mutex mu_;
   std::uint64_t next_id_ = 0;
   bool keep_files_ = false;
 };

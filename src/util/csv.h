@@ -35,6 +35,10 @@ std::string FormatDouble(double value, int digits);
 // 12345678 -> "12,345,678" (easier to eyeball I/O counts).
 std::string FormatCount(std::uint64_t value);
 
+// "a,b,,c" -> {"a", "b", "c"}: comma-separated list flag values
+// (--scratch-dirs in the benches and extscc_tool); empty segments drop.
+std::vector<std::string> SplitCommaList(const std::string& text);
+
 }  // namespace extscc::util
 
 #endif  // EXTSCC_UTIL_CSV_H_

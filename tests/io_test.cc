@@ -93,6 +93,35 @@ TEST(TempFileManagerTest, CreatesUniquePathsAndCleansUp) {
   EXPECT_FALSE(std::filesystem::exists(dir)) << "dir removed on destruction";
 }
 
+TEST(TempFileManagerTest, StripesRoundRobinAcrossScratchDirs) {
+  namespace fs = std::filesystem;
+  const std::string parent_a = fs::temp_directory_path() / "extscc_stripe_a";
+  const std::string parent_b = fs::temp_directory_path() / "extscc_stripe_b";
+  fs::create_directories(parent_a);
+  fs::create_directories(parent_b);
+  std::vector<std::string> session_dirs;
+  {
+    io::TempFileManager manager("", {parent_a, parent_b});
+    ASSERT_EQ(manager.dirs().size(), 2u);
+    session_dirs = manager.dirs();
+    EXPECT_EQ(session_dirs[0].rfind(parent_a, 0), 0u);
+    EXPECT_EQ(session_dirs[1].rfind(parent_b, 0), 0u);
+    // Consecutive paths alternate devices; names stay unique.
+    const std::string p0 = manager.NewPath("run");
+    const std::string p1 = manager.NewPath("run");
+    const std::string p2 = manager.NewPath("run");
+    EXPECT_EQ(p0.rfind(session_dirs[0], 0), 0u);
+    EXPECT_EQ(p1.rfind(session_dirs[1], 0), 0u);
+    EXPECT_EQ(p2.rfind(session_dirs[0], 0), 0u);
+    EXPECT_NE(p0, p2);
+  }
+  for (const auto& dir : session_dirs) {
+    EXPECT_FALSE(fs::exists(dir)) << "session dirs removed on destruction";
+  }
+  fs::remove_all(parent_a);
+  fs::remove_all(parent_b);
+}
+
 // ---------------- BlockFile ----------------------------------------------
 
 TEST(BlockFileTest, RoundTripAndSize) {
