@@ -6,6 +6,7 @@
 #ifndef EXTSCC_BENCH_HARNESS_H_
 #define EXTSCC_BENCH_HARNESS_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +40,11 @@ struct AlgoResult {
   std::uint64_t bytes = 0;
   std::uint64_t sccs = 0;
   std::uint32_t levels = 0;  // Ext-SCC contraction levels
+  // Parallel-bandwidth view: the busiest device's I/O count (the phase's
+  // critical path when devices operate independently) and the per-device
+  // breakdown as "name=ios|name=ios" (idle devices omitted).
+  std::uint64_t max_dev_ios = 0;
+  std::string device_ios;
 
   void FillFromStats(const io::IoStats& delta, double wall) {
     wall_seconds = wall;
@@ -47,6 +53,21 @@ struct AlgoResult {
     bytes = delta.bytes_read + delta.bytes_written;
     seconds = static_cast<double>(bytes) / kSeqBytesPerSecond +
               static_cast<double>(random_ios) * kSeekSeconds;
+  }
+
+  void FillFromDeviceStats(
+      const std::vector<io::IoContext::DeviceStatsRow>& before,
+      const std::vector<io::IoContext::DeviceStatsRow>& after) {
+    max_dev_ios = 0;
+    device_ios.clear();
+    for (std::size_t i = 0; i < after.size(); ++i) {
+      const io::IoStats delta = after[i].stats - before[i].stats;
+      const std::uint64_t dev_ios = delta.total_ios();
+      if (dev_ios == 0) continue;
+      max_dev_ios = std::max(max_dev_ios, dev_ios);
+      if (!device_ios.empty()) device_ios += '|';
+      device_ios += after[i].name + "=" + std::to_string(dev_ios);
+    }
   }
 
   std::string TimeCell() const {
@@ -85,6 +106,15 @@ struct PointResult {
 //  - `--scratch-dirs=a,b,...` (EXTSCC_BENCH_SCRATCH_DIRS=a,b): stripe
 //    scratch files round-robin across the listed directories (one per
 //    spindle/NVMe namespace).
+//  - `--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]`
+//    (EXTSCC_BENCH_DEVICE_MODEL): what backs the scratch devices —
+//    real files, RAM (page-cache-free microbenches), or throttled files
+//    (simulated spindles so multi-device speedup shows without real
+//    hardware). Block accounting is identical across models.
+//  - `--placement=rr|spread` (EXTSCC_BENCH_PLACEMENT): scratch device
+//    assignment — round-robin (default, byte-identical tables) or
+//    spread-group (a merge group's runs on distinct devices by
+//    construction).
 inline bool& PrefetchFlag() {
   static bool enabled = false;
   return enabled;
@@ -100,6 +130,33 @@ inline std::vector<std::string>& ScratchDirsFlag() {
   return dirs;
 }
 
+inline io::DeviceModelSpec& DeviceModelFlag() {
+  static io::DeviceModelSpec spec;
+  return spec;
+}
+
+inline io::PlacementPolicy& PlacementFlag() {
+  static io::PlacementPolicy policy = io::PlacementPolicy::kRoundRobin;
+  return policy;
+}
+
+inline void ParsePlacementOrDie(const char* text) {
+  const std::string error = io::ParsePlacementSpec(text, &PlacementFlag());
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::exit(2);
+  }
+}
+
+inline void ParseDeviceModelOrDie(const char* text) {
+  const std::string error =
+      io::ParseDeviceModelSpec(text, &DeviceModelFlag());
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    std::exit(2);
+  }
+}
+
 inline void ParseBenchFlags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--prefetch") == 0) {
@@ -109,10 +166,16 @@ inline void ParseBenchFlags(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(argv[i] + 15, nullptr, 10));
     } else if (std::strncmp(argv[i], "--scratch-dirs=", 15) == 0) {
       ScratchDirsFlag() = util::SplitCommaList(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--device-model=", 15) == 0) {
+      ParseDeviceModelOrDie(argv[i] + 15);
+    } else if (std::strncmp(argv[i], "--placement=", 12) == 0) {
+      ParsePlacementOrDie(argv[i] + 12);
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --prefetch, "
-                   "--sort-threads=N, --scratch-dirs=a,b,...)\n",
+                   "--sort-threads=N, --scratch-dirs=a,b,..., "
+                   "--device-model=posix|mem|throttled[:lat_us[:mb_per_s]], "
+                   "--placement=rr|spread)\n",
                    argv[i]);
       std::exit(2);
     }
@@ -129,6 +192,21 @@ inline void ParseBenchFlags(int argc, char** argv) {
   if (const char* env = std::getenv("EXTSCC_BENCH_SCRATCH_DIRS")) {
     if (env[0] != '\0') ScratchDirsFlag() = util::SplitCommaList(env);
   }
+  if (const char* env = std::getenv("EXTSCC_BENCH_DEVICE_MODEL")) {
+    if (env[0] != '\0') ParseDeviceModelOrDie(env);
+  }
+  if (const char* env = std::getenv("EXTSCC_BENCH_PLACEMENT")) {
+    if (env[0] != '\0') ParsePlacementOrDie(env);
+  }
+  // Reject a typo'd scratch list here, with the offending directory
+  // named, instead of CHECK-failing deep inside the TempFileManager's
+  // session-dir creation.
+  const std::string error =
+      io::ValidateScratchConfig(DeviceModelFlag(), ScratchDirsFlag());
+  if (!error.empty()) {
+    std::fprintf(stderr, "--scratch-dirs: %s\n", error.c_str());
+    std::exit(2);
+  }
 }
 
 inline std::unique_ptr<io::IoContext> MakeMachine(std::uint64_t memory) {
@@ -138,6 +216,8 @@ inline std::unique_ptr<io::IoContext> MakeMachine(std::uint64_t memory) {
   options.prefetch = PrefetchFlag();
   options.sort_threads = SortThreadsFlag();
   options.scratch_dirs = ScratchDirsFlag();
+  options.device_model = DeviceModelFlag();
+  options.scratch_placement = PlacementFlag();
   return std::make_unique<io::IoContext>(options);
 }
 
@@ -147,12 +227,14 @@ inline AlgoResult RunExtPoint(const WorkloadFactory& workload,
   const auto g = workload(ctx.get());
   const std::string out = ctx->NewTempPath("scc");
   const io::IoStats before = ctx->stats();
+  const auto dev_before = ctx->DeviceStats();
   util::Timer timer;
   auto result = core::RunExtScc(ctx.get(), g, out,
                                 op_mode ? core::ExtSccOptions::Optimized()
                                         : core::ExtSccOptions::Basic());
   AlgoResult algo;
   algo.FillFromStats(ctx->stats() - before, timer.ElapsedSeconds());
+  algo.FillFromDeviceStats(dev_before, ctx->DeviceStats());
   if (!result.ok()) {
     algo.inf = true;
     algo.inf_reason = result.status().ToString();
@@ -174,10 +256,12 @@ inline AlgoResult RunDfsPoint(const WorkloadFactory& workload,
                      reference_ios * kInfBudgetFactor);
   const std::string out = ctx->NewTempPath("scc");
   const io::IoStats before = ctx->stats();
+  const auto dev_before = ctx->DeviceStats();
   util::Timer timer;
   auto result = baseline::RunDfsScc(ctx.get(), g, out);
   AlgoResult algo;
   algo.FillFromStats(ctx->stats() - before, timer.ElapsedSeconds());
+  algo.FillFromDeviceStats(dev_before, ctx->DeviceStats());
   if (!result.ok()) {
     algo.inf = true;
     algo.inf_reason = result.status().ToString();
@@ -196,10 +280,12 @@ inline AlgoResult RunEmPoint(const WorkloadFactory& workload,
                      reference_ios * kInfBudgetFactor);
   const std::string out = ctx->NewTempPath("scc");
   const io::IoStats before = ctx->stats();
+  const auto dev_before = ctx->DeviceStats();
   util::Timer timer;
   auto result = baseline::RunEmScc(ctx.get(), g, out);
   AlgoResult algo;
   algo.FillFromStats(ctx->stats() - before, timer.ElapsedSeconds());
+  algo.FillFromDeviceStats(dev_before, ctx->DeviceStats());
   if (!result.ok()) {
     algo.inf = true;
     algo.inf_reason = result.status().ToString();
@@ -242,7 +328,8 @@ inline void EmitFigure(const std::string& figure, const std::string& x_name,
   util::Table time_table(header);
   util::Table io_table(header);
   util::Table csv({x_name, "algo", "modeled_time_s", "wall_time_s", "ios",
-                   "random_ios", "inf", "sccs"});
+                   "random_ios", "max_dev_ios", "device_ios", "inf",
+                   "sccs"});
   for (const auto& p : points) {
     std::vector<std::string> trow{p.point_label, p.ext_op.TimeCell(),
                                   p.ext.TimeCell(), p.dfs.TimeCell()};
@@ -258,6 +345,7 @@ inline void EmitFigure(const std::string& figure, const std::string& x_name,
       csv.AddRow({p.point_label, algo, util::FormatDouble(r.seconds, 4),
                   util::FormatDouble(r.wall_seconds, 4),
                   std::to_string(r.ios), std::to_string(r.random_ios),
+                  std::to_string(r.max_dev_ios), r.device_ios,
                   r.inf ? "1" : "0", std::to_string(r.sccs)});
     };
     add_csv("ext_scc_op", p.ext_op);

@@ -1,6 +1,8 @@
 // extscc_tool — command-line front end over the library's public API.
 //
-//   extscc_tool [--sort-threads=N] [--scratch-dirs=a,b,...] <command> ...
+//   extscc_tool [--sort-threads=N] [--scratch-dirs=a,b,...]
+//               [--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]]
+//               [--placement=rr|spread] <command> ...
 //
 //   extscc_tool generate <kind> <num_nodes> <out.txt> [seed]
 //       kind: web | massive | large | small | rmat | cycle | dag
@@ -11,8 +13,14 @@
 // Global flags (before the command) apply to every machine the tool
 // builds: --sort-threads enables overlapped run formation (labels are
 // byte-identical; I/O counts can shift because file sorts halve their
-// run buffers to double-buffer), --scratch-dirs stripes scratch files
-// round-robin across the listed directories.
+// run buffers to double-buffer), --scratch-dirs builds one scratch
+// device per listed directory, --device-model selects what backs them
+// (real files, RAM, or latency/bandwidth-throttled files), and
+// --placement selects how scratch files are assigned to devices
+// (round-robin, or spread-group placing a merge group's runs on
+// distinct devices). With several devices, `solve` prints the
+// per-device I/O breakdown and the critical-path (busiest-device)
+// count.
 //
 // Text formats: edge lists are "u v" per line; label files are
 // "node scc" per line.
@@ -45,7 +53,9 @@ using namespace extscc;
 int Usage() {
   std::fprintf(stderr,
                "usage: extscc_tool [--sort-threads=N] "
-               "[--scratch-dirs=a,b,...] <command> ...\n"
+               "[--scratch-dirs=a,b,...] "
+               "[--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]] "
+               "[--placement=rr|spread] <command> ...\n"
                "  extscc_tool generate <web|massive|large|small|rmat|cycle|dag> "
                "<num_nodes> <out.txt> [seed]\n"
                "  extscc_tool solve <edges.txt> <labels_out.txt> "
@@ -59,6 +69,8 @@ int Usage() {
 // Global flags, parsed (and stripped) ahead of the command word.
 std::size_t g_sort_threads = 0;
 std::vector<std::string> g_scratch_dirs;
+io::DeviceModelSpec g_device_model;
+io::PlacementPolicy g_placement = io::PlacementPolicy::kRoundRobin;
 
 io::IoContext MakeContext(std::uint64_t memory_bytes) {
   io::IoContextOptions options;
@@ -67,7 +79,36 @@ io::IoContext MakeContext(std::uint64_t memory_bytes) {
       std::max<std::uint64_t>(memory_bytes, 2 * options.block_size);
   options.sort_threads = g_sort_threads;
   options.scratch_dirs = g_scratch_dirs;
+  options.device_model = g_device_model;
+  options.scratch_placement = g_placement;
   return io::IoContext(options);
+}
+
+// Per-device I/O breakdown + critical path for one phase (the deltas
+// between two DeviceStats snapshots, so the rows sum to the phase's
+// headline total and exclude import/read-back traffic), printed by
+// `solve` whenever the machine has more than one scratch device or a
+// simulated backing.
+void PrintDeviceBreakdown(
+    const std::vector<io::IoContext::DeviceStatsRow>& before,
+    const std::vector<io::IoContext::DeviceStatsRow>& after) {
+  if (g_scratch_dirs.size() <= 1 &&
+      g_device_model.model == io::DeviceModel::kPosix) {
+    return;
+  }
+  std::string breakdown;
+  std::uint64_t critical_path = 0;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    const std::uint64_t ios =
+        (after[i].stats - before[i].stats).total_ios();
+    if (ios == 0) continue;
+    critical_path = std::max(critical_path, ios);
+    if (!breakdown.empty()) breakdown += ", ";
+    breakdown += after[i].name + "=" +
+                 std::to_string(static_cast<unsigned long long>(ios));
+  }
+  std::printf("per-device I/Os: %s; critical path %llu\n", breakdown.c_str(),
+              static_cast<unsigned long long>(critical_path));
 }
 
 int CmdGenerate(int argc, char** argv) {
@@ -134,9 +175,11 @@ int CmdSolve(int argc, char** argv) {
     return 1;
   }
   const std::string scc_path = context.NewTempPath("scc");
+  const auto dev_before = context.DeviceStats();
   auto result = core::RunExtScc(&context, loaded.value(), scc_path,
                                 basic ? core::ExtSccOptions::Basic()
                                       : core::ExtSccOptions::Optimized());
+  const auto dev_after = context.DeviceStats();
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;
@@ -157,6 +200,7 @@ int CmdSolve(int argc, char** argv) {
               result.value().num_levels(),
               static_cast<unsigned long long>(result.value().total_ios),
               result.value().total_seconds);
+  PrintDeviceBreakdown(dev_before, dev_after);
   return 0;
 }
 
@@ -237,10 +281,34 @@ int main(int argc, char** argv) {
           std::strtoull(argv[first] + 15, nullptr, 10));
     } else if (std::strncmp(argv[first], "--scratch-dirs=", 15) == 0) {
       g_scratch_dirs = util::SplitCommaList(argv[first] + 15);
+    } else if (std::strncmp(argv[first], "--device-model=", 15) == 0) {
+      const std::string error =
+          io::ParseDeviceModelSpec(argv[first] + 15, &g_device_model);
+      if (!error.empty()) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
+    } else if (std::strncmp(argv[first], "--placement=", 12) == 0) {
+      const std::string error =
+          io::ParsePlacementSpec(argv[first] + 12, &g_placement);
+      if (!error.empty()) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+      }
     } else {
       return Usage();
     }
     ++first;
+  }
+  // Reject a typo'd scratch list up front, naming the bad directory,
+  // instead of CHECK-failing deep inside the TempFileManager.
+  {
+    const std::string error =
+        io::ValidateScratchConfig(g_device_model, g_scratch_dirs);
+    if (!error.empty()) {
+      std::fprintf(stderr, "--scratch-dirs: %s\n", error.c_str());
+      return 2;
+    }
   }
   for (int i = first; i < argc; ++i) argv[i - first + 1] = argv[i];
   argc -= first - 1;

@@ -348,6 +348,11 @@ void MergeRunsInto(io::IoContext* context, std::vector<std::string> runs,
   while (runs.size() > fan_in) {
     ++info->merge_passes;
     std::vector<std::string> next_runs;
+    // This pass's outputs form the next pass's merge groups: output j
+    // carries Placement::InGroup(pass group, j), so the kSpreadGroup
+    // policy keeps any fan-in-sized window of them on distinct devices
+    // — the same invariant run formation establishes for pass one.
+    const std::uint64_t pass_group = context->temp_files().NextGroupId();
     for (std::size_t group = 0; group < runs.size(); group += fan_in) {
       const std::size_t end = std::min(runs.size(), group + fan_in);
       std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs;
@@ -360,7 +365,11 @@ void MergeRunsInto(io::IoContext* context, std::vector<std::string> runs,
       // reserved after the readers open so their optional prefetch
       // rings claim budget first (the clamp absorbs the difference).
       const auto blocks = ReserveMergeBlocks(context, end - group + 1);
-      const std::string out_path = context->NewTempPath("mergerun");
+      const std::string out_path =
+          context->temp_files()
+              .NewFile("mergerun",
+                       io::Placement::InGroup(pass_group, next_runs.size()))
+              .path;
       LoserTree<T, Less> tree(std::move(inputs), less);
       io::RecordWriter<T> writer(context, out_path);
       DrainMerge(&tree, &writer, less, dedup);

@@ -84,15 +84,20 @@ std::size_t SortDedupPrefix(std::vector<T>& buffer, std::size_t n, Less less,
   return SortDedupPrefix(buffer, n, less, dedup, scratch);
 }
 
-// Writes records[0, n) (already sorted/deduped) as a run file.
+// Writes records[0, n) (already sorted/deduped) as a run file, placed
+// per `placement` — run N of a sort carries Placement::InGroup(sort
+// group, N), so the kSpreadGroup policy can put a merge group's runs on
+// distinct devices (round-robin striping ignores the placement and is
+// byte-identical to the ungrouped engine).
 template <typename T>
-std::string SpillRun(io::IoContext* context, const T* records,
-                     std::size_t n) {
-  const std::string run_path = context->NewTempPath("sortrun");
-  io::RecordWriter<T> writer(context, run_path);
+std::string SpillRun(io::IoContext* context, const T* records, std::size_t n,
+                     const io::Placement& placement) {
+  const io::ScratchFile run =
+      context->temp_files().NewFile("sortrun", placement);
+  io::RecordWriter<T> writer(context, run.path);
   writer.AppendBatch(records, n);
   writer.Finish();
-  return run_path;
+  return run.path;
 }
 
 // The sort→spill stage of run formation. Owner of the run list; the
@@ -106,7 +111,10 @@ class RunSpillPipeline {
   // pipeline's lifetime). Degrades to inline sort+spill otherwise.
   RunSpillPipeline(io::IoContext* context, Less less, bool dedup,
                    std::size_t capacity)
-      : context_(context), less_(less), dedup_(dedup) {
+      : context_(context),
+        less_(less),
+        dedup_(dedup),
+        group_(context->temp_files().NextGroupId()) {
     if (context_->sort_threads() == 0 || capacity == 0) return;
     const std::uint64_t bytes =
         static_cast<std::uint64_t>(capacity) * sizeof(T);
@@ -150,7 +158,8 @@ class RunSpillPipeline {
     if (!threaded_) {
       const std::size_t kept =
           SortDedupPrefix(buffer, n, less_, dedup_, serial_scratch_);
-      runs_.push_back(SpillRun(context_, buffer.data(), kept));
+      runs_.push_back(SpillRun(context_, buffer.data(), kept,
+                               io::Placement::InGroup(group_, next_member_++)));
       return buffer;
     }
     std::unique_lock<std::mutex> lock(mu_);
@@ -193,7 +202,9 @@ class RunSpillPipeline {
       cv_.notify_all();
       const std::size_t kept =
           SortDedupPrefix(buffer, n, less_, dedup_, scratch);
-      std::string path = SpillRun(context_, buffer.data(), kept);
+      std::string path =
+          SpillRun(context_, buffer.data(), kept,
+                   io::Placement::InGroup(group_, next_member_++));
       lock.lock();
       runs_.push_back(std::move(path));
       free_buffer_ = std::move(buffer);
@@ -207,6 +218,12 @@ class RunSpillPipeline {
   io::IoContext* context_;
   Less less_;
   bool dedup_;
+  // Merge-group identity of this sort's runs: group id from the
+  // TempFileManager, member = spill ordinal. Only the spilling thread
+  // touches next_member_ (the producer when serial, the worker when
+  // threaded — never both).
+  const std::uint64_t group_;
+  std::uint64_t next_member_ = 0;
   bool threaded_ = false;
   std::uint64_t reserved_bytes_ = 0;
 

@@ -1,10 +1,6 @@
 #include "io/block_file.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -122,33 +118,22 @@ class BlockFile::Prefetcher {
 
 BlockFile::BlockFile(IoContext* context, const std::string& path,
                      OpenMode mode)
-    : context_(context), path_(path), block_size_(context->block_size()) {
-  int flags = 0;
-  switch (mode) {
-    case OpenMode::kRead:
-      flags = O_RDONLY;
-      break;
-    case OpenMode::kTruncateWrite:
-      flags = O_RDWR | O_CREAT | O_TRUNC;
-      break;
-    case OpenMode::kReadWrite:
-      flags = O_RDWR | O_CREAT;
-      break;
-  }
-  fd_ = ::open(path.c_str(), flags, 0644);
-  CHECK_GE(fd_, 0) << "open(" << path << ") failed: " << std::strerror(errno);
-  const off_t end = ::lseek(fd_, 0, SEEK_END);
-  CHECK_GE(end, 0) << "lseek(" << path << ") failed";
-  size_bytes_ = static_cast<std::uint64_t>(end);
+    : context_(context),
+      path_(path),
+      device_(context->ResolveDevice(path)),
+      file_(device_->Open(path, mode)),
+      block_size_(context->block_size()) {
+  size_bytes_ = file_->size_bytes();
   if (mode == OpenMode::kTruncateWrite) {
     std::lock_guard<std::mutex> lock(context_->stats_mutex());
     context_->stats().files_created += 1;
+    device_->stats().files_created += 1;
   }
 }
 
 BlockFile::~BlockFile() {
   prefetcher_.reset();
-  if (fd_ >= 0) ::close(fd_);
+  file_.reset();
 }
 
 std::uint64_t BlockFile::num_blocks() const {
@@ -175,14 +160,7 @@ std::size_t BlockFile::PreadBlock(std::uint64_t block_index, void* buf) {
   if (offset >= size_bytes_) return 0;
   const std::size_t want = static_cast<std::size_t>(
       std::min<std::uint64_t>(block_size_, size_bytes_ - offset));
-  std::size_t done = 0;
-  while (done < want) {
-    const ssize_t n = ::pread(fd_, static_cast<char*>(buf) + done,
-                              want - done, static_cast<off_t>(offset + done));
-    CHECK_GT(n, 0) << "pread(" << path_ << ") failed: "
-                   << std::strerror(errno);
-    done += static_cast<std::size_t>(n);
-  }
+  file_->ReadAt(offset, buf, want);
   return want;
 }
 
@@ -196,12 +174,16 @@ void BlockFile::CountRead(std::uint64_t block_index, std::size_t bytes) {
   last_read_block_ = static_cast<std::int64_t>(block_index);
   std::lock_guard<std::mutex> lock(context_->stats_mutex());
   IoStats& stats = context_->stats();
+  IoStats& device_stats = device_->stats();
   if (sequential) {
     stats.sequential_reads += 1;
+    device_stats.sequential_reads += 1;
   } else {
     stats.random_reads += 1;
+    device_stats.random_reads += 1;
   }
   stats.bytes_read += bytes;
+  device_stats.bytes_read += bytes;
   context_->OnIo();
 }
 
@@ -229,15 +211,7 @@ void BlockFile::WriteBlock(std::uint64_t block_index, const void* data,
   const std::uint64_t offset = block_index * block_size_;
   // Writing beyond the current final partial block would leave a hole of
   // undefined record data; the streaming writers never do this.
-  std::size_t done = 0;
-  while (done < bytes) {
-    const ssize_t n =
-        ::pwrite(fd_, static_cast<const char*>(data) + done, bytes - done,
-                 static_cast<off_t>(offset + done));
-    CHECK_GT(n, 0) << "pwrite(" << path_ << ") failed: "
-                   << std::strerror(errno);
-    done += static_cast<std::size_t>(n);
-  }
+  file_->WriteAt(offset, data, bytes);
   size_bytes_ = std::max(size_bytes_, offset + bytes);
   // Re-writing the same (tail) block counts as sequential append traffic.
   const bool sequential =
@@ -246,12 +220,16 @@ void BlockFile::WriteBlock(std::uint64_t block_index, const void* data,
   last_write_block_ = static_cast<std::int64_t>(block_index);
   std::lock_guard<std::mutex> lock(context_->stats_mutex());
   IoStats& stats = context_->stats();
+  IoStats& device_stats = device_->stats();
   if (sequential) {
     stats.sequential_writes += 1;
+    device_stats.sequential_writes += 1;
   } else {
     stats.random_writes += 1;
+    device_stats.random_writes += 1;
   }
   stats.bytes_written += bytes;
+  device_stats.bytes_written += bytes;
   context_->OnIo();
 }
 

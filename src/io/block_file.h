@@ -2,6 +2,13 @@
 // through BlockFile so the IoContext can count I/Os in the external-memory
 // model: one counted I/O per block read/written, classified sequential or
 // random by adjacency to the previous access of the same file+direction.
+//
+// BlockFile is seated on a StorageDevice (storage.h): the path resolves
+// to the device whose session root contains it (the context's default
+// PosixDevice for non-scratch paths), raw transfers go through the
+// device's StorageFile handle, and every counted I/O lands in the
+// device's own IoStats as well as the context aggregate — the basis of
+// the per-device accounting and the parallel-bandwidth model.
 #ifndef EXTSCC_IO_BLOCK_FILE_H_
 #define EXTSCC_IO_BLOCK_FILE_H_
 
@@ -10,19 +17,18 @@
 #include <memory>
 #include <string>
 
+#include "io/storage.h"
+
 namespace extscc::io {
 
 class IoContext;
 
-// Open modes. kReadWrite supports the random-access structures
-// (buffered repository tree, external DFS adjacency fetches).
-enum class OpenMode { kRead, kTruncateWrite, kReadWrite };
-
 class BlockFile {
  public:
-  // Opens `path`. CHECK-fails on OS errors for scratch files the library
-  // itself created; callers opening user-supplied paths should check
-  // Exists() first (graph_io does).
+  // Opens `path` on the device the context resolves for it. CHECK-fails
+  // on OS errors for scratch files the library itself created; callers
+  // opening user-supplied paths should check Exists() first
+  // (graph_io does).
   BlockFile(IoContext* context, const std::string& path, OpenMode mode);
   ~BlockFile();
 
@@ -46,8 +52,8 @@ class BlockFile {
   // block is consumed by ReadBlock, so the model accounting is identical
   // with and without prefetch. A no-op when the IoContext has prefetch
   // disabled or the MemoryBudget cannot cover the buffers; ReadBlock
-  // falls back to a direct pread whenever a request leaves the prefetched
-  // sequence (sequential readers never do).
+  // falls back to a direct device read whenever a request leaves the
+  // prefetched sequence (sequential readers never do).
   void StartSequentialPrefetch(std::uint64_t start_block = 0);
 
   // Logical file size in bytes / in blocks.
@@ -57,6 +63,7 @@ class BlockFile {
   std::size_t block_size() const { return block_size_; }
   const std::string& path() const { return path_; }
   IoContext* context() const { return context_; }
+  StorageDevice* device() const { return device_; }
 
  private:
   class Prefetcher;
@@ -67,12 +74,14 @@ class BlockFile {
   void CountRead(std::uint64_t block_index, std::size_t bytes);
 
   // Uncounted raw read of one block; returns the payload size (0 past
-  // EOF). Thread-safe (pread) — the prefetch thread uses it directly.
+  // EOF). Thread-safe (positional device read) — the prefetch thread
+  // uses it directly.
   std::size_t PreadBlock(std::uint64_t block_index, void* buf);
 
   IoContext* context_;
   std::string path_;
-  int fd_ = -1;
+  StorageDevice* device_;
+  std::unique_ptr<StorageFile> file_;
   std::size_t block_size_;
   std::uint64_t size_bytes_ = 0;
   // Sequential/random classification state.

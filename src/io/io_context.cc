@@ -1,16 +1,76 @@
 #include "io/io_context.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace extscc::io {
 
+namespace {
+
+// Builds the scratch device set from the options: one device per
+// scratch_dirs entry (or a single one under temp_parent_dir), backed
+// per the device model. Names are stable ("disk0".., "mem0"..,
+// "sim0"..) so per-device stats rows are self-describing.
+std::vector<std::unique_ptr<StorageDevice>> BuildScratchDevices(
+    const IoContextOptions& options) {
+  // Posix shares the TempFileManager convenience ctor's construction
+  // path, so the options route and the legacy ctor produce identical
+  // device sets by definition.
+  if (options.device_model.model == DeviceModel::kPosix) {
+    return MakePosixScratchDevices(options.temp_parent_dir,
+                                   options.scratch_dirs);
+  }
+  const std::size_t count = std::max<std::size_t>(
+      1, options.scratch_dirs.size());
+  std::vector<std::unique_ptr<StorageDevice>> devices;
+  devices.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string parent = options.scratch_dirs.empty()
+                                   ? options.temp_parent_dir
+                                   : options.scratch_dirs[i];
+    const std::string suffix = std::to_string(i);
+    if (options.device_model.model == DeviceModel::kMem) {
+      devices.push_back(std::make_unique<MemDevice>("mem" + suffix));
+    } else {
+      devices.push_back(std::make_unique<ThrottledDevice>(
+          "sim" + suffix,
+          std::make_unique<PosixDevice>("sim" + suffix + "_posix", parent),
+          options.device_model.throttle_latency_us,
+          options.device_model.throttle_mb_per_sec));
+    }
+  }
+  return devices;
+}
+
+}  // namespace
+
 IoContext::IoContext(const IoContextOptions& options)
     : options_(options),
       memory_(options.memory_bytes),
-      temp_files_(options.temp_parent_dir, options.scratch_dirs) {
+      temp_files_(BuildScratchDevices(options), options.scratch_placement) {
   CHECK_GE(options.memory_bytes, 2 * options.block_size)
       << "external-memory model requires M >= 2B";
   temp_files_.set_keep_files(options.keep_temp_files);
+}
+
+std::vector<IoContext::DeviceStatsRow> IoContext::DeviceStats() const {
+  std::vector<DeviceStatsRow> rows;
+  const auto scratch = temp_files_.devices();
+  rows.reserve(scratch.size() + 1);
+  rows.push_back({base_device_.name(), base_device_.stats()});
+  for (const StorageDevice* device : scratch) {
+    rows.push_back({device->name(), device->stats()});
+  }
+  return rows;
+}
+
+std::uint64_t IoContext::max_per_device_ios() const {
+  std::uint64_t max_ios = base_device_.stats().total_ios();
+  for (const StorageDevice* device : temp_files_.devices()) {
+    max_ios = std::max(max_ios, device->stats().total_ios());
+  }
+  return max_ios;
 }
 
 void IoContext::OnIo() {

@@ -1,7 +1,7 @@
 // IoContext bundles the external-memory machine model: block size B,
-// memory budget M, the scratch-file manager, the I/O statistics, and an
-// optional I/O budget used to censor runaway algorithms the way the paper
-// censors DFS-SCC at 24 hours ("INF").
+// memory budget M, the storage devices and scratch-file manager, the I/O
+// statistics, and an optional I/O budget used to censor runaway
+// algorithms the way the paper censors DFS-SCC at 24 hours ("INF").
 #ifndef EXTSCC_IO_IO_CONTEXT_H_
 #define EXTSCC_IO_IO_CONTEXT_H_
 
@@ -15,6 +15,7 @@
 
 #include "io/io_stats.h"
 #include "io/memory_budget.h"
+#include "io/storage.h"
 #include "io/temp_file_manager.h"
 
 namespace extscc::io {
@@ -62,12 +63,26 @@ struct IoContextOptions {
   // Scratch directory parent ("" = $TMPDIR or /tmp).
   std::string temp_parent_dir;
 
-  // Multi-disk scratch striping: when non-empty, the TempFileManager
-  // creates one session directory under each listed parent and assigns
-  // new scratch files round-robin across them (one entry per
-  // spindle/NVMe namespace), so merge passes read runs from independent
-  // devices. Overrides temp_parent_dir.
+  // Multi-disk scratch: when non-empty, one scratch StorageDevice is
+  // built per listed parent directory (one entry per spindle/NVMe
+  // namespace) and new scratch files are assigned across them by
+  // `scratch_placement`, so merge passes read runs from independent
+  // devices. Overrides temp_parent_dir. (Under device_model kMem the
+  // entries only set the device *count*; the backing is RAM.)
   std::vector<std::string> scratch_dirs;
+
+  // What backs the scratch devices: real files (kPosix, the default),
+  // RAM (kMem — page-cache-free tests/microbenches), or
+  // latency/bandwidth-throttled files (kThrottled — simulated spindles
+  // for the parallel-bandwidth model). The model never changes the
+  // block accounting, only where the bytes live and how long they take.
+  DeviceModelSpec device_model;
+
+  // Device-assignment policy for scratch files. kRoundRobin (default)
+  // stripes by global sequence number — byte-identical paths and device
+  // choice to the pre-device engine. kSpreadGroup places a merge
+  // group's runs on distinct devices by construction (see storage.h).
+  PlacementPolicy scratch_placement = PlacementPolicy::kRoundRobin;
 
   // Keep scratch files on destruction (debugging aid).
   bool keep_temp_files = false;
@@ -98,6 +113,29 @@ class IoContext {
   MemoryBudget& memory() { return memory_; }
   TempFileManager& temp_files() { return temp_files_; }
 
+  // The device that owns `path`: the scratch device whose session root
+  // contains it, or the context's default PosixDevice for non-scratch
+  // (user-supplied) paths. Never nullptr.
+  StorageDevice* ResolveDevice(const std::string& path) {
+    StorageDevice* device = temp_files_.DeviceForPath(path);
+    return device != nullptr ? device : &base_device_;
+  }
+
+  // Per-device statistics view: the default device first, then the
+  // scratch devices in configuration order. Same locking convention as
+  // stats(): snapshot between phases, or hold stats_mutex() when a
+  // sorter is live.
+  struct DeviceStatsRow {
+    std::string name;
+    IoStats stats;
+  };
+  std::vector<DeviceStatsRow> DeviceStats() const;
+
+  // Critical-path metric for the parallel-bandwidth model: with devices
+  // operating independently, a phase's lower bound is the busiest
+  // device's I/O count, not the aggregate.
+  std::uint64_t max_per_device_ios() const;
+
   // Unique scratch path with a descriptive tag ("ein", "run", ...).
   std::string NewTempPath(const std::string& tag) {
     return temp_files_.NewPath(tag);
@@ -121,6 +159,9 @@ class IoContext {
   IoStats stats_;
   std::mutex stats_mu_;
   MemoryBudget memory_;
+  // Default device for BlockFile paths outside every scratch root —
+  // user-facing graph/label files on the real filesystem.
+  PosixDevice base_device_{"base"};
   TempFileManager temp_files_;
   // Atomic: set under stats_mutex() by whichever thread trips the
   // budget, polled lock-free by the algorithm's main loop.

@@ -1,0 +1,428 @@
+#include "io/storage.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace extscc::io {
+
+namespace fs = std::filesystem;
+
+// ---- PosixDevice -----------------------------------------------------
+
+namespace {
+
+class PosixFile : public StorageFile {
+ public:
+  PosixFile(int fd, std::string path, std::uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_bytes_(size) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void ReadAt(std::uint64_t offset, void* buf, std::size_t bytes) override {
+    std::size_t done = 0;
+    while (done < bytes) {
+      const ssize_t n = ::pread(fd_, static_cast<char*>(buf) + done,
+                                bytes - done,
+                                static_cast<off_t>(offset + done));
+      CHECK_GT(n, 0) << "pread(" << path_ << ") failed: "
+                     << std::strerror(errno);
+      done += static_cast<std::size_t>(n);
+    }
+  }
+
+  void WriteAt(std::uint64_t offset, const void* data,
+               std::size_t bytes) override {
+    std::size_t done = 0;
+    while (done < bytes) {
+      const ssize_t n = ::pwrite(fd_, static_cast<const char*>(data) + done,
+                                 bytes - done,
+                                 static_cast<off_t>(offset + done));
+      CHECK_GT(n, 0) << "pwrite(" << path_ << ") failed: "
+                     << std::strerror(errno);
+      done += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::uint64_t size_bytes() const override { return size_bytes_; }
+
+ private:
+  int fd_;
+  std::string path_;
+  std::uint64_t size_bytes_;
+};
+
+std::string ResolveParent(const std::string& parent_dir) {
+  if (!parent_dir.empty()) return parent_dir;
+  const char* env = std::getenv("TMPDIR");
+  return (env != nullptr && env[0] != '\0') ? env : "/tmp";
+}
+
+}  // namespace
+
+PosixDevice::PosixDevice(std::string name, std::string parent_dir)
+    : StorageDevice(std::move(name)), parent_dir_(std::move(parent_dir)) {}
+
+std::unique_ptr<StorageFile> PosixDevice::Open(const std::string& path,
+                                               OpenMode mode) {
+  int flags = 0;
+  switch (mode) {
+    case OpenMode::kRead:
+      flags = O_RDONLY;
+      break;
+    case OpenMode::kTruncateWrite:
+      flags = O_RDWR | O_CREAT | O_TRUNC;
+      break;
+    case OpenMode::kReadWrite:
+      flags = O_RDWR | O_CREAT;
+      break;
+  }
+  const int fd = ::open(path.c_str(), flags, 0644);
+  CHECK_GE(fd, 0) << "open(" << path << ") failed: " << std::strerror(errno);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  CHECK_GE(end, 0) << "lseek(" << path << ") failed";
+  return std::make_unique<PosixFile>(fd, path,
+                                     static_cast<std::uint64_t>(end));
+}
+
+void PosixDevice::Delete(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+std::string PosixDevice::CreateSessionRoot() {
+  const std::string parent = ResolveParent(parent_dir_);
+  // Unique directory name: pid + monotonically increasing suffix probe.
+  // The counter is shared across devices so session roots never collide
+  // even when several scratch parents alias the same directory.
+  static std::uint64_t counter = 0;
+  std::error_code ec;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::string candidate = parent + "/extscc_" +
+                            std::to_string(::getpid()) + "_" +
+                            std::to_string(counter++);
+    if (fs::create_directories(candidate, ec) && !ec) {
+      return candidate;
+    }
+  }
+  LOG_FATAL << "PosixDevice: cannot create scratch directory under "
+            << parent;
+  return {};
+}
+
+void PosixDevice::RemoveTree(const std::string& root) {
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  if (ec) {
+    LOG_WARNING << "PosixDevice: failed to remove " << root << ": "
+                << ec.message();
+  }
+}
+
+std::vector<std::unique_ptr<StorageDevice>> MakePosixScratchDevices(
+    const std::string& parent_dir,
+    const std::vector<std::string>& scratch_parents) {
+  std::vector<std::unique_ptr<StorageDevice>> devices;
+  if (scratch_parents.empty()) {
+    devices.push_back(std::make_unique<PosixDevice>("disk0", parent_dir));
+    return devices;
+  }
+  devices.reserve(scratch_parents.size());
+  for (std::size_t i = 0; i < scratch_parents.size(); ++i) {
+    devices.push_back(std::make_unique<PosixDevice>(
+        "disk" + std::to_string(i), scratch_parents[i]));
+  }
+  return devices;
+}
+
+// ---- MemDevice -------------------------------------------------------
+
+namespace {
+
+class MemFile : public StorageFile {
+ public:
+  MemFile(std::shared_ptr<void> keepalive, std::mutex* mu,
+          std::vector<char>* bytes, std::string path, bool writable)
+      : keepalive_(std::move(keepalive)),
+        mu_(mu),
+        bytes_(bytes),
+        path_(std::move(path)),
+        writable_(writable) {
+    std::lock_guard<std::mutex> lock(*mu_);
+    size_at_open_ = bytes_->size();
+  }
+
+  void ReadAt(std::uint64_t offset, void* buf, std::size_t bytes) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    CHECK_LE(offset + bytes, bytes_->size())
+        << "read past end of mem file " << path_;
+    std::memcpy(buf, bytes_->data() + offset, bytes);
+  }
+
+  void WriteAt(std::uint64_t offset, const void* data,
+               std::size_t bytes) override {
+    // Behavioral parity with posix: pwrite on an O_RDONLY fd fails, so
+    // a write through a kRead handle must crash on mem scratch too —
+    // otherwise a bug would only surface on the real filesystem.
+    CHECK(writable_) << "write to read-only mem file " << path_;
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (offset + bytes > bytes_->size()) bytes_->resize(offset + bytes);
+    std::memcpy(bytes_->data() + offset, data, bytes);
+  }
+
+  std::uint64_t size_bytes() const override { return size_at_open_; }
+
+ private:
+  std::shared_ptr<void> keepalive_;  // the FileData, outliving Delete()
+  std::mutex* mu_;
+  std::vector<char>* bytes_;
+  std::string path_;
+  const bool writable_;
+  std::uint64_t size_at_open_ = 0;
+};
+
+}  // namespace
+
+MemDevice::MemDevice(std::string name) : StorageDevice(std::move(name)) {}
+
+std::unique_ptr<StorageFile> MemDevice::Open(const std::string& path,
+                                             OpenMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (mode == OpenMode::kRead) {
+    CHECK(it != files_.end())
+        << "open(" << path << ") failed: no such mem file on device "
+        << name();
+  } else {
+    if (it == files_.end()) {
+      it = files_.emplace(path, std::make_shared<FileData>()).first;
+    } else if (mode == OpenMode::kTruncateWrite) {
+      std::lock_guard<std::mutex> file_lock(it->second->mu);
+      it->second->bytes.clear();
+    }
+  }
+  const std::shared_ptr<FileData>& data = it->second;
+  return std::make_unique<MemFile>(data, &data->mu, &data->bytes, path,
+                                   mode != OpenMode::kRead);
+}
+
+void MemDevice::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+}
+
+std::string MemDevice::CreateSessionRoot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return "mem://" + name() + "/s" + std::to_string(next_session_++);
+}
+
+void MemDevice::RemoveTree(const std::string& root) {
+  const std::string prefix = root + "/";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---- ThrottledDevice -------------------------------------------------
+
+namespace {
+
+class ThrottledFile : public StorageFile {
+ public:
+  ThrottledFile(std::unique_ptr<StorageFile> inner, ThrottledDevice* device)
+      : inner_(std::move(inner)), device_(device) {}
+
+  void ReadAt(std::uint64_t offset, void* buf, std::size_t bytes) override {
+    device_->ChargeOp(bytes);
+    inner_->ReadAt(offset, buf, bytes);
+  }
+
+  void WriteAt(std::uint64_t offset, const void* data,
+               std::size_t bytes) override {
+    device_->ChargeOp(bytes);
+    inner_->WriteAt(offset, data, bytes);
+  }
+
+  std::uint64_t size_bytes() const override { return inner_->size_bytes(); }
+
+ private:
+  std::unique_ptr<StorageFile> inner_;
+  ThrottledDevice* device_;
+};
+
+}  // namespace
+
+ThrottledDevice::ThrottledDevice(std::string name,
+                                 std::unique_ptr<StorageDevice> inner,
+                                 std::uint64_t latency_us,
+                                 std::uint64_t mb_per_sec)
+    : StorageDevice(std::move(name)),
+      inner_(std::move(inner)),
+      latency_ns_(latency_us * 1000),
+      ns_per_byte_(mb_per_sec == 0
+                       ? 0.0
+                       : 1e9 / (static_cast<double>(mb_per_sec) * 1024.0 *
+                                1024.0)) {}
+
+std::unique_ptr<StorageFile> ThrottledDevice::Open(const std::string& path,
+                                                   OpenMode mode) {
+  return std::make_unique<ThrottledFile>(inner_->Open(path, mode), this);
+}
+
+void ThrottledDevice::Delete(const std::string& path) {
+  inner_->Delete(path);
+}
+
+std::string ThrottledDevice::CreateSessionRoot() {
+  return inner_->CreateSessionRoot();
+}
+
+void ThrottledDevice::RemoveTree(const std::string& root) {
+  inner_->RemoveTree(root);
+}
+
+void ThrottledDevice::ChargeOp(std::size_t bytes) {
+  // Accumulate debt and sleep it off in >= 1 ms chunks: sub-quantum
+  // sleep_for calls quantize up to the scheduler slack, which would make
+  // the simulated device far slower than configured.
+  constexpr std::uint64_t kSleepChunkNs = 1'000'000;
+  std::uint64_t due = 0;
+  {
+    std::lock_guard<std::mutex> lock(debt_mu_);
+    debt_ns_ += latency_ns_ +
+                static_cast<std::uint64_t>(ns_per_byte_ *
+                                           static_cast<double>(bytes));
+    if (debt_ns_ >= kSleepChunkNs) {
+      due = debt_ns_;
+      debt_ns_ = 0;
+    }
+  }
+  if (due > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(due));
+}
+
+// ---- configuration helpers -------------------------------------------
+
+std::string ParseDeviceModelSpec(const std::string& text,
+                                 DeviceModelSpec* out) {
+  DeviceModelSpec spec;
+  if (text == "posix" || text.empty()) {
+    spec.model = DeviceModel::kPosix;
+  } else if (text == "mem") {
+    spec.model = DeviceModel::kMem;
+  } else if (text.compare(0, 9, "throttled") == 0) {
+    spec.model = DeviceModel::kThrottled;
+    // Split the optional ":latency_us[:mb_per_s]" tail, keeping empty
+    // segments: a trailing or doubled ':' is a truncated value the
+    // caller meant to supply, not a request for the default.
+    std::vector<std::string> fields;
+    const std::string rest = text.substr(9);
+    if (!rest.empty()) {
+      if (rest[0] != ':') {
+        return "unknown --device-model \"" + text +
+               "\" (supported: posix, mem, "
+               "throttled[:latency_us[:mb_per_s]])";
+      }
+      std::size_t start = 1;
+      while (true) {
+        const std::size_t pos = rest.find(':', start);
+        fields.push_back(rest.substr(start, pos - start));
+        if (pos == std::string::npos) break;
+        start = pos + 1;
+      }
+    }
+    if (fields.size() > 2) {
+      return "bad --device-model \"" + text +
+             "\" (want throttled[:latency_us[:mb_per_s]])";
+    }
+    // Strict bounded integer parse: strtoull silently negates a leading
+    // '-' (a typo'd "-1" latency would become a multi-century ChargeOp
+    // sleep) and saturates on ERANGE, and an in-range huge latency
+    // would overflow the *1000 ns conversion back to a tiny value — so
+    // reject signs, range errors, and anything above `max`.
+    const auto parse_field = [](const std::string& field, std::uint64_t max,
+                                std::uint64_t* out) -> bool {
+      if (field.empty() || field[0] < '0' || field[0] > '9') return false;
+      errno = 0;
+      char* end = nullptr;
+      const std::uint64_t value = std::strtoull(field.c_str(), &end, 10);
+      if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+      if (value > max) return false;
+      *out = value;
+      return true;
+    };
+    // One hour per block op / 1 PB/s: far beyond any sane simulation,
+    // far below the uint64 wrap in the ns conversions.
+    constexpr std::uint64_t kMaxLatencyUs = 3'600'000'000ull;
+    constexpr std::uint64_t kMaxMbPerSec = 1'000'000'000ull;
+    if (fields.size() >= 1 &&
+        !parse_field(fields[0], kMaxLatencyUs, &spec.throttle_latency_us)) {
+      return "bad --device-model latency \"" + fields[0] +
+             "\" (want throttled[:latency_us[:mb_per_s]], latency_us <= " +
+             std::to_string(kMaxLatencyUs) + ")";
+    }
+    if (fields.size() == 2 &&
+        !parse_field(fields[1], kMaxMbPerSec, &spec.throttle_mb_per_sec)) {
+      return "bad --device-model bandwidth \"" + fields[1] +
+             "\" (want throttled[:latency_us[:mb_per_s]], mb_per_s <= " +
+             std::to_string(kMaxMbPerSec) + ")";
+    }
+  } else {
+    return "unknown --device-model \"" + text +
+           "\" (supported: posix, mem, throttled[:latency_us[:mb_per_s]])";
+  }
+  *out = spec;
+  return {};
+}
+
+std::string ParsePlacementSpec(const std::string& text,
+                               PlacementPolicy* out) {
+  if (text == "rr") {
+    *out = PlacementPolicy::kRoundRobin;
+    return {};
+  }
+  if (text == "spread") {
+    *out = PlacementPolicy::kSpreadGroup;
+    return {};
+  }
+  return "bad --placement \"" + text + "\" (supported: rr, spread)";
+}
+
+std::string ValidateScratchParents(const std::vector<std::string>& parents) {
+  for (const auto& parent : parents) {
+    std::error_code ec;
+    if (!fs::exists(parent, ec) || ec) {
+      return "scratch directory \"" + parent + "\" does not exist";
+    }
+    if (!fs::is_directory(parent, ec) || ec) {
+      return "scratch path \"" + parent + "\" is not a directory";
+    }
+    if (::access(parent.c_str(), W_OK | X_OK) != 0) {
+      return "scratch directory \"" + parent + "\" is not writable";
+    }
+  }
+  return {};
+}
+
+std::string ValidateScratchConfig(const DeviceModelSpec& model,
+                                  const std::vector<std::string>& parents) {
+  if (model.model == DeviceModel::kMem) return {};
+  return ValidateScratchParents(parents);
+}
+
+}  // namespace extscc::io

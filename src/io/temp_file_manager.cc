@@ -1,79 +1,100 @@
 #include "io/temp_file_manager.h"
 
-#include <unistd.h>
-
-#include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 
 #include "util/logging.h"
 
 namespace extscc::io {
 
-namespace fs = std::filesystem;
-
-std::string TempFileManager::CreateSessionDir(const std::string& parent_dir) {
-  std::string parent = parent_dir;
-  if (parent.empty()) {
-    const char* env = std::getenv("TMPDIR");
-    parent = (env != nullptr && env[0] != '\0') ? env : "/tmp";
+TempFileManager::TempFileManager(
+    std::vector<std::unique_ptr<StorageDevice>> devices,
+    PlacementPolicy placement)
+    : placement_(placement) {
+  CHECK(!devices.empty()) << "TempFileManager needs at least one device";
+  roots_.reserve(devices.size());
+  for (auto& device : devices) {
+    Root root;
+    root.root = device->CreateSessionRoot();
+    root.device = std::move(device);
+    roots_.push_back(std::move(root));
   }
-  // Unique directory name: pid + monotonically increasing suffix probe.
-  static std::uint64_t counter = 0;
-  std::error_code ec;
-  for (int attempt = 0; attempt < 1000; ++attempt) {
-    std::string candidate = parent + "/extscc_" +
-                            std::to_string(::getpid()) + "_" +
-                            std::to_string(counter++);
-    if (fs::create_directories(candidate, ec) && !ec) {
-      return candidate;
-    }
-  }
-  LOG_FATAL << "TempFileManager: cannot create scratch directory under "
-            << parent;
-  return {};
 }
 
 TempFileManager::TempFileManager(
     const std::string& parent_dir,
-    const std::vector<std::string>& scratch_parents) {
-  if (scratch_parents.empty()) {
-    dirs_.push_back(CreateSessionDir(parent_dir));
-    return;
-  }
-  dirs_.reserve(scratch_parents.size());
-  for (const auto& parent : scratch_parents) {
-    dirs_.push_back(CreateSessionDir(parent));
-  }
-}
+    const std::vector<std::string>& scratch_parents)
+    : TempFileManager(MakePosixScratchDevices(parent_dir, scratch_parents)) {}
 
 TempFileManager::~TempFileManager() {
-  for (const auto& dir : dirs_) {
+  for (const auto& root : roots_) {
     if (keep_files_) {
-      LOG_INFO << "TempFileManager: keeping scratch files in " << dir;
+      LOG_INFO << "TempFileManager: keeping scratch files in " << root.root;
       continue;
     }
-    std::error_code ec;
-    fs::remove_all(dir, ec);
-    if (ec) {
-      LOG_WARNING << "TempFileManager: failed to remove " << dir << ": "
-                  << ec.message();
-    }
+    root.device->RemoveTree(root.root);
   }
 }
 
 std::string TempFileManager::NewPath(const std::string& tag) {
+  return NewFile(tag, Placement::Ungrouped()).path;
+}
+
+ScratchFile TempFileManager::NewFile(const std::string& tag,
+                                     const Placement& placement) {
   std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t id = next_id_++;
   // Round-robin by sequence number: consecutive scratch files (and in
-  // particular consecutive sort runs) land on distinct devices.
-  const std::string& dir = dirs_[id % dirs_.size()];
-  return dir + "/" + std::to_string(id) + "_" + tag;
+  // particular consecutive sort runs) land on distinct devices. The
+  // spread policy instead derives the device from the merge group, so a
+  // group's members are distinct mod the device count no matter what
+  // other scratch traffic interleaves with them.
+  std::size_t device_index;
+  if (placement_ == PlacementPolicy::kSpreadGroup && placement.grouped) {
+    device_index = static_cast<std::size_t>(
+        (placement.group + placement.member) % roots_.size());
+  } else {
+    device_index = static_cast<std::size_t>(id % roots_.size());
+  }
+  Root& root = roots_[device_index];
+  return ScratchFile{root.root + "/" + std::to_string(id) + "_" + tag,
+                     root.device.get()};
 }
 
 void TempFileManager::Remove(const std::string& path) {
+  StorageDevice* device = DeviceForPath(path);
+  if (device != nullptr) {
+    device->Delete(path);
+    return;
+  }
+  // Not scratch — historical behavior is a best-effort filesystem
+  // remove; kept for callers deleting user-side files.
   std::error_code ec;
-  fs::remove(path, ec);
+  std::filesystem::remove(path, ec);
+}
+
+StorageDevice* TempFileManager::DeviceForPath(const std::string& path) const {
+  for (const auto& root : roots_) {
+    if (path.size() > root.root.size() + 1 &&
+        path.compare(0, root.root.size(), root.root) == 0 &&
+        path[root.root.size()] == '/') {
+      return root.device.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<StorageDevice*> TempFileManager::devices() const {
+  std::vector<StorageDevice*> out;
+  out.reserve(roots_.size());
+  for (const auto& root : roots_) out.push_back(root.device.get());
+  return out;
+}
+
+std::vector<std::string> TempFileManager::dirs() const {
+  std::vector<std::string> out;
+  out.reserve(roots_.size());
+  for (const auto& root : roots_) out.push_back(root.root);
+  return out;
 }
 
 }  // namespace extscc::io

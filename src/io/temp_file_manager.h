@@ -1,31 +1,53 @@
-// Scratch-file manager. Every intermediate of the external algorithms
-// (edge lists E_in/E_out/E_del/E_pre, node lists V_i, SCC label files,
-// sort runs) is a named scratch file under one session directory — or,
-// with multi-disk striping, one session directory per configured
-// scratch parent, with new files assigned round-robin so merge passes
-// pull runs from independent devices. Directories are removed when the
-// manager is destroyed unless keep_files is set (useful when debugging
-// a failing property test).
+// Scratch-file manager over a set of StorageDevices. Every intermediate
+// of the external algorithms (edge lists E_in/E_out/E_del/E_pre, node
+// lists V_i, SCC label files, sort runs) is a named scratch file inside
+// one session root per device; session roots are removed when the
+// manager is destroyed unless keep_files is set.
 //
-// NewPath/Remove are thread-safe: with IoContextOptions::sort_threads
-// the run-formation spill worker names run files concurrently with the
-// producing thread.
+// Device assignment is the placement-aware half of the storage API:
+// NewPath stripes files round-robin by sequence number (byte-identical
+// to the pre-device engine), while NewFile(tag, Placement) lets the
+// sorter tag a file with its merge group so the kSpreadGroup policy can
+// place a group's runs on distinct devices by construction — a merge
+// pass then pulls its fan-in from independent spindles.
+//
+// NewPath/NewFile/Remove are thread-safe: with
+// IoContextOptions::sort_threads the run-formation spill worker names
+// run files concurrently with the producing thread.
 #ifndef EXTSCC_IO_TEMP_FILE_MANAGER_H_
 #define EXTSCC_IO_TEMP_FILE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "io/storage.h"
 
 namespace extscc::io {
 
+// Typed scratch handle: the path plus the device it was placed on.
+struct ScratchFile {
+  std::string path;
+  StorageDevice* device = nullptr;
+};
+
 class TempFileManager {
  public:
-  // Creates one fresh session directory under each entry of
-  // `scratch_parents`, or a single one under `parent_dir` (default:
-  // $TMPDIR or /tmp) when the list is empty. CHECK-fails if any
-  // directory cannot be created.
+  // Devices ctor: takes ownership of `devices` (at least one) and
+  // creates one fresh session root on each. `placement` selects the
+  // device-assignment policy for NewFile.
+  explicit TempFileManager(
+      std::vector<std::unique_ptr<StorageDevice>> devices,
+      PlacementPolicy placement = PlacementPolicy::kRoundRobin);
+
+  // Posix convenience ctor (the historical interface): one PosixDevice
+  // per entry of `scratch_parents`, or a single one under `parent_dir`
+  // (default: $TMPDIR or /tmp) when the list is empty. CHECK-fails if
+  // any session directory cannot be created.
   explicit TempFileManager(const std::string& parent_dir = "",
                            const std::vector<std::string>& scratch_parents =
                                {});
@@ -34,26 +56,56 @@ class TempFileManager {
   TempFileManager(const TempFileManager&) = delete;
   TempFileManager& operator=(const TempFileManager&) = delete;
 
-  // Returns a unique path "<dir>/<seq>_<tag>", striping round-robin
-  // across the session directories. The file is not created.
+  // Returns a unique path "<root>/<seq>_<tag>", striping round-robin
+  // across the devices. The file is not created.
   std::string NewPath(const std::string& tag);
 
-  // Deletes the file if it exists (ignores missing files).
+  // Placement-aware variant: returns the path plus the chosen device.
+  // Under kRoundRobin (the default policy) the device choice and the
+  // path are byte-identical to NewPath; under kSpreadGroup a grouped
+  // placement lands on device (group + member) % num_devices, so the
+  // members of one merge group occupy distinct devices whenever the
+  // device count covers the fan-in.
+  ScratchFile NewFile(const std::string& tag, const Placement& placement);
+
+  // Fresh merge-group id for Placement::InGroup (one per run-forming
+  // sort or merge pass).
+  std::uint64_t NextGroupId() {
+    return next_group_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Deletes the file if it exists (ignores missing files), on whichever
+  // device owns it.
   void Remove(const std::string& path);
 
-  // First (primary) session directory.
-  const std::string& dir() const { return dirs_.front(); }
-  // All session directories, one per scratch parent.
-  const std::vector<std::string>& dirs() const { return dirs_; }
+  // The device whose session root contains `path`, or nullptr when the
+  // path is not scratch (a user-supplied file).
+  StorageDevice* DeviceForPath(const std::string& path) const;
+
+  // The scratch devices, in configuration order.
+  std::vector<StorageDevice*> devices() const;
+
+  PlacementPolicy placement() const { return placement_; }
+
+  // First (primary) session root.
+  const std::string& dir() const { return roots_.front().root; }
+  // All session roots, one per device.
+  std::vector<std::string> dirs() const;
 
   void set_keep_files(bool keep) { keep_files_ = keep; }
 
  private:
-  std::string CreateSessionDir(const std::string& parent);
+  struct Root {
+    std::unique_ptr<StorageDevice> device;
+    std::string root;
+  };
 
-  std::vector<std::string> dirs_;
+  // Immutable after construction (DeviceForPath reads it lock-free).
+  std::vector<Root> roots_;
+  PlacementPolicy placement_ = PlacementPolicy::kRoundRobin;
   std::mutex mu_;
   std::uint64_t next_id_ = 0;
+  std::atomic<std::uint64_t> next_group_{0};
   bool keep_files_ = false;
 };
 

@@ -13,6 +13,7 @@
 namespace extscc {
 namespace {
 
+using testing::MakeMemTestContext;
 using testing::MakeTestContext;
 
 struct U64Less {
@@ -28,7 +29,7 @@ std::vector<std::uint64_t> RandomValues(std::size_t n, std::uint64_t seed,
 }
 
 TEST(ExternalSortTest, MatchesStdSortSingleRun) {
-  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/1 << 20);
   auto values = RandomValues(1000, 42, 1 << 30);
   const std::string in = ctx->NewTempPath("in");
   const std::string out = ctx->NewTempPath("out");
@@ -44,6 +45,8 @@ TEST(ExternalSortTest, MatchesStdSortSingleRun) {
 TEST(ExternalSortTest, MatchesStdSortManyRuns) {
   // Budget of 16 KB over 8-byte records -> 2K-record runs; 100K records
   // force a multi-run merge (and, with 4K blocks, a modest fan-in).
+  // The suite's designated Posix round trip: the rest of the suite runs
+  // on MemDevice scratch.
   auto ctx = MakeTestContext(/*memory_bytes=*/16 << 10);
   auto values = RandomValues(100'000, 7, 1u << 31);
   const std::string in = ctx->NewTempPath("in");
@@ -58,7 +61,7 @@ TEST(ExternalSortTest, MatchesStdSortManyRuns) {
 
 TEST(ExternalSortTest, TinyBudgetMultiPassMerge) {
   // M = 2 blocks of 4K: binary merges, multiple passes.
-  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 10, /*block_size=*/4096);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/8 << 10, /*block_size=*/4096);
   auto values = RandomValues(50'000, 11, 1000);
   const std::string in = ctx->NewTempPath("in");
   const std::string out = ctx->NewTempPath("out");
@@ -71,7 +74,7 @@ TEST(ExternalSortTest, TinyBudgetMultiPassMerge) {
 }
 
 TEST(ExternalSortTest, EmptyInput) {
-  auto ctx = MakeTestContext();
+  auto ctx = MakeMemTestContext();
   const std::string in = ctx->NewTempPath("in");
   const std::string out = ctx->NewTempPath("out");
   io::WriteAllRecords<std::uint64_t>(ctx.get(), in, {});
@@ -82,7 +85,7 @@ TEST(ExternalSortTest, EmptyInput) {
 }
 
 TEST(ExternalSortTest, DedupCollapsesEqualRecords) {
-  auto ctx = MakeTestContext(/*memory_bytes=*/16 << 10);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/16 << 10);
   std::vector<std::uint64_t> values;
   for (int rep = 0; rep < 50; ++rep) {
     for (std::uint64_t v = 0; v < 200; ++v) values.push_back(v);
@@ -98,7 +101,7 @@ TEST(ExternalSortTest, DedupCollapsesEqualRecords) {
 }
 
 TEST(ExternalSortTest, DedupOnSingleRun) {
-  auto ctx = MakeTestContext();
+  auto ctx = MakeMemTestContext();
   const std::string in = ctx->NewTempPath("in");
   const std::string out = ctx->NewTempPath("out");
   io::WriteAllRecords<std::uint64_t>(ctx.get(), in, {5, 1, 5, 1, 5});
@@ -109,7 +112,7 @@ TEST(ExternalSortTest, DedupOnSingleRun) {
 }
 
 TEST(ExternalSortTest, EdgeComparators) {
-  auto ctx = MakeTestContext();
+  auto ctx = MakeMemTestContext();
   const std::vector<graph::Edge> edges{{3, 1}, {1, 2}, {2, 1}, {1, 1}};
   const std::string in = ctx->NewTempPath("in");
   io::WriteAllRecords(ctx.get(), in, edges);
@@ -130,7 +133,7 @@ TEST(ExternalSortTest, EdgeComparators) {
 }
 
 TEST(SortingWriterTest, AccumulateAndSort) {
-  auto ctx = MakeTestContext(/*memory_bytes=*/16 << 10);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/16 << 10);
   extsort::SortingWriter<std::uint64_t, U64Less> writer(ctx.get(), U64Less(),
                                                         /*dedup=*/true);
   util::Rng rng(3);
@@ -143,7 +146,7 @@ TEST(SortingWriterTest, AccumulateAndSort) {
 }
 
 TEST(IsFileSortedTest, DetectsOrderAndStrictness) {
-  auto ctx = MakeTestContext();
+  auto ctx = MakeMemTestContext();
   const std::string sorted = ctx->NewTempPath("s");
   io::WriteAllRecords<std::uint64_t>(ctx.get(), sorted, {1, 2, 2, 3});
   EXPECT_TRUE((extsort::IsFileSorted<std::uint64_t, U64Less>(
@@ -160,7 +163,7 @@ TEST(ExternalSortTest, AllEqualRecordsDedupAcrossMultiplePasses) {
   // M = 2 blocks of 4K: binary merges, several passes. Dedup must apply
   // inside every run and every pass, so all-equal input collapses early
   // instead of carrying 60K duplicates through each merge level.
-  auto ctx = MakeTestContext(/*memory_bytes=*/8 << 10, /*block_size=*/4096);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/8 << 10, /*block_size=*/4096);
   std::vector<std::uint64_t> values(60'000, 42);
   const std::string in = ctx->NewTempPath("in");
   const std::string out = ctx->NewTempPath("out");
@@ -182,7 +185,7 @@ TEST(ExternalSortTest, DedupShrinksIntermediateRuns) {
   // Heavy duplication (200 distinct keys in 100K records): with per-run
   // dedup every spilled run holds <= 200 records, so written bytes stay
   // a small fraction of the input.
-  auto ctx = MakeTestContext(/*memory_bytes=*/16 << 10, /*block_size=*/4096);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/16 << 10, /*block_size=*/4096);
   auto values = RandomValues(100'000, 13, 200);
   const std::string in = ctx->NewTempPath("in");
   const std::string out = ctx->NewTempPath("out");
@@ -201,7 +204,7 @@ TEST(ExternalSortTest, DedupShrinksIntermediateRuns) {
 TEST(ExternalSortTest, FanInExactlyTwo) {
   // M = 2 blocks: MergeFanIn floors at a binary merge; many runs force
   // ceil(log2(runs)) passes through the 2-leaf loser tree.
-  auto ctx = MakeTestContext(/*memory_bytes=*/2 << 10, /*block_size=*/1024);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/2 << 10, /*block_size=*/1024);
   ASSERT_EQ(ctx->memory().MergeFanIn(ctx->block_size()), 2u);
   auto values = RandomValues(20'000, 17, 1u << 30);
   const std::string in = ctx->NewTempPath("in");
@@ -237,7 +240,7 @@ struct TripleByKey {
 };
 
 TEST(ExternalSortTest, RecordsStraddlingBlockBoundaries) {
-  auto ctx = MakeTestContext(/*memory_bytes=*/4 << 10, /*block_size=*/1024);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/4 << 10, /*block_size=*/1024);
   util::Rng rng(23);
   std::vector<Triple> values(30'000);
   for (auto& t : values) {
@@ -263,7 +266,7 @@ TEST(ExternalSortTest, RecordsStraddlingBlockBoundaries) {
 }
 
 TEST(ExternalSortTest, SingleRunWritesOutputDirectly) {
-  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/4096);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/4096);
   auto values = RandomValues(10'000, 29, 1u << 30);  // 80 KB: one run
   const std::string in = ctx->NewTempPath("in");
   const std::string out = ctx->NewTempPath("out");
@@ -295,7 +298,7 @@ TEST(ExternalSortTest, RandomizedPropertyVsStdSort) {
     const std::size_t count = 500 + rng.Uniform(40'000);
     const std::uint64_t range = 1 + rng.Uniform(1u << 16);
     const bool dedup = rng.Uniform(2) == 1;
-    auto ctx = MakeTestContext(memory, block);
+    auto ctx = MakeMemTestContext(memory, block);
     auto values = RandomValues(count, rng.Next(), range);
     const std::string in = ctx->NewTempPath("in");
     const std::string out = ctx->NewTempPath("out");
@@ -344,7 +347,7 @@ class ExternalSortSweep : public ::testing::TestWithParam<SortSweepParam> {};
 
 TEST_P(ExternalSortSweep, SortedAndPermutationPreserved) {
   const auto param = GetParam();
-  auto ctx = MakeTestContext(param.memory, param.block);
+  auto ctx = MakeMemTestContext(param.memory, param.block);
   auto values = RandomValues(param.count, param.memory ^ param.count, 1000);
   const std::string in = ctx->NewTempPath("in");
   const std::string out = ctx->NewTempPath("out");

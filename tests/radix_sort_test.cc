@@ -26,6 +26,7 @@ using graph::DegreeEntry;
 using graph::Edge;
 using graph::NodeId;
 using graph::SccEntry;
+using testing::MakeMemTestContext;
 using testing::MakeTestContext;
 
 struct U64Less {
@@ -190,6 +191,8 @@ TEST(RadixSortTest, BlockStraddlingRecordsThroughExternalSort) {
   // external_sorter.h header), so the oracle here is key order +
   // payload integrity + multiset equality — global stability is an
   // in-memory run-formation property, asserted by the tests above.
+  // The suite's designated Posix round trip: the rest of the suite runs
+  // on MemDevice scratch.
   auto ctx = MakeTestContext(/*memory_bytes=*/4 << 10, /*block_size=*/1024);
   util::Rng rng(19);
   std::vector<Wide> values(30'000);
@@ -233,7 +236,7 @@ TEST(RadixSortTest, RandomizedExternalSortKeyedVsKeylessOracle) {
     const std::uint32_t range = 1 + static_cast<std::uint32_t>(
                                         rng.Uniform(1u << 14));
     const bool dedup = rng.Uniform(2) == 1;
-    auto ctx = MakeTestContext(memory, block);
+    auto ctx = MakeMemTestContext(memory, block);
     std::vector<Edge> edges(count);
     for (auto& e : edges) {
       e.src = static_cast<NodeId>(rng.Uniform(range));

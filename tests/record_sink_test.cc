@@ -20,6 +20,7 @@
 namespace extscc {
 namespace {
 
+using testing::MakeMemTestContext;
 using testing::MakeTestContext;
 
 struct U64Less {
@@ -46,7 +47,7 @@ TEST(SortIntoTest, SinkMatchesFileAcrossGeometries) {
     const std::size_t count = 200 + rng.Uniform(30'000);
     const std::uint64_t range = 1 + rng.Uniform(1u << 14);
     const bool dedup = rng.Uniform(2) == 1;
-    auto ctx = MakeTestContext(memory, block);
+    auto ctx = MakeMemTestContext(memory, block);
     const auto values = RandomValues(count, rng.Next(), range);
     const std::string in = ctx->NewTempPath("in");
     io::WriteAllRecords(ctx.get(), in, values);
@@ -74,7 +75,7 @@ TEST(SortIntoTest, SinkMatchesFileAcrossGeometries) {
 // An input that fits the run buffer reaches the sink straight from
 // memory: the only I/O is the input scan itself — zero writes.
 TEST(SortIntoTest, SingleRunStreamsFromMemoryWithZeroWrites) {
-  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/4096);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/1 << 20, /*block_size=*/4096);
   auto values = RandomValues(10'000, 29, 1u << 30);  // 80 KB: one run
   const std::string in = ctx->NewTempPath("in");
   io::WriteAllRecords(ctx.get(), in, values);
@@ -97,7 +98,7 @@ TEST(SortIntoTest, SingleRunStreamsFromMemoryWithZeroWrites) {
 }
 
 TEST(SortIntoTest, EmptyInputDeliversNothing) {
-  auto ctx = MakeTestContext();
+  auto ctx = MakeMemTestContext();
   const std::string in = ctx->NewTempPath("in");
   io::WriteAllRecords<std::uint64_t>(ctx.get(), in, {});
   std::size_t received = 0;
@@ -116,7 +117,7 @@ TEST(SortIntoTest, EmptyInputDeliversNothing) {
 TEST(SortIntoTest, FusedNeverExceedsMaterializeThenScan) {
   const auto values = RandomValues(60'000, 41, 1u << 31);
   auto measure = [&](bool fused) {
-    auto ctx = MakeTestContext(/*memory_bytes=*/16 << 10,
+    auto ctx = MakeMemTestContext(/*memory_bytes=*/16 << 10,
                                /*block_size=*/4096);
     const std::string in = ctx->NewTempPath("in");
     io::WriteAllRecords(ctx.get(), in, values);
@@ -151,7 +152,7 @@ TEST(SortIntoTest, FusedNeverExceedsMaterializeThenScan) {
 
 // ---- SortingWriter without a staging file ----------------------------
 TEST(SortingWriterTest, BufferedInputReachesSinkWithZeroIo) {
-  auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/1 << 20);
   extsort::SortingWriter<std::uint64_t, U64Less> writer(ctx.get(), U64Less(),
                                                         /*dedup=*/true);
   util::Rng rng(3);
@@ -174,7 +175,7 @@ TEST(SortingWriterTest, SpillingPathMatchesSortFileOracle) {
   // Budget of 16 KB forces several spilled runs; the sink stream must
   // agree with materializing the same adds through a file.
   auto values = RandomValues(40'000, 15, 1u << 20);
-  auto ctx = MakeTestContext(/*memory_bytes=*/16 << 10);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/16 << 10);
   extsort::SortingWriter<std::uint64_t, U64Less> writer(ctx.get(), U64Less());
   for (const auto v : values) writer.Add(v);
   std::vector<std::uint64_t> streamed;
@@ -188,7 +189,7 @@ TEST(SortingWriterTest, SpillingPathMatchesSortFileOracle) {
 
 TEST(SortingWriterTest, FileFinishIsSugarOverFileSink) {
   auto values = RandomValues(20'000, 57, 1u << 18);
-  auto ctx = MakeTestContext(/*memory_bytes=*/16 << 10);
+  auto ctx = MakeMemTestContext(/*memory_bytes=*/16 << 10);
   extsort::SortingWriter<std::uint64_t, U64Less> writer(ctx.get(), U64Less(),
                                                         /*dedup=*/true);
   for (const auto v : values) writer.Add(v);
@@ -200,7 +201,7 @@ TEST(SortingWriterTest, FileFinishIsSugarOverFileSink) {
 }
 
 TEST(SortingWriterTest, EmptyFinishIntoFileWritesEmptyFile) {
-  auto ctx = MakeTestContext();
+  auto ctx = MakeMemTestContext();
   extsort::SortingWriter<std::uint64_t, U64Less> writer(ctx.get(), U64Less());
   const std::string out = ctx->NewTempPath("out");
   const auto info = writer.FinishInto(out);
@@ -211,7 +212,7 @@ TEST(SortingWriterTest, EmptyFinishIntoFileWritesEmptyFile) {
 
 // ---- sink building blocks --------------------------------------------
 TEST(RecordSinkTest, CountingAndTee) {
-  auto ctx = MakeTestContext();
+  auto ctx = MakeMemTestContext();
   const std::string in = ctx->NewTempPath("in");
   io::WriteAllRecords<std::uint64_t>(ctx.get(), in, {5, 3, 3, 9, 1});
   extsort::CountingSink<std::uint64_t> counter;
@@ -226,6 +227,8 @@ TEST(RecordSinkTest, CountingAndTee) {
 }
 
 TEST(RecordSinkTest, FileSinkRoundTrips) {
+  // The suite's designated Posix round trip: the rest of the suite runs
+  // on MemDevice scratch.
   auto ctx = MakeTestContext();
   const std::string out = ctx->NewTempPath("out");
   {
@@ -242,7 +245,7 @@ TEST(RecordSinkTest, FileSinkRoundTrips) {
 
 // ---- membership-split sink vs the pull form --------------------------
 TEST(MembershipSplitSinkTest, PushMatchesPullSplit) {
-  auto ctx = MakeTestContext();
+  auto ctx = MakeMemTestContext();
   util::Rng rng(21);
   std::vector<graph::Edge> edges(4'000);
   for (auto& e : edges) {

@@ -28,12 +28,17 @@ namespace {
 using graph::Edge;
 using graph::NodeId;
 
-std::unique_ptr<io::IoContext> MakeContext(std::uint64_t memory,
-                                           std::size_t block,
-                                           std::size_t sort_threads) {
+std::unique_ptr<io::IoContext> MakeContext(
+    std::uint64_t memory, std::size_t block, std::size_t sort_threads,
+    io::DeviceModel model = io::DeviceModel::kMem) {
   io::IoContextOptions options;
   options.block_size = block;
   options.memory_bytes = memory;
+  options.device_model.model = model;
+  // Env overrides (device model, scratch dirs) reach this suite too —
+  // but sort_threads is this suite's subject, so the explicit parameter
+  // wins over EXTSCC_TEST_SORT_THREADS.
+  testing::ApplyTestEnvOptions(&options);
   options.sort_threads = sort_threads;
   return std::make_unique<io::IoContext>(options);
 }
@@ -162,7 +167,8 @@ TEST(RunPipelineTest, TightBudgetDegradesToSerialAndStaysCorrect) {
 
 TEST(RunPipelineTest, AbandonedWriterLeaksNoRuns) {
   namespace fs = std::filesystem;
-  auto ctx = MakeContext(8 << 10, 1024, 1);
+  // Posix scratch: the leak check walks the session directories.
+  auto ctx = MakeContext(8 << 10, 1024, 1, io::DeviceModel::kPosix);
   {
     extsort::SortingWriter<Edge, graph::EdgeBySrc> writer(
         ctx.get(), graph::EdgeBySrc());
@@ -171,6 +177,7 @@ TEST(RunPipelineTest, AbandonedWriterLeaksNoRuns) {
   }
   std::size_t files = 0;
   for (const auto& dir : ctx->temp_files().dirs()) {
+    if (!fs::exists(dir)) continue;  // env override to a RAM device
     for (auto it = fs::directory_iterator(dir);
          it != fs::directory_iterator(); ++it) {
       ++files;
@@ -204,8 +211,9 @@ TEST(RunPipelineTest, ThreadedIoCountsMatchSerialForSortingWriter) {
 
 TEST(RunPipelineTest, ExtSccEndToEndWithSortThreads) {
   // Whole-system smoke: a multi-level Ext-SCC solve with overlapped run
-  // formation must still match the oracle partition.
-  auto ctx = MakeContext(96 << 10, 4096, 1);
+  // formation must still match the oracle partition. The suite's
+  // designated Posix round trip: the rest runs on MemDevice scratch.
+  auto ctx = MakeContext(96 << 10, 4096, 1, io::DeviceModel::kPosix);
   gen::SyntheticParams params;
   params.num_nodes = 4'000;
   params.avg_degree = 3.0;

@@ -1,0 +1,372 @@
+// Storage-device API tests: MemDevice/ThrottledDevice round trips and
+// accounting equivalence with PosixDevice, the kSpreadGroup placement
+// invariant (no two runs of one merge group share a device when the
+// device count covers the fan-in), per-device stats summing exactly to
+// the aggregate IoStats, and the round-robin default staying
+// byte-identical to the pre-device engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/ext_scc.h"
+#include "extsort/external_sorter.h"
+#include "gen/synthetic_generator.h"
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "io/record_stream.h"
+#include "io/storage.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace extscc {
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+
+struct U64Less {
+  bool operator()(std::uint64_t a, std::uint64_t b) const { return a < b; }
+};
+
+std::vector<std::uint64_t> RandomValues(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) v = rng.Next();
+  return out;
+}
+
+std::unique_ptr<io::IoContext> MakeContext(io::DeviceModel model,
+                                           std::size_t num_devices,
+                                           io::PlacementPolicy placement,
+                                           std::uint64_t memory = 16 << 10,
+                                           std::size_t block = 1024) {
+  io::IoContextOptions options;
+  options.block_size = block;
+  options.memory_bytes = memory;
+  options.device_model.model = model;
+  // Keep the simulated devices effectively free for tests.
+  options.device_model.throttle_latency_us = 0;
+  options.device_model.throttle_mb_per_sec = 0;
+  options.scratch_placement = placement;
+  // Under kMem/kThrottled-with-empty-parent the entries only set the
+  // device count; no directories are created under these names.
+  for (std::size_t i = 0; i < num_devices; ++i) {
+    options.scratch_dirs.push_back("");
+  }
+  if (num_devices <= 1) options.scratch_dirs.clear();
+  return std::make_unique<io::IoContext>(options);
+}
+
+// ---- device round trips ----------------------------------------------
+
+TEST(StorageDeviceTest, MemDeviceRoundTrip) {
+  auto ctx = MakeContext(io::DeviceModel::kMem, 1,
+                         io::PlacementPolicy::kRoundRobin);
+  auto values = RandomValues(10'000, 5);
+  const std::string path = ctx->NewTempPath("mem_rt");
+  io::WriteAllRecords(ctx.get(), path, values);
+  EXPECT_EQ(io::ReadAllRecords<std::uint64_t>(ctx.get(), path), values);
+  // Truncating reopen resets the contents, like a posix O_TRUNC.
+  io::WriteAllRecords(ctx.get(), path,
+                      std::vector<std::uint64_t>{1, 2, 3});
+  EXPECT_EQ(io::ReadAllRecords<std::uint64_t>(ctx.get(), path),
+            (std::vector<std::uint64_t>{1, 2, 3}));
+  ctx->temp_files().Remove(path);
+  EXPECT_GT(ctx->stats().total_ios(), 0u);
+}
+
+TEST(StorageDeviceDeathTest, MemWriteThroughReadHandleCrashesLikePosix) {
+  // pwrite on an O_RDONLY fd fails on posix; the mem device must keep
+  // that contract so mode bugs surface on RAM-backed suites too.
+  auto ctx = MakeContext(io::DeviceModel::kMem, 1,
+                         io::PlacementPolicy::kRoundRobin);
+  const std::string path = ctx->NewTempPath("ro");
+  io::WriteAllRecords(ctx.get(), path, std::vector<std::uint64_t>{1, 2});
+  io::BlockFile file(ctx.get(), path, io::OpenMode::kRead);
+  const std::uint64_t payload = 9;
+  EXPECT_DEATH(file.WriteBlock(0, &payload, sizeof(payload)), "read-only");
+}
+
+TEST(StorageDeviceTest, ThrottledDeviceRoundTrip) {
+  auto ctx = MakeContext(io::DeviceModel::kThrottled, 2,
+                         io::PlacementPolicy::kRoundRobin);
+  auto values = RandomValues(20'000, 6);
+  const std::string in = ctx->NewTempPath("in");
+  const std::string out = ctx->NewTempPath("out");
+  io::WriteAllRecords(ctx.get(), in, values);
+  extsort::SortFile<std::uint64_t, U64Less>(ctx.get(), in, out, U64Less());
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(io::ReadAllRecords<std::uint64_t>(ctx.get(), out), values);
+}
+
+// The device model never changes the block accounting: the same sort on
+// MemDevice and PosixDevice scratch must count identical I/Os, field by
+// field — the oracle that keeps the mem-scratch test suites honest
+// about the I/O model.
+TEST(StorageDeviceTest, MemAccountingIdenticalToPosix) {
+  const auto values = RandomValues(60'000, 7);
+  const auto run = [&](io::DeviceModel model) {
+    auto ctx = MakeContext(model, 1, io::PlacementPolicy::kRoundRobin);
+    const std::string in = ctx->NewTempPath("in");
+    const std::string out = ctx->NewTempPath("out");
+    io::WriteAllRecords(ctx.get(), in, values);
+    extsort::SortFile<std::uint64_t, U64Less>(ctx.get(), in, out, U64Less());
+    return ctx->stats();
+  };
+  const io::IoStats posix = run(io::DeviceModel::kPosix);
+  const io::IoStats mem = run(io::DeviceModel::kMem);
+  EXPECT_EQ(posix.sequential_reads, mem.sequential_reads);
+  EXPECT_EQ(posix.random_reads, mem.random_reads);
+  EXPECT_EQ(posix.sequential_writes, mem.sequential_writes);
+  EXPECT_EQ(posix.random_writes, mem.random_writes);
+  EXPECT_EQ(posix.bytes_read, mem.bytes_read);
+  EXPECT_EQ(posix.bytes_written, mem.bytes_written);
+  EXPECT_EQ(posix.files_created, mem.files_created);
+}
+
+// ---- placement --------------------------------------------------------
+
+// Manager-level invariant: under kSpreadGroup, grouped files with
+// distinct members land on distinct devices whenever the group's span
+// fits the device count — regardless of interleaved ungrouped traffic
+// (which would skew a round-robin assignment arbitrarily).
+TEST(PlacementTest, SpreadGroupMembersOccupyDistinctDevices) {
+  std::vector<std::unique_ptr<io::StorageDevice>> devices;
+  for (int i = 0; i < 4; ++i) {
+    devices.push_back(
+        std::make_unique<io::MemDevice>("m" + std::to_string(i)));
+  }
+  io::TempFileManager manager(std::move(devices),
+                              io::PlacementPolicy::kSpreadGroup);
+  for (std::uint64_t group = 0; group < 6; ++group) {
+    const std::uint64_t gid = manager.NextGroupId();
+    std::set<const io::StorageDevice*> used;
+    for (std::uint64_t member = 0; member < 4; ++member) {
+      // Ungrouped noise between members must not cause collisions.
+      manager.NewPath("noise");
+      const io::ScratchFile file =
+          manager.NewFile("run", io::Placement::InGroup(gid, member));
+      EXPECT_EQ(manager.DeviceForPath(file.path), file.device);
+      EXPECT_TRUE(used.insert(file.device).second)
+          << "group " << gid << " member " << member
+          << " collided on device " << file.device->name();
+    }
+  }
+}
+
+// End-to-end construction: FormRuns tags each spilled run with its sort
+// group and ordinal, so under kSpreadGroup every fan-in-sized window of
+// consecutive runs — exactly the merge groups the planner forms — sits
+// on distinct devices when the device count covers the fan-in.
+TEST(PlacementTest, FormRunsSpreadsMergeGroupsAcrossDevices) {
+  const std::size_t kDevices = 8;
+  auto ctx = MakeContext(io::DeviceModel::kMem, kDevices,
+                         io::PlacementPolicy::kSpreadGroup,
+                         /*memory=*/8 << 10, /*block=*/1024);
+  const std::size_t fan_in = static_cast<std::size_t>(
+      ctx->memory().MergeFanIn(ctx->block_size()));
+  ASSERT_LE(fan_in, kDevices) << "geometry must satisfy devices >= fan-in";
+  auto values = RandomValues(30'000, 11);
+  const std::string in = ctx->NewTempPath("in");
+  io::WriteAllRecords(ctx.get(), in, values);
+  extsort::SortRunInfo info;
+  auto formed = extsort::internal::FormRuns<std::uint64_t>(
+      ctx.get(), in, U64Less(), /*dedup=*/false, &info);
+  ASSERT_FALSE(formed.in_memory);
+  ASSERT_GT(formed.runs.size(), fan_in) << "want a multi-group formation";
+  for (std::size_t group = 0; group < formed.runs.size(); group += fan_in) {
+    const std::size_t end = std::min(formed.runs.size(), group + fan_in);
+    std::set<const io::StorageDevice*> used;
+    for (std::size_t i = group; i < end; ++i) {
+      const io::StorageDevice* device =
+          ctx->temp_files().DeviceForPath(formed.runs[i]);
+      ASSERT_NE(device, nullptr) << formed.runs[i];
+      EXPECT_TRUE(used.insert(device).second)
+          << "merge group at run " << group << ": runs " << i
+          << " collided on " << device->name();
+    }
+  }
+  for (const auto& run : formed.runs) ctx->temp_files().Remove(run);
+}
+
+// A spread-placement solve must still match the oracle partition, and
+// its sorted labels must be byte-identical to the round-robin default —
+// placement moves files between devices, never changes their bytes.
+TEST(PlacementTest, SpreadSolveMatchesRoundRobinAndOracle) {
+  const auto solve = [](io::PlacementPolicy placement) {
+    auto ctx = MakeContext(io::DeviceModel::kMem, 3, placement,
+                           /*memory=*/96 << 10, /*block=*/4096);
+    gen::SyntheticParams params;
+    params.num_nodes = 4'000;
+    params.avg_degree = 3.0;
+    params.sccs = {{20, 40}};
+    params.seed = 12;
+    const auto g = gen::GenerateSynthetic(ctx.get(), params);
+    const std::string scc_path = ctx->NewTempPath("scc");
+    auto result = core::RunExtScc(ctx.get(), g, scc_path,
+                                  core::ExtSccOptions::Optimized());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    testing::ExpectSccFileMatchesOracle(ctx.get(), g, scc_path, "placement");
+    return io::ReadAllRecords<graph::SccEntry>(ctx.get(), scc_path);
+  };
+  const auto rr = solve(io::PlacementPolicy::kRoundRobin);
+  const auto spread = solve(io::PlacementPolicy::kSpreadGroup);
+  ASSERT_EQ(rr.size(), spread.size());
+  for (std::size_t i = 0; i < rr.size(); ++i) {
+    ASSERT_EQ(rr[i].node, spread[i].node) << "at " << i;
+    ASSERT_EQ(rr[i].scc, spread[i].scc) << "at " << i;
+  }
+}
+
+// ---- per-device accounting -------------------------------------------
+
+void ExpectDeviceStatsSumToAggregate(const io::IoContext& ctx) {
+  io::IoStats sum;
+  for (const auto& row : ctx.DeviceStats()) sum += row.stats;
+  const io::IoStats& total = ctx.stats();
+  EXPECT_EQ(sum.sequential_reads, total.sequential_reads);
+  EXPECT_EQ(sum.random_reads, total.random_reads);
+  EXPECT_EQ(sum.sequential_writes, total.sequential_writes);
+  EXPECT_EQ(sum.random_writes, total.random_writes);
+  EXPECT_EQ(sum.bytes_read, total.bytes_read);
+  EXPECT_EQ(sum.bytes_written, total.bytes_written);
+  EXPECT_EQ(sum.files_created, total.files_created);
+}
+
+TEST(DeviceStatsTest, PerDeviceSumsExactlyToAggregate) {
+  auto ctx = MakeContext(io::DeviceModel::kMem, 3,
+                         io::PlacementPolicy::kSpreadGroup,
+                         /*memory=*/64 << 10, /*block=*/2048);
+  gen::SyntheticParams params;
+  params.num_nodes = 3'000;
+  params.avg_degree = 3.0;
+  params.sccs = {{15, 30}};
+  params.seed = 9;
+  const auto g = gen::GenerateSynthetic(ctx.get(), params);
+  const std::string scc_path = ctx->NewTempPath("scc");
+  auto result = core::RunExtScc(ctx.get(), g, scc_path,
+                                core::ExtSccOptions::Optimized());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectDeviceStatsSumToAggregate(*ctx);
+  // The critical path is bounded by the aggregate and, with >1 active
+  // device, strictly below it; it is also the max over the rows.
+  std::uint64_t max_row = 0;
+  std::size_t active = 0;
+  for (const auto& row : ctx->DeviceStats()) {
+    max_row = std::max(max_row, row.stats.total_ios());
+    if (row.stats.total_ios() > 0) ++active;
+  }
+  EXPECT_EQ(ctx->max_per_device_ios(), max_row);
+  EXPECT_GE(active, 2u) << "striped solve should touch several devices";
+  EXPECT_LT(ctx->max_per_device_ios(), ctx->stats().total_ios());
+}
+
+TEST(DeviceStatsTest, NonScratchTrafficLandsOnBaseDevice) {
+  namespace fs = std::filesystem;
+  auto ctx = MakeContext(io::DeviceModel::kMem, 1,
+                         io::PlacementPolicy::kRoundRobin);
+  const std::string outside =
+      (fs::temp_directory_path() / "extscc_storage_test_outside.bin")
+          .string();
+  io::WriteAllRecords(ctx.get(), outside,
+                      std::vector<std::uint64_t>{1, 2, 3});
+  const auto rows = ctx->DeviceStats();
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.front().name, "base");
+  EXPECT_GT(rows.front().stats.total_ios(), 0u);
+  ExpectDeviceStatsSumToAggregate(*ctx);
+  fs::remove(outside);
+}
+
+// ---- defaults and validation -----------------------------------------
+
+// The round-robin default must be byte-identical to the pre-device
+// engine: same path names, same device choice by global sequence.
+TEST(PlacementTest, RoundRobinDefaultIgnoresGroups) {
+  std::vector<std::unique_ptr<io::StorageDevice>> devices;
+  devices.push_back(std::make_unique<io::MemDevice>("m0"));
+  devices.push_back(std::make_unique<io::MemDevice>("m1"));
+  io::TempFileManager manager(std::move(devices),
+                              io::PlacementPolicy::kRoundRobin);
+  const auto device_list = manager.devices();
+  // Grouped or not, round-robin strictly alternates by sequence number.
+  const io::ScratchFile a =
+      manager.NewFile("x", io::Placement::InGroup(manager.NextGroupId(), 0));
+  const io::ScratchFile b =
+      manager.NewFile("x", io::Placement::InGroup(manager.NextGroupId(), 0));
+  const io::ScratchFile c = manager.NewFile("x", io::Placement::Ungrouped());
+  EXPECT_EQ(a.device, device_list[0]);
+  EXPECT_EQ(b.device, device_list[1]);
+  EXPECT_EQ(c.device, device_list[0]);
+  // Names carry the global sequence, exactly like NewPath.
+  EXPECT_NE(a.path.find("/0_x"), std::string::npos) << a.path;
+  EXPECT_NE(b.path.find("/1_x"), std::string::npos) << b.path;
+  EXPECT_NE(c.path.find("/2_x"), std::string::npos) << c.path;
+}
+
+TEST(StorageConfigTest, ParseDeviceModelSpec) {
+  io::DeviceModelSpec spec;
+  EXPECT_EQ(io::ParseDeviceModelSpec("posix", &spec), "");
+  EXPECT_EQ(spec.model, io::DeviceModel::kPosix);
+  EXPECT_EQ(io::ParseDeviceModelSpec("mem", &spec), "");
+  EXPECT_EQ(spec.model, io::DeviceModel::kMem);
+  EXPECT_EQ(io::ParseDeviceModelSpec("throttled", &spec), "");
+  EXPECT_EQ(spec.model, io::DeviceModel::kThrottled);
+  EXPECT_EQ(io::ParseDeviceModelSpec("throttled:250", &spec), "");
+  EXPECT_EQ(spec.throttle_latency_us, 250u);
+  EXPECT_EQ(io::ParseDeviceModelSpec("throttled:250:512", &spec), "");
+  EXPECT_EQ(spec.throttle_mb_per_sec, 512u);
+  EXPECT_NE(io::ParseDeviceModelSpec("floppy", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("throttled:abc", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("throttled:1:2:3", &spec), "");
+  // strtoull would silently negate/saturate these; the parser must not.
+  EXPECT_NE(io::ParseDeviceModelSpec("throttled:-1", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("throttled:10:-5", &spec), "");
+  EXPECT_NE(
+      io::ParseDeviceModelSpec("throttled:99999999999999999999999", &spec),
+      "");
+  // In uint64 range but beyond the sanity bound: the *1000 ns
+  // conversion would wrap to a tiny latency — must be rejected too.
+  EXPECT_NE(io::ParseDeviceModelSpec("throttled:18446744073709552", &spec),
+            "");
+  // Trailing/doubled ':' is a truncated value, not a default request.
+  EXPECT_NE(io::ParseDeviceModelSpec("throttled:", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("throttled:100:", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("throttled::", &spec), "");
+
+  io::PlacementPolicy policy = io::PlacementPolicy::kRoundRobin;
+  EXPECT_EQ(io::ParsePlacementSpec("spread", &policy), "");
+  EXPECT_EQ(policy, io::PlacementPolicy::kSpreadGroup);
+  EXPECT_EQ(io::ParsePlacementSpec("rr", &policy), "");
+  EXPECT_EQ(policy, io::PlacementPolicy::kRoundRobin);
+  EXPECT_NE(io::ParsePlacementSpec("zigzag", &policy), "");
+}
+
+TEST(StorageConfigTest, ValidateScratchParentsNamesTheBadEntry) {
+  namespace fs = std::filesystem;
+  const std::string good =
+      (fs::temp_directory_path() / "extscc_storage_test_good").string();
+  fs::create_directories(good);
+  EXPECT_EQ(io::ValidateScratchParents({good}), "");
+  const std::string missing =
+      (fs::temp_directory_path() / "extscc_storage_test_missing").string();
+  const std::string error = io::ValidateScratchParents({good, missing});
+  EXPECT_NE(error.find(missing), std::string::npos)
+      << "error must name the bad directory: " << error;
+  // The config-level check applies the device-model policy: mem devices
+  // have no on-disk parent to validate, file-backed models do.
+  io::DeviceModelSpec mem_spec;
+  ASSERT_EQ(io::ParseDeviceModelSpec("mem", &mem_spec), "");
+  EXPECT_EQ(io::ValidateScratchConfig(mem_spec, {missing}), "");
+  EXPECT_NE(io::ValidateScratchConfig(io::DeviceModelSpec{}, {missing}), "");
+  fs::remove_all(good);
+}
+
+}  // namespace
+}  // namespace extscc

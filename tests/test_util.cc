@@ -7,25 +7,58 @@
 #include "graph/digraph.h"
 #include "scc/scc_verify.h"
 #include "scc/tarjan.h"
+#include "util/csv.h"
 
 namespace extscc::testing {
 
-std::unique_ptr<io::IoContext> MakeTestContext(std::uint64_t memory_bytes,
-                                               std::size_t block_size) {
-  io::IoContextOptions options;
-  options.block_size = block_size;
-  options.memory_bytes = memory_bytes;
-  // EXTSCC_TEST_SORT_THREADS=N runs every suite built on this fixture
-  // with overlapped run formation — the CI threaded job sets 1 and
-  // expects identical results (sorted outputs are byte-identical by
-  // design; only wall overlap changes).
+void ApplyTestEnvOptions(io::IoContextOptions* options) {
   if (const char* env = std::getenv("EXTSCC_TEST_SORT_THREADS")) {
     if (env[0] != '\0') {
-      options.sort_threads =
+      options->sort_threads =
           static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
     }
   }
+  if (const char* env = std::getenv("EXTSCC_TEST_DEVICE_MODEL")) {
+    if (env[0] != '\0') {
+      const std::string error =
+          io::ParseDeviceModelSpec(env, &options->device_model);
+      if (!error.empty()) {
+        ADD_FAILURE() << "EXTSCC_TEST_DEVICE_MODEL: " << error;
+      }
+    }
+  }
+  if (const char* env = std::getenv("EXTSCC_TEST_SCRATCH_DIRS")) {
+    if (env[0] != '\0') options->scratch_dirs = util::SplitCommaList(env);
+  }
+}
+
+namespace {
+
+std::unique_ptr<io::IoContext> MakeContextWithModel(
+    std::uint64_t memory_bytes, std::size_t block_size,
+    io::DeviceModel model) {
+  io::IoContextOptions options;
+  options.block_size = block_size;
+  options.memory_bytes = memory_bytes;
+  options.device_model.model = model;
+  // The environment wins over the suite's requested backing, so the CI
+  // matrix (threaded, multidevice) drives every fixture-built suite.
+  ApplyTestEnvOptions(&options);
   return std::make_unique<io::IoContext>(options);
+}
+
+}  // namespace
+
+std::unique_ptr<io::IoContext> MakeTestContext(std::uint64_t memory_bytes,
+                                               std::size_t block_size) {
+  return MakeContextWithModel(memory_bytes, block_size,
+                              io::DeviceModel::kPosix);
+}
+
+std::unique_ptr<io::IoContext> MakeMemTestContext(std::uint64_t memory_bytes,
+                                                  std::size_t block_size) {
+  return MakeContextWithModel(memory_bytes, block_size,
+                              io::DeviceModel::kMem);
 }
 
 scc::SccResult Oracle(const std::vector<graph::Edge>& edges,

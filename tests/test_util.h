@@ -12,10 +12,29 @@
 
 namespace extscc::testing {
 
+// Applies the test-matrix environment overrides to `options`:
+//  - EXTSCC_TEST_SORT_THREADS=N: overlapped run formation (the threaded
+//    CI job sets 1; sorted outputs are byte-identical by design).
+//  - EXTSCC_TEST_DEVICE_MODEL=posix|mem|throttled[:lat_us[:mb_per_s]]:
+//    scratch device backing (the multidevice CI job sets throttled).
+//  - EXTSCC_TEST_SCRATCH_DIRS=a,b: one scratch device per entry.
+// Suites that build IoContextOptions by hand call this so the CI matrix
+// reaches them too.
+void ApplyTestEnvOptions(io::IoContextOptions* options);
+
 // Fresh IoContext with a small block size so even tiny inputs span
 // multiple blocks (exercises the block machinery), and a budget large
-// enough that in-memory fast paths fit.
+// enough that in-memory fast paths fit. Posix scratch unless the
+// environment overrides the device model.
 std::unique_ptr<io::IoContext> MakeTestContext(
+    std::uint64_t memory_bytes = 1 << 20, std::size_t block_size = 4096);
+
+// Same geometry, MemDevice scratch: the pure-engine suites (extsort,
+// record_sink, radix_sort, run_pipeline) run on RAM-backed devices —
+// faster and tmpfs-independent, with block accounting identical to
+// posix byte for byte. The environment overrides still win, so the
+// multidevice CI job drives these suites through its simulated disks.
+std::unique_ptr<io::IoContext> MakeMemTestContext(
     std::uint64_t memory_bytes = 1 << 20, std::size_t block_size = 4096);
 
 // In-memory oracle partition of an edge list (+ optional isolated nodes).
