@@ -12,6 +12,7 @@
 
 #include "app/bisimulation.h"
 #include "app/reachability_index.h"
+#include "bench/merge_lab.h"
 #include "baseline/buffered_repository_tree.h"
 #include "core/ext_scc.h"
 #include "gen/rmat_generator.h"
@@ -285,6 +286,56 @@ BENCHMARK(BM_MergeKWay)
     ->Args({16, 1})
     ->Args({64, 0})
     ->Args({64, 1});
+
+// Device-parallel merge: k spread-placed runs on 2 scratch devices
+// drain through the loser tree into a checksum sink — the fused
+// final-pass shape (workload shared with bench_merge_parallel via
+// bench/merge_lab.h). arg0: io_threads; arg1: 0 = MemDevice scratch,
+// 1 = ThrottledDevice (2 ms/op, 256 MB/s — merge reads become
+// device-bound and the io_threads speedup approaches the device
+// count). On page-cached RAM devices the win is bounded: the scheduler
+// mostly offloads the memcpy+decode of read-ahead.
+void BM_MergeParallel(benchmark::State& state) {
+  const auto io_threads = static_cast<std::size_t>(state.range(0));
+  const bool throttled = state.range(1) != 0;
+  constexpr int kFanIn = 8;
+  constexpr std::uint64_t kRunLen = 64 * 1024;
+  io::IoContextOptions options;
+  options.block_size = 64 * 1024;
+  options.memory_bytes = 8 << 20;
+  if (throttled) {
+    options.device_model.model = io::DeviceModel::kThrottled;
+    options.device_model.throttle_latency_us = 2000;
+    options.device_model.throttle_mb_per_sec = 256;
+    options.scratch_dirs = {"/tmp", "/tmp"};  // two devices, one backing
+  } else {
+    options.device_model.model = io::DeviceModel::kMem;
+    options.scratch_dirs = {"d0", "d1"};  // under kMem: device count only
+  }
+  options.scratch_placement = io::PlacementPolicy::kSpreadGroup;
+  options.io_threads = io_threads;
+  auto ctx = std::make_unique<io::IoContext>(options);
+  const auto runs = bench::MakeSpreadMergeRuns(ctx.get(), kFanIn, kRunLen, 13);
+  std::uint64_t merged = 0;
+  const auto before = ctx->stats();
+  for (auto _ : state) {
+    const auto result = bench::DrainMergeChecksum(ctx.get(), runs);
+    merged = result.records;
+    benchmark::DoNotOptimize(result.checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * merged);
+  state.SetBytesProcessed(state.iterations() * merged * sizeof(graph::Edge));
+  state.counters["ios"] = static_cast<double>(
+      (ctx->stats() - before).total_ios() /
+      std::max<std::uint64_t>(1, state.iterations()));
+}
+BENCHMARK(BM_MergeParallel)
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({0, 1})
+    ->Args({2, 1})
+    ->Unit(benchmark::kMillisecond);
 
 // End-to-end external sort throughput with merge-pass count reported
 // (arg0: record count, arg1: memory budget KB — smaller budget, more runs).

@@ -103,6 +103,13 @@ struct PointResult {
 //    double-buffer, forming ~2x the runs (SortingWriter stages keep
 //    identical geometry). The figure tables stay the paper's only at
 //    the default 0.
+//  - `--io-threads=N` (EXTSCC_BENCH_IO_THREADS=N): device-parallel I/O
+//    — up to N I/O worker threads, one per storage device, keep every
+//    sequential stream's read-ahead ring full and double-buffer the
+//    merge output. Sorted outputs are byte-identical; like
+//    --sort-threads the I/O *counts* can shift slightly (ring
+//    reservations change run geometry), so the figure tables stay the
+//    paper's only at the default 0.
 //  - `--scratch-dirs=a,b,...` (EXTSCC_BENCH_SCRATCH_DIRS=a,b): stripe
 //    scratch files round-robin across the listed directories (one per
 //    spindle/NVMe namespace).
@@ -121,6 +128,11 @@ inline bool& PrefetchFlag() {
 }
 
 inline std::size_t& SortThreadsFlag() {
+  static std::size_t threads = 0;
+  return threads;
+}
+
+inline std::size_t& IoThreadsFlag() {
   static std::size_t threads = 0;
   return threads;
 }
@@ -164,6 +176,9 @@ inline void ParseBenchFlags(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--sort-threads=", 15) == 0) {
       SortThreadsFlag() =
           static_cast<std::size_t>(std::strtoull(argv[i] + 15, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--io-threads=", 13) == 0) {
+      IoThreadsFlag() =
+          static_cast<std::size_t>(std::strtoull(argv[i] + 13, nullptr, 10));
     } else if (std::strncmp(argv[i], "--scratch-dirs=", 15) == 0) {
       ScratchDirsFlag() = util::SplitCommaList(argv[i] + 15);
     } else if (std::strncmp(argv[i], "--device-model=", 15) == 0) {
@@ -173,7 +188,8 @@ inline void ParseBenchFlags(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (supported: --prefetch, "
-                   "--sort-threads=N, --scratch-dirs=a,b,..., "
+                   "--sort-threads=N, --io-threads=N, "
+                   "--scratch-dirs=a,b,..., "
                    "--device-model=posix|mem|throttled[:lat_us[:mb_per_s]], "
                    "--placement=rr|spread)\n",
                    argv[i]);
@@ -186,6 +202,12 @@ inline void ParseBenchFlags(int argc, char** argv) {
   if (const char* env = std::getenv("EXTSCC_BENCH_SORT_THREADS")) {
     if (env[0] != '\0') {
       SortThreadsFlag() =
+          static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    }
+  }
+  if (const char* env = std::getenv("EXTSCC_BENCH_IO_THREADS")) {
+    if (env[0] != '\0') {
+      IoThreadsFlag() =
           static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
     }
   }
@@ -215,6 +237,7 @@ inline std::unique_ptr<io::IoContext> MakeMachine(std::uint64_t memory) {
   options.memory_bytes = memory;
   options.prefetch = PrefetchFlag();
   options.sort_threads = SortThreadsFlag();
+  options.io_threads = IoThreadsFlag();
   options.scratch_dirs = ScratchDirsFlag();
   options.device_model = DeviceModelFlag();
   options.scratch_placement = PlacementFlag();

@@ -1,6 +1,7 @@
 // extscc_tool — command-line front end over the library's public API.
 //
-//   extscc_tool [--sort-threads=N] [--scratch-dirs=a,b,...]
+//   extscc_tool [--sort-threads=N] [--io-threads=N]
+//               [--scratch-dirs=a,b,...]
 //               [--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]]
 //               [--placement=rr|spread] <command> ...
 //
@@ -13,7 +14,11 @@
 // Global flags (before the command) apply to every machine the tool
 // builds: --sort-threads enables overlapped run formation (labels are
 // byte-identical; I/O counts can shift because file sorts halve their
-// run buffers to double-buffer), --scratch-dirs builds one scratch
+// run buffers to double-buffer), --io-threads enables device-parallel
+// I/O (up to N worker threads, one per storage device, keep every
+// sequential stream's read-ahead full and double-buffer merge output —
+// labels byte-identical, counts can shift like --sort-threads),
+// --scratch-dirs builds one scratch
 // device per listed directory, --device-model selects what backs them
 // (real files, RAM, or latency/bandwidth-throttled files), and
 // --placement selects how scratch files are assigned to devices
@@ -52,7 +57,7 @@ using namespace extscc;
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: extscc_tool [--sort-threads=N] "
+               "usage: extscc_tool [--sort-threads=N] [--io-threads=N] "
                "[--scratch-dirs=a,b,...] "
                "[--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]] "
                "[--placement=rr|spread] <command> ...\n"
@@ -68,6 +73,7 @@ int Usage() {
 
 // Global flags, parsed (and stripped) ahead of the command word.
 std::size_t g_sort_threads = 0;
+std::size_t g_io_threads = 0;
 std::vector<std::string> g_scratch_dirs;
 io::DeviceModelSpec g_device_model;
 io::PlacementPolicy g_placement = io::PlacementPolicy::kRoundRobin;
@@ -78,6 +84,7 @@ io::IoContext MakeContext(std::uint64_t memory_bytes) {
   options.memory_bytes =
       std::max<std::uint64_t>(memory_bytes, 2 * options.block_size);
   options.sort_threads = g_sort_threads;
+  options.io_threads = g_io_threads;
   options.scratch_dirs = g_scratch_dirs;
   options.device_model = g_device_model;
   options.scratch_placement = g_placement;
@@ -279,6 +286,9 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[first], "--sort-threads=", 15) == 0) {
       g_sort_threads = static_cast<std::size_t>(
           std::strtoull(argv[first] + 15, nullptr, 10));
+    } else if (std::strncmp(argv[first], "--io-threads=", 13) == 0) {
+      g_io_threads = static_cast<std::size_t>(
+          std::strtoull(argv[first] + 13, nullptr, 10));
     } else if (std::strncmp(argv[first], "--scratch-dirs=", 15) == 0) {
       g_scratch_dirs = util::SplitCommaList(argv[first] + 15);
     } else if (std::strncmp(argv[first], "--device-model=", 15) == 0) {

@@ -263,10 +263,16 @@ RunFormation<T> FormRuns(io::IoContext* context,
                          const std::string& input_path, Less less, bool dedup,
                          SortRunInfo* info) {
   RunFormation<T> out;
-  io::RecordReader<T> reader(context, input_path);
-  info->num_records = reader.num_records();
+  // Size the run buffer BEFORE the reader opens: the reader's optional
+  // read-ahead ring (prefetch / io_threads) reserves budget, and sizing
+  // after it would shrink every run — a geometry change that multiplies
+  // runs and merge passes at tight budgets. Sized here, run geometry is
+  // identical to the serial engine's; the ring overdraft is absorbed by
+  // the clamped reservations downstream.
   const std::uint64_t full_capacity =
       context->memory().MaxRecordsInMemory(sizeof(T));
+  io::RecordReader<T> reader(context, input_path);
+  info->num_records = reader.num_records();
 
   // In-memory fast path: the whole input fits one run buffer, sorts
   // resident, and never spills — nothing to overlap, and bit-identical
@@ -345,6 +351,11 @@ void MergeRunsInto(io::IoContext* context, std::vector<std::string> runs,
   if (runs.empty()) return;
   const std::size_t fan_in = static_cast<std::size_t>(
       context->memory().MergeFanIn(context->block_size()));
+  // Spread placement promises distinct devices per merge group only
+  // when the device count covers the fan-in; say so (once per context)
+  // instead of silently degrading to shared devices.
+  io::MaybeWarnSpreadBelowFanIn(context->temp_files(),
+                                std::min(fan_in, runs.size()));
   while (runs.size() > fan_in) {
     ++info->merge_passes;
     std::vector<std::string> next_runs;
@@ -371,7 +382,10 @@ void MergeRunsInto(io::IoContext* context, std::vector<std::string> runs,
                        io::Placement::InGroup(pass_group, next_runs.size()))
               .path;
       LoserTree<T, Less> tree(std::move(inputs), less);
-      io::RecordWriter<T> writer(context, out_path);
+      // Overlapped output: with io_threads the device write of block N
+      // runs on the output device's worker while the tree selects the
+      // records of block N+1.
+      io::RecordWriter<T> writer(context, out_path, /*overlap_output=*/true);
       DrainMerge(&tree, &writer, less, dedup);
       writer.Finish();
       next_runs.push_back(out_path);
@@ -460,7 +474,7 @@ SortRunInfo SortFile(io::IoContext* context, const std::string& input_path,
   // Spilled formation always yields >= 2 runs (one run that covers the
   // whole input takes the in-memory branch above), so this is a real
   // merge; MergeRunsInto still handles a lone run for other callers.
-  FileSink<T> sink(context, output_path);
+  FileSink<T> sink(context, output_path, /*overlap_output=*/true);
   internal::MergeRunsInto<T>(context, std::move(formed.runs), sink, less,
                              dedup, &info);
   sink.Finish();
@@ -553,7 +567,7 @@ class SortingWriter {
   // File sugar: FinishInto over a FileSink. A single-buffer input is one
   // sequential output write — no staging round trip.
   SortRunInfo FinishInto(const std::string& output_path) {
-    FileSink<T> sink(context_, output_path);
+    FileSink<T> sink(context_, output_path, /*overlap_output=*/true);
     SortRunInfo info = FinishInto(sink);
     sink.Finish();
     return info;

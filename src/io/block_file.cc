@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "io/io_context.h"
+#include "io/read_scheduler.h"
 #include "util/logging.h"
 
 namespace extscc::io {
@@ -133,6 +134,16 @@ BlockFile::BlockFile(IoContext* context, const std::string& path,
 
 BlockFile::~BlockFile() {
   prefetcher_.reset();
+  // Unregister drains a pending async write before the handle closes,
+  // so a run file reopened for merging sees every submitted block.
+  if (sched_reader_ != nullptr) {
+    context_->read_scheduler()->Unregister(sched_reader_);
+    sched_reader_ = nullptr;
+  }
+  if (sched_writer_ != nullptr) {
+    context_->read_scheduler()->Unregister(sched_writer_);
+    sched_writer_ = nullptr;
+  }
   file_.reset();
 }
 
@@ -141,7 +152,16 @@ std::uint64_t BlockFile::num_blocks() const {
 }
 
 void BlockFile::StartSequentialPrefetch(std::uint64_t start_block) {
-  if (prefetcher_ != nullptr) return;
+  if (prefetcher_ != nullptr || sched_reader_ != nullptr) return;
+  // The shared scheduler takes precedence over the per-file prefetcher
+  // when both engines are enabled: one worker per device replaces one
+  // thread per file. Register degrades to nullptr (direct reads) when
+  // the budget cannot cover even one ring slot.
+  if (ReadScheduler* scheduler = context_->read_scheduler()) {
+    if (start_block >= num_blocks()) return;  // nothing to read ahead
+    sched_reader_ = scheduler->RegisterReader(this, start_block);
+    return;
+  }
   if (!context_->prefetch_enabled()) return;
   const std::size_t depth =
       std::max<std::size_t>(1, context_->prefetch_depth());
@@ -187,7 +207,29 @@ void BlockFile::CountRead(std::uint64_t block_index, std::size_t bytes) {
   context_->OnIo();
 }
 
+void BlockFile::EnableOverlappedWrites() {
+  if (sched_writer_ != nullptr) return;
+  ReadScheduler* scheduler = context_->read_scheduler();
+  if (scheduler == nullptr) return;
+  sched_writer_ = scheduler->RegisterWriter(this);  // nullptr: stay sync
+}
+
 std::size_t BlockFile::ReadBlock(std::uint64_t block_index, void* buf) {
+  DCHECK(sched_writer_ == nullptr)
+      << "read from a file with overlapped writes still open";
+  if (sched_reader_ != nullptr) {
+    std::size_t bytes = 0;
+    if (context_->read_scheduler()->TakeBlock(sched_reader_, block_index,
+                                              buf, &bytes)) {
+      if (bytes == 0) return 0;  // past EOF: uncounted, like direct
+      CountRead(block_index, bytes);
+      return bytes;
+    }
+    // Off-sequence request: the stream is no longer sequential, so the
+    // read-ahead is useless — drop it and serve directly from here on.
+    context_->read_scheduler()->Unregister(sched_reader_);
+    sched_reader_ = nullptr;
+  }
   if (prefetcher_ != nullptr) {
     std::size_t bytes = 0;
     if (prefetcher_->TakeBlock(block_index, buf, &bytes)) {
@@ -205,14 +247,7 @@ std::size_t BlockFile::ReadBlock(std::uint64_t block_index, void* buf) {
   return bytes;
 }
 
-void BlockFile::WriteBlock(std::uint64_t block_index, const void* data,
-                           std::size_t bytes) {
-  CHECK_LE(bytes, block_size_);
-  const std::uint64_t offset = block_index * block_size_;
-  // Writing beyond the current final partial block would leave a hole of
-  // undefined record data; the streaming writers never do this.
-  file_->WriteAt(offset, data, bytes);
-  size_bytes_ = std::max(size_bytes_, offset + bytes);
+void BlockFile::CountWrite(std::uint64_t block_index, std::size_t bytes) {
   // Re-writing the same (tail) block counts as sequential append traffic.
   const bool sequential =
       static_cast<std::int64_t>(block_index) == last_write_block_ + 1 ||
@@ -231,6 +266,34 @@ void BlockFile::WriteBlock(std::uint64_t block_index, const void* data,
   stats.bytes_written += bytes;
   device_stats.bytes_written += bytes;
   context_->OnIo();
+}
+
+void BlockFile::RawWriteAt(std::uint64_t block_index, const void* data,
+                           std::size_t bytes) {
+  file_->WriteAt(block_index * block_size_, data, bytes);
+}
+
+void BlockFile::WriteBlock(std::uint64_t block_index, const void* data,
+                           std::size_t bytes) {
+  CHECK_LE(bytes, block_size_);
+  const std::uint64_t offset = block_index * block_size_;
+  if (sched_writer_ != nullptr) {
+    // Advance size_bytes_ BEFORE the hand-off (RawWriteAt's off-thread
+    // safety contract), then give the block to the device worker
+    // (blocks while the previous write is in flight — the
+    // double-buffer bound) and account it here in submission order, so
+    // IoStats match the synchronous path.
+    size_bytes_ = std::max(size_bytes_, offset + bytes);
+    context_->read_scheduler()->SubmitWrite(sched_writer_, block_index,
+                                            data, bytes);
+    CountWrite(block_index, bytes);
+    return;
+  }
+  // Writing beyond the current final partial block would leave a hole of
+  // undefined record data; the streaming writers never do this.
+  file_->WriteAt(offset, data, bytes);
+  size_bytes_ = std::max(size_bytes_, offset + bytes);
+  CountWrite(block_index, bytes);
 }
 
 }  // namespace extscc::io

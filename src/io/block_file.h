@@ -22,6 +22,8 @@
 namespace extscc::io {
 
 class IoContext;
+class ReadScheduler;
+class ScheduledStream;
 
 class BlockFile {
  public:
@@ -45,16 +47,30 @@ class BlockFile {
   void WriteBlock(std::uint64_t block_index, const void* data,
                   std::size_t bytes);
 
-  // Starts a background thread that reads blocks `start_block`..EOF ahead
-  // of the consumer into a bounded ring of context()->prefetch_depth()
-  // buffers, overlapping disk latency with compute. kRead files only.
-  // I/O statistics are still recorded on the consumer thread as each
-  // block is consumed by ReadBlock, so the model accounting is identical
-  // with and without prefetch. A no-op when the IoContext has prefetch
-  // disabled or the MemoryBudget cannot cover the buffers; ReadBlock
-  // falls back to a direct device read whenever a request leaves the
-  // prefetched sequence (sequential readers never do).
+  // Arranges read-ahead for a sequential scan of blocks
+  // `start_block`..EOF. kRead files only. With
+  // IoContextOptions::io_threads > 0 the file registers a stream with
+  // the context's shared ReadScheduler (one I/O worker per device keeps
+  // up to prefetch_depth blocks in flight); otherwise, with
+  // IoContextOptions::prefetch, it spawns the legacy per-file prefetch
+  // thread. Either way I/O statistics are still recorded on the
+  // consumer thread as each block is consumed by ReadBlock, so the
+  // model accounting is identical with and without read-ahead. A no-op
+  // when both engines are off or the MemoryBudget cannot cover the
+  // buffers; ReadBlock falls back to a direct device read whenever a
+  // request leaves the sequential order (sequential readers never do).
   void StartSequentialPrefetch(std::uint64_t start_block = 0);
+
+  // Routes subsequent WriteBlock calls through the device's I/O worker
+  // with one block in flight (double buffering): the device write of
+  // block N overlaps the production of block N+1, and a slow device
+  // backpressures the producer. Write statistics are counted on the
+  // submitting thread in submission order, so IoStats are identical to
+  // the synchronous path. A no-op without a ReadScheduler
+  // (io_threads == 0) or when the budget cannot cover the slot. The
+  // caller must not read the file until it is closed (the streaming
+  // writers never do).
+  void EnableOverlappedWrites();
 
   // Logical file size in bytes / in blocks.
   std::uint64_t size_bytes() const { return size_bytes_; }
@@ -67,16 +83,26 @@ class BlockFile {
 
  private:
   class Prefetcher;
+  friend class ReadScheduler;  // PreadBlock / RawWriteAt on its workers
 
   // Records the model accounting for a consumed read of `block_index`
   // carrying `bytes` payload bytes (shared by the direct and prefetched
   // paths; always runs on the consumer thread).
   void CountRead(std::uint64_t block_index, std::size_t bytes);
 
+  // Ditto for a write of `bytes` payload bytes, on the producing thread.
+  void CountWrite(std::uint64_t block_index, std::size_t bytes);
+
   // Uncounted raw read of one block; returns the payload size (0 past
   // EOF). Thread-safe (positional device read) — the prefetch thread
-  // uses it directly.
+  // and the scheduler's device workers use it directly.
   std::size_t PreadBlock(std::uint64_t block_index, void* buf);
+
+  // Uncounted raw device write of one block's payload, used by the
+  // scheduler's device workers. Touches no BlockFile state (the
+  // submitter already advanced size_bytes_), so it is safe off-thread.
+  void RawWriteAt(std::uint64_t block_index, const void* data,
+                  std::size_t bytes);
 
   IoContext* context_;
   std::string path_;
@@ -88,6 +114,9 @@ class BlockFile {
   std::int64_t last_read_block_ = -2;
   std::int64_t last_write_block_ = -2;
   std::unique_ptr<Prefetcher> prefetcher_;
+  // Scheduler streams (io_threads > 0): read-ahead ring / async writes.
+  ScheduledStream* sched_reader_ = nullptr;
+  ScheduledStream* sched_writer_ = nullptr;
 };
 
 }  // namespace extscc::io

@@ -52,6 +52,11 @@ IoContext::IoContext(const IoContextOptions& options)
   CHECK_GE(options.memory_bytes, 2 * options.block_size)
       << "external-memory model requires M >= 2B";
   temp_files_.set_keep_files(options.keep_temp_files);
+  if (options.io_threads > 0) {
+    read_scheduler_ = std::make_unique<ReadScheduler>(
+        &memory_, options.block_size, options.io_threads,
+        options.prefetch_depth);
+  }
 }
 
 std::vector<IoContext::DeviceStatsRow> IoContext::DeviceStats() const {

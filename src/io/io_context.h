@@ -15,6 +15,7 @@
 
 #include "io/io_stats.h"
 #include "io/memory_budget.h"
+#include "io/read_scheduler.h"
 #include "io/storage.h"
 #include "io/temp_file_manager.h"
 
@@ -60,6 +61,21 @@ struct IoContextOptions {
   // cannot cover a second run buffer.
   std::size_t sort_threads = 0;
 
+  // Device-parallel I/O: when > 0 the context owns a ReadScheduler with
+  // up to `io_threads` I/O worker threads — one per active storage
+  // device until the cap, shared round-robin past it. Every sequential
+  // reader then keeps up to `prefetch_depth` blocks in flight on its
+  // device's worker (replacing the per-file prefetch threads), and the
+  // sorter's merge output double-buffers one async write. 0 (the
+  // default) keeps the serial engine: byte-identical output and
+  // identical IoStats, the same discipline as sort_threads/prefetch.
+  // With io_threads > 0 the I/O *counts* can shift slightly (ring
+  // reservations change run geometry, like prefetch), but sorted
+  // outputs stay byte-identical. Streams degrade to direct reads /
+  // synchronous writes whenever the MemoryBudget cannot cover their
+  // buffers.
+  std::size_t io_threads = 0;
+
   // Scratch directory parent ("" = $TMPDIR or /tmp).
   std::string temp_parent_dir;
 
@@ -100,6 +116,11 @@ class IoContext {
   bool prefetch_enabled() const { return options_.prefetch; }
   std::size_t prefetch_depth() const { return options_.prefetch_depth; }
   std::size_t sort_threads() const { return options_.sort_threads; }
+  std::size_t io_threads() const { return options_.io_threads; }
+
+  // The device-parallel I/O engine, or nullptr when io_threads == 0
+  // (the serial engine). BlockFile is the only caller.
+  ReadScheduler* read_scheduler() { return read_scheduler_.get(); }
 
   // The stats object itself; with sort_threads > 0 a spill worker and
   // the producing thread count I/Os concurrently, so all mutation (and
@@ -166,6 +187,9 @@ class IoContext {
   // Atomic: set under stats_mutex() by whichever thread trips the
   // budget, polled lock-free by the algorithm's main loop.
   std::atomic<bool> io_budget_exceeded_{false};
+  // Declared last: destroyed first, so the I/O workers are joined while
+  // every other member (devices, budget) is still alive.
+  std::unique_ptr<ReadScheduler> read_scheduler_;
 };
 
 }  // namespace extscc::io

@@ -1,0 +1,311 @@
+#include "io/read_scheduler.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "io/block_file.h"
+#include "io/memory_budget.h"
+#include "util/logging.h"
+
+namespace extscc::io {
+
+// One ring slot of a stream. State transitions:
+//   reader: kEmpty -(worker claims)-> kInFlight -(read done)-> kFilled
+//           -(consumer takes)-> kEmpty
+//   writer: kEmpty -(producer fills)-> kPending -(worker claims)->
+//           kInFlight -(write done)-> kEmpty
+// Only the indicated party performs each transition, so a slot's buffer
+// is always owned by exactly one thread outside the scheduler mutex:
+// kInFlight buffers belong to the worker, kFilled to the consumer,
+// kEmpty/kPending(-being-filled) to the producer. Copies in and out of
+// the buffer therefore run UNLOCKED; the mutex only orders the state
+// flips.
+struct StreamSlot {
+  enum class State { kEmpty, kPending, kInFlight, kFilled };
+  State state = State::kEmpty;
+  std::uint64_t block = 0;
+  std::size_t bytes = 0;
+  std::vector<char> data;
+};
+
+class ScheduledStream {
+ public:
+  BlockFile* file = nullptr;
+  StorageDevice* device = nullptr;
+  bool writer = false;
+  bool dying = false;
+  std::uint64_t reserved_bytes = 0;
+  std::vector<StreamSlot> slots;
+
+  // Reader sequence state. Blocks are issued and consumed strictly in
+  // order; block b lives in slot (b % depth), which is free for reuse
+  // only after block b - depth was consumed.
+  std::uint64_t end_block = 0;      // first block past EOF
+  std::uint64_t next_issue = 0;     // next block a worker may claim
+  std::uint64_t consume_block = 0;  // next block the consumer may take
+
+  // The consumer (reader) or producer (writer) waits here.
+  std::condition_variable cv;
+
+  bool HasClaimableWork() const {
+    // A pending write must drain even on a dying stream — Unregister
+    // waits for exactly that before the file handle closes. Only new
+    // READ-ahead stops at dying (its data would go nowhere).
+    if (writer) return slots[0].state == StreamSlot::State::kPending;
+    if (dying) return false;
+    return next_issue < end_block &&
+           slots[next_issue % slots.size()].state ==
+               StreamSlot::State::kEmpty;
+  }
+
+  bool Idle() const {
+    for (const StreamSlot& slot : slots) {
+      if (slot.state == StreamSlot::State::kInFlight) return false;
+      if (writer && slot.state == StreamSlot::State::kPending) return false;
+    }
+    return true;
+  }
+};
+
+ReadScheduler::ReadScheduler(MemoryBudget* memory, std::size_t block_size,
+                             std::size_t max_workers, std::size_t depth)
+    : memory_(memory),
+      block_size_(block_size),
+      max_workers_(std::max<std::size_t>(1, max_workers)),
+      depth_(std::max<std::size_t>(1, depth)) {}
+
+ReadScheduler::~ReadScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    for (const auto& entry : queues_) {
+      DCHECK(entry.second->streams.empty())
+          << "ReadScheduler destroyed with live streams (a BlockFile "
+             "outlived its IoContext)";
+      (void)entry;
+    }
+    for (auto& worker : workers_) worker->cv.notify_all();
+  }
+  for (auto& worker : workers_) worker->thread.join();
+}
+
+ReadScheduler::DeviceQueue* ReadScheduler::QueueFor(StorageDevice* device) {
+  auto it = queues_.find(device);
+  if (it != queues_.end()) return it->second.get();
+  auto queue = std::make_unique<DeviceQueue>();
+  if (workers_.size() < max_workers_) {
+    // Dedicated worker for a new device, up to the thread cap.
+    auto worker = std::make_unique<Worker>();
+    worker->devices.push_back(device);
+    queue->worker = worker.get();
+    Worker* raw = worker.get();
+    workers_.push_back(std::move(worker));
+    raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
+  } else {
+    // Past the cap devices share workers round-robin; reads on shared
+    // devices still overlap the consumer, just not each other.
+    Worker* worker = workers_[next_shared_worker_++ % workers_.size()].get();
+    worker->devices.push_back(device);
+    queue->worker = worker;
+  }
+  DeviceQueue* raw = queue.get();
+  queues_.emplace(device, std::move(queue));
+  return raw;
+}
+
+ScheduledStream* ReadScheduler::AdoptStream(
+    std::unique_ptr<ScheduledStream> stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DeviceQueue* queue = QueueFor(stream->device);
+  ScheduledStream* raw = stream.get();
+  queue->streams.push_back(std::move(stream));
+  queue->worker->cv.notify_all();
+  return raw;
+}
+
+ScheduledStream* ReadScheduler::RegisterReader(BlockFile* file,
+                                               std::uint64_t start_block) {
+  // Degrade gracefully: take as many ring slots as the budget still
+  // covers (never more than depth_, never more than the stream has
+  // blocks left to read — a 1-block run must not hold a dead second
+  // slot that starves later registrations), and fall back to direct
+  // reads when not even one block fits.
+  const std::uint64_t blocks_left = file->num_blocks() - start_block;
+  const std::size_t affordable = static_cast<std::size_t>(std::min(
+      {static_cast<std::uint64_t>(depth_), blocks_left,
+       memory_->available_bytes() / block_size_}));
+  if (affordable == 0) return nullptr;
+  auto stream = std::make_unique<ScheduledStream>();
+  stream->file = file;
+  stream->device = file->device();
+  stream->reserved_bytes =
+      static_cast<std::uint64_t>(affordable) * block_size_;
+  memory_->Reserve(stream->reserved_bytes);
+  stream->slots.resize(affordable);
+  for (StreamSlot& slot : stream->slots) slot.data.resize(block_size_);
+  stream->end_block = file->num_blocks();
+  stream->next_issue = start_block;
+  stream->consume_block = start_block;
+  return AdoptStream(std::move(stream));
+}
+
+ScheduledStream* ReadScheduler::RegisterWriter(BlockFile* file) {
+  if (memory_->available_bytes() < block_size_) return nullptr;
+  auto stream = std::make_unique<ScheduledStream>();
+  stream->file = file;
+  stream->device = file->device();
+  stream->writer = true;
+  stream->reserved_bytes = block_size_;
+  memory_->Reserve(stream->reserved_bytes);
+  stream->slots.resize(1);
+  stream->slots[0].data.resize(block_size_);
+  return AdoptStream(std::move(stream));
+}
+
+void ReadScheduler::Unregister(ScheduledStream* stream) {
+  std::unique_ptr<ScheduledStream> owned;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stream->dying = true;  // workers claim no further reads
+    // A pending write must still reach the device (the file is about to
+    // be reopened for reading); in-flight ops own their slot buffers.
+    stream->cv.wait(lock, [stream] { return stream->Idle(); });
+    DeviceQueue* queue = queues_.at(stream->device).get();
+    auto it =
+        std::find_if(queue->streams.begin(), queue->streams.end(),
+                     [stream](const auto& s) { return s.get() == stream; });
+    DCHECK(it != queue->streams.end());
+    owned = std::move(*it);
+    queue->streams.erase(it);
+    queue->cursor = 0;
+  }
+  // Outside the scheduler lock; the budget is only ever touched by the
+  // algorithm thread (the same thread running this Unregister).
+  memory_->Release(owned->reserved_bytes);
+}
+
+bool ReadScheduler::TakeBlock(ScheduledStream* stream,
+                              std::uint64_t block_index, void* buf,
+                              std::size_t* bytes) {
+  DCHECK(!stream->writer);
+  std::unique_lock<std::mutex> lock(mu_);
+  // The issue sequence is fixed; anything but the oldest unconsumed
+  // block is a seek and ends the stream's scheduler service.
+  if (block_index != stream->consume_block) return false;
+  if (block_index >= stream->end_block) {
+    *bytes = 0;  // past EOF: uncounted, like the direct path
+    return true;
+  }
+  StreamSlot& slot = stream->slots[block_index % stream->slots.size()];
+  stream->cv.wait(
+      lock, [&slot] { return slot.state == StreamSlot::State::kFilled; });
+  DCHECK_EQ(slot.block, block_index);
+  const std::size_t got = slot.bytes;
+  // kFilled buffers belong to the consumer: copy unlocked (the payload
+  // is a whole block; holding the scheduler mutex across it would
+  // serialize every device's hand-off behind this memcpy).
+  lock.unlock();
+  std::memcpy(buf, slot.data.data(), got);
+  lock.lock();
+  slot.state = StreamSlot::State::kEmpty;
+  stream->consume_block += 1;
+  queues_.at(stream->device)->worker->cv.notify_all();
+  *bytes = got;
+  return true;
+}
+
+void ReadScheduler::SubmitWrite(ScheduledStream* stream,
+                                std::uint64_t block_index, const void* data,
+                                std::size_t bytes) {
+  DCHECK(stream->writer);
+  DCHECK_LE(bytes, block_size_);
+  StreamSlot& slot = stream->slots[0];
+  std::unique_lock<std::mutex> lock(mu_);
+  // The single-slot bound: wait out the previous write. kEmpty slots
+  // belong to the producer, so the copy runs unlocked.
+  stream->cv.wait(
+      lock, [&slot] { return slot.state == StreamSlot::State::kEmpty; });
+  lock.unlock();
+  std::memcpy(slot.data.data(), data, bytes);
+  slot.block = block_index;
+  slot.bytes = bytes;
+  lock.lock();
+  slot.state = StreamSlot::State::kPending;
+  queues_.at(stream->device)->worker->cv.notify_all();
+}
+
+std::size_t ReadScheduler::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+bool ReadScheduler::ClaimTaskOnDevice(DeviceQueue* queue,
+                                      ScheduledStream** stream,
+                                      std::size_t* slot_index) {
+  const std::size_t n = queue->streams.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    ScheduledStream* candidate =
+        queue->streams[(queue->cursor + i) % n].get();
+    if (!candidate->HasClaimableWork()) continue;
+    queue->cursor = (queue->cursor + i + 1) % n;  // round-robin fairness
+    if (candidate->writer) {
+      candidate->slots[0].state = StreamSlot::State::kInFlight;
+      *slot_index = 0;
+    } else {
+      const std::size_t idx = static_cast<std::size_t>(
+          candidate->next_issue % candidate->slots.size());
+      StreamSlot& slot = candidate->slots[idx];
+      slot.state = StreamSlot::State::kInFlight;
+      slot.block = candidate->next_issue;
+      candidate->next_issue += 1;
+      *slot_index = idx;
+    }
+    *stream = candidate;
+    return true;
+  }
+  return false;
+}
+
+bool ReadScheduler::ClaimTask(Worker* worker, ScheduledStream** stream,
+                              std::size_t* slot_index) {
+  const std::size_t n = worker->devices.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    DeviceQueue* queue =
+        queues_.at(worker->devices[(worker->cursor + i) % n]).get();
+    if (ClaimTaskOnDevice(queue, stream, slot_index)) {
+      worker->cursor = (worker->cursor + i + 1) % n;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ReadScheduler::WorkerLoop(Worker* worker) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    ScheduledStream* stream = nullptr;
+    std::size_t slot_index = 0;
+    if (!ClaimTask(worker, &stream, &slot_index)) {
+      if (stop_) return;
+      worker->cv.wait(lock);
+      continue;
+    }
+    StreamSlot& slot = stream->slots[slot_index];
+    // Device I/O OUTSIDE the scheduler lock — this is both the overlap
+    // being bought and the ThrottledDevice-independence discipline: a
+    // simulated device sleeping its latency here must not hold anything
+    // a different device's worker needs.
+    lock.unlock();
+    if (stream->writer) {
+      stream->file->RawWriteAt(slot.block, slot.data.data(), slot.bytes);
+    } else {
+      slot.bytes = stream->file->PreadBlock(slot.block, slot.data.data());
+    }
+    lock.lock();
+    slot.state = stream->writer ? StreamSlot::State::kEmpty
+                                : StreamSlot::State::kFilled;
+    stream->cv.notify_all();
+  }
+}
+
+}  // namespace extscc::io

@@ -38,10 +38,21 @@ class RecordWriter {
   static_assert(std::is_trivially_copyable_v<T>,
                 "on-disk records must be PODs");
 
-  RecordWriter(IoContext* context, const std::string& path)
+  // `overlap_output` asks for double-buffered writes through the
+  // context's ReadScheduler (the device write of block N overlaps
+  // production of block N+1); a no-op at io_threads == 0 or when the
+  // budget cannot cover the slot. The slot is claimed lazily at the
+  // first flush — after the consuming stage's own reservations are in
+  // place — so requesting overlap never changes the merge fan-in or
+  // run geometry, only whether spare budget buys wall-clock overlap.
+  // Only use from the algorithm thread (the slot is a MemoryBudget
+  // reservation).
+  RecordWriter(IoContext* context, const std::string& path,
+               bool overlap_output = false)
       : file_(std::make_unique<BlockFile>(context, path,
                                           OpenMode::kTruncateWrite)),
-        buffer_(file_->block_size()) {}
+        buffer_(file_->block_size()),
+        overlap_output_(overlap_output) {}
 
   ~RecordWriter() {
     if (file_ != nullptr) Finish();
@@ -83,6 +94,10 @@ class RecordWriter {
 
  private:
   void Flush() {
+    if (overlap_output_) {
+      overlap_output_ = false;
+      file_->EnableOverlappedWrites();
+    }
     file_->WriteBlock(next_block_++, buffer_.data(), fill_);
     fill_ = 0;
   }
@@ -92,6 +107,7 @@ class RecordWriter {
   std::size_t fill_ = 0;
   std::uint64_t next_block_ = 0;
   std::uint64_t count_ = 0;
+  bool overlap_output_ = false;
 };
 
 // Sequential reader.

@@ -4,13 +4,16 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <thread>
 
+#include "io/temp_file_manager.h"
 #include "util/logging.h"
 
 namespace extscc::io {
@@ -298,22 +301,37 @@ void ThrottledDevice::RemoveTree(const std::string& root) {
 }
 
 void ThrottledDevice::ChargeOp(std::size_t bytes) {
-  // Accumulate debt and sleep it off in >= 1 ms chunks: sub-quantum
-  // sleep_for calls quantize up to the scheduler slack, which would make
-  // the simulated device far slower than configured.
-  constexpr std::uint64_t kSleepChunkNs = 1'000'000;
-  std::uint64_t due = 0;
+  // Sub-quantum sleeps quantize up to the scheduler slack, so the clock
+  // is allowed to run ahead of real time until >= 1 ms is owed.
+  constexpr std::chrono::nanoseconds kSleepChunk(1'000'000);
+  const std::chrono::nanoseconds cost(
+      latency_ns_ + static_cast<std::uint64_t>(
+                        ns_per_byte_ * static_cast<double>(bytes)));
+  const auto now = std::chrono::steady_clock::now();
+  bool sleep = false;
+  std::chrono::steady_clock::time_point end;
   {
-    std::lock_guard<std::mutex> lock(debt_mu_);
-    debt_ns_ += latency_ns_ +
-                static_cast<std::uint64_t>(ns_per_byte_ *
-                                           static_cast<double>(bytes));
-    if (debt_ns_ >= kSleepChunkNs) {
-      due = debt_ns_;
-      debt_ns_ = 0;
+    // Reserve this operation's span of the device timeline: ops on one
+    // device serialize in simulated time even when several threads
+    // issue them concurrently.
+    std::lock_guard<std::mutex> lock(clock_mu_);
+    if (busy_until_ < now) {
+      // Device idle: re-anchor the timeline at real time, carrying any
+      // sub-quantum cost that was charged but never slept — a consumer
+      // that computes longer than the per-op cost between operations
+      // must not erode the configured rate to zero.
+      busy_until_ = now + unslept_;
     }
+    busy_until_ += cost;
+    end = busy_until_;
+    sleep = end - now >= kSleepChunk;
+    // A sleeping op experiences the whole backlog through `end`; a
+    // skipped one leaves exactly end - now unexperienced.
+    unslept_ = sleep ? std::chrono::nanoseconds{0} : end - now;
   }
-  if (due > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(due));
+  // Sleep outside every mutex — a distinct device's operation must be
+  // able to run (and sleep) concurrently with this one.
+  if (sleep) std::this_thread::sleep_until(end);
 }
 
 // ---- configuration helpers -------------------------------------------
@@ -423,6 +441,20 @@ std::string ValidateScratchConfig(const DeviceModelSpec& model,
                                   const std::vector<std::string>& parents) {
   if (model.model == DeviceModel::kMem) return {};
   return ValidateScratchParents(parents);
+}
+
+void MaybeWarnSpreadBelowFanIn(TempFileManager& temp_files,
+                               std::size_t group_size) {
+  if (temp_files.placement() != PlacementPolicy::kSpreadGroup) return;
+  const std::size_t num_devices = temp_files.devices().size();
+  if (group_size <= 1 || num_devices >= group_size) return;
+  if (!temp_files.ClaimSpreadWarning()) return;
+  std::fprintf(
+      stderr,
+      "extscc: --placement=spread requested, but %zu scratch device%s "
+      "cannot hold the %zu runs of one merge group on distinct devices "
+      "(need devices >= fan-in); runs will share devices\n",
+      num_devices, num_devices == 1 ? "" : "s", group_size);
 }
 
 }  // namespace extscc::io

@@ -20,6 +20,7 @@
 #ifndef EXTSCC_IO_STORAGE_H_
 #define EXTSCC_IO_STORAGE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -134,9 +135,18 @@ class MemDevice : public StorageDevice {
 
 // Simulated-latency wrapper: delegates storage to `inner` and charges
 // `latency_us` per block operation plus transfer time at `mb_per_sec`
-// (0 = unlimited bandwidth). Charged time accumulates as debt and is
-// slept once it exceeds a scheduler-friendly chunk, so tiny per-block
-// sleeps do not quantize up to the timer slack.
+// (0 = unlimited bandwidth). The device keeps a virtual busy-until
+// clock: each operation reserves the next `cost` span of the device's
+// timeline under the per-device mutex, then sleeps to its own end time
+// OUTSIDE every lock. Concurrent operations on ONE device therefore
+// serialize in simulated time (two readers share the spindle's
+// bandwidth), while operations on DISTINCT devices overlap fully — two
+// throttled devices sustain twice one device's bandwidth, the property
+// the parallel merge-read engine cashes in. Sleeps shorter than a
+// scheduler quantum are deferred (the clock simply runs ahead of real
+// time until >= 1 ms is owed), so sub-quantum sleep_for slack does not
+// distort the simulated rate; oversleep self-corrects because the next
+// operation starts from real `now` again.
 class ThrottledDevice : public StorageDevice {
  public:
   ThrottledDevice(std::string name, std::unique_ptr<StorageDevice> inner,
@@ -148,15 +158,24 @@ class ThrottledDevice : public StorageDevice {
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 
-  // Accrues the simulated cost of one operation moving `bytes` bytes.
+  // Charges the simulated cost of one operation moving `bytes` bytes and
+  // sleeps it off. Callers must not hold any lock shared with another
+  // device's operations (the I/O engine's workers call this with no
+  // scheduler lock held) — sleeping under a shared lock would serialize
+  // devices that the simulation promises are independent.
   void ChargeOp(std::size_t bytes);
 
  private:
   std::unique_ptr<StorageDevice> inner_;
   std::uint64_t latency_ns_;
   double ns_per_byte_;
-  std::mutex debt_mu_;
-  std::uint64_t debt_ns_ = 0;
+  // Guards the clock state only; never held across a sleep or an inner
+  // op. `unslept_` carries sub-quantum cost that was charged but not
+  // yet slept across idle re-anchors of the timeline, so a consumer
+  // slower than the device still experiences the configured rate.
+  std::mutex clock_mu_;
+  std::chrono::steady_clock::time_point busy_until_{};
+  std::chrono::nanoseconds unslept_{0};
 };
 
 // One PosixDevice ("disk<i>") per entry of `scratch_parents`, or a
@@ -234,6 +253,19 @@ std::string ValidateScratchParents(const std::vector<std::string>& parents);
 // writable directories. Returns "" or the ValidateScratchParents error.
 std::string ValidateScratchConfig(const DeviceModelSpec& model,
                                   const std::vector<std::string>& parents);
+
+class TempFileManager;
+
+// Warns (stderr) when `temp_files` uses kSpreadGroup placement but its
+// device count cannot keep a `group_size`-run merge group on distinct
+// devices, naming both numbers — once per manager
+// (TempFileManager::ClaimSpreadWarning). Called by the sorter's merge
+// path instead of degrading silently; a no-op under other placements,
+// for trivial groups, and when the devices cover the fan-in. The whole
+// condition lives here so the once-per-context ticket is only consumed
+// when a message is actually printed.
+void MaybeWarnSpreadBelowFanIn(TempFileManager& temp_files,
+                               std::size_t group_size);
 
 }  // namespace extscc::io
 

@@ -74,6 +74,14 @@ class TempFileManager {
     return next_group_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // True exactly once per manager: the merge path's ticket for the
+  // spread-below-fan-in warning (WarnSpreadBelowFanIn), so each
+  // machine configuration reports its own numbers without repeating
+  // the message for every merge group of a multi-level solve.
+  bool ClaimSpreadWarning() {
+    return !spread_warned_.exchange(true, std::memory_order_relaxed);
+  }
+
   // Deletes the file if it exists (ignores missing files), on whichever
   // device owns it.
   void Remove(const std::string& path);
@@ -106,6 +114,7 @@ class TempFileManager {
   std::mutex mu_;
   std::uint64_t next_id_ = 0;
   std::atomic<std::uint64_t> next_group_{0};
+  std::atomic<bool> spread_warned_{false};
   bool keep_files_ = false;
 };
 

@@ -11,7 +11,9 @@
 #include <filesystem>
 #include <memory>
 #include <set>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ext_scc.h"
@@ -23,6 +25,7 @@
 #include "io/storage.h"
 #include "test_util.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace extscc {
 namespace {
@@ -366,6 +369,107 @@ TEST(StorageConfigTest, ValidateScratchParentsNamesTheBadEntry) {
   EXPECT_EQ(io::ValidateScratchConfig(mem_spec, {missing}), "");
   EXPECT_NE(io::ValidateScratchConfig(io::DeviceModelSpec{}, {missing}), "");
   fs::remove_all(good);
+}
+
+// Regression for the busy-until throttle model: operations on TWO
+// throttled devices issued from two threads must overlap (sustaining
+// ~2x one device's bandwidth), while concurrent operations on ONE
+// device must serialize in simulated time. Wall-clock margins are kept
+// generous so a loaded CI machine cannot flip the verdict: the
+// serialized phase has a hard LOWER bound (sleep_until guarantees it),
+// and the parallel phase is allowed up to ~1.5x its ideal time.
+TEST(ThrottledDeviceTest, DistinctDevicesThrottleIndependently) {
+  constexpr std::uint64_t kLatencyUs = 10'000;  // 10 ms per op
+  constexpr int kOpsPerThread = 8;              // 80 ms per device
+  const auto make_device = [&](const std::string& name) {
+    return std::make_unique<io::ThrottledDevice>(
+        name, std::make_unique<io::MemDevice>(name + "_mem"), kLatencyUs,
+        /*mb_per_sec=*/0);
+  };
+  const auto hammer = [&](io::StorageDevice* device, const std::string& path) {
+    auto file = device->Open(path, io::OpenMode::kRead);
+    std::vector<char> buf(512);
+    for (int i = 0; i < kOpsPerThread; ++i) file->ReadAt(0, buf.data(), 512);
+  };
+  const auto prepare = [&](io::StorageDevice* device, const std::string& path) {
+    std::vector<char> bytes(512, 'x');
+    device->Open(path, io::OpenMode::kTruncateWrite)
+        ->WriteAt(0, bytes.data(), bytes.size());
+  };
+
+  // Phase 1: two threads on ONE device — ops serialize in simulated
+  // time, so the wall is bounded below by (2 * kOpsPerThread) ops.
+  auto same = make_device("same");
+  prepare(same.get(), "f");
+  util::Timer same_timer;
+  {
+    std::thread a([&] { hammer(same.get(), "f"); });
+    std::thread b([&] { hammer(same.get(), "f"); });
+    a.join();
+    b.join();
+  }
+  const double same_wall = same_timer.ElapsedSeconds();
+  const double total_cost =
+      2.0 * kOpsPerThread * static_cast<double>(kLatencyUs) / 1e6;
+  EXPECT_GE(same_wall, 0.9 * total_cost)
+      << "one device must serialize concurrent ops";
+
+  // Phase 2: two threads, each on its OWN device — the sleeps overlap,
+  // so two devices sustain ~2x one device's bandwidth. The bound is
+  // against the MEASURED serialized wall (same machine, same load) and
+  // the phase retries, so a CPU-starved CI runner cannot flip the
+  // verdict: a genuine shared-lock serialization bug makes every
+  // attempt take ~same_wall, never below the threshold.
+  double distinct_wall = same_wall;
+  for (int attempt = 0; attempt < 3 && distinct_wall >= 0.75 * same_wall;
+       ++attempt) {
+    auto dev_a = make_device("a");
+    auto dev_b = make_device("b");
+    prepare(dev_a.get(), "f");
+    prepare(dev_b.get(), "f");
+    util::Timer distinct_timer;
+    {
+      std::thread a([&] { hammer(dev_a.get(), "f"); });
+      std::thread b([&] { hammer(dev_b.get(), "f"); });
+      a.join();
+      b.join();
+    }
+    distinct_wall = distinct_timer.ElapsedSeconds();
+  }
+  EXPECT_LT(distinct_wall, 0.75 * same_wall)
+      << "distinct devices must throttle independently (got "
+      << distinct_wall << "s vs " << same_wall
+      << "s serialized; sleeping under a shared lock would serialize them)";
+}
+
+// A consumer that computes longer than the per-op cost between ops must
+// still experience the configured rate: sub-quantum costs are deferred,
+// not forgiven, across idle re-anchors of the device timeline.
+TEST(ThrottledDeviceTest, SlowConsumerStillPaysSubQuantumCosts) {
+  constexpr std::uint64_t kLatencyUs = 800;  // < 1 ms sleep chunk
+  constexpr int kOps = 6;
+  constexpr auto kThinkTime = std::chrono::milliseconds(2);
+  auto device = std::make_unique<io::ThrottledDevice>(
+      "slow", std::make_unique<io::MemDevice>("slow_mem"), kLatencyUs,
+      /*mb_per_sec=*/0);
+  {
+    std::vector<char> bytes(64, 'x');
+    device->Open("f", io::OpenMode::kTruncateWrite)
+        ->WriteAt(0, bytes.data(), bytes.size());
+  }
+  auto file = device->Open("f", io::OpenMode::kRead);
+  std::vector<char> buf(64);
+  util::Timer timer;
+  for (int i = 0; i < kOps; ++i) {
+    file->ReadAt(0, buf.data(), 64);
+    std::this_thread::sleep_for(kThinkTime);  // consumer "compute"
+  }
+  const double wall = timer.ElapsedSeconds();
+  const double floor =
+      kOps * (kLatencyUs / 1e6) +
+      kOps * std::chrono::duration<double>(kThinkTime).count();
+  EXPECT_GE(wall, 0.9 * floor)
+      << "sub-quantum op costs were forgiven instead of deferred";
 }
 
 }  // namespace

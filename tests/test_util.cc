@@ -18,6 +18,12 @@ void ApplyTestEnvOptions(io::IoContextOptions* options) {
           static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
     }
   }
+  if (const char* env = std::getenv("EXTSCC_TEST_IO_THREADS")) {
+    if (env[0] != '\0') {
+      options->io_threads =
+          static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+    }
+  }
   if (const char* env = std::getenv("EXTSCC_TEST_DEVICE_MODEL")) {
     if (env[0] != '\0') {
       const std::string error =
