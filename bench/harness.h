@@ -113,11 +113,16 @@ struct PointResult {
 //  - `--scratch-dirs=a,b,...` (EXTSCC_BENCH_SCRATCH_DIRS=a,b): stripe
 //    scratch files round-robin across the listed directories (one per
 //    spindle/NVMe namespace).
-//  - `--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]`
-//    (EXTSCC_BENCH_DEVICE_MODEL): what backs the scratch devices —
-//    real files, RAM (page-cache-free microbenches), or throttled files
-//    (simulated spindles so multi-device speedup shows without real
-//    hardware). Block accounting is identical across models.
+//  - `--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]|`
+//    `faulty[:seed=S,rate=R,...]` (EXTSCC_BENCH_DEVICE_MODEL): what
+//    backs the scratch devices — real files, RAM (page-cache-free
+//    microbenches), throttled files (simulated spindles so multi-device
+//    speedup shows without real hardware), or seeded fault injection
+//    (see io/storage.h FaultSpec for the key list — benchmarking the
+//    retry/failover machinery under deterministic faults). Block
+//    accounting is identical across models; injected retries are
+//    counted separately (IoStats read_retries/write_retries), never as
+//    model I/Os.
 //  - `--placement=rr|spread` (EXTSCC_BENCH_PLACEMENT): scratch device
 //    assignment — round-robin (default, byte-identical tables) or
 //    spread-group (a merge group's runs on distinct devices by
@@ -190,7 +195,8 @@ inline void ParseBenchFlags(int argc, char** argv) {
                    "unknown flag %s (supported: --prefetch, "
                    "--sort-threads=N, --io-threads=N, "
                    "--scratch-dirs=a,b,..., "
-                   "--device-model=posix|mem|throttled[:lat_us[:mb_per_s]], "
+                   "--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]"
+                   "|faulty[:seed=S,rate=R,...], "
                    "--placement=rr|spread)\n",
                    argv[i]);
       std::exit(2);

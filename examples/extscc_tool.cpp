@@ -2,8 +2,8 @@
 //
 //   extscc_tool [--sort-threads=N] [--io-threads=N]
 //               [--scratch-dirs=a,b,...]
-//               [--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]]
-//               [--placement=rr|spread] <command> ...
+//               [--device-model=posix|mem|throttled[:...]|faulty[:...]]
+//               [--placement=rr|spread] [--checksum-blocks] <command> ...
 //
 //   extscc_tool generate <kind> <num_nodes> <out.txt> [seed]
 //       kind: web | massive | large | small | rmat | cycle | dag
@@ -46,29 +46,77 @@
 #include "graph/graph_io.h"
 #include "graph/scc_file.h"
 #include "io/record_stream.h"
+#include "io/temp_file_manager.h"
 #include "scc/condensation.h"
 #include "scc/scc_verify.h"
 #include "scc/semi_external_scc.h"
 #include "util/csv.h"
+#include "util/status.h"
 
 namespace {
 
 using namespace extscc;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: extscc_tool [--sort-threads=N] [--io-threads=N] "
-               "[--scratch-dirs=a,b,...] "
-               "[--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]] "
-               "[--placement=rr|spread] <command> ...\n"
-               "  extscc_tool generate <web|massive|large|small|rmat|cycle|dag> "
-               "<num_nodes> <out.txt> [seed]\n"
-               "  extscc_tool solve <edges.txt> <labels_out.txt> "
-               "[memory_bytes] [basic]\n"
-               "  extscc_tool verify <edges.txt> <labels.txt>\n"
-               "  extscc_tool condense <edges.txt> <dag_out.txt> "
-               "[memory_bytes]\n");
+  std::fprintf(
+      stderr,
+      "usage: extscc_tool [--sort-threads=N] [--io-threads=N] "
+      "[--scratch-dirs=a,b,...] "
+      "[--device-model=MODEL] [--placement=rr|spread] "
+      "[--checksum-blocks] <command> ...\n"
+      "  extscc_tool generate <web|massive|large|small|rmat|cycle|dag> "
+      "<num_nodes> <out.txt> [seed]\n"
+      "  extscc_tool solve <edges.txt> <labels_out.txt> "
+      "[memory_bytes] [basic]\n"
+      "  extscc_tool verify <edges.txt> <labels.txt>\n"
+      "  extscc_tool condense <edges.txt> <dag_out.txt> "
+      "[memory_bytes]\n"
+      "device models:\n"
+      "  posix | mem | throttled[:lat_us[:mb_per_s]] |\n"
+      "  faulty[:key=value,...] — seeded fault injection on scratch I/O;\n"
+      "    keys: seed=U64, rate=R (both directions), read_rate=R,\n"
+      "    write_rate=R, short=R (torn transfers), corrupt=R (silent\n"
+      "    bit flips; pair with --checksum-blocks to detect),\n"
+      "    wfail_after=N / rfail_after=N (device dies persistently at\n"
+      "    op N), tag=SUBSTR (only paths containing SUBSTR),\n"
+      "    device=I (only scratch device I faults), inner=posix|mem\n"
+      "exit codes:\n"
+      "  0 success (verify: labels match)\n"
+      "  1 verify mismatch, or other non-status failure\n"
+      "  2 usage error\n"
+      "  3 invalid argument    4 not found\n"
+      "  5 I/O error           6 resource exhausted (I/O budget)\n"
+      "  7 failed precondition 8 data corruption detected\n"
+      "  9 unimplemented\n");
   return 2;
+}
+
+// Maps each failure class to its documented exit code (see Usage) and
+// reports the status on stderr. Distinct codes let a chaos harness
+// assert on HOW a run failed — an injected I/O error (expected, exit 5)
+// versus detected corruption (exit 8) versus a wrong answer (verify
+// exit 1) — without parsing diagnostics.
+int StatusExit(const util::Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  switch (status.code()) {
+    case util::StatusCode::kOk:
+      return 0;
+    case util::StatusCode::kInvalidArgument:
+      return 3;
+    case util::StatusCode::kNotFound:
+      return 4;
+    case util::StatusCode::kIoError:
+      return 5;
+    case util::StatusCode::kResourceExhausted:
+      return 6;
+    case util::StatusCode::kFailedPrecondition:
+      return 7;
+    case util::StatusCode::kCorruption:
+      return 8;
+    case util::StatusCode::kUnimplemented:
+      return 9;
+  }
+  return 1;
 }
 
 // Global flags, parsed (and stripped) ahead of the command word.
@@ -77,6 +125,7 @@ std::size_t g_io_threads = 0;
 std::vector<std::string> g_scratch_dirs;
 io::DeviceModelSpec g_device_model;
 io::PlacementPolicy g_placement = io::PlacementPolicy::kRoundRobin;
+bool g_checksum_blocks = false;
 
 io::IoContext MakeContext(std::uint64_t memory_bytes) {
   io::IoContextOptions options;
@@ -88,6 +137,7 @@ io::IoContext MakeContext(std::uint64_t memory_bytes) {
   options.scratch_dirs = g_scratch_dirs;
   options.device_model = g_device_model;
   options.scratch_placement = g_placement;
+  options.checksum_blocks = g_checksum_blocks;
   return io::IoContext(options);
 }
 
@@ -162,10 +212,7 @@ int CmdGenerate(int argc, char** argv) {
     return Usage();
   }
   const auto status = graph::SaveTextEdgeList(&context, g, out_path);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
+  if (!status.ok()) return StatusExit(status);
   std::printf("wrote %s: %s\n", out_path.c_str(), g.Describe().c_str());
   return 0;
 }
@@ -177,30 +224,27 @@ int CmdSolve(int argc, char** argv) {
   const bool basic = argc > 5 && std::strcmp(argv[5], "basic") == 0;
   auto context = MakeContext(memory);
   auto loaded = graph::LoadTextEdgeList(&context, argv[2]);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+  if (!loaded.ok()) return StatusExit(loaded.status());
   const std::string scc_path = context.NewTempPath("scc");
   const auto dev_before = context.DeviceStats();
   auto result = core::RunExtScc(&context, loaded.value(), scc_path,
                                 basic ? core::ExtSccOptions::Basic()
                                       : core::ExtSccOptions::Optimized());
   const auto dev_after = context.DeviceStats();
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
-  }
+  if (!result.ok()) return StatusExit(result.status());
   std::ofstream out(argv[3]);
   if (!out) {
-    std::fprintf(stderr, "cannot create %s\n", argv[3]);
-    return 1;
+    return StatusExit(util::Status::IoError(std::string("cannot create ") +
+                                            argv[3]));
   }
   io::RecordReader<graph::SccEntry> reader(&context, scc_path);
   graph::SccEntry entry;
   while (reader.Next(&entry)) {
     out << entry.node << ' ' << entry.scc << '\n';
   }
+  // A read failure looks like EOF to the loop above; distinguish a
+  // complete label file from a truncated one before reporting success.
+  if (!reader.status().ok()) return StatusExit(reader.status());
   std::printf("%s: %llu SCCs, %u contraction levels, %llu I/Os, %.2fs\n",
               argv[2],
               static_cast<unsigned long long>(result.value().num_sccs),
@@ -208,6 +252,20 @@ int CmdSolve(int argc, char** argv) {
               static_cast<unsigned long long>(result.value().total_ios),
               result.value().total_seconds);
   PrintDeviceBreakdown(dev_before, dev_after);
+  // Transient faults that the retry layer absorbed. Retries are not
+  // model I/Os, so a fault-ridden-but-recovered solve prints the same
+  // I/O count as a clean one — this line is the only trace it left.
+  std::uint64_t read_retries = 0, write_retries = 0;
+  for (std::size_t i = 0; i < dev_after.size(); ++i) {
+    const io::IoStats delta = dev_after[i].stats - dev_before[i].stats;
+    read_retries += delta.read_retries;
+    write_retries += delta.write_retries;
+  }
+  if (read_retries + write_retries > 0) {
+    std::printf("I/O retries absorbed: %llu reads, %llu writes\n",
+                static_cast<unsigned long long>(read_retries),
+                static_cast<unsigned long long>(write_retries));
+  }
   return 0;
 }
 
@@ -215,17 +273,14 @@ int CmdVerify(int argc, char** argv) {
   if (argc < 4) return Usage();
   auto context = MakeContext(256 << 20);
   auto loaded = graph::LoadTextEdgeList(&context, argv[2]);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+  if (!loaded.ok()) return StatusExit(loaded.status());
   // Parse the label file into an on-disk SCC file.
   const std::string scc_path = context.NewTempPath("labels");
   {
     std::ifstream in(argv[3]);
     if (!in) {
-      std::fprintf(stderr, "cannot open %s\n", argv[3]);
-      return 1;
+      return StatusExit(util::Status::IoError(std::string("cannot open ") +
+                                              argv[3]));
     }
     const std::string staging = context.NewTempPath("labels_raw");
     io::RecordWriter<graph::SccEntry> writer(&context, staging);
@@ -252,25 +307,16 @@ int CmdCondense(int argc, char** argv) {
       argc > 4 ? std::strtoull(argv[4], nullptr, 10) : (4u << 20);
   auto context = MakeContext(memory);
   auto loaded = graph::LoadTextEdgeList(&context, argv[2]);
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
-    return 1;
-  }
+  if (!loaded.ok()) return StatusExit(loaded.status());
   const std::string scc_path = context.NewTempPath("scc");
   auto result = core::RunExtScc(&context, loaded.value(), scc_path,
                                 core::ExtSccOptions::Optimized());
-  if (!result.ok()) {
-    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
-  }
+  if (!result.ok()) return StatusExit(result.status());
   const auto cond = scc::BuildCondensation(&context, loaded.value(),
                                            scc_path);
   const auto status =
       graph::SaveTextEdgeList(&context, cond.dag, argv[3]);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
-    return 1;
-  }
+  if (!status.ok()) return StatusExit(status);
   std::printf("condensation: %s (from %s)\n", cond.dag.Describe().c_str(),
               loaded.value().Describe().c_str());
   return 0;
@@ -279,11 +325,17 @@ int CmdCondense(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // An interrupted run (Ctrl-C, job-queue SIGTERM) must not leave
+  // gigabytes of scratch runs behind: the handler removes every live
+  // filesystem session root before exiting with 128+signo.
+  io::InstallScratchSignalCleanup();
   // Strip leading global flags so the Cmd* handlers keep their
   // positional argv layout.
   int first = 1;
   while (first < argc && std::strncmp(argv[first], "--", 2) == 0) {
-    if (std::strncmp(argv[first], "--sort-threads=", 15) == 0) {
+    if (std::strcmp(argv[first], "--checksum-blocks") == 0) {
+      g_checksum_blocks = true;
+    } else if (std::strncmp(argv[first], "--sort-threads=", 15) == 0) {
       g_sort_threads = static_cast<std::size_t>(
           std::strtoull(argv[first] + 15, nullptr, 10));
     } else if (std::strncmp(argv[first], "--io-threads=", 13) == 0) {

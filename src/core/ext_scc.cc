@@ -27,7 +27,14 @@ struct LevelFiles {
   std::string removed;  // V_i - V_{i+1}
 };
 
+// Polled between phases (and once per contraction/expansion level): the
+// storage layer never aborts on an I/O failure — errors park in stream
+// statuses and the context's first-error latch while the affected sort
+// drains as truncated (error-as-EOF, see block_file.h) — so the driver
+// is where a latched failure turns into a returned Status instead of a
+// wrong answer.
 util::Status BudgetCheck(io::IoContext* context, const char* where) {
+  if (context->has_io_error()) return context->io_error();
   if (context->io_budget_exceeded()) {
     return util::Status::ResourceExhausted(
         std::string("Ext-SCC exceeded the I/O budget during ") + where);
@@ -81,6 +88,10 @@ util::Result<ExtSccStats> RunExtScc(io::IoContext* context,
 
     const CoverResult cover =
         ComputeVertexCover(context, level.ein, level.eout, cover_options);
+    // Checked before the Lemma 5.2 invariant: a truncated edge stream
+    // can legitimately produce a non-shrinking cover, and that must
+    // surface as the I/O failure it is, not as an invariant abort.
+    RETURN_IF_ERROR(BudgetCheck(context, "vertex cover"));
     CHECK_LT(cover.cover_count, current.num_nodes)
         << "cover did not shrink the node set (Lemma 5.2 violated)";
     level.cover = cover.cover_path;
@@ -157,6 +168,8 @@ util::Result<ExtSccStats> RunExtScc(io::IoContext* context,
     io::CopyAllRecords<graph::SccEntry>(context, scc_path, scc_output);
     context->temp_files().Remove(scc_path);
   }
+
+  RETURN_IF_ERROR(BudgetCheck(context, "SCC output"));
 
   stats.num_sccs = next_scc_id;
   stats.total_ios = context->stats().total_ios() - start_ios;

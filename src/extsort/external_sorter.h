@@ -51,6 +51,7 @@
 #include "io/io_context.h"
 #include "io/record_stream.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace extscc::extsort {
 
@@ -287,6 +288,10 @@ RunFormation<T> FormRuns(io::IoContext* context,
       out.in_memory = true;
     }
     info->num_runs = out.in_memory ? 1 : 0;
+    // A short read here (error-as-EOF) means the resident "run" is a
+    // truncated view of the input — carry the reader's failure so the
+    // caller does not pass it off as sorted data.
+    info->status = reader.status();
     return out;
   }
 
@@ -320,6 +325,10 @@ RunFormation<T> FormRuns(io::IoContext* context,
   }
   out.runs = pipeline.Finish();
   info->num_runs = out.runs.size();
+  // Input truncation outranks a spill failure: a sort fed bad bytes is
+  // wrong even if every run it did form spilled cleanly.
+  info->status = reader.status();
+  if (info->status.ok()) info->status = pipeline.status();
   return out;
 }
 
@@ -337,6 +346,79 @@ inline io::ScopedReservation ReserveMergeBlocks(io::IoContext* context,
                               context->memory().available_bytes()));
 }
 
+// Merges runs[begin, end) into a fresh scratch file with output
+// failover: a persistent output failure (transients were already
+// retried inside BlockFile) removes the partial output, quarantines its
+// device, and replays the whole group merge to a fresh placement. The
+// input runs are deliberately not consumed here — they are the replay
+// source, and the caller releases them only after this returns OK — so
+// a lost merge output costs one extra group merge, never lost data. On
+// recovery the triggering error is absorbed from the context's latch
+// (mirroring SpillRun); input-side read failures are not recoverable by
+// any output placement (the run's bytes live on the failed device) and
+// propagate as-is.
+template <typename T, typename Less>
+util::Status MergeGroupToFile(io::IoContext* context,
+                              const std::vector<std::string>& runs,
+                              std::size_t begin, std::size_t end, Less less,
+                              bool dedup, const io::Placement& placement,
+                              std::string* out_path) {
+  io::TempFileManager& temp = context->temp_files();
+  const std::size_t max_attempts = temp.devices().size();
+  util::Status first_failure;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs;
+    // Borrowed views for post-drain status checks: the unique_ptrs move
+    // into the tree, which stays in scope until after the checks.
+    std::vector<io::PeekableReader<T>*> readers;
+    inputs.reserve(end - begin);
+    readers.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      inputs.push_back(
+          std::make_unique<io::PeekableReader<T>>(context, runs[i]));
+      readers.push_back(inputs.back().get());
+    }
+    // One block per input run plus the output writer's block — reserved
+    // after the readers open so their optional prefetch rings claim
+    // budget first (the clamp absorbs the difference).
+    const auto blocks = ReserveMergeBlocks(context, end - begin + 1);
+    const io::ScratchFile out = temp.NewFile("mergerun", placement);
+    LoserTree<T, Less> tree(std::move(inputs), less);
+    // Overlapped output: with io_threads the device write of block N
+    // runs on the output device's worker while the tree selects the
+    // records of block N+1.
+    io::RecordWriter<T> writer(context, out.path, /*overlap_output=*/true);
+    DrainMerge(&tree, &writer, less, dedup);
+    writer.Finish();
+    for (io::PeekableReader<T>* reader : readers) {
+      if (!reader->status().ok()) {
+        // A dead input looks exhausted to the tree (error-as-EOF), so
+        // the output just written is silently truncated — discard it
+        // and fail the merge rather than pass truncation off as data.
+        temp.Remove(out.path);
+        return reader->status();
+      }
+    }
+    const util::Status status = writer.status();
+    if (status.ok()) {
+      if (!first_failure.ok()) {
+        LOG_WARNING << "merge: recovered group output " << out.path
+                    << " on a healthy device after: "
+                    << first_failure.ToString();
+        context->AbsorbIoError(first_failure);
+      }
+      *out_path = out.path;
+      return status;
+    }
+    // The latch keeps the FIRST error (first-wins), so the absorb above
+    // targets first_failure no matter how many devices failed since.
+    if (first_failure.ok()) first_failure = status;
+    temp.Remove(out.path);
+    temp.Quarantine(out.device);
+  }
+  return first_failure;
+}
+
 // Merges `runs` (consuming the files) into `sink`. Intermediate passes
 // write temp files as before; the final pass — the only one whose
 // output the caller sees — drains into the sink, so a fused consumer
@@ -345,10 +427,18 @@ inline io::ScopedReservation ReserveMergeBlocks(io::IoContext* context,
 // Every merge holds a budget reservation for its block buffers, so a
 // fused sink that sizes its own structures mid-drain (a downstream
 // SortingWriter) sees the honest remainder.
+//
+// Errors: intermediate-pass output failures fail over per group (see
+// MergeGroupToFile); an unrecoverable failure returns early with the
+// surviving runs left to TempFileManager session cleanup. The final
+// pass cannot replay — the sink has already consumed records — so an
+// input failure there propagates; sink-side write failures are the
+// caller's to check (FileSink::status()).
 template <typename T, typename Less, RecordSinkFor<T> S>
-void MergeRunsInto(io::IoContext* context, std::vector<std::string> runs,
-                   S& sink, Less less, bool dedup, SortRunInfo* info) {
-  if (runs.empty()) return;
+util::Status MergeRunsInto(io::IoContext* context,
+                           std::vector<std::string> runs, S& sink, Less less,
+                           bool dedup, SortRunInfo* info) {
+  if (runs.empty()) return util::Status::Ok();
   const std::size_t fan_in = static_cast<std::size_t>(
       context->memory().MergeFanIn(context->block_size()));
   // Spread placement promises distinct devices per merge group only
@@ -366,29 +456,13 @@ void MergeRunsInto(io::IoContext* context, std::vector<std::string> runs,
     const std::uint64_t pass_group = context->temp_files().NextGroupId();
     for (std::size_t group = 0; group < runs.size(); group += fan_in) {
       const std::size_t end = std::min(runs.size(), group + fan_in);
-      std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs;
-      inputs.reserve(end - group);
-      for (std::size_t i = group; i < end; ++i) {
-        inputs.push_back(
-            std::make_unique<io::PeekableReader<T>>(context, runs[i]));
-      }
-      // One block per input run plus the output writer's block —
-      // reserved after the readers open so their optional prefetch
-      // rings claim budget first (the clamp absorbs the difference).
-      const auto blocks = ReserveMergeBlocks(context, end - group + 1);
-      const std::string out_path =
-          context->temp_files()
-              .NewFile("mergerun",
-                       io::Placement::InGroup(pass_group, next_runs.size()))
-              .path;
-      LoserTree<T, Less> tree(std::move(inputs), less);
-      // Overlapped output: with io_threads the device write of block N
-      // runs on the output device's worker while the tree selects the
-      // records of block N+1.
-      io::RecordWriter<T> writer(context, out_path, /*overlap_output=*/true);
-      DrainMerge(&tree, &writer, less, dedup);
-      writer.Finish();
-      next_runs.push_back(out_path);
+      std::string out_path;
+      RETURN_IF_ERROR(MergeGroupToFile<T>(
+          context, runs, group, end, less, dedup,
+          io::Placement::InGroup(pass_group, next_runs.size()), &out_path));
+      next_runs.push_back(std::move(out_path));
+      // Released only after the group's output is safely on a healthy
+      // device — until then these are the failover's replay source.
       for (std::size_t i = group; i < end; ++i) {
         context->temp_files().Remove(runs[i]);
       }
@@ -398,21 +472,30 @@ void MergeRunsInto(io::IoContext* context, std::vector<std::string> runs,
   if (runs.size() == 1) {
     // A single stream's block buffer is within the io layer's
     // unreserved per-stream convention; no merge reservation needed.
-    SinkAppendAllRecords<T>(context, runs[0], sink);
+    util::Status streamed;
+    SinkAppendAllRecords<T>(context, runs[0], sink, &streamed);
+    RETURN_IF_ERROR(streamed);
     context->temp_files().Remove(runs[0]);
-    return;
+    return util::Status::Ok();
   }
   ++info->merge_passes;
   std::vector<std::unique_ptr<io::PeekableReader<T>>> inputs;
+  std::vector<io::PeekableReader<T>*> readers;
   inputs.reserve(runs.size());
+  readers.reserve(runs.size());
   for (const auto& run : runs) {
     inputs.push_back(std::make_unique<io::PeekableReader<T>>(context, run));
+    readers.push_back(inputs.back().get());
   }
   // Reserved after the readers open — see the intermediate-pass note.
   const auto blocks = ReserveMergeBlocks(context, runs.size());
   LoserTree<T, Less> tree(std::move(inputs), less);
   DrainMerge(&tree, &sink, less, dedup);
+  for (io::PeekableReader<T>* reader : readers) {
+    RETURN_IF_ERROR(reader->status());
+  }
   for (const auto& run : runs) context->temp_files().Remove(run);
+  return util::Status::Ok();
 }
 
 }  // namespace internal
@@ -429,6 +512,12 @@ SortRunInfo SortInto(io::IoContext* context, const std::string& input_path,
                      S& sink, Less less, bool dedup = false) {
   SortRunInfo info;
   auto formed = internal::FormRuns<T>(context, input_path, less, dedup, &info);
+  if (!info.status.ok()) {
+    // Dead formation: the runs on disk are an incomplete view of the
+    // input, so drop them instead of merging truncation into a result.
+    for (const auto& run : formed.runs) context->temp_files().Remove(run);
+    return info;
+  }
   if (formed.in_memory) {
     // Hold the resident run's bytes as a reservation while the sink
     // consumes it, so a downstream structure that sizes itself
@@ -440,8 +529,8 @@ SortRunInfo SortInto(io::IoContext* context, const std::string& input_path,
     SinkAppendBatch<T>(sink, formed.resident.data(), formed.resident_count);
     return info;
   }
-  internal::MergeRunsInto<T>(context, std::move(formed.runs), sink, less,
-                             dedup, &info);
+  info.status = internal::MergeRunsInto<T>(context, std::move(formed.runs),
+                                           sink, less, dedup, &info);
   return info;
 }
 
@@ -460,24 +549,33 @@ SortRunInfo SortFile(io::IoContext* context, const std::string& input_path,
                      bool dedup = false) {
   SortRunInfo info;
   auto formed = internal::FormRuns<T>(context, input_path, less, dedup, &info);
+  if (!info.status.ok()) {
+    for (const auto& run : formed.runs) context->temp_files().Remove(run);
+    return info;
+  }
   if (formed.in_memory) {
     io::RecordWriter<T> writer(context, output_path);
     writer.AppendBatch(formed.resident.data(), formed.resident_count);
     writer.Finish();
+    info.status = writer.status();
     return info;
   }
   if (formed.runs.empty()) {
     io::RecordWriter<T> writer(context, output_path);
     writer.Finish();
+    info.status = writer.status();
     return info;
   }
   // Spilled formation always yields >= 2 runs (one run that covers the
   // whole input takes the in-memory branch above), so this is a real
   // merge; MergeRunsInto still handles a lone run for other callers.
   FileSink<T> sink(context, output_path, /*overlap_output=*/true);
-  internal::MergeRunsInto<T>(context, std::move(formed.runs), sink, less,
-                             dedup, &info);
+  info.status = internal::MergeRunsInto<T>(context, std::move(formed.runs),
+                                           sink, less, dedup, &info);
   sink.Finish();
+  // The output is the caller's named file, not relocatable scratch —
+  // a sink-side failure propagates instead of failing over.
+  if (info.status.ok()) info.status = sink.status();
   return info;
 }
 
@@ -557,10 +655,19 @@ class SortingWriter {
     if (!buffer_.empty()) Spill();
     ReleaseBuffer();
     std::vector<std::string> runs = pipeline_->Finish();
+    const util::Status spilled = pipeline_->status();
     pipeline_.reset();  // joins the worker, releases the second buffer
     info.num_runs = runs.size();
-    internal::MergeRunsInto<T>(context_, std::move(runs), sink, less_,
-                               dedup_, &info);
+    if (!spilled.ok()) {
+      // An unrecovered spill lost records: the formed runs are an
+      // incomplete view of what was Add()ed, so merging them would
+      // launder truncation into a sorted result.
+      for (const auto& run : runs) context_->temp_files().Remove(run);
+      info.status = spilled;
+      return info;
+    }
+    info.status = internal::MergeRunsInto<T>(context_, std::move(runs), sink,
+                                             less_, dedup_, &info);
     return info;
   }
 
@@ -570,6 +677,7 @@ class SortingWriter {
     FileSink<T> sink(context_, output_path, /*overlap_output=*/true);
     SortRunInfo info = FinishInto(sink);
     sink.Finish();
+    if (info.status.ok()) info.status = sink.status();
     return info;
   }
 

@@ -28,6 +28,7 @@
 
 #include "io/io_context.h"
 #include "io/record_stream.h"
+#include "util/status.h"
 
 namespace extscc::extsort {
 
@@ -58,9 +59,13 @@ void SinkAppendBatch(S& sink, const T* records, std::size_t n) {
 // Streams every record of `path` into `sink` with block-sized batches,
 // preserving the sink's AppendBatch fast path (the sink twin of
 // io::ForEachRecord / io::AppendAllRecords). Returns the record count.
+// A failed read ends the stream early (error-as-EOF, see block_file.h);
+// `status`, when given, receives the reader's final status so callers
+// can tell truncation from completion.
 template <typename T, RecordSinkFor<T> S>
 std::uint64_t SinkAppendAllRecords(io::IoContext* context,
-                                   const std::string& path, S& sink) {
+                                   const std::string& path, S& sink,
+                                   util::Status* status = nullptr) {
   io::RecordReader<T> reader(context, path);
   const std::size_t batch = io::RecordsPerBlock<T>(context);
   std::vector<T> chunk(batch);
@@ -70,6 +75,7 @@ std::uint64_t SinkAppendAllRecords(io::IoContext* context,
     SinkAppendBatch<T>(sink, chunk.data(), got);
     total += got;
   }
+  if (status != nullptr) *status = reader.status();
   return total;
 }
 
@@ -95,6 +101,11 @@ class FileSink {
   // Flushes the tail block and closes the file (idempotent — the
   // destructor also finishes).
   void Finish() { writer_.Finish(); }
+
+  // First I/O error of the underlying writer (OK while healthy). Check
+  // after Finish(): a sink that swallowed its errors would let a
+  // truncated output masquerade as a sorted result.
+  util::Status status() const { return writer_.status(); }
 
   std::uint64_t count() const { return writer_.count(); }
 

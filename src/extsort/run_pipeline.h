@@ -47,6 +47,7 @@
 #include "io/io_context.h"
 #include "io/record_stream.h"
 #include "util/logging.h"
+#include "util/status.h"
 
 namespace extscc::extsort {
 
@@ -55,6 +56,10 @@ struct SortRunInfo {
   std::uint64_t num_records = 0;
   std::uint64_t num_runs = 0;
   std::uint64_t merge_passes = 0;
+  // First unrecovered I/O error of the sort (OK on success). Callers on
+  // the Status-returning driver path propagate it; the info-discarding
+  // convenience wrappers leave it to the context's error latch.
+  util::Status status;
 };
 
 namespace internal {
@@ -89,15 +94,45 @@ std::size_t SortDedupPrefix(std::vector<T>& buffer, std::size_t n, Less less,
 // group, N), so the kSpreadGroup policy can put a merge group's runs on
 // distinct devices (round-robin striping ignores the placement and is
 // byte-identical to the ungrouped engine).
+//
+// Scratch failover: a persistent write failure (transient faults were
+// already retried inside BlockFile) quarantines the failing device,
+// removes the partial run, and re-spills the SAME records on the next
+// healthy device — the records are still resident in `buffer`, so a
+// lost spill costs one extra run write, not a re-sort. On recovery the
+// triggering error is absorbed from the context's latch (it was
+// handled, the solve must not fail on it); an unrelated latched error
+// is left alone. Returns the first failure when every device refuses.
 template <typename T>
-std::string SpillRun(io::IoContext* context, const T* records, std::size_t n,
-                     const io::Placement& placement) {
-  const io::ScratchFile run =
-      context->temp_files().NewFile("sortrun", placement);
-  io::RecordWriter<T> writer(context, run.path);
-  writer.AppendBatch(records, n);
-  writer.Finish();
-  return run.path;
+util::Status SpillRun(io::IoContext* context, const T* records,
+                      std::size_t n, const io::Placement& placement,
+                      std::string* out_path) {
+  io::TempFileManager& temp = context->temp_files();
+  const std::size_t max_attempts = temp.devices().size();
+  util::Status first_failure;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    const io::ScratchFile run = temp.NewFile("sortrun", placement);
+    io::RecordWriter<T> writer(context, run.path);
+    writer.AppendBatch(records, n);
+    writer.Finish();
+    const util::Status status = writer.status();
+    if (status.ok()) {
+      if (!first_failure.ok()) {
+        LOG_WARNING << "SpillRun: recovered run " << run.path
+                    << " on a healthy device after: "
+                    << first_failure.ToString();
+        context->AbsorbIoError(first_failure);
+      }
+      *out_path = run.path;
+      return status;
+    }
+    // The latch keeps the FIRST error (first-wins), so the absorb above
+    // targets first_failure no matter how many devices failed since.
+    if (first_failure.ok()) first_failure = status;
+    temp.Remove(run.path);  // best effort; a dead device only warns
+    temp.Quarantine(run.device);
+  }
+  return first_failure;
 }
 
 // The sort→spill stage of run formation. Owner of the run list; the
@@ -156,10 +191,18 @@ class RunSpillPipeline {
   // up to a whole run buffer per spill.
   std::vector<T> SubmitAndAcquire(std::vector<T> buffer, std::size_t n) {
     if (!threaded_) {
+      if (!status_.ok()) return buffer;  // sort already failed: drop
       const std::size_t kept =
           SortDedupPrefix(buffer, n, less_, dedup_, serial_scratch_);
-      runs_.push_back(SpillRun(context_, buffer.data(), kept,
-                               io::Placement::InGroup(group_, next_member_++)));
+      std::string path;
+      const util::Status spilled =
+          SpillRun(context_, buffer.data(), kept,
+                   io::Placement::InGroup(group_, next_member_++), &path);
+      if (spilled.ok()) {
+        runs_.push_back(std::move(path));
+      } else {
+        status_ = spilled;
+      }
       return buffer;
     }
     std::unique_lock<std::mutex> lock(mu_);
@@ -185,6 +228,14 @@ class RunSpillPipeline {
     return std::move(runs_);
   }
 
+  // First unrecovered spill failure (every-device-refused), parked here
+  // by whichever thread spilled — the worker's errors surface on the
+  // producer thread. Check after Finish().
+  util::Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
  private:
   void WorkerLoop() {
     // Worker-local radix scratch, persistent across all runs of the
@@ -198,15 +249,28 @@ class RunSpillPipeline {
       const std::size_t n = pending_n_;
       has_pending_ = false;
       busy_ = true;
+      const bool dead = !status_.ok();
       lock.unlock();
       cv_.notify_all();
-      const std::size_t kept =
-          SortDedupPrefix(buffer, n, less_, dedup_, scratch);
-      std::string path =
-          SpillRun(context_, buffer.data(), kept,
-                   io::Placement::InGroup(group_, next_member_++));
+      std::string path;
+      util::Status spilled;
+      if (!dead) {
+        // A failed pipeline still recycles buffers (the producer must
+        // not deadlock on a dead worker) but spills nothing further.
+        const std::size_t kept =
+            SortDedupPrefix(buffer, n, less_, dedup_, scratch);
+        spilled = SpillRun(context_, buffer.data(), kept,
+                           io::Placement::InGroup(group_, next_member_++),
+                           &path);
+      }
       lock.lock();
-      runs_.push_back(std::move(path));
+      if (!dead) {
+        if (spilled.ok()) {
+          runs_.push_back(std::move(path));
+        } else if (status_.ok()) {
+          status_ = spilled;
+        }
+      }
       free_buffer_ = std::move(buffer);
       has_free_ = true;
       busy_ = false;
@@ -228,7 +292,7 @@ class RunSpillPipeline {
   std::uint64_t reserved_bytes_ = 0;
 
   std::thread worker_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<T> pending_;     // filled buffer awaiting the worker
   std::size_t pending_n_ = 0;  // valid prefix of pending_
@@ -240,6 +304,8 @@ class RunSpillPipeline {
   std::vector<T> serial_scratch_;  // radix scratch for the inline path
 
   std::vector<std::string> runs_;  // submission order
+  // First unrecovered spill failure; guarded by mu_ when threaded.
+  util::Status status_;
 };
 
 }  // namespace internal

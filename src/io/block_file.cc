@@ -1,17 +1,84 @@
 #include "io/block_file.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "io/checksum.h"
 #include "io/io_context.h"
 #include "io/read_scheduler.h"
 #include "util/logging.h"
 
 namespace extscc::io {
+
+namespace {
+
+// Bounded exponential backoff around one raw device transfer. Only
+// transient errors (IsRetryableIoError) burn attempts; each retry is
+// counted in the retry counters of both the context aggregate and the
+// device (under stats_mutex), never as a model I/O. Callers hold no
+// locks here (the backoff sleeps).
+template <typename Op>
+util::Status RunWithRetries(IoContext* context, StorageDevice* device,
+                            bool is_read, Op&& op) {
+  const std::size_t max_attempts =
+      std::max<std::size_t>(1, context->io_retry_attempts());
+  std::uint64_t backoff_us = context->io_retry_backoff_initial_us();
+  for (std::size_t attempt = 1;; ++attempt) {
+    util::Status status = op();
+    if (status.ok() || attempt >= max_attempts ||
+        !IsRetryableIoError(status)) {
+      return status;
+    }
+    {
+      std::lock_guard<std::mutex> lock(context->stats_mutex());
+      IoStats& stats = context->stats();
+      IoStats& device_stats = device->stats();
+      if (is_read) {
+        stats.read_retries += 1;
+        device_stats.read_retries += 1;
+      } else {
+        stats.write_retries += 1;
+        device_stats.write_retries += 1;
+      }
+    }
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+    }
+    backoff_us = std::min(std::max<std::uint64_t>(1, backoff_us) * 2,
+                          context->io_retry_backoff_max_us());
+  }
+}
+
+// Payload bytes in a checksummed file whose on-device size is
+// `physical`: N full strides carry N full blocks; a trailing partial
+// stride carries its bytes minus the trailer. (A partial stride of
+// <= 4 bytes is a torn final write; treating its payload as 0 lets the
+// reader surface the problem as a short file instead of crashing.)
+std::uint64_t LogicalSizeFromPhysical(std::uint64_t physical,
+                                      std::size_t block_size) {
+  const std::uint64_t stride = block_size + kChecksumTrailerBytes;
+  const std::uint64_t full = physical / stride;
+  const std::uint64_t rem = physical % stride;
+  return full * block_size +
+         (rem > kChecksumTrailerBytes ? rem - kChecksumTrailerBytes : 0);
+}
+
+// Per-thread staging buffer for checksummed transfers: PreadBlock runs
+// concurrently on the consumer, the prefetch thread and the scheduler's
+// device workers, so the staging area cannot be per-file state.
+std::vector<char>& ChecksumStaging(std::size_t block_size) {
+  static thread_local std::vector<char> staging;
+  if (staging.size() < block_size + kChecksumTrailerBytes) {
+    staging.resize(block_size + kChecksumTrailerBytes);
+  }
+  return staging;
+}
+
+}  // namespace
 
 // Background reader for sequential scans. One thread per prefetching
 // file keeps up to `depth` blocks decoded ahead of the consumer in a
@@ -53,7 +120,8 @@ class BlockFile::Prefetcher {
     if (block_index != consume_block_) return false;
     cv_.wait(lock, [this] { return filled_ > 0 || done_; });
     if (filled_ == 0) {
-      // Producer hit EOF before this block: past-EOF read.
+      // Producer hit EOF — or a parked error (already on the file's
+      // sticky status) — before this block. Either way: no bytes.
       *bytes = 0;
       ++consume_block_;
       return true;
@@ -94,7 +162,19 @@ class BlockFile::Prefetcher {
       lock.unlock();
       // Read outside the lock: this is the latency being hidden.
       slot.block = block;
-      slot.bytes = file_->PreadBlock(block, slot.data.data());
+      const util::Status status =
+          file_->PreadBlock(block, slot.data.data(), &slot.bytes);
+      if (!status.ok()) {
+        // Never abort the worker: park the error on the file (which
+        // latches the context) and end the stream. The consumer's next
+        // ReadBlock sees EOF-shaped 0 bytes and checks status().
+        file_->MarkError(status);
+        lock.lock();
+        done_ = true;
+        lock.unlock();
+        cv_.notify_all();
+        return;
+      }
       lock.lock();
       ++filled_;
       lock.unlock();
@@ -122,9 +202,21 @@ BlockFile::BlockFile(IoContext* context, const std::string& path,
     : context_(context),
       path_(path),
       device_(context->ResolveDevice(path)),
-      file_(device_->Open(path, mode)),
       block_size_(context->block_size()) {
-  size_bytes_ = file_->size_bytes();
+  // Checksums cover sequential scratch streams only: user-facing files
+  // must stay raw bytes, and kReadWrite random-access rewrites would
+  // need read-modify-write of interior trailers.
+  checksummed_ = context->checksum_blocks() &&
+                 mode != OpenMode::kReadWrite &&
+                 context->temp_files().DeviceForPath(path) != nullptr;
+  const util::Status open_status = device_->Open(path, mode, &file_);
+  if (!open_status.ok()) {
+    MarkError(open_status);
+    return;
+  }
+  size_bytes_ = checksummed_
+                    ? LogicalSizeFromPhysical(file_->size_bytes(), block_size_)
+                    : file_->size_bytes();
   if (mode == OpenMode::kTruncateWrite) {
     std::lock_guard<std::mutex> lock(context_->stats_mutex());
     context_->stats().files_created += 1;
@@ -133,6 +225,12 @@ BlockFile::BlockFile(IoContext* context, const std::string& path,
 }
 
 BlockFile::~BlockFile() {
+  // Unchecked shutdown: Close() already routed any drain error through
+  // MarkError, so nothing is lost — it sits latched on the context.
+  (void)Close();
+}
+
+util::Status BlockFile::Close() {
   prefetcher_.reset();
   // Unregister drains a pending async write before the handle closes,
   // so a run file reopened for merging sees every submitted block.
@@ -145,14 +243,36 @@ BlockFile::~BlockFile() {
     sched_writer_ = nullptr;
   }
   file_.reset();
+  return status();
+}
+
+util::Status BlockFile::status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_;
+}
+
+void BlockFile::MarkError(const util::Status& status) {
+  if (status.ok()) return;
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    if (status_.ok()) status_ = status;
+  }
+  context_->RecordIoError(status);
 }
 
 std::uint64_t BlockFile::num_blocks() const {
   return (size_bytes_ + block_size_ - 1) / block_size_;
 }
 
+std::uint64_t BlockFile::PhysicalOffset(std::uint64_t block_index) const {
+  const std::uint64_t stride =
+      checksummed_ ? block_size_ + kChecksumTrailerBytes : block_size_;
+  return block_index * stride;
+}
+
 void BlockFile::StartSequentialPrefetch(std::uint64_t start_block) {
   if (prefetcher_ != nullptr || sched_reader_ != nullptr) return;
+  if (file_ == nullptr) return;  // dead open: nothing to read ahead
   // The shared scheduler takes precedence over the per-file prefetcher
   // when both engines are enabled: one worker per device replaces one
   // thread per file. Register degrades to nullptr (direct reads) when
@@ -175,13 +295,44 @@ void BlockFile::StartSequentialPrefetch(std::uint64_t start_block) {
   prefetcher_ = std::make_unique<Prefetcher>(this, start_block, depth);
 }
 
-std::size_t BlockFile::PreadBlock(std::uint64_t block_index, void* buf) {
+util::Status BlockFile::PreadBlock(std::uint64_t block_index, void* buf,
+                                   std::size_t* bytes) {
+  *bytes = 0;
+  if (file_ == nullptr) return status();  // dead open
   const std::uint64_t offset = block_index * block_size_;
-  if (offset >= size_bytes_) return 0;
+  if (offset >= size_bytes_) return util::Status::Ok();  // past EOF
   const std::size_t want = static_cast<std::size_t>(
       std::min<std::uint64_t>(block_size_, size_bytes_ - offset));
-  file_->ReadAt(offset, buf, want);
-  return want;
+  if (!checksummed_) {
+    RETURN_IF_ERROR(RunWithRetries(context_, device_, /*is_read=*/true,
+                                   [&] {
+                                     return file_->ReadAt(offset, buf, want);
+                                   }));
+    *bytes = want;
+    return util::Status::Ok();
+  }
+  // Checksummed: pull payload + trailer in one transfer, verify, then
+  // hand the caller the payload. A mismatch is kCorruption and is NOT
+  // retried — re-reading flipped bits yields the same flipped bits; the
+  // point is to refuse to merge them into an answer.
+  std::vector<char>& staging = ChecksumStaging(block_size_);
+  const std::uint64_t phys = PhysicalOffset(block_index);
+  RETURN_IF_ERROR(RunWithRetries(
+      context_, device_, /*is_read=*/true, [&] {
+        return file_->ReadAt(phys, staging.data(),
+                             want + kChecksumTrailerBytes);
+      }));
+  const std::uint32_t expected = DecodeChecksumTrailer(staging.data() + want);
+  const std::uint32_t actual = Crc32(staging.data(), want);
+  if (expected != actual) {
+    return util::Status::Corruption(
+        "block checksum mismatch in " + path_ + " block " +
+        std::to_string(block_index) + " (stored " + std::to_string(expected) +
+        ", computed " + std::to_string(actual) + ")");
+  }
+  std::memcpy(buf, staging.data(), want);
+  *bytes = want;
+  return util::Status::Ok();
 }
 
 void BlockFile::CountRead(std::uint64_t block_index, std::size_t bytes) {
@@ -209,6 +360,7 @@ void BlockFile::CountRead(std::uint64_t block_index, std::size_t bytes) {
 
 void BlockFile::EnableOverlappedWrites() {
   if (sched_writer_ != nullptr) return;
+  if (file_ == nullptr) return;  // dead open: stay on the no-op sync path
   ReadScheduler* scheduler = context_->read_scheduler();
   if (scheduler == nullptr) return;
   sched_writer_ = scheduler->RegisterWriter(this);  // nullptr: stay sync
@@ -221,7 +373,7 @@ std::size_t BlockFile::ReadBlock(std::uint64_t block_index, void* buf) {
     std::size_t bytes = 0;
     if (context_->read_scheduler()->TakeBlock(sched_reader_, block_index,
                                               buf, &bytes)) {
-      if (bytes == 0) return 0;  // past EOF: uncounted, like direct
+      if (bytes == 0) return 0;  // past EOF or parked error: uncounted
       CountRead(block_index, bytes);
       return bytes;
     }
@@ -233,7 +385,7 @@ std::size_t BlockFile::ReadBlock(std::uint64_t block_index, void* buf) {
   if (prefetcher_ != nullptr) {
     std::size_t bytes = 0;
     if (prefetcher_->TakeBlock(block_index, buf, &bytes)) {
-      if (bytes == 0) return 0;  // past EOF: uncounted, like the direct path
+      if (bytes == 0) return 0;  // past EOF or parked error: uncounted
       CountRead(block_index, bytes);
       return bytes;
     }
@@ -241,7 +393,12 @@ std::size_t BlockFile::ReadBlock(std::uint64_t block_index, void* buf) {
     // read-ahead is useless — drop it and serve directly from here on.
     prefetcher_.reset();
   }
-  const std::size_t bytes = PreadBlock(block_index, buf);
+  std::size_t bytes = 0;
+  const util::Status status = PreadBlock(block_index, buf, &bytes);
+  if (!status.ok()) {
+    MarkError(status);
+    return 0;
+  }
   if (bytes == 0) return 0;
   CountRead(block_index, bytes);
   return bytes;
@@ -268,14 +425,38 @@ void BlockFile::CountWrite(std::uint64_t block_index, std::size_t bytes) {
   context_->OnIo();
 }
 
-void BlockFile::RawWriteAt(std::uint64_t block_index, const void* data,
-                           std::size_t bytes) {
-  file_->WriteAt(block_index * block_size_, data, bytes);
+util::Status BlockFile::RawWriteAt(std::uint64_t block_index,
+                                   const void* data, std::size_t bytes) {
+  if (file_ == nullptr) return status();  // dead open
+  if (!checksummed_) {
+    return RunWithRetries(context_, device_, /*is_read=*/false, [&] {
+      return file_->WriteAt(block_index * block_size_, data, bytes);
+    });
+  }
+  // Stage payload + CRC trailer and write them as one transfer, so a
+  // torn write cannot leave a block whose trailer postdates its
+  // payload. The retry re-stages nothing: the staging content is
+  // deterministic in (data, bytes).
+  std::vector<char>& staging = ChecksumStaging(block_size_);
+  std::memcpy(staging.data(), data, bytes);
+  EncodeChecksumTrailer(Crc32(data, bytes), staging.data() + bytes);
+  const std::uint64_t phys = PhysicalOffset(block_index);
+  return RunWithRetries(context_, device_, /*is_read=*/false, [&] {
+    return file_->WriteAt(phys, staging.data(),
+                          bytes + kChecksumTrailerBytes);
+  });
 }
 
 void BlockFile::WriteBlock(std::uint64_t block_index, const void* data,
                            std::size_t bytes) {
   CHECK_LE(bytes, block_size_);
+  {
+    // Once an error is parked the file is dead: stop issuing device
+    // writes (one ENOSPC is information, a thousand are noise) and let
+    // the caller observe status().
+    std::lock_guard<std::mutex> lock(status_mu_);
+    if (!status_.ok()) return;
+  }
   const std::uint64_t offset = block_index * block_size_;
   if (sched_writer_ != nullptr) {
     // Advance size_bytes_ BEFORE the hand-off (RawWriteAt's off-thread
@@ -291,7 +472,11 @@ void BlockFile::WriteBlock(std::uint64_t block_index, const void* data,
   }
   // Writing beyond the current final partial block would leave a hole of
   // undefined record data; the streaming writers never do this.
-  file_->WriteAt(offset, data, bytes);
+  const util::Status status = RawWriteAt(block_index, data, bytes);
+  if (!status.ok()) {
+    MarkError(status);
+    return;
+  }
   size_bytes_ = std::max(size_bytes_, offset + bytes);
   CountWrite(block_index, bytes);
 }

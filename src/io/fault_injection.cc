@@ -1,0 +1,170 @@
+#include "io/fault_injection.h"
+
+#include <cerrno>
+#include <cstddef>
+#include <utility>
+
+namespace extscc::io {
+
+namespace {
+
+// SplitMix64 finalizer: a cheap, well-mixed 64-bit hash. The fault
+// schedule only needs decorrelated uniform draws per (seed, op, lane),
+// not cryptographic strength.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Distinct decision lanes per op, so e.g. the transient-fault draw and
+// the corruption draw of one op are independent.
+enum FaultLane : std::uint64_t {
+  kLaneTransient = 1,
+  kLaneShort = 2,
+  kLaneCorrupt = 3,
+  kLaneSite = 4,  // which byte/bit of the payload gets hit
+};
+
+// Uniform double in [0, 1) from (seed, op ordinal, lane).
+double UnitDraw(std::uint64_t seed, std::uint64_t op, std::uint64_t lane) {
+  const std::uint64_t h = Mix64(seed ^ Mix64(op ^ Mix64(lane)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t SiteDraw(std::uint64_t seed, std::uint64_t op) {
+  return Mix64(seed ^ Mix64(op ^ Mix64(kLaneSite)));
+}
+
+}  // namespace
+
+// In the enclosing namespace (not anonymous) so the friend declaration
+// in fault_injection.h grants it access to the device's schedule state.
+class FaultInjectingFile : public StorageFile {
+ public:
+  FaultInjectingFile(FaultInjectingDevice* device,
+                     std::unique_ptr<StorageFile> inner, std::string path)
+      : device_(device), inner_(std::move(inner)), path_(std::move(path)) {}
+
+  util::Status ReadAt(std::uint64_t offset, void* buf,
+                      std::size_t bytes) override {
+    const FaultSpec& spec = device_->spec_;
+    const std::uint64_t op = ClaimOp();
+    if (spec.fail_reads_after > 0 && op >= spec.fail_reads_after) {
+      return util::Status::IoError(
+          "injected persistent read failure on " + path_ + " (op " +
+              std::to_string(op) + ")",
+          EIO);
+    }
+    if (UnitDraw(spec.seed, op, kLaneTransient) < spec.read_fault_rate) {
+      return util::Status::IoError(
+          "injected transient read fault on " + path_ + " (op " +
+              std::to_string(op) + ")",
+          EIO);
+    }
+    if (bytes > 1 &&
+        UnitDraw(spec.seed, op, kLaneShort) < spec.short_rate) {
+      // Torn read: deliver a prefix, then fail. The buffer prefix is
+      // real data — a caller that ignored the status and trusted the
+      // buffer would be subtly wrong, which is exactly the bug class
+      // this lane exists to catch.
+      const std::size_t part = 1 + SiteDraw(spec.seed, op) % (bytes - 1);
+      (void)inner_->ReadAt(offset, buf, part);
+      return util::Status::IoError(
+          "injected short read on " + path_ + " (" + std::to_string(part) +
+              "/" + std::to_string(bytes) + " bytes, op " +
+              std::to_string(op) + ")",
+          EIO);
+    }
+    RETURN_IF_ERROR(inner_->ReadAt(offset, buf, bytes));
+    if (bytes > 0 &&
+        UnitDraw(spec.seed, op, kLaneCorrupt) < spec.corrupt_rate) {
+      // Silent corruption: flip one bit of the payload and report
+      // success. Only checksums can catch this.
+      const std::uint64_t site = SiteDraw(spec.seed, op) % (bytes * 8);
+      static_cast<unsigned char*>(buf)[site / 8] ^=
+          static_cast<unsigned char>(1u << (site % 8));
+    }
+    return util::Status::Ok();
+  }
+
+  util::Status WriteAt(std::uint64_t offset, const void* data,
+                       std::size_t bytes) override {
+    const FaultSpec& spec = device_->spec_;
+    const std::uint64_t op = ClaimOp();
+    if (spec.fail_writes_after > 0 && op >= spec.fail_writes_after) {
+      return util::Status::IoError(
+          "injected persistent write failure on " + path_ + " (op " +
+              std::to_string(op) + ")",
+          ENOSPC);
+    }
+    if (UnitDraw(spec.seed, op, kLaneTransient) < spec.write_fault_rate) {
+      return util::Status::IoError(
+          "injected transient write fault on " + path_ + " (op " +
+              std::to_string(op) + ")",
+          EIO);
+    }
+    if (bytes > 1 &&
+        UnitDraw(spec.seed, op, kLaneShort) < spec.short_rate) {
+      const std::size_t part = 1 + SiteDraw(spec.seed, op) % (bytes - 1);
+      (void)inner_->WriteAt(offset, data, part);
+      return util::Status::IoError(
+          "injected short write on " + path_ + " (" + std::to_string(part) +
+              "/" + std::to_string(bytes) + " bytes, op " +
+              std::to_string(op) + ")",
+          EIO);
+    }
+    return inner_->WriteAt(offset, data, bytes);
+  }
+
+  std::uint64_t size_bytes() const override { return inner_->size_bytes(); }
+
+ private:
+  std::uint64_t ClaimOp() {
+    return device_->next_op_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  FaultInjectingDevice* device_;
+  std::unique_ptr<StorageFile> inner_;
+  std::string path_;
+};
+
+FaultInjectingDevice::FaultInjectingDevice(
+    std::string name, std::unique_ptr<StorageDevice> inner, FaultSpec spec)
+    : StorageDevice(std::move(name)),
+      inner_(std::move(inner)),
+      spec_(std::move(spec)) {}
+
+FaultInjectingDevice::~FaultInjectingDevice() = default;
+
+util::Status FaultInjectingDevice::Open(const std::string& path,
+                                        OpenMode mode,
+                                        std::unique_ptr<StorageFile>* out) {
+  std::unique_ptr<StorageFile> inner_file;
+  RETURN_IF_ERROR(inner_->Open(path, mode, &inner_file));
+  // The tag filter decides at open time: untagged paths get the inner
+  // file verbatim (zero overhead, no op ordinals consumed).
+  if (!spec_.path_tag.empty() &&
+      path.find(spec_.path_tag) == std::string::npos) {
+    *out = std::move(inner_file);
+    return util::Status::Ok();
+  }
+  *out = std::make_unique<FaultInjectingFile>(this, std::move(inner_file),
+                                              path);
+  return util::Status::Ok();
+}
+
+util::Status FaultInjectingDevice::Delete(const std::string& path) {
+  return inner_->Delete(path);
+}
+
+std::string FaultInjectingDevice::CreateSessionRoot() {
+  return inner_->CreateSessionRoot();
+}
+
+void FaultInjectingDevice::RemoveTree(const std::string& root) {
+  inner_->RemoveTree(root);
+}
+
+}  // namespace extscc::io

@@ -1,0 +1,62 @@
+// Seeded deterministic fault injection at the StorageDevice boundary.
+// FaultInjectingDevice wraps a real device (posix or mem) and makes its
+// files fail according to a FaultSpec: transient EIO on reads/writes,
+// torn (short) transfers, silent bit-flip corruption of read payloads,
+// and persistent failures from a given op ordinal on (ENOSPC for
+// writes — the disk filled up; EIO for reads — the disk died).
+//
+// Every decision is a pure function of (spec.seed, device op ordinal),
+// drawn from a SplitMix64-style hash: a given spec replays the same
+// fault schedule on every run, so the chaos tests can assert exact
+// outcomes (byte-identical output after retries, a specific device
+// quarantined) instead of merely "it didn't crash". A transient fault
+// consumes the op ordinal it fired on; the retry claims a fresh
+// ordinal and — at any rate < 1 — almost surely succeeds, which is
+// what makes bounded retry a sound recovery policy against this model.
+//
+// The wrapper is storage-transparent: fault-free ops delegate straight
+// to the inner device, and CreateSessionRoot/RemoveTree/Delete never
+// fault (failing cleanup would only mask the interesting failures).
+#ifndef EXTSCC_IO_FAULT_INJECTION_H_
+#define EXTSCC_IO_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/storage.h"
+#include "util/status.h"
+
+namespace extscc::io {
+
+class FaultInjectingDevice : public StorageDevice {
+ public:
+  FaultInjectingDevice(std::string name, std::unique_ptr<StorageDevice> inner,
+                       FaultSpec spec);
+  ~FaultInjectingDevice() override;
+
+  util::Status Open(const std::string& path, OpenMode mode,
+                    std::unique_ptr<StorageFile>* out) override;
+  util::Status Delete(const std::string& path) override;
+  std::string CreateSessionRoot() override;
+  void RemoveTree(const std::string& root) override;
+
+  const FaultSpec& spec() const { return spec_; }
+  // Device op ordinals handed out so far (each faultable ReadAt/WriteAt
+  // claims one). Exposed for tests that pin schedules to ordinals.
+  std::uint64_t ops_issued() const {
+    return next_op_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class FaultInjectingFile;
+
+  std::unique_ptr<StorageDevice> inner_;
+  const FaultSpec spec_;
+  std::atomic<std::uint64_t> next_op_{0};
+};
+
+}  // namespace extscc::io
+
+#endif  // EXTSCC_IO_FAULT_INJECTION_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "io/fault_injection.h"
 #include "util/logging.h"
 
 namespace extscc::io {
@@ -32,6 +33,29 @@ std::vector<std::unique_ptr<StorageDevice>> BuildScratchDevices(
     const std::string suffix = std::to_string(i);
     if (options.device_model.model == DeviceModel::kMem) {
       devices.push_back(std::make_unique<MemDevice>("mem" + suffix));
+    } else if (options.device_model.model == DeviceModel::kFaulty) {
+      const FaultSpec& spec = options.device_model.fault;
+      const std::string name = "flt" + suffix;
+      std::unique_ptr<StorageDevice> inner;
+      if (spec.inner == DeviceModel::kMem) {
+        inner = std::make_unique<MemDevice>(name + "_mem");
+      } else {
+        inner = std::make_unique<PosixDevice>(name + "_posix", parent);
+      }
+      if (spec.device_index >= 0 &&
+          static_cast<std::size_t>(spec.device_index) != i) {
+        // The spec targets one specific device; its siblings are built
+        // clean (the inner device verbatim) — the single-bad-disk
+        // failover scenario.
+        devices.push_back(std::move(inner));
+      } else {
+        FaultSpec device_spec = spec;
+        // Decorrelate the devices' schedules: with a shared seed every
+        // device would fault at the same op ordinals.
+        device_spec.seed = spec.seed + i;
+        devices.push_back(std::make_unique<FaultInjectingDevice>(
+            name, std::move(inner), std::move(device_spec)));
+      }
     } else {
       devices.push_back(std::make_unique<ThrottledDevice>(
           "sim" + suffix,
@@ -82,6 +106,37 @@ void IoContext::OnIo() {
   if (options_.io_budget > 0 && stats_.total_ios() > options_.io_budget) {
     io_budget_exceeded_.store(true, std::memory_order_relaxed);
   }
+}
+
+void IoContext::RecordIoError(const util::Status& status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(io_error_mu_);
+  if (!io_error_.ok()) return;  // first error wins
+  io_error_ = status;
+  has_io_error_.store(true, std::memory_order_release);
+}
+
+util::Status IoContext::io_error() const {
+  std::lock_guard<std::mutex> lock(io_error_mu_);
+  return io_error_;
+}
+
+bool IoContext::AbsorbIoError(const util::Status& recovered) {
+  std::lock_guard<std::mutex> lock(io_error_mu_);
+  if (io_error_.ok()) return false;
+  if (io_error_.code() != recovered.code() ||
+      io_error_.message() != recovered.message()) {
+    return false;
+  }
+  io_error_ = util::Status::Ok();
+  has_io_error_.store(false, std::memory_order_release);
+  return true;
+}
+
+void IoContext::reset_io_error() {
+  std::lock_guard<std::mutex> lock(io_error_mu_);
+  io_error_ = util::Status::Ok();
+  has_io_error_.store(false, std::memory_order_release);
 }
 
 }  // namespace extscc::io

@@ -102,6 +102,29 @@ struct IoContextOptions {
 
   // Keep scratch files on destruction (debugging aid).
   bool keep_temp_files = false;
+
+  // ---- fault tolerance (docs/robustness.md) --------------------------
+
+  // Bounded exponential backoff against transient device faults
+  // (IsRetryableIoError). io_retry_attempts is the TOTAL number of
+  // device attempts per block op (1 = no retry); the k-th retry sleeps
+  // min(io_retry_backoff_initial_us << (k-1), io_retry_backoff_max_us).
+  // Retries are counted in IoStats::{read,write}_retries but are NOT
+  // model I/Os; a fault-free run takes none, so these defaults leave
+  // the Aggarwal-Vitter numbers untouched.
+  std::size_t io_retry_attempts = 4;
+  std::uint64_t io_retry_backoff_initial_us = 200;
+  std::uint64_t io_retry_backoff_max_us = 20'000;
+
+  // Append a CRC32 trailer to every scratch block and verify it on
+  // read (mismatch = kCorruption, never retried — re-reading flipped
+  // bits re-reads flipped bits). Off by default: checksummed scratch
+  // files have a different physical stride (block_size + 4), so the
+  // default keeps scratch files byte-identical to the fault-oblivious
+  // engine. Applies to scratch streams only (kRead/kTruncateWrite);
+  // user-facing graph/label files and random-access kReadWrite files
+  // stay raw.
+  bool checksum_blocks = false;
 };
 
 class IoContext {
@@ -117,6 +140,14 @@ class IoContext {
   std::size_t prefetch_depth() const { return options_.prefetch_depth; }
   std::size_t sort_threads() const { return options_.sort_threads; }
   std::size_t io_threads() const { return options_.io_threads; }
+  std::size_t io_retry_attempts() const { return options_.io_retry_attempts; }
+  std::uint64_t io_retry_backoff_initial_us() const {
+    return options_.io_retry_backoff_initial_us;
+  }
+  std::uint64_t io_retry_backoff_max_us() const {
+    return options_.io_retry_backoff_max_us;
+  }
+  bool checksum_blocks() const { return options_.checksum_blocks; }
 
   // The device-parallel I/O engine, or nullptr when io_threads == 0
   // (the serial engine). BlockFile is the only caller.
@@ -175,6 +206,37 @@ class IoContext {
   // Called by BlockFile after every counted I/O (under stats_mutex()).
   void OnIo();
 
+  // ---- I/O error latch ------------------------------------------------
+  // First-wins record of an unrecovered I/O error anywhere in the
+  // context (a failed spill worker, a dead prefetch slot, a direct
+  // read). The long-running algorithms poll has_io_error() at phase
+  // boundaries — the same discipline as io_budget_exceeded() — so an
+  // error parked by a background thread surfaces as a typed Status on
+  // the driver API instead of a crash or a silent wrong answer.
+
+  // Records `status` if the latch is empty (no-op for OK and for an
+  // already-latched context).
+  void RecordIoError(const util::Status& status);
+
+  // Lock-free poll.
+  bool has_io_error() const {
+    return has_io_error_.load(std::memory_order_acquire);
+  }
+
+  // Copy of the latched error (OK when the latch is empty).
+  util::Status io_error() const;
+
+  // Clears the latch iff the latched error's code and message match
+  // `recovered` — the failover path's absorb step: after a quarantined
+  // device's lost run is re-formed elsewhere, the error that triggered
+  // the failover is consumed so the recovered solve doesn't fail on a
+  // stale latch. An error recorded by an UNRELATED failure in the
+  // meantime stays latched. Returns true when the latch was cleared.
+  bool AbsorbIoError(const util::Status& recovered);
+
+  // Test hook: unconditionally clears the latch.
+  void reset_io_error();
+
  private:
   IoContextOptions options_;
   IoStats stats_;
@@ -187,6 +249,11 @@ class IoContext {
   // Atomic: set under stats_mutex() by whichever thread trips the
   // budget, polled lock-free by the algorithm's main loop.
   std::atomic<bool> io_budget_exceeded_{false};
+  // I/O error latch: the Status under its own mutex (never held across
+  // device I/O), the flag mirroring it for lock-free polling.
+  mutable std::mutex io_error_mu_;
+  util::Status io_error_;
+  std::atomic<bool> has_io_error_{false};
   // Declared last: destroyed first, so the I/O workers are joined while
   // every other member (devices, budget) is still alive.
   std::unique_ptr<ReadScheduler> read_scheduler_;

@@ -12,6 +12,8 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   bytes_read += other.bytes_read;
   bytes_written += other.bytes_written;
   files_created += other.files_created;
+  read_retries += other.read_retries;
+  write_retries += other.write_retries;
   return *this;
 }
 
@@ -24,6 +26,8 @@ IoStats IoStats::operator-(const IoStats& other) const {
   out.bytes_read = bytes_read - other.bytes_read;
   out.bytes_written = bytes_written - other.bytes_written;
   out.files_created = files_created - other.files_created;
+  out.read_retries = read_retries - other.read_retries;
+  out.write_retries = write_retries - other.write_retries;
   return out;
 }
 
@@ -32,6 +36,10 @@ std::string IoStats::ToString() const {
   out << "ios=" << total_ios() << " (reads=" << total_reads() << " writes="
       << total_writes() << " random=" << random_ios() << ") bytes_read="
       << bytes_read << " bytes_written=" << bytes_written;
+  if (read_retries + write_retries > 0) {
+    out << " retries=" << read_retries + write_retries << " (read="
+        << read_retries << " write=" << write_retries << ")";
+  }
   return out.str();
 }
 

@@ -22,6 +22,13 @@ struct IoStats {
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
   std::uint64_t files_created = 0;
+  // Device-level retries of transient faults (fault-tolerance path).
+  // Retries are NOT extra model I/Os — a block consumed once counts
+  // once no matter how many device attempts it took — so they are
+  // tracked separately to keep the Aggarwal-Vitter counters honest:
+  // a fault-free run reports zero here.
+  std::uint64_t read_retries = 0;
+  std::uint64_t write_retries = 0;
 
   std::uint64_t total_reads() const { return sequential_reads + random_reads; }
   std::uint64_t total_writes() const {

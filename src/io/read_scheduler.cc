@@ -25,6 +25,10 @@ struct StreamSlot {
   State state = State::kEmpty;
   std::uint64_t block = 0;
   std::size_t bytes = 0;
+  // A failed prefetch parks its error here (bytes = 0) and the slot
+  // still becomes kFilled: the consumer — not the worker thread — is
+  // who surfaces it, on its next TakeBlock. Workers never abort.
+  util::Status status;
   std::vector<char> data;
 };
 
@@ -36,6 +40,12 @@ class ScheduledStream {
   bool dying = false;
   std::uint64_t reserved_bytes = 0;
   std::vector<StreamSlot> slots;
+
+  // First async-write failure (writer streams; guarded by the scheduler
+  // mutex). Surfaced on the producer thread at the next SubmitWrite and
+  // at Unregister — a failed device write must reach the BlockFile's
+  // sticky status before the file closes.
+  util::Status write_status;
 
   // Reader sequence state. Blocks are issued and consumed strictly in
   // order; block b lives in slot (b % depth), which is free for reuse
@@ -164,12 +174,14 @@ ScheduledStream* ReadScheduler::RegisterWriter(BlockFile* file) {
 
 void ReadScheduler::Unregister(ScheduledStream* stream) {
   std::unique_ptr<ScheduledStream> owned;
+  util::Status parked_write;
   {
     std::unique_lock<std::mutex> lock(mu_);
     stream->dying = true;  // workers claim no further reads
     // A pending write must still reach the device (the file is about to
     // be reopened for reading); in-flight ops own their slot buffers.
     stream->cv.wait(lock, [stream] { return stream->Idle(); });
+    parked_write = stream->write_status;
     DeviceQueue* queue = queues_.at(stream->device).get();
     auto it =
         std::find_if(queue->streams.begin(), queue->streams.end(),
@@ -182,6 +194,10 @@ void ReadScheduler::Unregister(ScheduledStream* stream) {
   // Outside the scheduler lock; the budget is only ever touched by the
   // algorithm thread (the same thread running this Unregister).
   memory_->Release(owned->reserved_bytes);
+  // A drained-but-failed final write surfaces now, while the file is
+  // still alive: the last chance before the handle closes and the
+  // writer's Finish checks status().
+  if (!parked_write.ok()) owned->file->MarkError(parked_write);
 }
 
 bool ReadScheduler::TakeBlock(ScheduledStream* stream,
@@ -200,6 +216,20 @@ bool ReadScheduler::TakeBlock(ScheduledStream* stream,
   stream->cv.wait(
       lock, [&slot] { return slot.state == StreamSlot::State::kFilled; });
   DCHECK_EQ(slot.block, block_index);
+  if (!slot.status.ok()) {
+    // The worker parked a read failure in this slot. Surface it on this
+    // (the consumer's) thread as EOF-shaped 0 bytes plus the file's
+    // sticky status; the stream is dead from here on.
+    const util::Status failed = slot.status;
+    slot.status = util::Status::Ok();
+    slot.state = StreamSlot::State::kEmpty;
+    stream->dying = true;
+    stream->consume_block += 1;
+    lock.unlock();
+    stream->file->MarkError(failed);
+    *bytes = 0;
+    return true;
+  }
   const std::size_t got = slot.bytes;
   // kFilled buffers belong to the consumer: copy unlocked (the payload
   // is a whole block; holding the scheduler mutex across it would
@@ -225,6 +255,15 @@ void ReadScheduler::SubmitWrite(ScheduledStream* stream,
   // belong to the producer, so the copy runs unlocked.
   stream->cv.wait(
       lock, [&slot] { return slot.state == StreamSlot::State::kEmpty; });
+  if (!stream->write_status.ok()) {
+    // The previous async write failed: the file is dead. Park the error
+    // on it (this is the producer thread) and drop the new block
+    // instead of hammering the device.
+    const util::Status failed = stream->write_status;
+    lock.unlock();
+    stream->file->MarkError(failed);
+    return;
+  }
   lock.unlock();
   std::memcpy(slot.data.data(), data, bytes);
   slot.block = block_index;
@@ -296,14 +335,29 @@ void ReadScheduler::WorkerLoop(Worker* worker) {
     // simulated device sleeping its latency here must not hold anything
     // a different device's worker needs.
     lock.unlock();
+    util::Status io_status;
     if (stream->writer) {
-      stream->file->RawWriteAt(slot.block, slot.data.data(), slot.bytes);
+      io_status =
+          stream->file->RawWriteAt(slot.block, slot.data.data(), slot.bytes);
     } else {
-      slot.bytes = stream->file->PreadBlock(slot.block, slot.data.data());
+      io_status =
+          stream->file->PreadBlock(slot.block, slot.data.data(), &slot.bytes);
     }
     lock.lock();
-    slot.state = stream->writer ? StreamSlot::State::kEmpty
-                                : StreamSlot::State::kFilled;
+    // A failed op never aborts the worker (it serves every stream on
+    // this device): park the Status where the stream's owner thread
+    // will find it — the slot for readers, the stream for writers —
+    // and stop issuing further read-ahead on a dead reader.
+    if (stream->writer) {
+      if (!io_status.ok() && stream->write_status.ok()) {
+        stream->write_status = io_status;
+      }
+      slot.state = StreamSlot::State::kEmpty;
+    } else {
+      slot.status = io_status;
+      if (!io_status.ok()) stream->dying = true;
+      slot.state = StreamSlot::State::kFilled;
+    }
     stream->cv.notify_all();
   }
 }

@@ -83,11 +83,23 @@ class RecordWriter {
     count_ += n;
   }
 
-  // Flushes the tail block and closes the file. Idempotent via destructor.
+  // Flushes the tail block and closes the file (draining any overlapped
+  // write), capturing the file's final status. Idempotent via destructor.
   void Finish() {
     if (file_ == nullptr) return;
     if (fill_ > 0) Flush();
+    const util::Status closed = file_->Close();
+    if (status_.ok()) status_ = closed;
     file_.reset();
+  }
+
+  // First write error this stream hit (sticky; also latched on the
+  // context by BlockFile). Callers that care check it after Finish();
+  // an errored writer silently drops further appends rather than
+  // crashing mid-pipeline.
+  util::Status status() const {
+    if (!status_.ok()) return status_;
+    return file_ != nullptr ? file_->status() : util::Status::Ok();
   }
 
   std::uint64_t count() const { return count_; }
@@ -108,6 +120,7 @@ class RecordWriter {
   std::uint64_t next_block_ = 0;
   std::uint64_t count_ = 0;
   bool overlap_output_ = false;
+  util::Status status_;
 };
 
 // Sequential reader.
@@ -119,8 +132,15 @@ class RecordReader {
   RecordReader(IoContext* context, const std::string& path)
       : file_(std::make_unique<BlockFile>(context, path, OpenMode::kRead)),
         buffer_(file_->block_size()) {
-    CHECK_EQ(file_->size_bytes() % sizeof(T), 0u)
-        << path << " is not a whole number of records";
+    if (file_->size_bytes() % sizeof(T) != 0) {
+      // A mid-record size means a torn final write (or the wrong file):
+      // surface kCorruption and read nothing rather than hand the
+      // algorithm a partial record. (An already-errored open reports
+      // its own status; its size is 0 and passes this check.)
+      status_ = util::Status::Corruption(
+          path + " is not a whole number of records");
+      return;
+    }
     // Sequential scans are exactly what the read-ahead thread hides
     // latency for; a no-op unless the IoContext enables prefetch.
     file_->StartSequentialPrefetch();
@@ -137,13 +157,14 @@ class RecordReader {
   // spans instead of one copy per record. Returns the number of records
   // read (< max_records only at end of stream).
   std::size_t NextBatch(T* out, std::size_t max_records) {
+    if (!status_.ok()) return 0;  // corrupt-size stream reads nothing
     char* dst = reinterpret_cast<char*>(out);
     std::size_t remaining = max_records * sizeof(T);
     while (remaining > 0) {
       if (pos_ == valid_) {
         valid_ = file_->ReadBlock(next_block_++, buffer_.data());
         pos_ = 0;
-        if (valid_ == 0) break;  // end of stream
+        if (valid_ == 0) break;  // end of stream, or a parked error
       }
       const std::size_t chunk = std::min(valid_ - pos_, remaining);
       std::memcpy(dst, buffer_.data() + pos_, chunk);
@@ -152,9 +173,21 @@ class RecordReader {
       remaining -= chunk;
     }
     const std::size_t bytes = max_records * sizeof(T) - remaining;
-    DCHECK_EQ(bytes % sizeof(T), 0u)
+    // A healthy stream can only end on a record boundary (the ctor
+    // checked the size); a stream cut short by an I/O error may stop
+    // mid-record — the floor drops the torn tail and status() tells
+    // the caller the stream is not to be trusted.
+    DCHECK(bytes % sizeof(T) == 0 || !status().ok())
         << "file ends mid-record despite the size check";
     return bytes / sizeof(T);
+  }
+
+  // First error on this stream: a mid-record file size (kCorruption), or
+  // the underlying file's sticky status (open failure, exhausted
+  // retries, checksum mismatch). An errored stream reports end-of-stream
+  // from NextBatch; callers distinguish true EOF by checking here.
+  util::Status status() const {
+    return !status_.ok() ? status_ : file_->status();
   }
 
   std::uint64_t num_records() const { return file_->size_bytes() / sizeof(T); }
@@ -165,6 +198,7 @@ class RecordReader {
   std::size_t pos_ = 0;
   std::size_t valid_ = 0;
   std::uint64_t next_block_ = 0;
+  util::Status status_;
 };
 
 // Record lookahead over one raw block buffer — the merge joins in
@@ -184,8 +218,13 @@ class PeekableReader {
   PeekableReader(IoContext* context, const std::string& path)
       : file_(std::make_unique<BlockFile>(context, path, OpenMode::kRead)),
         raw_(file_->block_size()) {
-    CHECK_EQ(file_->size_bytes() % sizeof(T), 0u)
-        << path << " is not a whole number of records";
+    if (file_->size_bytes() % sizeof(T) != 0) {
+      // Same contract as RecordReader: a torn file yields kCorruption
+      // and an empty stream, never a partial record.
+      status_ = util::Status::Corruption(
+          path + " is not a whole number of records");
+      return;
+    }
     // Sequential scans are exactly what the read-ahead thread hides
     // latency for; a no-op unless the IoContext enables prefetch.
     file_->StartSequentialPrefetch();
@@ -224,6 +263,12 @@ class PeekableReader {
 
   std::uint64_t num_records() const { return file_->size_bytes() / sizeof(T); }
 
+  // Mirrors RecordReader::status(): an errored stream looks exhausted
+  // (has_value() false); this distinguishes exhaustion from failure.
+  util::Status status() const {
+    return !status_.ok() ? status_ : file_->status();
+  }
+
  private:
   void AdvanceInternal() {
     // Hot path: the next record lies fully inside the current block.
@@ -245,7 +290,7 @@ class PeekableReader {
         valid_ = file_->ReadBlock(next_block_++, raw_.data());
         pos_ = 0;
         if (valid_ == 0) {
-          DCHECK_EQ(remaining, sizeof(T))
+          DCHECK(remaining == sizeof(T) || !status().ok())
               << "file ends mid-record despite the size check";
           return false;
         }
@@ -265,6 +310,7 @@ class PeekableReader {
   std::uint64_t next_block_ = 0;
   T cur_{};
   bool has_value_ = false;
+  util::Status status_;
 };
 
 // Random-access reader used only by the DFS baseline (and by nothing in
@@ -351,8 +397,8 @@ std::vector<T> ReadAllRecords(IoContext* context, const std::string& path) {
   RecordReader<T> reader(context, path);
   std::vector<T> out(reader.num_records());
   const std::size_t got = reader.NextBatch(out.data(), out.size());
-  DCHECK_EQ(got, out.size());
-  (void)got;
+  DCHECK(got == out.size() || !reader.status().ok());
+  out.resize(got);  // an errored stream yields only what it delivered
   return out;
 }
 

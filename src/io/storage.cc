@@ -33,29 +33,48 @@ class PosixFile : public StorageFile {
     if (fd_ >= 0) ::close(fd_);
   }
 
-  void ReadAt(std::uint64_t offset, void* buf, std::size_t bytes) override {
+  util::Status ReadAt(std::uint64_t offset, void* buf,
+                      std::size_t bytes) override {
     std::size_t done = 0;
     while (done < bytes) {
       const ssize_t n = ::pread(fd_, static_cast<char*>(buf) + done,
                                 bytes - done,
                                 static_cast<off_t>(offset + done));
-      CHECK_GT(n, 0) << "pread(" << path_ << ") failed: "
-                     << std::strerror(errno);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return util::Status::IoError(
+            "pread(" + path_ + ") failed: " + std::strerror(errno), errno);
+      }
+      if (n == 0) {
+        // Caller asked for bytes the size check promised exist: the
+        // file was truncated underneath us. No errno — not retryable.
+        return util::Status::IoError("pread(" + path_ +
+                                     ") hit unexpected EOF (truncated file)");
+      }
       done += static_cast<std::size_t>(n);
     }
+    return util::Status::Ok();
   }
 
-  void WriteAt(std::uint64_t offset, const void* data,
-               std::size_t bytes) override {
+  util::Status WriteAt(std::uint64_t offset, const void* data,
+                       std::size_t bytes) override {
     std::size_t done = 0;
     while (done < bytes) {
       const ssize_t n = ::pwrite(fd_, static_cast<const char*>(data) + done,
                                  bytes - done,
                                  static_cast<off_t>(offset + done));
-      CHECK_GT(n, 0) << "pwrite(" << path_ << ") failed: "
-                     << std::strerror(errno);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return util::Status::IoError(
+            "pwrite(" + path_ + ") failed: " + std::strerror(errno), errno);
+      }
+      if (n == 0) {
+        return util::Status::IoError(
+            "pwrite(" + path_ + ") made no progress", ENOSPC);
+      }
       done += static_cast<std::size_t>(n);
     }
+    return util::Status::Ok();
   }
 
   std::uint64_t size_bytes() const override { return size_bytes_; }
@@ -77,8 +96,8 @@ std::string ResolveParent(const std::string& parent_dir) {
 PosixDevice::PosixDevice(std::string name, std::string parent_dir)
     : StorageDevice(std::move(name)), parent_dir_(std::move(parent_dir)) {}
 
-std::unique_ptr<StorageFile> PosixDevice::Open(const std::string& path,
-                                               OpenMode mode) {
+util::Status PosixDevice::Open(const std::string& path, OpenMode mode,
+                               std::unique_ptr<StorageFile>* out) {
   int flags = 0;
   switch (mode) {
     case OpenMode::kRead:
@@ -92,16 +111,30 @@ std::unique_ptr<StorageFile> PosixDevice::Open(const std::string& path,
       break;
   }
   const int fd = ::open(path.c_str(), flags, 0644);
-  CHECK_GE(fd, 0) << "open(" << path << ") failed: " << std::strerror(errno);
+  if (fd < 0) {
+    return util::Status::IoError(
+        "open(" + path + ") failed: " + std::strerror(errno), errno);
+  }
   const off_t end = ::lseek(fd, 0, SEEK_END);
-  CHECK_GE(end, 0) << "lseek(" << path << ") failed";
-  return std::make_unique<PosixFile>(fd, path,
+  if (end < 0) {
+    const int saved = errno;
+    ::close(fd);
+    return util::Status::IoError(
+        "lseek(" + path + ") failed: " + std::strerror(saved), saved);
+  }
+  *out = std::make_unique<PosixFile>(fd, path,
                                      static_cast<std::uint64_t>(end));
+  return util::Status::Ok();
 }
 
-void PosixDevice::Delete(const std::string& path) {
+util::Status PosixDevice::Delete(const std::string& path) {
   std::error_code ec;
   fs::remove(path, ec);
+  if (ec) {
+    return util::Status::IoError("remove(" + path +
+                                 ") failed: " + ec.message());
+  }
+  return util::Status::Ok();
 }
 
 std::string PosixDevice::CreateSessionRoot() {
@@ -166,22 +199,32 @@ class MemFile : public StorageFile {
     size_at_open_ = bytes_->size();
   }
 
-  void ReadAt(std::uint64_t offset, void* buf, std::size_t bytes) override {
+  util::Status ReadAt(std::uint64_t offset, void* buf,
+                      std::size_t bytes) override {
     std::lock_guard<std::mutex> lock(*mu_);
-    CHECK_LE(offset + bytes, bytes_->size())
-        << "read past end of mem file " << path_;
+    if (offset + bytes > bytes_->size()) {
+      // Behavioral parity with posix's unexpected-EOF read: the file
+      // shrank underneath the size check. No errno — not retryable.
+      return util::Status::IoError("read past end of mem file " + path_ +
+                                   " (truncated file)");
+    }
     std::memcpy(buf, bytes_->data() + offset, bytes);
+    return util::Status::Ok();
   }
 
-  void WriteAt(std::uint64_t offset, const void* data,
-               std::size_t bytes) override {
+  util::Status WriteAt(std::uint64_t offset, const void* data,
+                       std::size_t bytes) override {
     // Behavioral parity with posix: pwrite on an O_RDONLY fd fails, so
-    // a write through a kRead handle must crash on mem scratch too —
+    // a write through a kRead handle must fail on mem scratch too —
     // otherwise a bug would only surface on the real filesystem.
-    CHECK(writable_) << "write to read-only mem file " << path_;
+    if (!writable_) {
+      return util::Status::IoError(
+          "write to read-only mem file " + path_, EBADF);
+    }
     std::lock_guard<std::mutex> lock(*mu_);
     if (offset + bytes > bytes_->size()) bytes_->resize(offset + bytes);
     std::memcpy(bytes_->data() + offset, data, bytes);
+    return util::Status::Ok();
   }
 
   std::uint64_t size_bytes() const override { return size_at_open_; }
@@ -199,14 +242,17 @@ class MemFile : public StorageFile {
 
 MemDevice::MemDevice(std::string name) : StorageDevice(std::move(name)) {}
 
-std::unique_ptr<StorageFile> MemDevice::Open(const std::string& path,
-                                             OpenMode mode) {
+util::Status MemDevice::Open(const std::string& path, OpenMode mode,
+                             std::unique_ptr<StorageFile>* out) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   if (mode == OpenMode::kRead) {
-    CHECK(it != files_.end())
-        << "open(" << path << ") failed: no such mem file on device "
-        << name();
+    if (it == files_.end()) {
+      return util::Status::IoError("open(" + path +
+                                       ") failed: no such mem file on "
+                                       "device " + name(),
+                                   ENOENT);
+    }
   } else {
     if (it == files_.end()) {
       it = files_.emplace(path, std::make_shared<FileData>()).first;
@@ -216,13 +262,15 @@ std::unique_ptr<StorageFile> MemDevice::Open(const std::string& path,
     }
   }
   const std::shared_ptr<FileData>& data = it->second;
-  return std::make_unique<MemFile>(data, &data->mu, &data->bytes, path,
+  *out = std::make_unique<MemFile>(data, &data->mu, &data->bytes, path,
                                    mode != OpenMode::kRead);
+  return util::Status::Ok();
 }
 
-void MemDevice::Delete(const std::string& path) {
+util::Status MemDevice::Delete(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   files_.erase(path);
+  return util::Status::Ok();
 }
 
 std::string MemDevice::CreateSessionRoot() {
@@ -251,15 +299,16 @@ class ThrottledFile : public StorageFile {
   ThrottledFile(std::unique_ptr<StorageFile> inner, ThrottledDevice* device)
       : inner_(std::move(inner)), device_(device) {}
 
-  void ReadAt(std::uint64_t offset, void* buf, std::size_t bytes) override {
+  util::Status ReadAt(std::uint64_t offset, void* buf,
+                      std::size_t bytes) override {
     device_->ChargeOp(bytes);
-    inner_->ReadAt(offset, buf, bytes);
+    return inner_->ReadAt(offset, buf, bytes);
   }
 
-  void WriteAt(std::uint64_t offset, const void* data,
-               std::size_t bytes) override {
+  util::Status WriteAt(std::uint64_t offset, const void* data,
+                       std::size_t bytes) override {
     device_->ChargeOp(bytes);
-    inner_->WriteAt(offset, data, bytes);
+    return inner_->WriteAt(offset, data, bytes);
   }
 
   std::uint64_t size_bytes() const override { return inner_->size_bytes(); }
@@ -283,13 +332,18 @@ ThrottledDevice::ThrottledDevice(std::string name,
                        : 1e9 / (static_cast<double>(mb_per_sec) * 1024.0 *
                                 1024.0)) {}
 
-std::unique_ptr<StorageFile> ThrottledDevice::Open(const std::string& path,
-                                                   OpenMode mode) {
-  return std::make_unique<ThrottledFile>(inner_->Open(path, mode), this);
+util::Status ThrottledDevice::Open(const std::string& path, OpenMode mode,
+                                   std::unique_ptr<StorageFile>* out) {
+  std::unique_ptr<StorageFile> inner_file;
+  RETURN_IF_ERROR(inner_->Open(path, mode, &inner_file));
+  *out = std::make_unique<ThrottledFile>(std::move(inner_file), this);
+  return util::Status::Ok();
 }
 
-void ThrottledDevice::Delete(const std::string& path) {
-  inner_->Delete(path);
+util::Status ThrottledDevice::Delete(const std::string& path) {
+  // Report the inner device's verdict — swallowing it here would hide a
+  // stuck scratch file behind a simulated spindle.
+  return inner_->Delete(path);
 }
 
 std::string ThrottledDevice::CreateSessionRoot() {
@@ -336,6 +390,110 @@ void ThrottledDevice::ChargeOp(std::size_t bytes) {
 
 // ---- configuration helpers -------------------------------------------
 
+namespace {
+
+// Strict bounded integer parse: strtoull silently negates a leading
+// '-' (a typo'd "-1" latency would become a multi-century ChargeOp
+// sleep) and saturates on ERANGE, and an in-range huge latency
+// would overflow the *1000 ns conversion back to a tiny value — so
+// reject signs, range errors, and anything above `max`.
+bool ParseBoundedU64(const std::string& field, std::uint64_t max,
+                     std::uint64_t* out) {
+  if (field.empty() || field[0] < '0' || field[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(field.c_str(), &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  if (value > max) return false;
+  *out = value;
+  return true;
+}
+
+// Strict probability parse for the fault rates: a plain non-negative
+// double in [0, 1] ("1e-3", "0.25"). Rejects signs other than the
+// exponent's, trailing junk, inf/nan.
+bool ParseRate(const std::string& field, double* out) {
+  if (field.empty() || field[0] == '-' || field[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (errno == ERANGE || end == nullptr || *end != '\0') return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;
+  *out = value;
+  return true;
+}
+
+std::string ParseFaultySpec(const std::string& text, FaultSpec* out) {
+  FaultSpec fault;
+  const std::string rest = text.substr(6);
+  if (!rest.empty()) {
+    if (rest[0] != ':') {
+      return "unknown --device-model \"" + text +
+             "\" (want faulty[:key=value,...])";
+    }
+    std::size_t start = 1;
+    while (start <= rest.size()) {
+      const std::size_t pos = rest.find(',', start);
+      const std::string item =
+          rest.substr(start, pos == std::string::npos ? pos : pos - start);
+      start = pos == std::string::npos ? rest.size() + 1 : pos + 1;
+      const std::size_t eq = item.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return "bad --device-model faulty item \"" + item +
+               "\" (want key=value)";
+      }
+      const std::string key = item.substr(0, eq);
+      const std::string value = item.substr(eq + 1);
+      bool ok = true;
+      if (key == "seed") {
+        ok = ParseBoundedU64(value, ~0ull, &fault.seed);
+      } else if (key == "rate") {
+        ok = ParseRate(value, &fault.read_fault_rate);
+        fault.write_fault_rate = fault.read_fault_rate;
+      } else if (key == "read_rate") {
+        ok = ParseRate(value, &fault.read_fault_rate);
+      } else if (key == "write_rate") {
+        ok = ParseRate(value, &fault.write_fault_rate);
+      } else if (key == "short") {
+        ok = ParseRate(value, &fault.short_rate);
+      } else if (key == "corrupt") {
+        ok = ParseRate(value, &fault.corrupt_rate);
+      } else if (key == "wfail_after") {
+        ok = ParseBoundedU64(value, ~0ull, &fault.fail_writes_after);
+      } else if (key == "rfail_after") {
+        ok = ParseBoundedU64(value, ~0ull, &fault.fail_reads_after);
+      } else if (key == "tag") {
+        fault.path_tag = value;
+      } else if (key == "device") {
+        std::uint64_t index = 0;
+        ok = ParseBoundedU64(value, 4096, &index);
+        fault.device_index = static_cast<int>(index);
+      } else if (key == "inner") {
+        if (value == "posix") {
+          fault.inner = DeviceModel::kPosix;
+        } else if (value == "mem") {
+          fault.inner = DeviceModel::kMem;
+        } else {
+          ok = false;
+        }
+      } else {
+        return "unknown --device-model faulty key \"" + key +
+               "\" (supported: seed, rate, read_rate, write_rate, short, "
+               "corrupt, wfail_after, rfail_after, tag, device, inner)";
+      }
+      if (!ok) {
+        return "bad --device-model faulty value \"" + item +
+               "\" (rates in [0,1]; counts are non-negative integers; "
+               "inner is posix|mem)";
+      }
+    }
+  }
+  *out = fault;
+  return {};
+}
+
+}  // namespace
+
 std::string ParseDeviceModelSpec(const std::string& text,
                                  DeviceModelSpec* out) {
   DeviceModelSpec spec;
@@ -354,7 +512,7 @@ std::string ParseDeviceModelSpec(const std::string& text,
       if (rest[0] != ':') {
         return "unknown --device-model \"" + text +
                "\" (supported: posix, mem, "
-               "throttled[:latency_us[:mb_per_s]])";
+               "throttled[:latency_us[:mb_per_s]], faulty[:key=value,...])";
       }
       std::size_t start = 1;
       while (true) {
@@ -368,44 +526,48 @@ std::string ParseDeviceModelSpec(const std::string& text,
       return "bad --device-model \"" + text +
              "\" (want throttled[:latency_us[:mb_per_s]])";
     }
-    // Strict bounded integer parse: strtoull silently negates a leading
-    // '-' (a typo'd "-1" latency would become a multi-century ChargeOp
-    // sleep) and saturates on ERANGE, and an in-range huge latency
-    // would overflow the *1000 ns conversion back to a tiny value — so
-    // reject signs, range errors, and anything above `max`.
-    const auto parse_field = [](const std::string& field, std::uint64_t max,
-                                std::uint64_t* out) -> bool {
-      if (field.empty() || field[0] < '0' || field[0] > '9') return false;
-      errno = 0;
-      char* end = nullptr;
-      const std::uint64_t value = std::strtoull(field.c_str(), &end, 10);
-      if (errno == ERANGE || end == nullptr || *end != '\0') return false;
-      if (value > max) return false;
-      *out = value;
-      return true;
-    };
     // One hour per block op / 1 PB/s: far beyond any sane simulation,
     // far below the uint64 wrap in the ns conversions.
     constexpr std::uint64_t kMaxLatencyUs = 3'600'000'000ull;
     constexpr std::uint64_t kMaxMbPerSec = 1'000'000'000ull;
     if (fields.size() >= 1 &&
-        !parse_field(fields[0], kMaxLatencyUs, &spec.throttle_latency_us)) {
+        !ParseBoundedU64(fields[0], kMaxLatencyUs,
+                         &spec.throttle_latency_us)) {
       return "bad --device-model latency \"" + fields[0] +
              "\" (want throttled[:latency_us[:mb_per_s]], latency_us <= " +
              std::to_string(kMaxLatencyUs) + ")";
     }
     if (fields.size() == 2 &&
-        !parse_field(fields[1], kMaxMbPerSec, &spec.throttle_mb_per_sec)) {
+        !ParseBoundedU64(fields[1], kMaxMbPerSec,
+                         &spec.throttle_mb_per_sec)) {
       return "bad --device-model bandwidth \"" + fields[1] +
              "\" (want throttled[:latency_us[:mb_per_s]], mb_per_s <= " +
              std::to_string(kMaxMbPerSec) + ")";
     }
+  } else if (text.compare(0, 6, "faulty") == 0) {
+    spec.model = DeviceModel::kFaulty;
+    const std::string error = ParseFaultySpec(text, &spec.fault);
+    if (!error.empty()) return error;
   } else {
     return "unknown --device-model \"" + text +
-           "\" (supported: posix, mem, throttled[:latency_us[:mb_per_s]])";
+           "\" (supported: posix, mem, throttled[:latency_us[:mb_per_s]], "
+           "faulty[:key=value,...])";
   }
   *out = spec;
   return {};
+}
+
+bool IsRetryableIoError(const util::Status& status) {
+  if (status.code() != util::StatusCode::kIoError) return false;
+  switch (status.sys_errno()) {
+    case EIO:
+    case EINTR:
+    case EAGAIN:
+    case ETIMEDOUT:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string ParsePlacementSpec(const std::string& text,
@@ -440,13 +602,21 @@ std::string ValidateScratchParents(const std::vector<std::string>& parents) {
 std::string ValidateScratchConfig(const DeviceModelSpec& model,
                                   const std::vector<std::string>& parents) {
   if (model.model == DeviceModel::kMem) return {};
+  // Fault injection over RAM backing is likewise directory-free: the
+  // entries only set the device count.
+  if (model.model == DeviceModel::kFaulty &&
+      model.fault.inner == DeviceModel::kMem) {
+    return {};
+  }
   return ValidateScratchParents(parents);
 }
 
 void MaybeWarnSpreadBelowFanIn(TempFileManager& temp_files,
                                std::size_t group_size) {
   if (temp_files.placement() != PlacementPolicy::kSpreadGroup) return;
-  const std::size_t num_devices = temp_files.devices().size();
+  // Quarantined devices no longer receive placements, so they cannot
+  // contribute to spreading a merge group.
+  const std::size_t num_devices = temp_files.num_available_devices();
   if (group_size <= 1 || num_devices >= group_size) return;
   if (!temp_files.ClaimSpreadWarning()) return;
   std::fprintf(

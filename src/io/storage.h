@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "io/io_stats.h"
+#include "util/status.h"
 
 namespace extscc::io {
 
@@ -39,15 +40,18 @@ enum class OpenMode { kRead, kTruncateWrite, kReadWrite };
 
 // An open file on some device. Offsets are byte offsets; BlockFile is
 // the only caller and never reads past the size it tracks, so ReadAt
-// transfers exactly `bytes` bytes (short transfers CHECK-fail).
-// Implementations must be safe for concurrent ReadAt calls from the
-// prefetch thread alongside the consumer.
+// transfers exactly `bytes` bytes or returns a non-OK Status (a short
+// transfer is an errno-carrying IoError, never a crash — the retry and
+// failover machinery above decides what survives). Implementations must
+// be safe for concurrent ReadAt calls from the prefetch thread
+// alongside the consumer.
 class StorageFile {
  public:
   virtual ~StorageFile() = default;
-  virtual void ReadAt(std::uint64_t offset, void* buf, std::size_t bytes) = 0;
-  virtual void WriteAt(std::uint64_t offset, const void* data,
-                       std::size_t bytes) = 0;
+  virtual util::Status ReadAt(std::uint64_t offset, void* buf,
+                              std::size_t bytes) = 0;
+  virtual util::Status WriteAt(std::uint64_t offset, const void* data,
+                               std::size_t bytes) = 0;
   // Size of the file at Open time; growth afterwards is tracked by the
   // owning BlockFile.
   virtual std::uint64_t size_bytes() const = 0;
@@ -69,14 +73,16 @@ class StorageDevice {
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
 
-  // Opens `path` on this device. CHECK-fails on errors (scratch
-  // discipline: the library opens only files it created, or files whose
-  // existence the caller validated).
-  virtual std::unique_ptr<StorageFile> Open(const std::string& path,
-                                            OpenMode mode) = 0;
+  // Opens `path` on this device into *out, or returns an errno-carrying
+  // IoError (NotFound-shaped opens are IoError with sys_errno ENOENT so
+  // the caller can tell a vanished scratch file from a dead device).
+  // *out is untouched on error.
+  virtual util::Status Open(const std::string& path, OpenMode mode,
+                            std::unique_ptr<StorageFile>* out) = 0;
 
-  // Deletes the file if it exists (missing files are not an error).
-  virtual void Delete(const std::string& path) = 0;
+  // Deletes the file if it exists (missing files are not an error;
+  // failing to delete an existing file is).
+  virtual util::Status Delete(const std::string& path) = 0;
 
   // Creates and returns a fresh session namespace (a directory on disk
   // devices, a key prefix on MemDevice) for scratch files.
@@ -98,9 +104,9 @@ class PosixDevice : public StorageDevice {
  public:
   explicit PosixDevice(std::string name, std::string parent_dir = "");
 
-  std::unique_ptr<StorageFile> Open(const std::string& path,
-                                    OpenMode mode) override;
-  void Delete(const std::string& path) override;
+  util::Status Open(const std::string& path, OpenMode mode,
+                    std::unique_ptr<StorageFile>* out) override;
+  util::Status Delete(const std::string& path) override;
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 
@@ -116,9 +122,9 @@ class MemDevice : public StorageDevice {
  public:
   explicit MemDevice(std::string name);
 
-  std::unique_ptr<StorageFile> Open(const std::string& path,
-                                    OpenMode mode) override;
-  void Delete(const std::string& path) override;
+  util::Status Open(const std::string& path, OpenMode mode,
+                    std::unique_ptr<StorageFile>* out) override;
+  util::Status Delete(const std::string& path) override;
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 
@@ -152,9 +158,9 @@ class ThrottledDevice : public StorageDevice {
   ThrottledDevice(std::string name, std::unique_ptr<StorageDevice> inner,
                   std::uint64_t latency_us, std::uint64_t mb_per_sec);
 
-  std::unique_ptr<StorageFile> Open(const std::string& path,
-                                    OpenMode mode) override;
-  void Delete(const std::string& path) override;
+  util::Status Open(const std::string& path, OpenMode mode,
+                    std::unique_ptr<StorageFile>* out) override;
+  util::Status Delete(const std::string& path) override;
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 
@@ -220,20 +226,59 @@ struct Placement {
 
 // ---- device-model configuration -------------------------------------
 
-enum class DeviceModel { kPosix, kMem, kThrottled };
+enum class DeviceModel { kPosix, kMem, kThrottled, kFaulty };
+
+// Seeded, deterministic fault schedule for FaultInjectingDevice
+// (fault_injection.h). Every decision derives from (seed, device op
+// ordinal) alone, so a given configuration injects the same faults at
+// the same ops on every run — the property the chaos tests key on.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double read_fault_rate = 0.0;   // transient EIO per read op
+  double write_fault_rate = 0.0;  // transient EIO per write op
+  double short_rate = 0.0;        // torn transfer, then transient EIO
+  double corrupt_rate = 0.0;      // silent bit flip in a read payload
+  // > 0: from device op ordinal N on, writes fail persistently with
+  // ENOSPC (the disk filled up) / reads with EIO (the disk died).
+  std::uint64_t fail_writes_after = 0;
+  std::uint64_t fail_reads_after = 0;
+  // Only paths containing this substring fault ("" = all). Scratch
+  // files are named "<seq>_<tag>", so a placement tag like "sortrun"
+  // targets exactly the spill path.
+  std::string path_tag;
+  // >= 0: only scratch device with this index faults (its wrapper gets
+  // the schedule; siblings are built clean) — the single-bad-disk
+  // failover scenario.
+  int device_index = -1;
+  // What backs the wrapper: kPosix (default) or kMem.
+  DeviceModel inner = DeviceModel::kPosix;
+};
 
 struct DeviceModelSpec {
   DeviceModel model = DeviceModel::kPosix;
   // ThrottledDevice parameters (kThrottled only).
   std::uint64_t throttle_latency_us = 100;
   std::uint64_t throttle_mb_per_sec = 1024;
+  // FaultInjectingDevice parameters (kFaulty only).
+  FaultSpec fault;
 };
 
-// Parses "posix" | "mem" | "throttled[:latency_us[:mb_per_s]]" into
-// *out. Returns "" on success, else an error message naming the bad
-// spec. Used by the --device-model flags and the test-env override.
+// Parses "posix" | "mem" | "throttled[:latency_us[:mb_per_s]]" |
+// "faulty[:key=value[,key=value...]]" into *out. Returns "" on
+// success, else an error message naming the bad spec. Used by the
+// --device-model flags and the test-env override. Faulty keys: seed=N,
+// rate=R (read and write transient rate), read_rate=R, write_rate=R,
+// short=R, corrupt=R, wfail_after=N, rfail_after=N, tag=S, device=N,
+// inner=posix|mem.
 std::string ParseDeviceModelSpec(const std::string& text,
                                  DeviceModelSpec* out);
+
+// True when `status` is a transient I/O failure worth retrying at the
+// BlockFile layer: an errno-carrying IoError whose errno is EIO, EINTR,
+// EAGAIN or ETIMEDOUT. ENOSPC, open failures surfaced as ENOENT,
+// truncated transfers (no errno) and kCorruption are persistent — they
+// propagate (and may quarantine the device) instead of burning retries.
+bool IsRetryableIoError(const util::Status& status);
 
 // Parses "rr" | "spread" into *out. Returns "" on success, else an
 // error message. Shared by the --placement flags of the benches and

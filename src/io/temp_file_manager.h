@@ -83,8 +83,23 @@ class TempFileManager {
   }
 
   // Deletes the file if it exists (ignores missing files), on whichever
-  // device owns it.
+  // device owns it. A device that fails to delete an existing file is
+  // warned about but not fatal: scratch cleanup must never mask the
+  // error that triggered it.
   void Remove(const std::string& path);
+
+  // Marks a device as failed: NewFile stops placing scratch files on it
+  // (existing files stay readable — a write-dead disk can still serve
+  // its surviving runs during failover). Quarantining every device is
+  // legal; placement then falls back to the full set, and the next I/O
+  // error propagates instead of failing placement itself.
+  void Quarantine(StorageDevice* device);
+  bool IsQuarantined(StorageDevice* device) const;
+
+  // Devices currently accepting new placements (total minus
+  // quarantined, or total when everything is quarantined — see
+  // Quarantine).
+  std::size_t num_available_devices() const;
 
   // The device whose session root contains `path`, or nullptr when the
   // path is not scratch (a user-supplied file).
@@ -106,17 +121,36 @@ class TempFileManager {
   struct Root {
     std::unique_ptr<StorageDevice> device;
     std::string root;
+    // Guarded by mu_ for writes; placement reads it under mu_ too.
+    bool quarantined = false;
+    // Slot in the process-global live-root registry (signal cleanup),
+    // or -1 for roots that are not real filesystem directories.
+    int live_slot = -1;
   };
 
-  // Immutable after construction (DeviceForPath reads it lock-free).
+  // Indices of roots accepting placements: all non-quarantined roots,
+  // or every root when all are quarantined. Caller holds mu_.
+  std::vector<std::size_t> AvailableRootsLocked() const;
+
+  // Immutable after construction except the quarantined flags
+  // (DeviceForPath reads paths/devices lock-free).
   std::vector<Root> roots_;
   PlacementPolicy placement_ = PlacementPolicy::kRoundRobin;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::uint64_t next_id_ = 0;
   std::atomic<std::uint64_t> next_group_{0};
   std::atomic<bool> spread_warned_{false};
   bool keep_files_ = false;
 };
+
+// Installs SIGINT/SIGTERM handlers that best-effort remove every live
+// on-disk scratch session root (registered by TempFileManager
+// construction, released on destruction), then terminate with the
+// conventional 128+signo exit status. For interactive tools
+// (extscc_tool): a ^C mid-solve should not leak gigabytes of scratch.
+// Roots on non-filesystem devices (mem://) die with the process and are
+// never registered. Idempotent; call once from main().
+void InstallScratchSignalCleanup();
 
 }  // namespace extscc::io
 

@@ -42,6 +42,15 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  // errno-carrying variant for device-boundary failures: the code stays
+  // kIoError, but sys_errno() lets the retry policy distinguish
+  // transient faults (EIO, EINTR, EAGAIN) from persistent ones (ENOSPC)
+  // without parsing the message.
+  static Status IoError(std::string msg, int sys_errno) {
+    Status s(StatusCode::kIoError, std::move(msg));
+    s.sys_errno_ = sys_errno;
+    return s;
+  }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
@@ -58,6 +67,9 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+  // The OS errno behind a kIoError, or 0 when none was captured (other
+  // codes, truncated transfers, checksum mismatches).
+  int sys_errno() const { return sys_errno_; }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -65,6 +77,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  int sys_errno_ = 0;
 };
 
 // Result<T> is a Status or a value. Access to the value CHECKs ok().

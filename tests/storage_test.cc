@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
 #include <filesystem>
 #include <memory>
@@ -42,6 +43,16 @@ std::vector<std::uint64_t> RandomValues(std::size_t n, std::uint64_t seed) {
   std::vector<std::uint64_t> out(n);
   for (auto& v : out) v = rng.Next();
   return out;
+}
+
+// Status-checked open for tests exercising devices directly.
+std::unique_ptr<io::StorageFile> OpenOrDie(io::StorageDevice* device,
+                                           const std::string& path,
+                                           io::OpenMode mode) {
+  std::unique_ptr<io::StorageFile> file;
+  const util::Status status = device->Open(path, mode, &file);
+  CHECK(status.ok()) << status.ToString();
+  return file;
 }
 
 std::unique_ptr<io::IoContext> MakeContext(io::DeviceModel model,
@@ -84,16 +95,29 @@ TEST(StorageDeviceTest, MemDeviceRoundTrip) {
   EXPECT_GT(ctx->stats().total_ios(), 0u);
 }
 
-TEST(StorageDeviceDeathTest, MemWriteThroughReadHandleCrashesLikePosix) {
+TEST(StorageDeviceTest, MemWriteThroughReadHandleFailsLikePosix) {
   // pwrite on an O_RDONLY fd fails on posix; the mem device must keep
-  // that contract so mode bugs surface on RAM-backed suites too.
+  // that contract so mode bugs surface on RAM-backed suites too. Under
+  // the typed-error contract the failure is an errno-carrying IoError
+  // parked on the file's sticky status and latched on the context —
+  // never a crash.
   auto ctx = MakeContext(io::DeviceModel::kMem, 1,
                          io::PlacementPolicy::kRoundRobin);
   const std::string path = ctx->NewTempPath("ro");
   io::WriteAllRecords(ctx.get(), path, std::vector<std::uint64_t>{1, 2});
   io::BlockFile file(ctx.get(), path, io::OpenMode::kRead);
   const std::uint64_t payload = 9;
-  EXPECT_DEATH(file.WriteBlock(0, &payload, sizeof(payload)), "read-only");
+  file.WriteBlock(0, &payload, sizeof(payload));
+  ASSERT_FALSE(file.status().ok());
+  EXPECT_EQ(file.status().code(), util::StatusCode::kIoError);
+  EXPECT_EQ(file.status().sys_errno(), EBADF);
+  EXPECT_NE(file.status().message().find("read-only"), std::string::npos);
+  EXPECT_TRUE(ctx->has_io_error());
+  EXPECT_EQ(ctx->io_error().code(), util::StatusCode::kIoError);
+  // The file's contents are untouched: the write was refused, not torn.
+  EXPECT_EQ(io::ReadAllRecords<std::uint64_t>(ctx.get(), path),
+            (std::vector<std::uint64_t>{1, 2}));
+  ctx->reset_io_error();
 }
 
 TEST(StorageDeviceTest, ThrottledDeviceRoundTrip) {
@@ -343,6 +367,40 @@ TEST(StorageConfigTest, ParseDeviceModelSpec) {
   EXPECT_NE(io::ParseDeviceModelSpec("throttled:100:", &spec), "");
   EXPECT_NE(io::ParseDeviceModelSpec("throttled::", &spec), "");
 
+  EXPECT_EQ(io::ParseDeviceModelSpec("faulty", &spec), "");
+  EXPECT_EQ(spec.model, io::DeviceModel::kFaulty);
+  EXPECT_EQ(spec.fault.read_fault_rate, 0.0);
+  EXPECT_EQ(io::ParseDeviceModelSpec(
+                "faulty:seed=9,rate=0.001,short=0.0005,corrupt=0.25,"
+                "wfail_after=100,rfail_after=200,tag=sortrun,device=1,"
+                "inner=mem",
+                &spec),
+            "");
+  EXPECT_EQ(spec.fault.seed, 9u);
+  EXPECT_EQ(spec.fault.read_fault_rate, 0.001);
+  EXPECT_EQ(spec.fault.write_fault_rate, 0.001);
+  EXPECT_EQ(spec.fault.short_rate, 0.0005);
+  EXPECT_EQ(spec.fault.corrupt_rate, 0.25);
+  EXPECT_EQ(spec.fault.fail_writes_after, 100u);
+  EXPECT_EQ(spec.fault.fail_reads_after, 200u);
+  EXPECT_EQ(spec.fault.path_tag, "sortrun");
+  EXPECT_EQ(spec.fault.device_index, 1);
+  EXPECT_EQ(spec.fault.inner, io::DeviceModel::kMem);
+  // rate= sets both directions; the directional keys override one.
+  EXPECT_EQ(
+      io::ParseDeviceModelSpec("faulty:rate=0.5,write_rate=0.125", &spec),
+      "");
+  EXPECT_EQ(spec.fault.read_fault_rate, 0.5);
+  EXPECT_EQ(spec.fault.write_fault_rate, 0.125);
+  EXPECT_NE(io::ParseDeviceModelSpec("faulty:bogus=1", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("faulty:rate=1.5", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("faulty:rate=-0.1", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("faulty:rate=nan", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("faulty:seed=", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("faulty:seed=-3", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("faulty:inner=floppy", &spec), "");
+  EXPECT_NE(io::ParseDeviceModelSpec("faulty:", &spec), "");
+
   io::PlacementPolicy policy = io::PlacementPolicy::kRoundRobin;
   EXPECT_EQ(io::ParsePlacementSpec("spread", &policy), "");
   EXPECT_EQ(policy, io::PlacementPolicy::kSpreadGroup);
@@ -387,14 +445,17 @@ TEST(ThrottledDeviceTest, DistinctDevicesThrottleIndependently) {
         /*mb_per_sec=*/0);
   };
   const auto hammer = [&](io::StorageDevice* device, const std::string& path) {
-    auto file = device->Open(path, io::OpenMode::kRead);
+    auto file = OpenOrDie(device, path, io::OpenMode::kRead);
     std::vector<char> buf(512);
-    for (int i = 0; i < kOpsPerThread; ++i) file->ReadAt(0, buf.data(), 512);
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      ASSERT_TRUE(file->ReadAt(0, buf.data(), 512).ok());
+    }
   };
   const auto prepare = [&](io::StorageDevice* device, const std::string& path) {
     std::vector<char> bytes(512, 'x');
-    device->Open(path, io::OpenMode::kTruncateWrite)
-        ->WriteAt(0, bytes.data(), bytes.size());
+    ASSERT_TRUE(OpenOrDie(device, path, io::OpenMode::kTruncateWrite)
+                    ->WriteAt(0, bytes.data(), bytes.size())
+                    .ok());
   };
 
   // Phase 1: two threads on ONE device — ops serialize in simulated
@@ -454,14 +515,15 @@ TEST(ThrottledDeviceTest, SlowConsumerStillPaysSubQuantumCosts) {
       /*mb_per_sec=*/0);
   {
     std::vector<char> bytes(64, 'x');
-    device->Open("f", io::OpenMode::kTruncateWrite)
-        ->WriteAt(0, bytes.data(), bytes.size());
+    ASSERT_TRUE(OpenOrDie(device.get(), "f", io::OpenMode::kTruncateWrite)
+                    ->WriteAt(0, bytes.data(), bytes.size())
+                    .ok());
   }
-  auto file = device->Open("f", io::OpenMode::kRead);
+  auto file = OpenOrDie(device.get(), "f", io::OpenMode::kRead);
   std::vector<char> buf(64);
   util::Timer timer;
   for (int i = 0; i < kOps; ++i) {
-    file->ReadAt(0, buf.data(), 64);
+    ASSERT_TRUE(file->ReadAt(0, buf.data(), 64).ok());
     std::this_thread::sleep_for(kThinkTime);  // consumer "compute"
   }
   const double wall = timer.ElapsedSeconds();

@@ -17,8 +17,11 @@ namespace extscc::testing {
 //    CI job sets 1; sorted outputs are byte-identical by design).
 //  - EXTSCC_TEST_IO_THREADS=N: device-parallel I/O workers (the TSan CI
 //    job sets 2; sorted outputs are byte-identical by design).
-//  - EXTSCC_TEST_DEVICE_MODEL=posix|mem|throttled[:lat_us[:mb_per_s]]:
-//    scratch device backing (the multidevice CI job sets throttled).
+//  - EXTSCC_TEST_DEVICE_MODEL=posix|mem|throttled[:lat_us[:mb_per_s]]
+//    |faulty[:seed=S,rate=R,...]: scratch device backing (the
+//    multidevice CI job sets throttled; the chaos job sets faulty with
+//    a transient-only rate, so every suite solves through injected
+//    EIO + retries).
 //  - EXTSCC_TEST_SCRATCH_DIRS=a,b: one scratch device per entry.
 // Suites that build IoContextOptions by hand call this so the CI matrix
 // reaches them too.
