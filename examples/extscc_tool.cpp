@@ -10,6 +10,19 @@
 //   extscc_tool solve <edges.txt> <out_labels.txt> [memory_bytes] [basic]
 //   extscc_tool verify <edges.txt> <labels.txt>
 //   extscc_tool condense <edges.txt> <dag_out.txt> [memory_bytes]
+//   extscc_tool build-index [--labels=N] [--seed=S] [--no-bowtie]
+//               <edges.txt> <artifact> [memory_bytes]
+//   extscc_tool query [--batch-size=N] [--threads=N]
+//               <artifact> <batch.txt>
+//   extscc_tool serve [--batch-size=N] [--threads=N] <artifact>
+//
+// The serving commands share the artifact + line protocol documented in
+// docs/serving.md: build-index solves the graph once and writes a
+// versioned, checksummed artifact; query answers a batch file (one
+// query per line — `same u v`, `reach u v`, `stat u`; blank line = batch
+// boundary) with answers on stdout and batch stats on stderr; serve
+// runs the same protocol as a stdin loop, flushing a batch every
+// --batch-size lines, on a blank line, and at EOF.
 //
 // Global flags (before the command) apply to every machine the tool
 // builds: --sort-threads enables overlapped run formation (labels are
@@ -34,7 +47,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ext_scc.h"
@@ -50,6 +65,10 @@
 #include "scc/condensation.h"
 #include "scc/scc_verify.h"
 #include "scc/semi_external_scc.h"
+#include "serve/artifact.h"
+#include "serve/index_builder.h"
+#include "serve/query_engine.h"
+#include "serve/service.h"
 #include "util/csv.h"
 #include "util/status.h"
 
@@ -71,6 +90,13 @@ int Usage() {
       "  extscc_tool verify <edges.txt> <labels.txt>\n"
       "  extscc_tool condense <edges.txt> <dag_out.txt> "
       "[memory_bytes]\n"
+      "  extscc_tool build-index [--labels=N] [--seed=S] [--no-bowtie] "
+      "<edges.txt> <artifact> [memory_bytes]\n"
+      "  extscc_tool query [--batch-size=N] [--threads=N] "
+      "<artifact> <batch.txt>\n"
+      "  extscc_tool serve [--batch-size=N] [--threads=N] <artifact>\n"
+      "query protocol (one per line): same <u> <v> | reach <u> <v> | "
+      "stat <u>; blank line flushes the batch\n"
       "device models:\n"
       "  posix | mem | throttled[:lat_us[:mb_per_s]] |\n"
       "  faulty[:key=value,...] — seeded fault injection on scratch I/O;\n"
@@ -322,6 +348,239 @@ int CmdCondense(int argc, char** argv) {
   return 0;
 }
 
+// Splits a command's tail into positional arguments and `--flag=value`
+// pairs the caller inspects one by one. Unknown flags are a usage
+// error, reported by the caller.
+struct CommandArgs {
+  std::vector<std::string> positional;
+  std::vector<std::string> flags;
+};
+
+CommandArgs SplitCommandArgs(int argc, char** argv) {
+  CommandArgs out;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      out.flags.emplace_back(argv[i]);
+    } else {
+      out.positional.emplace_back(argv[i]);
+    }
+  }
+  return out;
+}
+
+bool FlagValue(const std::string& flag, const char* name,
+               std::uint64_t* value) {
+  const std::size_t len = std::strlen(name);
+  if (flag.compare(0, len, name) != 0 || flag.size() <= len ||
+      flag[len] != '=') {
+    return false;
+  }
+  *value = std::strtoull(flag.c_str() + len + 1, nullptr, 10);
+  return true;
+}
+
+int CmdBuildIndex(int argc, char** argv) {
+  const CommandArgs args = SplitCommandArgs(argc, argv);
+  serve::BuildArtifactOptions options;
+  for (const std::string& flag : args.flags) {
+    std::uint64_t value = 0;
+    if (FlagValue(flag, "--labels", &value)) {
+      options.num_labels = static_cast<std::uint32_t>(value);
+    } else if (FlagValue(flag, "--seed", &value)) {
+      options.label_seed = value;
+    } else if (flag == "--no-bowtie") {
+      options.include_bowtie = false;
+    } else {
+      return Usage();
+    }
+  }
+  if (args.positional.size() < 2 || args.positional.size() > 3) {
+    return Usage();
+  }
+  const std::uint64_t memory =
+      args.positional.size() > 2
+          ? std::strtoull(args.positional[2].c_str(), nullptr, 10)
+          : (64u << 20);
+  auto context = MakeContext(memory);
+  auto loaded = graph::LoadTextEdgeList(&context, args.positional[0]);
+  if (!loaded.ok()) return StatusExit(loaded.status());
+  auto built = serve::BuildArtifact(&context, loaded.value(),
+                                    args.positional[1], options);
+  if (!built.ok()) return StatusExit(built.status());
+  const serve::ArtifactSummary& s = built.value().summary;
+  std::printf(
+      "built %s: %llu nodes, %llu SCCs, dag %llu/%llu, "
+      "%u label rounds, solve %llu I/Os\n",
+      args.positional[1].c_str(),
+      static_cast<unsigned long long>(s.graph_nodes),
+      static_cast<unsigned long long>(s.num_sccs),
+      static_cast<unsigned long long>(s.dag_nodes),
+      static_cast<unsigned long long>(s.dag_edges),
+      s.num_label_rounds,
+      static_cast<unsigned long long>(built.value().solve_stats.total_ios));
+  if (s.bowtie_computed != 0) {
+    std::printf("bow-tie: core=%llu in=%llu out=%llu other=%llu\n",
+                static_cast<unsigned long long>(s.core_size),
+                static_cast<unsigned long long>(s.in_size),
+                static_cast<unsigned long long>(s.out_size),
+                static_cast<unsigned long long>(s.other_size));
+  }
+  return 0;
+}
+
+// Shared by `query` and `serve`: flush one accumulated batch, print the
+// answers in input order, fold the batch stats into the session totals.
+int FlushBatch(io::IoContext* context, const serve::QueryEngine& engine,
+               std::size_t threads, std::vector<serve::Query>* batch,
+               serve::QueryBatchStats* totals, std::uint64_t* num_batches) {
+  if (batch->empty()) return 0;
+  std::vector<serve::QueryAnswer> answers;
+  const util::Status status =
+      serve::RunQueries(context, engine, *batch, threads, &answers, totals);
+  if (!status.ok()) return StatusExit(status);
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    std::printf("%s\n",
+                serve::FormatAnswer((*batch)[i], answers[i]).c_str());
+  }
+  batch->clear();
+  ++*num_batches;
+  return 0;
+}
+
+void PrintBatchStats(const serve::QueryBatchStats& totals,
+                     std::uint64_t num_batches) {
+  std::fprintf(stderr,
+               "batches=%llu queries=%llu probes=%llu unknown=%llu "
+               "swept_blocks=%llu spill_runs=%llu dfs_fallbacks=%llu\n",
+               static_cast<unsigned long long>(num_batches),
+               static_cast<unsigned long long>(totals.queries),
+               static_cast<unsigned long long>(totals.probes),
+               static_cast<unsigned long long>(totals.unknown_nodes),
+               static_cast<unsigned long long>(totals.swept_blocks),
+               static_cast<unsigned long long>(totals.probe_spill_runs),
+               static_cast<unsigned long long>(totals.labels.dfs_fallbacks));
+}
+
+struct ServeFlags {
+  std::size_t batch_size = 4096;
+  std::size_t threads = 1;
+  bool ok = true;
+};
+
+ServeFlags ParseServeFlags(const std::vector<std::string>& flags) {
+  ServeFlags out;
+  for (const std::string& flag : flags) {
+    std::uint64_t value = 0;
+    if (FlagValue(flag, "--batch-size", &value) && value > 0) {
+      out.batch_size = static_cast<std::size_t>(value);
+    } else if (FlagValue(flag, "--threads", &value)) {
+      out.threads = static_cast<std::size_t>(value);
+    } else {
+      out.ok = false;
+    }
+  }
+  return out;
+}
+
+int CmdQuery(int argc, char** argv) {
+  const CommandArgs args = SplitCommandArgs(argc, argv);
+  const ServeFlags flags = ParseServeFlags(args.flags);
+  if (!flags.ok || args.positional.size() != 2) return Usage();
+  auto context = MakeContext(64 << 20);
+  auto opened = serve::ArtifactReader::Open(&context, args.positional[0]);
+  if (!opened.ok()) return StatusExit(opened.status());
+  const serve::ArtifactReader artifact = std::move(opened).value();
+  const serve::QueryEngine engine(&artifact);
+
+  std::ifstream in(args.positional[1]);
+  if (!in) {
+    return StatusExit(util::Status::IoError("cannot open " +
+                                            args.positional[1]));
+  }
+  std::vector<serve::Query> batch;
+  serve::QueryBatchStats totals;
+  std::uint64_t num_batches = 0;
+  std::string line;
+  std::uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      // Blank line: explicit batch boundary.
+      const int rc = FlushBatch(&context, engine, flags.threads, &batch,
+                                &totals, &num_batches);
+      if (rc != 0) return rc;
+      continue;
+    }
+    serve::Query query;
+    if (!serve::ParseQueryLine(line, &query)) {
+      return StatusExit(util::Status::InvalidArgument(
+          args.positional[1] + ":" + std::to_string(line_number) +
+          ": malformed query: " + line));
+    }
+    batch.push_back(query);
+    if (batch.size() >= flags.batch_size) {
+      const int rc = FlushBatch(&context, engine, flags.threads, &batch,
+                                &totals, &num_batches);
+      if (rc != 0) return rc;
+    }
+  }
+  const int rc = FlushBatch(&context, engine, flags.threads, &batch,
+                            &totals, &num_batches);
+  if (rc != 0) return rc;
+  PrintBatchStats(totals, num_batches);
+  return 0;
+}
+
+int CmdServe(int argc, char** argv) {
+  const CommandArgs args = SplitCommandArgs(argc, argv);
+  const ServeFlags flags = ParseServeFlags(args.flags);
+  if (!flags.ok || args.positional.size() != 1) return Usage();
+  auto context = MakeContext(64 << 20);
+  auto opened = serve::ArtifactReader::Open(&context, args.positional[0]);
+  if (!opened.ok()) return StatusExit(opened.status());
+  const serve::ArtifactReader artifact = std::move(opened).value();
+  const serve::QueryEngine engine(&artifact);
+  std::fprintf(stderr, "serving %s: %llu nodes, %llu SCCs\n",
+               args.positional[0].c_str(),
+               static_cast<unsigned long long>(artifact.summary().graph_nodes),
+               static_cast<unsigned long long>(artifact.summary().num_sccs));
+
+  std::vector<serve::Query> batch;
+  serve::QueryBatchStats totals;
+  std::uint64_t num_batches = 0;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      const int rc = FlushBatch(&context, engine, flags.threads, &batch,
+                                &totals, &num_batches);
+      if (rc != 0) return rc;
+      std::fflush(stdout);
+      continue;
+    }
+    serve::Query query;
+    if (!serve::ParseQueryLine(line, &query)) {
+      // Interactive loop: a typo must not kill the server. Echo the
+      // offending line and keep accumulating.
+      std::printf("error %s\n", line.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    batch.push_back(query);
+    if (batch.size() >= flags.batch_size) {
+      const int rc = FlushBatch(&context, engine, flags.threads, &batch,
+                                &totals, &num_batches);
+      if (rc != 0) return rc;
+      std::fflush(stdout);
+    }
+  }
+  const int rc = FlushBatch(&context, engine, flags.threads, &batch,
+                            &totals, &num_batches);
+  if (rc != 0) return rc;
+  std::fflush(stdout);
+  PrintBatchStats(totals, num_batches);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -380,5 +639,8 @@ int main(int argc, char** argv) {
   if (command == "solve") return CmdSolve(argc, argv);
   if (command == "verify") return CmdVerify(argc, argv);
   if (command == "condense") return CmdCondense(argc, argv);
+  if (command == "build-index") return CmdBuildIndex(argc, argv);
+  if (command == "query") return CmdQuery(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
   return Usage();
 }

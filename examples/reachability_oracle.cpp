@@ -22,30 +22,7 @@
 #include "scc/semi_external_scc.h"
 #include "util/random.h"
 
-namespace {
-
 using namespace extscc;
-
-bool BfsReach(const graph::Digraph& g, std::size_t from, std::size_t to) {
-  if (from == to) return true;
-  std::vector<bool> seen(g.num_nodes(), false);
-  std::vector<std::size_t> stack{from};
-  seen[from] = true;
-  while (!stack.empty()) {
-    const auto v = stack.back();
-    stack.pop_back();
-    for (const auto w : g.out_neighbors(v)) {
-      if (w == to) return true;
-      if (!seen[w]) {
-        seen[w] = true;
-        stack.push_back(w);
-      }
-    }
-  }
-  return false;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const std::uint64_t num_nodes =
@@ -116,8 +93,8 @@ int main(int argc, char** argv) {
     const auto u = nodes[rng.Uniform(nodes.size())];
     const auto v = nodes[rng.Uniform(nodes.size())];
     const bool via_index = index.Reachable(u, v);
-    const bool direct =
-        BfsReach(original, original.index_of(u), original.index_of(v));
+    const bool direct = graph::BfsReachable(original, original.index_of(u),
+                                            original.index_of(v));
     if (direct == via_index) ++agree;
     if (via_index) ++reachable;
   }

@@ -1,0 +1,161 @@
+#include "app/interval_labels.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace extscc::app {
+
+IntervalLabels::IntervalLabels() : dag_(std::vector<graph::Edge>{}) {}
+
+IntervalLabels IntervalLabels::Build(graph::Digraph dag,
+                                     std::uint32_t num_rounds,
+                                     std::uint64_t seed) {
+  CHECK_GE(num_rounds, 1u);
+  IntervalLabels labels;
+  labels.dag_ = std::move(dag);
+  const std::size_t n = labels.dag_.num_nodes();
+  labels.ranks_.assign(num_rounds, {});
+  labels.mins_.assign(num_rounds, {});
+  util::Rng rng(seed);
+
+  for (std::uint32_t round = 0; round < num_rounds; ++round) {
+    auto& rank = labels.ranks_[round];
+    auto& min_rank = labels.mins_[round];
+    rank.assign(n, 0);
+    min_rank.assign(n, 0);
+    if (n == 0) continue;
+
+    // Random-order DFS over the DAG: random root order, random child
+    // order, post-order ranks. Any DFS post-order is a reverse
+    // topological order, which the min-propagation below relies on.
+    std::vector<std::uint32_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      order[i] = static_cast<std::uint32_t>(i);
+    }
+    rng.Shuffle(&order);
+
+    std::vector<bool> visited(n, false);
+    std::uint32_t clock = 0;
+    // Frame: (node, shuffled children, next child slot).
+    struct Frame {
+      std::uint32_t node;
+      std::vector<std::uint32_t> children;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    auto shuffled_children = [&](std::uint32_t v) {
+      const auto span = labels.dag_.out_neighbors(v);
+      std::vector<std::uint32_t> children(span.begin(), span.end());
+      rng.Shuffle(&children);
+      return children;
+    };
+    for (const std::uint32_t root : order) {
+      if (visited[root]) continue;
+      visited[root] = true;
+      stack.push_back({root, shuffled_children(root)});
+      while (!stack.empty()) {
+        Frame& frame = stack.back();
+        if (frame.next < frame.children.size()) {
+          const std::uint32_t c = frame.children[frame.next++];
+          if (!visited[c]) {
+            visited[c] = true;
+            stack.push_back({c, shuffled_children(c)});
+          }
+        } else {
+          rank[frame.node] = clock++;
+          stack.pop_back();
+        }
+      }
+    }
+    CHECK_EQ(clock, n);
+
+    // min over everything reachable: process in increasing rank (every
+    // out-neighbour has a smaller rank, so its min is already final).
+    std::vector<std::uint32_t> by_rank(n);
+    for (std::size_t v = 0; v < n; ++v) by_rank[rank[v]] = v;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::uint32_t v = by_rank[r];
+      std::uint32_t m = rank[v];
+      for (const std::uint32_t w : labels.dag_.out_neighbors(v)) {
+        DCHECK_LT(rank[w], rank[v]) << "post-order rank must reverse edges";
+        m = std::min(m, min_rank[w]);
+      }
+      min_rank[v] = m;
+    }
+  }
+  return labels;
+}
+
+util::Result<IntervalLabels> IntervalLabels::FromParts(
+    graph::Digraph dag, std::vector<std::vector<std::uint32_t>> ranks,
+    std::vector<std::vector<std::uint32_t>> mins) {
+  if (ranks.empty() || ranks.size() != mins.size()) {
+    return util::Status::InvalidArgument(
+        "interval labels need matching, non-empty rank/min rounds");
+  }
+  const std::size_t n = dag.num_nodes();
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    if (ranks[r].size() != n || mins[r].size() != n) {
+      return util::Status::InvalidArgument(
+          "interval label round does not cover every DAG node");
+    }
+  }
+  IntervalLabels labels;
+  labels.dag_ = std::move(dag);
+  labels.ranks_ = std::move(ranks);
+  labels.mins_ = std::move(mins);
+  return labels;
+}
+
+bool IntervalLabels::IntervalsNest(std::size_t from_idx,
+                                   std::size_t to_idx) const {
+  for (std::size_t r = 0; r < ranks_.size(); ++r) {
+    if (ranks_[r][to_idx] > ranks_[r][from_idx] ||
+        mins_[r][to_idx] < mins_[r][from_idx]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IntervalLabels::SccReachable(graph::SccId from, graph::SccId to,
+                                  IntervalLabelCounters* counters) const {
+  IntervalLabelCounters local;
+  IntervalLabelCounters& c = counters != nullptr ? *counters : local;
+  ++c.queries;
+  if (from == to) {
+    ++c.same_scc_hits;
+    return true;
+  }
+  const std::size_t from_idx = dag_.index_of(from);
+  const std::size_t to_idx = dag_.index_of(to);
+  CHECK_LT(from_idx, dag_.num_nodes()) << "unknown SCC " << from;
+  CHECK_LT(to_idx, dag_.num_nodes()) << "unknown SCC " << to;
+  if (!IntervalsNest(from_idx, to_idx)) {
+    ++c.interval_refutations;
+    return false;
+  }
+  // Pruned DFS fallback: only descend into children whose intervals
+  // still contain the target's.
+  ++c.dfs_fallbacks;
+  std::vector<std::uint32_t> stack{static_cast<std::uint32_t>(from_idx)};
+  std::vector<bool> seen(dag_.num_nodes(), false);
+  seen[from_idx] = true;
+  while (!stack.empty()) {
+    const std::uint32_t v = stack.back();
+    stack.pop_back();
+    if (v == to_idx) return true;
+    for (const std::uint32_t w : dag_.out_neighbors(v)) {
+      if (!seen[w] && IntervalsNest(w, to_idx)) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace extscc::app

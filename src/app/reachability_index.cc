@@ -6,7 +6,6 @@
 #include "io/record_stream.h"
 #include "scc/condensation.h"
 #include "util/logging.h"
-#include "util/random.h"
 
 namespace extscc::app {
 
@@ -52,78 +51,9 @@ util::Result<ReachabilityIndex> ReachabilityIndex::Build(
         io::ReadAllRecords<NodeId>(context, condensation.dag.node_path);
     const auto dag_edges =
         io::ReadAllRecords<Edge>(context, condensation.dag.edge_path);
-    index.dag_ = graph::Digraph(dag_nodes, dag_edges);
-  }
-
-  const std::size_t n = index.dag_.num_nodes();
-  index.ranks_.assign(options.num_labels, {});
-  index.mins_.assign(options.num_labels, {});
-  util::Rng rng(options.seed);
-
-  for (std::uint32_t round = 0; round < options.num_labels; ++round) {
-    auto& rank = index.ranks_[round];
-    auto& min_rank = index.mins_[round];
-    rank.assign(n, 0);
-    min_rank.assign(n, 0);
-    if (n == 0) continue;
-
-    // Random-order DFS over the DAG: random root order, random child
-    // order, post-order ranks. Any DFS post-order is a reverse
-    // topological order, which the min-propagation below relies on.
-    std::vector<std::uint32_t> order(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      order[i] = static_cast<std::uint32_t>(i);
-    }
-    rng.Shuffle(&order);
-
-    std::vector<bool> visited(n, false);
-    std::uint32_t clock = 0;
-    // Frame: (node, shuffled children, next child slot).
-    struct Frame {
-      std::uint32_t node;
-      std::vector<std::uint32_t> children;
-      std::size_t next = 0;
-    };
-    std::vector<Frame> stack;
-    auto shuffled_children = [&](std::uint32_t v) {
-      const auto span = index.dag_.out_neighbors(v);
-      std::vector<std::uint32_t> children(span.begin(), span.end());
-      rng.Shuffle(&children);
-      return children;
-    };
-    for (const std::uint32_t root : order) {
-      if (visited[root]) continue;
-      visited[root] = true;
-      stack.push_back({root, shuffled_children(root)});
-      while (!stack.empty()) {
-        Frame& frame = stack.back();
-        if (frame.next < frame.children.size()) {
-          const std::uint32_t c = frame.children[frame.next++];
-          if (!visited[c]) {
-            visited[c] = true;
-            stack.push_back({c, shuffled_children(c)});
-          }
-        } else {
-          rank[frame.node] = clock++;
-          stack.pop_back();
-        }
-      }
-    }
-    CHECK_EQ(clock, n);
-
-    // min over everything reachable: process in increasing rank (every
-    // out-neighbour has a smaller rank, so its min is already final).
-    std::vector<std::uint32_t> by_rank(n);
-    for (std::size_t v = 0; v < n; ++v) by_rank[rank[v]] = v;
-    for (std::size_t r = 0; r < n; ++r) {
-      const std::uint32_t v = by_rank[r];
-      std::uint32_t m = rank[v];
-      for (const std::uint32_t w : index.dag_.out_neighbors(v)) {
-        DCHECK_LT(rank[w], rank[v]) << "post-order rank must reverse edges";
-        m = std::min(m, min_rank[w]);
-      }
-      min_rank[v] = m;
-    }
+    index.interval_labels_ =
+        IntervalLabels::Build(graph::Digraph(dag_nodes, dag_edges),
+                              options.num_labels, options.seed);
   }
   return index;
 }
@@ -136,51 +66,14 @@ graph::SccId ReachabilityIndex::scc_of(NodeId node) const {
   return labels_[static_cast<std::size_t>(it - node_ids_.begin())];
 }
 
-bool ReachabilityIndex::IntervalsNest(std::size_t from_idx,
-                                      std::size_t to_idx) const {
-  // Necessary condition for from -> to in every round:
-  // [min(to), rank(to)] subset of [min(from), rank(from)].
-  for (std::size_t r = 0; r < ranks_.size(); ++r) {
-    if (ranks_[r][to_idx] > ranks_[r][from_idx] ||
-        mins_[r][to_idx] < mins_[r][from_idx]) {
-      return false;
-    }
-  }
-  return true;
-}
-
 bool ReachabilityIndex::SccReachable(SccId from, SccId to) const {
-  ++stats_.queries;
-  if (from == to) {
-    ++stats_.same_scc_hits;
-    return true;
-  }
-  const std::size_t from_idx = dag_.index_of(from);
-  const std::size_t to_idx = dag_.index_of(to);
-  CHECK_LT(from_idx, dag_.num_nodes()) << "unknown SCC " << from;
-  CHECK_LT(to_idx, dag_.num_nodes()) << "unknown SCC " << to;
-  if (!IntervalsNest(from_idx, to_idx)) {
-    ++stats_.interval_refutations;
-    return false;
-  }
-  // Pruned DFS fallback: only descend into children whose intervals
-  // still contain the target's.
-  ++stats_.dfs_fallbacks;
-  std::vector<std::uint32_t> stack{static_cast<std::uint32_t>(from_idx)};
-  std::vector<bool> seen(dag_.num_nodes(), false);
-  seen[from_idx] = true;
-  while (!stack.empty()) {
-    const std::uint32_t v = stack.back();
-    stack.pop_back();
-    if (v == to_idx) return true;
-    for (const std::uint32_t w : dag_.out_neighbors(v)) {
-      if (!seen[w] && IntervalsNest(w, to_idx)) {
-        seen[w] = true;
-        stack.push_back(w);
-      }
-    }
-  }
-  return false;
+  IntervalLabelCounters counters;
+  const bool reachable = interval_labels_.SccReachable(from, to, &counters);
+  stats_.queries += counters.queries;
+  stats_.same_scc_hits += counters.same_scc_hits;
+  stats_.interval_refutations += counters.interval_refutations;
+  stats_.dfs_fallbacks += counters.dfs_fallbacks;
+  return reachable;
 }
 
 bool ReachabilityIndex::Reachable(NodeId from, NodeId to) const {

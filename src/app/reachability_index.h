@@ -5,13 +5,10 @@
 //
 // This module implements that pipeline end to end: Ext-SCC labels
 // (computed externally by the caller) + BuildCondensation produce the
-// DAG; on the DAG we build GRAIL-style randomized interval labels
-// (Yildirim, Chaoji, Zaki — the paper's [25]): k independent random
-// post-order traversals, each assigning node x the interval
-// [min-rank-in-subtree(x), rank(x)]. Containment of intervals is a
-// necessary condition for reachability, so any round whose intervals do
-// NOT nest refutes a query immediately; nested rounds fall back to a
-// pruned DFS.
+// DAG; on the DAG we build GRAIL-style randomized interval labels —
+// the shared app::IntervalLabels core (interval_labels.h), which also
+// backs the serve artifact. This wrapper adds the node→SCC map and the
+// accumulated query-stat counters of the original one-shot pipeline.
 //
 // The index is in-memory over the *condensation*, which is exactly what
 // makes external SCC computation the enabling step: the raw graph may be
@@ -24,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "app/interval_labels.h"
 #include "graph/digraph.h"
 #include "graph/disk_graph.h"
 #include "graph/graph_types.h"
@@ -70,19 +68,16 @@ class ReachabilityIndex {
   const ReachabilityIndexStats& stats() const { return stats_; }
   void ResetQueryStats() const;
 
+  // The resident label core (DAG + intervals) — what the serve
+  // artifact persists.
+  const IntervalLabels& labels() const { return interval_labels_; }
+
  private:
   ReachabilityIndex() = default;
 
-  // Interval of SCC index `x` in labeling round r: ranks_[r][x] is the
-  // post-order rank, mins_[r][x] the minimum rank in x's subtree (i.e.
-  // over everything x reaches in the traversal forest).
-  bool IntervalsNest(std::size_t from_idx, std::size_t to_idx) const;
-
   std::vector<graph::NodeId> node_ids_;  // sorted; parallel to labels_
   std::vector<graph::SccId> labels_;
-  graph::Digraph dag_{std::vector<graph::Edge>{}};
-  std::vector<std::vector<std::uint32_t>> ranks_;
-  std::vector<std::vector<std::uint32_t>> mins_;
+  IntervalLabels interval_labels_;
   ReachabilityIndexStats stats_;
 };
 

@@ -306,11 +306,9 @@ RunFormation<T> FormRuns(io::IoContext* context,
       overlap ? full_capacity / 2 : full_capacity);
   std::optional<io::ScopedReservation> active_hold;
   if (overlap) {
-    active_hold.emplace(
-        &context->memory(),
-        std::min<std::uint64_t>(
-            static_cast<std::uint64_t>(capacity) * sizeof(T),
-            context->memory().available_bytes()));
+    active_hold.emplace(&context->memory(),
+                        static_cast<std::uint64_t>(capacity) * sizeof(T),
+                        /*clamp=*/true);
   }
   RunSpillPipeline<T, Less> pipeline(context, less, dedup,
                                      overlap ? capacity : 0);
@@ -341,9 +339,8 @@ inline io::ScopedReservation ReserveMergeBlocks(io::IoContext* context,
                                                 std::size_t blocks) {
   return io::ScopedReservation(
       &context->memory(),
-      std::min<std::uint64_t>(static_cast<std::uint64_t>(blocks) *
-                                  context->block_size(),
-                              context->memory().available_bytes()));
+      static_cast<std::uint64_t>(blocks) * context->block_size(),
+      /*clamp=*/true);
 }
 
 // Merges runs[begin, end) into a fresh scratch file with output
@@ -522,10 +519,9 @@ SortRunInfo SortInto(io::IoContext* context, const std::string& input_path,
     // Hold the resident run's bytes as a reservation while the sink
     // consumes it, so a downstream structure that sizes itself
     // mid-drain (a chained SortingWriter) sees the honest remainder.
-    io::ScopedReservation resident_hold(
-        &context->memory(),
-        std::min<std::uint64_t>(formed.resident.size() * sizeof(T),
-                                context->memory().available_bytes()));
+    io::ScopedReservation resident_hold(&context->memory(),
+                                        formed.resident.size() * sizeof(T),
+                                        /*clamp=*/true);
     SinkAppendBatch<T>(sink, formed.resident.data(), formed.resident_count);
     return info;
   }
@@ -695,11 +691,8 @@ class SortingWriter {
     capacity_ = static_cast<std::size_t>(std::max<std::uint64_t>(
         2 * io::RecordsPerBlock<T>(context_),
         context_->memory().MaxRecordsInMemory(sizeof(T)) / 2));
-    reserved_bytes_ =
-        std::min<std::uint64_t>(static_cast<std::uint64_t>(capacity_) *
-                                    sizeof(T),
-                                context_->memory().available_bytes());
-    context_->memory().Reserve(reserved_bytes_);
+    reserved_bytes_ = context_->memory().ReserveUpTo(
+        static_cast<std::uint64_t>(capacity_) * sizeof(T));
     // Allocate up front: push_back's geometric growth would otherwise
     // overshoot the reserved bytes by up to 2x.
     buffer_.reserve(capacity_);

@@ -153,8 +153,14 @@ class RunSpillPipeline {
     if (context_->sort_threads() == 0 || capacity == 0) return;
     const std::uint64_t bytes =
         static_cast<std::uint64_t>(capacity) * sizeof(T);
-    if (bytes > context_->memory().available_bytes()) return;
-    context_->memory().Reserve(bytes);
+    // All-or-nothing: the pipeline's second buffer is either fully
+    // budgeted or the sort stays serial (atomic against other threads
+    // reserving in between).
+    const std::uint64_t granted = context_->memory().ReserveUpTo(bytes);
+    if (granted < bytes) {
+      context_->memory().Release(granted);
+      return;
+    }
     reserved_bytes_ = bytes;
     free_buffer_.reserve(capacity);
     has_free_ = true;

@@ -64,4 +64,26 @@ std::span<const std::uint32_t> Digraph::in_neighbors(std::size_t index) const {
           rev_targets_.data() + rev_offsets_[index + 1]};
 }
 
+bool BfsReachable(const Digraph& g, std::size_t from_index,
+                  std::size_t to_index) {
+  CHECK_LT(from_index, g.num_nodes());
+  CHECK_LT(to_index, g.num_nodes());
+  if (from_index == to_index) return true;
+  std::vector<bool> seen(g.num_nodes(), false);
+  std::vector<std::size_t> stack{from_index};
+  seen[from_index] = true;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (const std::uint32_t w : g.out_neighbors(v)) {
+      if (w == to_index) return true;
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
 }  // namespace extscc::graph

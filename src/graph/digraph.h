@@ -50,6 +50,15 @@ class Digraph {
   std::vector<std::uint32_t> rev_offsets_, rev_targets_;
 };
 
+// True iff `from_index` reaches `to_index` along forward edges, by
+// direct search — O(V + E), no index structures. The shared reference
+// oracle for every reachability checker in examples and tests (the
+// thing the GRAIL-style index and the serve path are verified against).
+// Both arguments are dense indices (see index_of); a node reaches
+// itself by the empty path.
+bool BfsReachable(const Digraph& g, std::size_t from_index,
+                  std::size_t to_index);
+
 }  // namespace extscc::graph
 
 #endif  // EXTSCC_GRAPH_DIGRAPH_H_

@@ -88,12 +88,14 @@ std::vector<char>& ChecksumStaging(std::size_t block_size) {
 // the Aggarwal-Vitter counters identical to the unprefetched execution.
 class BlockFile::Prefetcher {
  public:
+  // Takes ownership of a budget reservation of depth * block_size bytes
+  // already made by the caller (StartSequentialPrefetch reserves
+  // atomically so concurrent openers cannot jointly oversubscribe).
   Prefetcher(BlockFile* file, std::uint64_t start_block, std::size_t depth)
       : file_(file),
         depth_(std::max<std::size_t>(1, depth)),
         next_block_(start_block),
         consume_block_(start_block) {
-    file_->context_->memory().Reserve(depth_ * file_->block_size_);
     slots_.resize(depth_);
     for (Slot& slot : slots_) slot.data.resize(file_->block_size_);
     thread_ = std::thread([this] { Run(); });
@@ -286,12 +288,16 @@ void BlockFile::StartSequentialPrefetch(std::uint64_t start_block) {
   const std::size_t depth =
       std::max<std::size_t>(1, context_->prefetch_depth());
   // Degrade gracefully to the unprefetched path when the budget cannot
-  // cover the ring — Reserve() treats oversubscription as a logic error.
-  if (context_->memory().available_bytes() <
-      static_cast<std::uint64_t>(depth) * block_size_) {
+  // cover the ring. Reserved atomically here (not inside Prefetcher) so
+  // two files opened from different threads cannot both pass a
+  // check-then-reserve gap; the Prefetcher's destructor releases it.
+  const std::uint64_t ring_bytes =
+      static_cast<std::uint64_t>(depth) * block_size_;
+  const std::uint64_t granted = context_->memory().ReserveUpTo(ring_bytes);
+  if (granted < ring_bytes || start_block >= num_blocks()) {
+    context_->memory().Release(granted);
     return;
   }
-  if (start_block >= num_blocks()) return;  // nothing to read ahead
   prefetcher_ = std::make_unique<Prefetcher>(this, start_block, depth);
 }
 

@@ -11,7 +11,18 @@ MemoryBudget::MemoryBudget(std::uint64_t total_bytes)
   CHECK_GT(total_bytes, 0u);
 }
 
+std::uint64_t MemoryBudget::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_bytes_;
+}
+
+std::uint64_t MemoryBudget::available_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_bytes_ - used_bytes_;
+}
+
 void MemoryBudget::Reserve(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   CHECK_LE(used_bytes_ + bytes, total_bytes_)
       << "memory budget oversubscribed: used=" << used_bytes_
       << " reserve=" << bytes << " total=" << total_bytes_;
@@ -19,8 +30,16 @@ void MemoryBudget::Reserve(std::uint64_t bytes) {
 }
 
 void MemoryBudget::Release(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
   CHECK_LE(bytes, used_bytes_);
   used_bytes_ -= bytes;
+}
+
+std::uint64_t MemoryBudget::ReserveUpTo(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t granted = std::min(bytes, total_bytes_ - used_bytes_);
+  used_bytes_ += granted;
+  return granted;
 }
 
 std::uint64_t MemoryBudget::MaxRecordsInMemory(std::size_t record_size) const {

@@ -141,16 +141,21 @@ ScheduledStream* ReadScheduler::RegisterReader(BlockFile* file,
   // slot that starves later registrations), and fall back to direct
   // reads when not even one block fits.
   const std::uint64_t blocks_left = file->num_blocks() - start_block;
-  const std::size_t affordable = static_cast<std::size_t>(std::min(
-      {static_cast<std::uint64_t>(depth_), blocks_left,
-       memory_->available_bytes() / block_size_}));
+  const std::uint64_t want =
+      std::min<std::uint64_t>(depth_, blocks_left) * block_size_;
+  // Atomic claim: reserve first, then size the ring from what was
+  // granted (a fractional-block remainder goes straight back).
+  const std::uint64_t granted = memory_->ReserveUpTo(want);
+  const std::size_t affordable =
+      static_cast<std::size_t>(granted / block_size_);
+  const std::uint64_t kept =
+      static_cast<std::uint64_t>(affordable) * block_size_;
+  if (granted > kept) memory_->Release(granted - kept);
   if (affordable == 0) return nullptr;
   auto stream = std::make_unique<ScheduledStream>();
   stream->file = file;
   stream->device = file->device();
-  stream->reserved_bytes =
-      static_cast<std::uint64_t>(affordable) * block_size_;
-  memory_->Reserve(stream->reserved_bytes);
+  stream->reserved_bytes = kept;
   stream->slots.resize(affordable);
   for (StreamSlot& slot : stream->slots) slot.data.resize(block_size_);
   stream->end_block = file->num_blocks();
@@ -160,13 +165,16 @@ ScheduledStream* ReadScheduler::RegisterReader(BlockFile* file,
 }
 
 ScheduledStream* ReadScheduler::RegisterWriter(BlockFile* file) {
-  if (memory_->available_bytes() < block_size_) return nullptr;
+  const std::uint64_t granted = memory_->ReserveUpTo(block_size_);
+  if (granted < block_size_) {
+    memory_->Release(granted);
+    return nullptr;
+  }
   auto stream = std::make_unique<ScheduledStream>();
   stream->file = file;
   stream->device = file->device();
   stream->writer = true;
   stream->reserved_bytes = block_size_;
-  memory_->Reserve(stream->reserved_bytes);
   stream->slots.resize(1);
   stream->slots[0].data.resize(block_size_);
   return AdoptStream(std::move(stream));

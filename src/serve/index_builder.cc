@@ -1,0 +1,160 @@
+#include "serve/index_builder.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "app/bowtie.h"
+#include "app/interval_labels.h"
+#include "extsort/record_sink.h"
+#include "graph/digraph.h"
+#include "graph/graph_types.h"
+#include "io/record_stream.h"
+#include "scc/condensation.h"
+#include "serve/artifact.h"
+#include "util/logging.h"
+
+namespace extscc::serve {
+
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+using graph::SccEntry;
+
+}  // namespace
+
+util::Result<BuildArtifactResult> BuildArtifact(
+    io::IoContext* context, const graph::DiskGraph& g,
+    const std::string& artifact_path, const BuildArtifactOptions& options) {
+  if (options.num_labels == 0) {
+    return util::Status::InvalidArgument(
+        "artifact needs at least one interval labeling round");
+  }
+  if (g.num_nodes == 0) {
+    return util::Status::InvalidArgument(
+        "cannot build a serve artifact over an empty graph");
+  }
+  BuildArtifactResult result;
+
+  // 1. The expensive out-of-core step: Ext-SCC labels, node-sorted.
+  const std::string scc_path = context->NewTempPath("serve_scc");
+  {
+    auto solved = core::RunExtScc(context, g, scc_path, options.solve);
+    RETURN_IF_ERROR(solved.status());
+    result.solve_stats = solved.value();
+  }
+  const std::uint64_t num_sccs = result.solve_stats.num_sccs;
+
+  // 2. Condensation DAG, loaded resident (small by construction).
+  const auto condensation = scc::BuildCondensation(context, g, scc_path);
+  const auto dag_node_ids =
+      io::ReadAllRecords<NodeId>(context, condensation.dag.node_path);
+  const auto dag_edge_list =
+      io::ReadAllRecords<Edge>(context, condensation.dag.edge_path);
+
+  // 3. Interval labels over the DAG.
+  const app::IntervalLabels labels = app::IntervalLabels::Build(
+      graph::Digraph(dag_node_ids, dag_edge_list), options.num_labels,
+      options.label_seed);
+  const std::size_t dag_n = labels.dag().num_nodes();
+
+  // 4. Per-SCC sizes + summary stats, one scan of the label file
+  //    (labels are dense in [0, num_sccs) — RunExtScc's contract).
+  std::vector<std::uint64_t> sizes(static_cast<std::size_t>(num_sccs), 0);
+  {
+    io::RecordReader<SccEntry> reader(context, scc_path);
+    SccEntry entry;
+    while (reader.Next(&entry)) {
+      CHECK_LT(entry.scc, num_sccs) << "SCC label out of range";
+      ++sizes[entry.scc];
+    }
+    RETURN_IF_ERROR(reader.status());
+  }
+
+  ArtifactSummary& summary = result.summary;
+  summary.graph_nodes = g.num_nodes;
+  summary.graph_edges = g.num_edges;
+  summary.num_sccs = num_sccs;
+  summary.dag_nodes = condensation.dag.num_nodes;
+  summary.dag_edges = condensation.dag.num_edges;
+  summary.num_label_rounds = options.num_labels;
+  summary.label_seed = options.label_seed;
+  summary.largest_scc = graph::kInvalidScc;
+  summary.core_scc = graph::kInvalidScc;
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    if (sizes[s] > summary.largest_scc_size) {
+      summary.largest_scc_size = sizes[s];
+      summary.largest_scc = static_cast<graph::SccId>(s);
+    }
+    if (sizes[s] == 1) ++summary.num_singletons;
+  }
+
+  // 5. Bow-tie split around the largest SCC (optional; needs a
+  //    non-empty graph).
+  if (options.include_bowtie && g.num_nodes > 0) {
+    auto bowtie = app::BowtieDecompose(context, g, scc_path);
+    RETURN_IF_ERROR(bowtie.status());
+    summary.bowtie_computed = 1;
+    summary.core_scc = bowtie.value().core_scc;
+    summary.core_size = bowtie.value().core_size;
+    summary.in_size = bowtie.value().in_size;
+    summary.out_size = bowtie.value().out_size;
+    summary.other_size = bowtie.value().other_size;
+  }
+
+  // 6. Stream everything into the artifact.
+  ArtifactWriter writer(context, artifact_path);
+  RETURN_IF_ERROR(writer.status());
+  {
+    auto sink = writer.BeginSection<SccEntry>(SectionId::kNodeSccMap);
+    util::Status read_status;
+    const std::uint64_t streamed =
+        extsort::SinkAppendAllRecords<SccEntry>(context, scc_path, sink,
+                                                &read_status);
+    RETURN_IF_ERROR(read_status);
+    if (streamed != g.num_nodes) {
+      return util::Status::Corruption(
+          "solver label file does not cover the graph");
+    }
+    writer.EndSection();
+  }
+  {
+    auto sink = writer.BeginSection<NodeId>(SectionId::kDagNodes);
+    sink.AppendBatch(dag_node_ids.data(), dag_node_ids.size());
+    writer.EndSection();
+  }
+  {
+    auto sink = writer.BeginSection<Edge>(SectionId::kDagEdges);
+    sink.AppendBatch(dag_edge_list.data(), dag_edge_list.size());
+    writer.EndSection();
+  }
+  {
+    auto sink = writer.BeginSection<std::uint32_t>(SectionId::kLabelRanks);
+    for (std::uint32_t r = 0; r < options.num_labels; ++r) {
+      sink.AppendBatch(labels.ranks(r).data(), dag_n);
+    }
+    writer.EndSection();
+  }
+  {
+    auto sink = writer.BeginSection<std::uint32_t>(SectionId::kLabelMins);
+    for (std::uint32_t r = 0; r < options.num_labels; ++r) {
+      sink.AppendBatch(labels.mins(r).data(), dag_n);
+    }
+    writer.EndSection();
+  }
+  {
+    auto sink = writer.BeginSection<std::uint64_t>(SectionId::kSccSizes);
+    sink.AppendBatch(sizes.data(), sizes.size());
+    writer.EndSection();
+  }
+  {
+    auto sink = writer.BeginSection<ArtifactSummary>(SectionId::kSummary);
+    sink.Append(summary);
+    writer.EndSection();
+  }
+  RETURN_IF_ERROR(writer.Finish());
+  return result;
+}
+
+}  // namespace extscc::serve

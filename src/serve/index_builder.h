@@ -1,0 +1,47 @@
+// build-index: one Ext-SCC solve persisted as a serve artifact.
+//
+// Runs the full pipeline — RunExtScc (node→SCC labels), condensation,
+// GRAIL-style interval labels, per-SCC sizes, and (optionally) the
+// bow-tie decomposition — and streams every product into an
+// ArtifactWriter. Solve once, answer query traffic forever after at
+// scan bandwidth (query_engine.h).
+#ifndef EXTSCC_SERVE_INDEX_BUILDER_H_
+#define EXTSCC_SERVE_INDEX_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/ext_scc.h"
+#include "graph/disk_graph.h"
+#include "io/io_context.h"
+#include "serve/artifact_format.h"
+#include "util/status.h"
+
+namespace extscc::serve {
+
+struct BuildArtifactOptions {
+  core::ExtSccOptions solve = core::ExtSccOptions::Optimized();
+  // Interval labeling rounds / RNG seed (see app::IntervalLabels).
+  std::uint32_t num_labels = 3;
+  std::uint64_t label_seed = 1;
+  // Bow-tie decomposition costs extra sequential passes at build time;
+  // the artifact stores zeroed bow-tie fields when off (or when the
+  // graph is empty).
+  bool include_bowtie = true;
+};
+
+struct BuildArtifactResult {
+  core::ExtSccStats solve_stats;
+  ArtifactSummary summary{};
+};
+
+// Solves `g` and writes the artifact to `artifact_path` (any path; its
+// storage device is resolved like every other file). Intermediate
+// scratch lives and dies in `context`'s temp space.
+util::Result<BuildArtifactResult> BuildArtifact(
+    io::IoContext* context, const graph::DiskGraph& g,
+    const std::string& artifact_path, const BuildArtifactOptions& options);
+
+}  // namespace extscc::serve
+
+#endif  // EXTSCC_SERVE_INDEX_BUILDER_H_

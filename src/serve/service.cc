@@ -1,0 +1,106 @@
+#include "serve/service.h"
+
+#include <cstdint>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace extscc::serve {
+
+namespace {
+
+// Strict u32 parse: the whole token, no sign, no overflow.
+bool ParseNodeId(const std::string& token, graph::NodeId* out) {
+  if (token.empty() || token.size() > 10) return false;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value > 0xffffffffull) return false;
+  *out = static_cast<graph::NodeId>(value);
+  return true;
+}
+
+}  // namespace
+
+bool ParseQueryLine(const std::string& line, Query* query) {
+  std::istringstream in(line);
+  std::string verb, a, b, extra;
+  if (!(in >> verb)) return false;
+  Query q;
+  if (verb == "same" || verb == "reach") {
+    q.type = verb == "same" ? QueryType::kSameScc : QueryType::kReachable;
+    if (!(in >> a >> b) || (in >> extra)) return false;
+    if (!ParseNodeId(a, &q.u) || !ParseNodeId(b, &q.v)) return false;
+  } else if (verb == "stat") {
+    q.type = QueryType::kSccStat;
+    if (!(in >> a) || (in >> extra)) return false;
+    if (!ParseNodeId(a, &q.u)) return false;
+  } else {
+    return false;
+  }
+  *query = q;
+  return true;
+}
+
+std::string FormatAnswer(const Query& query, const QueryAnswer& answer) {
+  std::string out;
+  switch (query.type) {
+    case QueryType::kSameScc:
+    case QueryType::kReachable:
+      out = (query.type == QueryType::kSameScc ? "same " : "reach ") +
+            std::to_string(query.u) + " " + std::to_string(query.v) + " ";
+      out += answer.known ? (answer.result ? "true" : "false") : "unknown";
+      return out;
+    case QueryType::kSccStat:
+      out = "stat " + std::to_string(query.u) + " ";
+      if (!answer.known) return out + "unknown";
+      return out + "scc=" + std::to_string(answer.scc_u) +
+             " size=" + std::to_string(answer.scc_size);
+  }
+  return out;  // unreachable
+}
+
+util::Status RunQueries(io::IoContext* context, const QueryEngine& engine,
+                        const std::vector<Query>& queries,
+                        std::size_t threads,
+                        std::vector<QueryAnswer>* answers,
+                        QueryBatchStats* stats) {
+  const std::size_t n = queries.size();
+  answers->resize(n);
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(threads, n == 0 ? 1 : n));
+  if (workers == 1) {
+    return engine.RunBatch(context, queries.data(), n, answers->data(),
+                           stats);
+  }
+  // Contiguous slices; each worker sorts and sweeps its slice
+  // independently (the per-device stats and the memory budget are
+  // thread-safe underneath).
+  std::vector<util::Status> statuses(workers);
+  std::vector<QueryBatchStats> worker_stats(workers);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([&, w, begin, end] {
+      statuses[w] =
+          engine.RunBatch(context, queries.data() + begin, end - begin,
+                          answers->data() + begin, &worker_stats[w]);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (std::size_t w = 0; w < workers; ++w) {
+    if (stats != nullptr) *stats += worker_stats[w];
+    RETURN_IF_ERROR(statuses[w]);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace extscc::serve

@@ -1,0 +1,50 @@
+// Service surface shared by `extscc_tool query` and `extscc_tool
+// serve`: the line protocol and the concurrent batch dispatcher.
+//
+// Line protocol (one query per line, whitespace-separated):
+//   same <u> <v>    are u and v in the same SCC?
+//   reach <u> <v>   does u reach v?
+//   stat <u>        SCC label and size of u
+// Answers echo the query followed by the verdict:
+//   same 3 7 true | reach 3 7 false | stat 3 scc=2 size=41
+// A node the artifact never saw answers `unknown` instead of a verdict.
+//
+// Concurrency contract: one immutable artifact, one shared IoContext, N
+// reader threads. RunQueries splits a batch into contiguous slices and
+// runs QueryEngine::RunBatch on each concurrently — answers land in
+// their original positions, so the output is identical to a serial run
+// (slicing changes only the sweep count, never a verdict).
+#ifndef EXTSCC_SERVE_SERVICE_H_
+#define EXTSCC_SERVE_SERVICE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "io/io_context.h"
+#include "serve/query_engine.h"
+#include "util/status.h"
+
+namespace extscc::serve {
+
+// Parses one protocol line into `query`. False on malformed input
+// (unknown verb, wrong arity, non-numeric or out-of-range id); blank
+// lines are NOT queries — callers treat them as batch flushes.
+bool ParseQueryLine(const std::string& line, Query* query);
+
+// Formats the answer line for `query`.
+std::string FormatAnswer(const Query& query, const QueryAnswer& answer);
+
+// Answers queries[0..n) into answers[0..n) using up to `threads`
+// concurrent slices (0 and 1 both mean serial). Statuses merge
+// first-error-wins in slice order; `stats`, when given, accumulates
+// across slices.
+util::Status RunQueries(io::IoContext* context, const QueryEngine& engine,
+                        const std::vector<Query>& queries,
+                        std::size_t threads,
+                        std::vector<QueryAnswer>* answers,
+                        QueryBatchStats* stats = nullptr);
+
+}  // namespace extscc::serve
+
+#endif  // EXTSCC_SERVE_SERVICE_H_

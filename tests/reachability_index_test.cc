@@ -22,28 +22,7 @@ using graph::Edge;
 using graph::NodeId;
 using testing::MakeTestContext;
 
-// In-memory reachability oracle by DFS over the original edges.
-bool OracleReach(const graph::Digraph& g, NodeId from, NodeId to) {
-  const std::size_t s = g.index_of(from);
-  const std::size_t t = g.index_of(to);
-  if (s == g.num_nodes() || t == g.num_nodes()) return from == to;
-  if (s == t) return true;
-  std::vector<bool> seen(g.num_nodes(), false);
-  std::vector<std::size_t> stack{s};
-  seen[s] = true;
-  while (!stack.empty()) {
-    const auto v = stack.back();
-    stack.pop_back();
-    for (const auto w : g.out_neighbors(v)) {
-      if (w == t) return true;
-      if (!seen[w]) {
-        seen[w] = true;
-        stack.push_back(w);
-      }
-    }
-  }
-  return false;
-}
+using testing::OracleReach;  // shared BFS oracle (tests/test_util.h)
 
 // Builds the index via Ext-SCC labels and cross-checks every node pair
 // against the oracle.

@@ -73,6 +73,14 @@ scc::SccResult Oracle(const std::vector<graph::Edge>& edges,
   return scc::TarjanScc(g);
 }
 
+bool OracleReach(const graph::Digraph& g, graph::NodeId from,
+                 graph::NodeId to) {
+  const std::size_t s = g.index_of(from);
+  const std::size_t t = g.index_of(to);
+  if (s == g.num_nodes() || t == g.num_nodes()) return from == to;
+  return graph::BfsReachable(g, s, t);
+}
+
 void ExpectSccFileMatchesOracle(io::IoContext* context,
                                 const graph::DiskGraph& g,
                                 const std::string& scc_path,

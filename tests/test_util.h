@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "graph/digraph.h"
 #include "graph/disk_graph.h"
 #include "graph/graph_types.h"
 #include "io/io_context.h"
@@ -45,6 +46,13 @@ std::unique_ptr<io::IoContext> MakeMemTestContext(
 // In-memory oracle partition of an edge list (+ optional isolated nodes).
 scc::SccResult Oracle(const std::vector<graph::Edge>& edges,
                       const std::vector<graph::NodeId>& extra_nodes = {});
+
+// Reachability oracle by direct search on `g` (graph::BfsReachable),
+// taking external NodeIds. Ids absent from the graph reach only
+// themselves — matching the index-side convention that an unlabelled
+// node is its own singleton.
+bool OracleReach(const graph::Digraph& g, graph::NodeId from,
+                 graph::NodeId to);
 
 // Asserts (gtest EXPECT) that `scc_path` matches the oracle of `g`.
 void ExpectSccFileMatchesOracle(io::IoContext* context,
