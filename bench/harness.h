@@ -123,10 +123,12 @@ struct PointResult {
 //    accounting is identical across models; injected retries are
 //    counted separately (IoStats read_retries/write_retries), never as
 //    model I/Os.
-//  - `--placement=rr|spread` (EXTSCC_BENCH_PLACEMENT): scratch device
-//    assignment — round-robin (default, byte-identical tables) or
+//  - `--placement=rr|spread|striped` (EXTSCC_BENCH_PLACEMENT): scratch
+//    device assignment — round-robin (default, byte-identical tables),
 //    spread-group (a merge group's runs on distinct devices by
-//    construction).
+//    construction), or striped (every scratch file's BLOCKS round-robin
+//    across the devices, so one sequential stream runs at D× a single
+//    device's bandwidth).
 inline bool& PrefetchFlag() {
   static bool enabled = false;
   return enabled;
@@ -197,7 +199,7 @@ inline void ParseBenchFlags(int argc, char** argv) {
                    "--scratch-dirs=a,b,..., "
                    "--device-model=posix|mem|throttled[:lat_us[:mb_per_s]]"
                    "|faulty[:seed=S,rate=R,...], "
-                   "--placement=rr|spread)\n",
+                   "--placement=rr|spread|striped)\n",
                    argv[i]);
       std::exit(2);
     }

@@ -3,7 +3,7 @@
 //   extscc_tool [--sort-threads=N] [--io-threads=N]
 //               [--scratch-dirs=a,b,...]
 //               [--device-model=posix|mem|throttled[:...]|faulty[:...]]
-//               [--placement=rr|spread] [--checksum-blocks] <command> ...
+//               [--placement=rr|spread|striped] [--checksum-blocks] <command> ...
 //
 //   extscc_tool generate <kind> <num_nodes> <out.txt> [seed]
 //       kind: web | massive | large | small | rmat | cycle | dag
@@ -35,10 +35,12 @@
 // device per listed directory, --device-model selects what backs them
 // (real files, RAM, or latency/bandwidth-throttled files), and
 // --placement selects how scratch files are assigned to devices
-// (round-robin, or spread-group placing a merge group's runs on
-// distinct devices). With several devices, `solve` prints the
+// (round-robin, spread-group placing a merge group's runs on distinct
+// devices, or striped round-robining every scratch file's BLOCKS
+// across the devices so one sequential stream runs at D× a single
+// device's bandwidth). With several devices, `solve` prints the
 // per-device I/O breakdown and the critical-path (busiest-device)
-// count.
+// count; under striped placement it also prints the stripe width.
 //
 // Text formats: edge lists are "u v" per line; label files are
 // "node scc" per line.
@@ -81,7 +83,7 @@ int Usage() {
       stderr,
       "usage: extscc_tool [--sort-threads=N] [--io-threads=N] "
       "[--scratch-dirs=a,b,...] "
-      "[--device-model=MODEL] [--placement=rr|spread] "
+      "[--device-model=MODEL] [--placement=rr|spread|striped] "
       "[--checksum-blocks] <command> ...\n"
       "  extscc_tool generate <web|massive|large|small|rmat|cycle|dag> "
       "<num_nodes> <out.txt> [seed]\n"
@@ -249,6 +251,15 @@ int CmdSolve(int argc, char** argv) {
       argc > 4 ? std::strtoull(argv[4], nullptr, 10) : (4u << 20);
   const bool basic = argc > 5 && std::strcmp(argv[5], "basic") == 0;
   auto context = MakeContext(memory);
+  // Striped placement is a per-block fan-out: say how wide the stripes
+  // actually are (quarantine or a 1-device machine can narrow it to a
+  // round-robin fallback, which prints nothing here).
+  if (g_placement == io::PlacementPolicy::kStriped &&
+      context.temp_files().num_available_devices() > 1) {
+    std::printf("striped scratch placement: stripe width %llu devices\n",
+                static_cast<unsigned long long>(
+                    context.temp_files().num_available_devices()));
+  }
   auto loaded = graph::LoadTextEdgeList(&context, argv[2]);
   if (!loaded.ok()) return StatusExit(loaded.status());
   const std::string scc_path = context.NewTempPath("scc");

@@ -222,7 +222,9 @@ BlockFile::BlockFile(IoContext* context, const std::string& path,
   if (mode == OpenMode::kTruncateWrite) {
     std::lock_guard<std::mutex> lock(context_->stats_mutex());
     context_->stats().files_created += 1;
-    device_->stats().files_created += 1;
+    // Striped files charge their creation to the member owning block 0,
+    // keeping per-device rows summing to the aggregate.
+    StatsDevice(0)->stats().files_created += 1;
   }
 }
 
@@ -310,8 +312,10 @@ util::Status BlockFile::PreadBlock(std::uint64_t block_index, void* buf,
   const std::size_t want = static_cast<std::size_t>(
       std::min<std::uint64_t>(block_size_, size_bytes_ - offset));
   if (!checksummed_) {
-    RETURN_IF_ERROR(RunWithRetries(context_, device_, /*is_read=*/true,
-                                   [&] {
+    // Retries (like the model I/O itself) are charged to the device
+    // that owns this block's stripe.
+    RETURN_IF_ERROR(RunWithRetries(context_, StatsDevice(block_index),
+                                   /*is_read=*/true, [&] {
                                      return file_->ReadAt(offset, buf, want);
                                    }));
     *bytes = want;
@@ -324,7 +328,7 @@ util::Status BlockFile::PreadBlock(std::uint64_t block_index, void* buf,
   std::vector<char>& staging = ChecksumStaging(block_size_);
   const std::uint64_t phys = PhysicalOffset(block_index);
   RETURN_IF_ERROR(RunWithRetries(
-      context_, device_, /*is_read=*/true, [&] {
+      context_, StatsDevice(block_index), /*is_read=*/true, [&] {
         return file_->ReadAt(phys, staging.data(),
                              want + kChecksumTrailerBytes);
       }));
@@ -351,7 +355,7 @@ void BlockFile::CountRead(std::uint64_t block_index, std::size_t bytes) {
   last_read_block_ = static_cast<std::int64_t>(block_index);
   std::lock_guard<std::mutex> lock(context_->stats_mutex());
   IoStats& stats = context_->stats();
-  IoStats& device_stats = device_->stats();
+  IoStats& device_stats = StatsDevice(block_index)->stats();
   if (sequential) {
     stats.sequential_reads += 1;
     device_stats.sequential_reads += 1;
@@ -418,7 +422,7 @@ void BlockFile::CountWrite(std::uint64_t block_index, std::size_t bytes) {
   last_write_block_ = static_cast<std::int64_t>(block_index);
   std::lock_guard<std::mutex> lock(context_->stats_mutex());
   IoStats& stats = context_->stats();
-  IoStats& device_stats = device_->stats();
+  IoStats& device_stats = StatsDevice(block_index)->stats();
   if (sequential) {
     stats.sequential_writes += 1;
     device_stats.sequential_writes += 1;
@@ -435,7 +439,8 @@ util::Status BlockFile::RawWriteAt(std::uint64_t block_index,
                                    const void* data, std::size_t bytes) {
   if (file_ == nullptr) return status();  // dead open
   if (!checksummed_) {
-    return RunWithRetries(context_, device_, /*is_read=*/false, [&] {
+    return RunWithRetries(context_, StatsDevice(block_index),
+                          /*is_read=*/false, [&] {
       return file_->WriteAt(block_index * block_size_, data, bytes);
     });
   }
@@ -447,7 +452,8 @@ util::Status BlockFile::RawWriteAt(std::uint64_t block_index,
   std::memcpy(staging.data(), data, bytes);
   EncodeChecksumTrailer(Crc32(data, bytes), staging.data() + bytes);
   const std::uint64_t phys = PhysicalOffset(block_index);
-  return RunWithRetries(context_, device_, /*is_read=*/false, [&] {
+  return RunWithRetries(context_, StatsDevice(block_index),
+                        /*is_read=*/false, [&] {
     return file_->WriteAt(phys, staging.data(),
                           bytes + kChecksumTrailerBytes);
   });

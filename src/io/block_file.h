@@ -114,6 +114,22 @@ class BlockFile {
   class Prefetcher;
   friend class ReadScheduler;  // PreadBlock / RawWriteAt on its workers
 
+  // The stripe member devices when this file lives on a StripedDevice
+  // (block b is owned by member b % D), else nullptr. Immutable per
+  // open handle.
+  const std::vector<StorageDevice*>* StripeDevices() const {
+    return file_ != nullptr ? file_->stripe_devices() : nullptr;
+  }
+
+  // The device charged for an I/O on `block_index`: the stripe member
+  // owning that block, or the file's own device. Keeps per-device rows
+  // summing to the aggregate — the StripedDevice's own stats stay zero.
+  StorageDevice* StatsDevice(std::uint64_t block_index) const {
+    const std::vector<StorageDevice*>* stripe = StripeDevices();
+    return stripe != nullptr ? (*stripe)[block_index % stripe->size()]
+                             : device_;
+  }
+
   // Records the model accounting for a consumed read of `block_index`
   // carrying `bytes` payload bytes (shared by the direct and prefetched
   // paths; always runs on the consumer thread).

@@ -76,6 +76,9 @@ IoContext::IoContext(const IoContextOptions& options)
   CHECK_GE(options.memory_bytes, 2 * options.block_size)
       << "external-memory model requires M >= 2B";
   temp_files_.set_keep_files(options.keep_temp_files);
+  // Striped placement needs the physical stride before the first open:
+  // block_size, plus the CRC32 trailer when scratch blocks carry one.
+  temp_files_.ConfigureStriping(options.block_size, options.checksum_blocks);
   if (options.io_threads > 0) {
     read_scheduler_ = std::make_unique<ReadScheduler>(
         &memory_, options.block_size, options.io_threads,

@@ -97,7 +97,10 @@ struct IoContextOptions {
   // Device-assignment policy for scratch files. kRoundRobin (default)
   // stripes by global sequence number — byte-identical paths and device
   // choice to the pre-device engine. kSpreadGroup places a merge
-  // group's runs on distinct devices by construction (see storage.h).
+  // group's runs on distinct devices by construction. kStriped
+  // round-robins every scratch file's BLOCKS across the devices, so a
+  // single sequential stream runs at D× one device's bandwidth (see
+  // storage.h).
   PlacementPolicy scratch_placement = PlacementPolicy::kRoundRobin;
 
   // Keep scratch files on destruction (debugging aid).

@@ -35,7 +35,11 @@ struct StreamSlot {
 class ScheduledStream {
  public:
   BlockFile* file = nullptr;
-  StorageDevice* device = nullptr;
+  // The devices serving this stream: the file's stripe members in
+  // stripe order (block b belongs to devices[b % width]), or exactly
+  // one entry for a plain single-device file. Every listed device's
+  // queue holds a pointer to this stream.
+  std::vector<StorageDevice*> devices;
   bool writer = false;
   bool dying = false;
   std::uint64_t reserved_bytes = 0;
@@ -47,25 +51,63 @@ class ScheduledStream {
   // sticky status before the file closes.
   util::Status write_status;
 
-  // Reader sequence state. Blocks are issued and consumed strictly in
-  // order; block b lives in slot (b % depth), which is free for reuse
-  // only after block b - depth was consumed.
+  // Reader sequence state. Blocks are CONSUMED strictly in order;
+  // block b lives in slot (b % slots.size()). Each member device
+  // issues only its own blocks (b % width == member index), stepping
+  // its next_issue cursor by width, so members read ahead
+  // independently — the window guard in Claim keeps slot reuse sound.
   std::uint64_t end_block = 0;      // first block past EOF
-  std::uint64_t next_issue = 0;     // next block a worker may claim
+  std::vector<std::uint64_t> next_issue;  // per devices[] entry
   std::uint64_t consume_block = 0;  // next block the consumer may take
 
   // The consumer (reader) or producer (writer) waits here.
   std::condition_variable cv;
 
-  bool HasClaimableWork() const {
-    // A pending write must drain even on a dying stream — Unregister
-    // waits for exactly that before the file handle closes. Only new
-    // READ-ahead stops at dying (its data would go nowhere).
-    if (writer) return slots[0].state == StreamSlot::State::kPending;
-    if (dying) return false;
-    return next_issue < end_block &&
-           slots[next_issue % slots.size()].state ==
-               StreamSlot::State::kEmpty;
+  std::size_t DeviceIndex(const StorageDevice* device) const {
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      if (devices[i] == device) return i;
+    }
+    LOG_FATAL << "ReadScheduler: stream claimed by a device it is not "
+                 "registered with";
+    return 0;
+  }
+
+  // Claims one unit of work that `device` can perform on this stream,
+  // flipping the chosen slot to kInFlight. Runs under the scheduler
+  // mutex.
+  bool Claim(StorageDevice* device, std::size_t* slot_index) {
+    const std::size_t width = devices.size();
+    const std::size_t di = DeviceIndex(device);
+    if (writer) {
+      // A pending write must drain even on a dying stream — Unregister
+      // waits for exactly that before the file handle closes — but only
+      // the member owning the block may execute it.
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (slots[s].state == StreamSlot::State::kPending &&
+            slots[s].block % width == di) {
+          slots[s].state = StreamSlot::State::kInFlight;
+          *slot_index = s;
+          return true;
+        }
+      }
+      return false;
+    }
+    if (dying) return false;  // new read-ahead would go nowhere
+    const std::uint64_t block = next_issue[di];
+    if (block >= end_block) return false;
+    // Ring window: block b may go in flight only once every earlier
+    // occupant of its slot (b - slots.size() and older) was consumed.
+    // Members fill out of order, but all blocks below consume_block are
+    // already consumed, so the member owning consume_block is never
+    // window-blocked — no deadlock.
+    if (block >= consume_block + slots.size()) return false;
+    StreamSlot& slot = slots[block % slots.size()];
+    if (slot.state != StreamSlot::State::kEmpty) return false;
+    slot.state = StreamSlot::State::kInFlight;
+    slot.block = block;
+    next_issue[di] += width;
+    *slot_index = static_cast<std::size_t>(block % slots.size());
+    return true;
   }
 
   bool Idle() const {
@@ -88,12 +130,9 @@ ReadScheduler::~ReadScheduler() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
-    for (const auto& entry : queues_) {
-      DCHECK(entry.second->streams.empty())
-          << "ReadScheduler destroyed with live streams (a BlockFile "
-             "outlived its IoContext)";
-      (void)entry;
-    }
+    DCHECK(streams_.empty())
+        << "ReadScheduler destroyed with live streams (a BlockFile "
+           "outlived its IoContext)";
     for (auto& worker : workers_) worker->cv.notify_all();
   }
   for (auto& worker : workers_) worker->thread.join();
@@ -126,10 +165,16 @@ ReadScheduler::DeviceQueue* ReadScheduler::QueueFor(StorageDevice* device) {
 ScheduledStream* ReadScheduler::AdoptStream(
     std::unique_ptr<ScheduledStream> stream) {
   std::lock_guard<std::mutex> lock(mu_);
-  DeviceQueue* queue = QueueFor(stream->device);
   ScheduledStream* raw = stream.get();
-  queue->streams.push_back(std::move(stream));
-  queue->worker->cv.notify_all();
+  streams_.push_back(std::move(stream));
+  // Register with EVERY member device's queue (one queue for plain
+  // files): a striped stream is kept full by all its members' workers
+  // concurrently.
+  for (StorageDevice* device : raw->devices) {
+    DeviceQueue* queue = QueueFor(device);
+    queue->streams.push_back(raw);
+    queue->worker->cv.notify_all();
+  }
   return raw;
 }
 
@@ -154,29 +199,56 @@ ScheduledStream* ReadScheduler::RegisterReader(BlockFile* file,
   if (affordable == 0) return nullptr;
   auto stream = std::make_unique<ScheduledStream>();
   stream->file = file;
-  stream->device = file->device();
+  const std::vector<StorageDevice*>* stripe = file->StripeDevices();
+  if (stripe != nullptr) {
+    stream->devices = *stripe;
+  } else {
+    stream->devices.push_back(file->device());
+  }
   stream->reserved_bytes = kept;
   stream->slots.resize(affordable);
   for (StreamSlot& slot : stream->slots) slot.data.resize(block_size_);
   stream->end_block = file->num_blocks();
-  stream->next_issue = start_block;
+  // Each member starts at its first owned block at or after
+  // start_block and steps by the stripe width.
+  const std::uint64_t width = stream->devices.size();
+  stream->next_issue.resize(width);
+  for (std::uint64_t di = 0; di < width; ++di) {
+    stream->next_issue[di] =
+        start_block + (di + width - start_block % width) % width;
+  }
   stream->consume_block = start_block;
   return AdoptStream(std::move(stream));
 }
 
 ScheduledStream* ReadScheduler::RegisterWriter(BlockFile* file) {
-  const std::uint64_t granted = memory_->ReserveUpTo(block_size_);
-  if (granted < block_size_) {
-    memory_->Release(granted);
-    return nullptr;
-  }
+  // One pending-write slot per stripe member (one for plain files):
+  // block b parks in slot b % nslots and only member b % width executes
+  // it, so a striped output stream drives all members concurrently.
+  // Degrade to fewer slots when the budget is short — nslots < width
+  // just means fewer writes in flight, never a wrong route.
+  const std::vector<StorageDevice*>* stripe = file->StripeDevices();
+  const std::size_t width = stripe != nullptr ? stripe->size() : 1;
+  const std::uint64_t want =
+      static_cast<std::uint64_t>(width) * block_size_;
+  const std::uint64_t granted = memory_->ReserveUpTo(want);
+  const std::size_t affordable =
+      static_cast<std::size_t>(granted / block_size_);
+  const std::uint64_t kept =
+      static_cast<std::uint64_t>(affordable) * block_size_;
+  if (granted > kept) memory_->Release(granted - kept);
+  if (affordable == 0) return nullptr;
   auto stream = std::make_unique<ScheduledStream>();
   stream->file = file;
-  stream->device = file->device();
+  if (stripe != nullptr) {
+    stream->devices = *stripe;
+  } else {
+    stream->devices.push_back(file->device());
+  }
   stream->writer = true;
-  stream->reserved_bytes = block_size_;
-  stream->slots.resize(1);
-  stream->slots[0].data.resize(block_size_);
+  stream->reserved_bytes = kept;
+  stream->slots.resize(affordable);
+  for (StreamSlot& slot : stream->slots) slot.data.resize(block_size_);
   return AdoptStream(std::move(stream));
 }
 
@@ -190,14 +262,20 @@ void ReadScheduler::Unregister(ScheduledStream* stream) {
     // be reopened for reading); in-flight ops own their slot buffers.
     stream->cv.wait(lock, [stream] { return stream->Idle(); });
     parked_write = stream->write_status;
-    DeviceQueue* queue = queues_.at(stream->device).get();
+    for (StorageDevice* device : stream->devices) {
+      DeviceQueue* queue = queues_.at(device).get();
+      auto it =
+          std::find(queue->streams.begin(), queue->streams.end(), stream);
+      DCHECK(it != queue->streams.end());
+      queue->streams.erase(it);
+      queue->cursor = 0;
+    }
     auto it =
-        std::find_if(queue->streams.begin(), queue->streams.end(),
+        std::find_if(streams_.begin(), streams_.end(),
                      [stream](const auto& s) { return s.get() == stream; });
-    DCHECK(it != queue->streams.end());
+    DCHECK(it != streams_.end());
     owned = std::move(*it);
-    queue->streams.erase(it);
-    queue->cursor = 0;
+    streams_.erase(it);
   }
   // Outside the scheduler lock; the budget is only ever touched by the
   // algorithm thread (the same thread running this Unregister).
@@ -247,7 +325,12 @@ bool ReadScheduler::TakeBlock(ScheduledStream* stream,
   lock.lock();
   slot.state = StreamSlot::State::kEmpty;
   stream->consume_block += 1;
-  queues_.at(stream->device)->worker->cv.notify_all();
+  // The freed slot and the advanced window can unblock ANY member's
+  // next issue — wake them all (width is small; spurious wakes are one
+  // failed claim).
+  for (StorageDevice* device : stream->devices) {
+    queues_.at(device)->worker->cv.notify_all();
+  }
   *bytes = got;
   return true;
 }
@@ -257,14 +340,16 @@ void ReadScheduler::SubmitWrite(ScheduledStream* stream,
                                 std::size_t bytes) {
   DCHECK(stream->writer);
   DCHECK_LE(bytes, block_size_);
-  StreamSlot& slot = stream->slots[0];
+  // Block b parks in slot b % nslots; the per-slot bound is the double
+  // buffer (a striped stream has up to one slot per member, so up to
+  // width writes overlap). kEmpty slots belong to the producer, so the
+  // copy runs unlocked.
+  StreamSlot& slot = stream->slots[block_index % stream->slots.size()];
   std::unique_lock<std::mutex> lock(mu_);
-  // The single-slot bound: wait out the previous write. kEmpty slots
-  // belong to the producer, so the copy runs unlocked.
   stream->cv.wait(
       lock, [&slot] { return slot.state == StreamSlot::State::kEmpty; });
   if (!stream->write_status.ok()) {
-    // The previous async write failed: the file is dead. Park the error
+    // A previous async write failed: the file is dead. Park the error
     // on it (this is the producer thread) and drop the new block
     // instead of hammering the device.
     const util::Status failed = stream->write_status;
@@ -278,7 +363,10 @@ void ReadScheduler::SubmitWrite(ScheduledStream* stream,
   slot.bytes = bytes;
   lock.lock();
   slot.state = StreamSlot::State::kPending;
-  queues_.at(stream->device)->worker->cv.notify_all();
+  // Only the member owning this block may execute it.
+  StorageDevice* owner =
+      stream->devices[block_index % stream->devices.size()];
+  queues_.at(owner)->worker->cv.notify_all();
 }
 
 std::size_t ReadScheduler::num_workers() const {
@@ -286,27 +374,15 @@ std::size_t ReadScheduler::num_workers() const {
   return workers_.size();
 }
 
-bool ReadScheduler::ClaimTaskOnDevice(DeviceQueue* queue,
+bool ReadScheduler::ClaimTaskOnDevice(StorageDevice* device,
+                                      DeviceQueue* queue,
                                       ScheduledStream** stream,
                                       std::size_t* slot_index) {
   const std::size_t n = queue->streams.size();
   for (std::size_t i = 0; i < n; ++i) {
-    ScheduledStream* candidate =
-        queue->streams[(queue->cursor + i) % n].get();
-    if (!candidate->HasClaimableWork()) continue;
+    ScheduledStream* candidate = queue->streams[(queue->cursor + i) % n];
+    if (!candidate->Claim(device, slot_index)) continue;
     queue->cursor = (queue->cursor + i + 1) % n;  // round-robin fairness
-    if (candidate->writer) {
-      candidate->slots[0].state = StreamSlot::State::kInFlight;
-      *slot_index = 0;
-    } else {
-      const std::size_t idx = static_cast<std::size_t>(
-          candidate->next_issue % candidate->slots.size());
-      StreamSlot& slot = candidate->slots[idx];
-      slot.state = StreamSlot::State::kInFlight;
-      slot.block = candidate->next_issue;
-      candidate->next_issue += 1;
-      *slot_index = idx;
-    }
     *stream = candidate;
     return true;
   }
@@ -317,9 +393,9 @@ bool ReadScheduler::ClaimTask(Worker* worker, ScheduledStream** stream,
                               std::size_t* slot_index) {
   const std::size_t n = worker->devices.size();
   for (std::size_t i = 0; i < n; ++i) {
-    DeviceQueue* queue =
-        queues_.at(worker->devices[(worker->cursor + i) % n]).get();
-    if (ClaimTaskOnDevice(queue, stream, slot_index)) {
+    StorageDevice* device = worker->devices[(worker->cursor + i) % n];
+    DeviceQueue* queue = queues_.at(device).get();
+    if (ClaimTaskOnDevice(device, queue, stream, slot_index)) {
       worker->cursor = (worker->cursor + i + 1) % n;
       return true;
     }

@@ -20,6 +20,18 @@
 // write of output block N overlaps the selection of block N+1, and a
 // write to device A never blocks reads on device B.
 //
+// Striped streams (kStriped placement, StorageFile::stripe_devices):
+// a file whose blocks round-robin across D member devices registers
+// with EVERY member's queue. Each member worker issues only the blocks
+// its device owns (block % D), so all D workers keep one ring full
+// concurrently — a single sequential scan reads at D× one device's
+// bandwidth — and a striped writer gets up to D pending-write slots
+// (one per member, budget permitting), giving the final merge's output
+// D-way write bandwidth. Consumption stays strictly sequential; the
+// ring window (no block may go in flight before every prior occupant
+// of its slot was consumed) keeps slot reuse single-owner even though
+// members fill out of order.
+//
 // Accounting discipline (identical to the prefetcher): workers move raw
 // bytes but never touch IoStats. Reads are counted by the consumer as it
 // takes each block, writes by the submitter as it hands a block over, so
@@ -75,8 +87,10 @@ class ReadScheduler {
   ScheduledStream* RegisterReader(BlockFile* file, std::uint64_t start_block);
 
   // Registers an asynchronous writer over `file` with one pending-write
-  // slot (double buffering). nullptr when the budget cannot cover the
-  // slot — the caller keeps writing synchronously.
+  // slot per stripe member (one total for plain files — classic double
+  // buffering), degrading to fewer slots when the budget is short.
+  // nullptr when not even one slot fits — the caller keeps writing
+  // synchronously.
   ScheduledStream* RegisterWriter(BlockFile* file);
 
   // Drains in-flight work on `stream` (joins a pending write), removes
@@ -112,9 +126,12 @@ class ReadScheduler {
     std::size_t cursor = 0;               // round-robin over devices
   };
 
+  // Per-device view: raw pointers into streams_ (a striped stream
+  // appears in every member device's queue; the scheduler owns it
+  // exactly once).
   struct DeviceQueue {
     Worker* worker = nullptr;
-    std::vector<std::unique_ptr<ScheduledStream>> streams;
+    std::vector<ScheduledStream*> streams;
     std::size_t cursor = 0;  // round-robin over streams
   };
 
@@ -123,8 +140,8 @@ class ReadScheduler {
   ScheduledStream* AdoptStream(std::unique_ptr<ScheduledStream> stream);
   bool ClaimTask(Worker* worker, ScheduledStream** stream,
                  std::size_t* slot_index);
-  bool ClaimTaskOnDevice(DeviceQueue* queue, ScheduledStream** stream,
-                         std::size_t* slot_index);
+  bool ClaimTaskOnDevice(StorageDevice* device, DeviceQueue* queue,
+                         ScheduledStream** stream, std::size_t* slot_index);
 
   void WorkerLoop(Worker* worker);
 
@@ -136,6 +153,7 @@ class ReadScheduler {
   mutable std::mutex mu_;
   bool stop_ = false;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<ScheduledStream>> streams_;
   std::unordered_map<StorageDevice*, std::unique_ptr<DeviceQueue>> queues_;
   std::size_t next_shared_worker_ = 0;  // device -> worker round-robin
 };

@@ -38,6 +38,8 @@ namespace extscc::io {
 // (buffered repository tree, external DFS adjacency fetches).
 enum class OpenMode { kRead, kTruncateWrite, kReadWrite };
 
+class StorageDevice;
+
 // An open file on some device. Offsets are byte offsets; BlockFile is
 // the only caller and never reads past the size it tracks, so ReadAt
 // transfers exactly `bytes` bytes or returns a non-OK Status (a short
@@ -55,6 +57,15 @@ class StorageFile {
   // Size of the file at Open time; growth afterwards is tracked by the
   // owning BlockFile.
   virtual std::uint64_t size_bytes() const = 0;
+
+  // Non-null for striped composite files (StripedDevice): the member
+  // devices, in stripe order — block b lives on member b % D. BlockFile
+  // routes per-block accounting to the owning member and the
+  // ReadScheduler registers the stream with every member's worker. The
+  // vector is immutable for the life of the handle.
+  virtual const std::vector<StorageDevice*>* stripe_devices() const {
+    return nullptr;
+  }
 };
 
 // A scratch/storage backend with its own I/O statistics. stats() follows
@@ -184,6 +195,72 @@ class ThrottledDevice : public StorageDevice {
   std::chrono::nanoseconds unslept_{0};
 };
 
+// Composite device that stripes each registered file's blocks
+// round-robin across a set of member devices at physical-stride
+// granularity: block b of a striped file lives at stride offset
+// (b / D) * stride of part b % D, so a single sequential stream draws
+// bandwidth from all D members at once (the classic parallel-disk
+// layout). The TempFileManager owns one StripedDevice under the
+// kStriped placement policy, registers a virtual path plus the
+// per-member part paths for every new scratch file, and resolves the
+// virtual path back to this device; Open then opens every part and
+// returns the routing composite.
+//
+// The stride is the *physical* block stride: block_size payload bytes,
+// plus the CRC32 trailer for checksummed scratch streams (mode !=
+// kReadWrite when checksum_blocks is on — exactly BlockFile's own
+// stride rule, so striping composes with checksums without either
+// layer knowing about the other).
+//
+// Accounting: this device's own IoStats stay ZERO by construction —
+// BlockFile charges every block I/O to the member device owning the
+// stripe (StorageFile::stripe_devices), so the per-device rows of
+// DeviceStats (which list only the members) still sum exactly to the
+// aggregate. Failover: a part-level I/O failure notes the failing
+// member here; TempFileManager::Quarantine on this device drains that
+// set and quarantines the members, and new striped placements exclude
+// them.
+class StripedDevice : public StorageDevice {
+ public:
+  explicit StripedDevice(std::string name);
+
+  // Stride geometry; must be set before the first Open (IoContext
+  // forwards its block_size/checksum_blocks options at construction
+  // via TempFileManager::ConfigureStriping).
+  void SetGeometry(std::size_t block_size, bool checksum_blocks);
+  bool has_geometry() const;
+
+  // Declares the striped file behind virtual path `path`: part i lives
+  // at parts[i] on devices[i] (>= 2 members, all distinct).
+  void RegisterFile(const std::string& path,
+                    std::vector<StorageDevice*> devices,
+                    std::vector<std::string> parts);
+
+  // Records a member whose part I/O failed; TakeFailedDevices drains
+  // the (deduplicated) set. The quarantine redirection seam.
+  void NoteFailedDevice(StorageDevice* device);
+  std::vector<StorageDevice*> TakeFailedDevices();
+
+  util::Status Open(const std::string& path, OpenMode mode,
+                    std::unique_ptr<StorageFile>* out) override;
+  util::Status Delete(const std::string& path) override;
+  std::string CreateSessionRoot() override;
+  void RemoveTree(const std::string& root) override;
+
+ private:
+  struct StripeInfo {
+    std::vector<StorageDevice*> devices;
+    std::vector<std::string> parts;
+  };
+
+  mutable std::mutex mu_;
+  std::size_t block_size_ = 0;
+  bool checksum_blocks_ = false;
+  std::uint64_t next_session_ = 0;
+  std::unordered_map<std::string, StripeInfo> files_;
+  std::vector<StorageDevice*> failed_devices_;
+};
+
 // One PosixDevice ("disk<i>") per entry of `scratch_parents`, or a
 // single one under `parent_dir` ("" = $TMPDIR or /tmp) when the list is
 // empty. The one construction path shared by the TempFileManager
@@ -203,7 +280,12 @@ std::vector<std::unique_ptr<StorageDevice>> MakePosixScratchDevices(
 //    num_devices consecutive members — in particular the fan-in runs of
 //    one merge group — occupies distinct devices by construction.
 //    Ungrouped files fall back to round-robin.
-enum class PlacementPolicy { kRoundRobin, kSpreadGroup };
+//  - kStriped: every scratch file's BLOCKS round-robin across the
+//    available devices (StripedDevice), so even a single sequential
+//    stream — a long scan, the final merge's output — runs at D× one
+//    device's bandwidth. Falls back to round-robin (with a once-per-
+//    manager stderr note) when fewer than two devices are available.
+enum class PlacementPolicy { kRoundRobin, kSpreadGroup, kStriped };
 
 // Placement request for one scratch file. `group` is a merge-group id
 // (one per run-forming sort or merge pass, from
@@ -280,9 +362,9 @@ std::string ParseDeviceModelSpec(const std::string& text,
 // propagate (and may quarantine the device) instead of burning retries.
 bool IsRetryableIoError(const util::Status& status);
 
-// Parses "rr" | "spread" into *out. Returns "" on success, else an
-// error message. Shared by the --placement flags of the benches and
-// extscc_tool.
+// Parses "rr" | "spread" | "striped" into *out. Returns "" on success,
+// else an error message. Shared by the --placement flags of the benches
+// and extscc_tool.
 std::string ParsePlacementSpec(const std::string& text,
                                PlacementPolicy* out);
 
@@ -305,8 +387,10 @@ class TempFileManager;
 // device count cannot keep a `group_size`-run merge group on distinct
 // devices, naming both numbers — once per manager
 // (TempFileManager::ClaimSpreadWarning). Called by the sorter's merge
-// path instead of degrading silently; a no-op under other placements,
-// for trivial groups, and when the devices cover the fan-in. The whole
+// path instead of degrading silently; a no-op under other placements —
+// in particular under kStriped, where every stream spans all devices by
+// construction and fan-in coverage is moot — for trivial groups, and
+// when the devices cover the fan-in. The whole
 // condition lives here so the once-per-context ticket is only consumed
 // when a message is actually printed.
 void MaybeWarnSpreadBelowFanIn(TempFileManager& temp_files,

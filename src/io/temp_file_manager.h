@@ -65,8 +65,21 @@ class TempFileManager {
   // path are byte-identical to NewPath; under kSpreadGroup a grouped
   // placement lands on device (group + member) % num_devices, so the
   // members of one merge group occupy distinct devices whenever the
-  // device count covers the fan-in.
+  // device count covers the fan-in. Under kStriped the file is a
+  // virtual path on the manager's StripedDevice whose blocks
+  // round-robin across every available device (ConfigureStriping must
+  // have run first); with fewer than two available devices the
+  // placement falls back to round-robin on what is left, with a
+  // once-per-manager stderr note — a 1-wide "stripe" is never built
+  // silently.
   ScratchFile NewFile(const std::string& tag, const Placement& placement);
+
+  // Hands the StripedDevice its physical stride geometry (block size
+  // plus whether scratch blocks carry CRC32 trailers). IoContext calls
+  // this right after construction; standalone managers using kStriped
+  // must call it before the first NewFile. A no-op under other
+  // policies.
+  void ConfigureStriping(std::size_t block_size, bool checksum_blocks);
 
   // Fresh merge-group id for Placement::InGroup (one per run-forming
   // sort or merge pass).
@@ -92,7 +105,11 @@ class TempFileManager {
   // (existing files stay readable — a write-dead disk can still serve
   // its surviving runs during failover). Quarantining every device is
   // legal; placement then falls back to the full set, and the next I/O
-  // error propagates instead of failing placement itself.
+  // error propagates instead of failing placement itself. Quarantining
+  // the manager's StripedDevice redirects to the member device(s) whose
+  // part I/O actually failed (StripedDevice::TakeFailedDevices), so a
+  // striped file whose member dies costs that one member — new striped
+  // placements then exclude it.
   void Quarantine(StorageDevice* device);
   bool IsQuarantined(StorageDevice* device) const;
 
@@ -136,10 +153,16 @@ class TempFileManager {
   // (DeviceForPath reads paths/devices lock-free).
   std::vector<Root> roots_;
   PlacementPolicy placement_ = PlacementPolicy::kRoundRobin;
+  // The composite striping device (kStriped with >= 2 devices only).
+  // Not a Root: it is not listed in devices()/DeviceStats rows and its
+  // own stats stay zero — block I/Os are charged to the member devices.
+  std::unique_ptr<StripedDevice> striped_;
+  std::string striped_root_;
   mutable std::mutex mu_;
   std::uint64_t next_id_ = 0;
   std::atomic<std::uint64_t> next_group_{0};
   std::atomic<bool> spread_warned_{false};
+  std::atomic<bool> striped_fallback_noted_{false};
   bool keep_files_ = false;
 };
 

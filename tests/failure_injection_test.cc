@@ -33,11 +33,11 @@ using testing::MakeTestContext;
 // A context over fault-injecting scratch devices (RAM-backed, so the
 // chaos tests are tmpfs-independent), with geometry small enough that
 // even tiny graphs spill real runs.
-std::unique_ptr<io::IoContext> MakeFaultyContext(const io::FaultSpec& fault,
-                                                 std::size_t num_devices,
-                                                 std::size_t sort_threads = 0,
-                                                 std::size_t io_threads = 0,
-                                                 bool checksums = false) {
+std::unique_ptr<io::IoContext> MakeFaultyContext(
+    const io::FaultSpec& fault, std::size_t num_devices,
+    std::size_t sort_threads = 0, std::size_t io_threads = 0,
+    bool checksums = false,
+    io::PlacementPolicy placement = io::PlacementPolicy::kRoundRobin) {
   io::IoContextOptions options;
   options.block_size = 256;
   options.memory_bytes = scc::SemiExternalScc::kBytesPerNode * 32;
@@ -48,6 +48,7 @@ std::unique_ptr<io::IoContext> MakeFaultyContext(const io::FaultSpec& fault,
   options.sort_threads = sort_threads;
   options.io_threads = io_threads;
   options.checksum_blocks = checksums;
+  options.scratch_placement = placement;
   return std::make_unique<io::IoContext>(options);
 }
 
@@ -146,6 +147,67 @@ TEST(FaultInjectionTest, PersistentDeviceFailureFailsOverAndVerifies) {
   // check above is the correctness bar.
 }
 
+// ---- Faults x striped placement --------------------------------------
+
+TEST(FaultInjectionTest, StripedTransientFaultsRetryToByteIdenticalSolve) {
+  // Striped scratch means every block op picks its member device; the
+  // retry layer must charge and absorb faults per member, and the solve
+  // must stay byte-identical to the clean reference.
+  const auto edges = gen::RandomDigraphEdges(150, 450, 17);
+  auto clean = MakeCleanMemContext(1);
+  const auto reference = SolveOrDie(clean.get(), edges, "clean reference");
+  ASSERT_FALSE(reference.empty());
+
+  io::FaultSpec fault;
+  fault.seed = 59;
+  fault.read_fault_rate = 2e-3;
+  fault.write_fault_rate = 2e-3;
+  fault.short_rate = 1e-3;
+  auto faulty =
+      MakeFaultyContext(fault, /*num_devices=*/2, /*sort_threads=*/0,
+                        /*io_threads=*/2, /*checksums=*/false,
+                        io::PlacementPolicy::kStriped);
+  const auto labels =
+      SolveOrDie(faulty.get(), edges, "striped transient faults");
+  ASSERT_EQ(labels.size(), reference.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ASSERT_EQ(labels[i].node, reference[i].node) << "at record " << i;
+    ASSERT_EQ(labels[i].scc, reference[i].scc) << "at record " << i;
+  }
+  EXPECT_GT(faulty->stats().read_retries + faulty->stats().write_retries, 0u);
+  EXPECT_FALSE(faulty->has_io_error()) << faulty->io_error().ToString();
+}
+
+TEST(FaultInjectionTest, StripedPersistentMemberFailureQuarantinesMember) {
+  // One member of every stripe dies persistently for spill writes. The
+  // failover must treat each affected striped file as ONE lost file,
+  // quarantine the dead MEMBER (not the composite), fall back to
+  // round-robin placement on the survivor (stripes need >= 2 devices),
+  // and finish with verified labels.
+  io::FaultSpec fault;
+  fault.seed = 7;
+  fault.fail_writes_after = 1;
+  fault.path_tag = "sortrun";
+  fault.device_index = 1;
+  auto ctx =
+      MakeFaultyContext(fault, /*num_devices=*/2, /*sort_threads=*/0,
+                        /*io_threads=*/0, /*checksums=*/false,
+                        io::PlacementPolicy::kStriped);
+  const auto edges = gen::RandomDigraphEdges(150, 450, 19);
+  const auto labels = SolveOrDie(ctx.get(), edges, "striped dead member");
+  ASSERT_FALSE(labels.empty());
+
+  const auto devices = ctx->temp_files().devices();
+  ASSERT_EQ(devices.size(), 2u);
+  EXPECT_TRUE(ctx->temp_files().IsQuarantined(devices[1]))
+      << "the failing stripe member must be quarantined";
+  EXPECT_FALSE(ctx->temp_files().IsQuarantined(devices[0]));
+  EXPECT_EQ(ctx->temp_files().num_available_devices(), 1u);
+  EXPECT_FALSE(ctx->has_io_error())
+      << ctx->io_error().ToString()
+      << " — a recovered striped failover must absorb its latched error";
+}
+
 // ---- Silent corruption: checksums turn bit flips into kCorruption ----
 
 TEST(FaultInjectionTest, BitFlipsYieldCorruptionNeverWrongAnswers) {
@@ -238,7 +300,10 @@ TEST(FaultInjectionTest, RetryableErrnoClassification) {
 
 TEST(FailureInjectionTest, TruncatedRecordFileAborts) {
   auto ctx = MakeTestContext();
-  const std::string path = ctx->NewTempPath("truncated");
+  // A user-facing path on the base device, NOT a scratch path: under
+  // the mem/striped test matrices a scratch path is a virtual name an
+  // ofstream cannot create.
+  const std::string path = ::testing::TempDir() + "/extscc_truncated.bin";
   {
     std::ofstream out(path, std::ios::binary);
     out << "abc";  // 3 bytes: not a whole Edge record
@@ -304,7 +369,8 @@ TEST(FailureInjectionTest, EmSccBudgetCensoring) {
 
 TEST(FailureInjectionTest, LoadRejectsHugeNodeIds) {
   auto ctx = MakeTestContext();
-  const std::string path = ctx->NewTempPath("huge.txt");
+  // Base-device path for the same reason as TruncatedRecordFileAborts.
+  const std::string path = ::testing::TempDir() + "/extscc_huge.txt";
   {
     std::ofstream out(path);
     out << "1 99999999999\n";  // exceeds 32-bit node id space

@@ -192,7 +192,10 @@ TEST(GraphBuilderTest, StreamingBuild) {
 
 TEST(GraphIoTest, TextRoundTrip) {
   auto ctx = MakeTestContext();
-  const std::string text_path = ctx->NewTempPath("graph.txt");
+  // Text edge lists are user-facing files: real filesystem paths, not
+  // scratch paths (which are virtual names under the mem/striped test
+  // matrices).
+  const std::string text_path = ::testing::TempDir() + "/extscc_graph.txt";
   {
     std::ofstream out(text_path);
     out << "# comment line\n";
@@ -203,7 +206,7 @@ TEST(GraphIoTest, TextRoundTrip) {
   EXPECT_EQ(loaded.value().num_edges, 3u);
   EXPECT_EQ(loaded.value().num_nodes, 3u);
 
-  const std::string out_path = ctx->NewTempPath("out.txt");
+  const std::string out_path = ::testing::TempDir() + "/extscc_out.txt";
   ASSERT_TRUE(
       graph::SaveTextEdgeList(ctx.get(), loaded.value(), out_path).ok());
   auto reloaded = graph::LoadTextEdgeList(ctx.get(), out_path);
@@ -221,7 +224,7 @@ TEST(GraphIoTest, MissingFileIsNotFound) {
 
 TEST(GraphIoTest, MalformedLineIsCorruption) {
   auto ctx = MakeTestContext();
-  const std::string path = ctx->NewTempPath("bad.txt");
+  const std::string path = ::testing::TempDir() + "/extscc_bad.txt";
   {
     std::ofstream out(path);
     out << "1 2\nnot an edge\n";
@@ -241,7 +244,7 @@ TEST(GraphIoTest, BinaryEdgeFileValidation) {
   EXPECT_EQ(ok.value().num_edges, 1u);
 
   // Truncated file: not a whole number of records.
-  const std::string bad = ctx->NewTempPath("bad.bin");
+  const std::string bad = ::testing::TempDir() + "/extscc_bad.bin";
   {
     std::ofstream out(bad, std::ios::binary);
     out << "xyz";

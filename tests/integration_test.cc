@@ -158,7 +158,9 @@ TEST(CensoringTest, DfsSccInfUnderExtSccDerivedBudget) {
 TEST(RobustnessTest, TextPipelineEndToEnd) {
   auto ctx = MakeTestContext(/*memory_bytes=*/1 << 20);
   // Write a text graph, load it, solve it, save labels next to it.
-  const std::string text = ctx->NewTempPath("input.txt");
+  // (A real filesystem path: text input is user-facing, and scratch
+  // paths are virtual names under the mem/striped test matrices.)
+  const std::string text = ::testing::TempDir() + "/extscc_input.txt";
   {
     std::vector<std::string> lines = {"# demo", "1 2", "2 3", "3 1", "3 4"};
     std::string blob;

@@ -247,6 +247,124 @@ TEST(ReadSchedulerTest, PrefetchFlagAndIoThreadsCompose) {
                            serial.size() * sizeof(Edge)));
 }
 
+// Striped oracle: every sorter entry point must reproduce the serial
+// engine's output byte for byte when the scratch files stripe their
+// blocks across several devices — the scheduler registers each striped
+// stream with every member's worker and the members fill the ring out
+// of order, but consumption (and therefore output) stays sequential.
+TEST(ReadSchedulerTest, StripedSortFileSerialVsIoThreadsByteIdentical) {
+  util::Rng rng(815);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t block = 512u << rng.Uniform(3);
+    const std::uint64_t memory = (6 + rng.Uniform(26)) * block;
+    const std::size_t count = 2'000 + rng.Uniform(30'000);
+    const bool dedup = rng.Uniform(2) == 1;
+    const std::size_t devices = 2 + rng.Uniform(2);
+    const auto edges = RandomEdges(count, rng.Next(), 1u << 12);
+
+    auto run = [&](std::size_t io_threads) {
+      auto ctx = MakeContext(memory, block, io_threads, devices,
+                             io::PlacementPolicy::kStriped);
+      const std::string in = ctx->NewTempPath("in");
+      io::WriteAllRecords(ctx.get(), in, edges);
+      const std::string out = ctx->NewTempPath("out");
+      extsort::SortFile<Edge, graph::EdgeBySrc>(ctx.get(), in, out,
+                                                graph::EdgeBySrc(), dedup);
+      return io::ReadAllRecords<Edge>(ctx.get(), out);
+    };
+    const auto serial = run(0);
+    for (const std::size_t threads : {1u, 2u, 4u}) {
+      const auto sched = run(threads);
+      ASSERT_EQ(serial.size(), sched.size())
+          << "trial " << trial << " io_threads " << threads;
+      ASSERT_EQ(0, std::memcmp(serial.data(), sched.data(),
+                               serial.size() * sizeof(Edge)))
+          << "trial " << trial << " io_threads " << threads;
+    }
+  }
+}
+
+TEST(ReadSchedulerTest, StripedSortIntoSerialVsIoThreadsIdenticalSinkStream) {
+  const auto edges = RandomEdges(30'000, 131, 1u << 16);
+  auto collect = [&](std::size_t io_threads) {
+    auto ctx = MakeContext(24 << 10, 1024, io_threads, 2,
+                           io::PlacementPolicy::kStriped);
+    const std::string in = ctx->NewTempPath("in");
+    io::WriteAllRecords(ctx.get(), in, edges);
+    std::vector<Edge> got;
+    auto sink = extsort::MakeCallbackSink<Edge>(
+        [&](const Edge& e) { got.push_back(e); });
+    extsort::SortInto<Edge>(ctx.get(), in, sink, graph::EdgeBySrc());
+    return got;
+  };
+  const auto serial = collect(0);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    const auto sched = collect(threads);
+    ASSERT_EQ(serial.size(), sched.size()) << "io_threads " << threads;
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i], sched[i])
+          << "io_threads " << threads << " at " << i;
+    }
+  }
+}
+
+TEST(ReadSchedulerTest, StripedScanCriticalPathNearTotalOverD) {
+  // A striped sequential scan spreads its blocks ~evenly, so the
+  // busiest device ends near total/D — the whole point of the policy.
+  // Placement is the subject here, so it is forced AFTER the test-env
+  // overrides.
+  constexpr std::size_t kDevices = 2;
+  io::IoContextOptions options;
+  options.block_size = 1024;
+  options.memory_bytes = 64 << 10;
+  options.device_model.model = io::DeviceModel::kMem;
+  for (std::size_t i = 0; i < kDevices; ++i) {
+    options.scratch_dirs.push_back("dev" + std::to_string(i));
+  }
+  testing::ApplyTestEnvOptions(&options);
+  options.scratch_placement = io::PlacementPolicy::kStriped;
+  options.io_threads = 2;
+  auto ctx = std::make_unique<io::IoContext>(options);
+  const auto edges = RandomEdges(16'384, 53, 1u << 14);  // 128 KB: 128 blocks
+  const std::string path = ctx->NewTempPath("scan");
+  io::WriteAllRecords(ctx.get(), path, edges);
+  const auto got = io::ReadAllRecords<Edge>(ctx.get(), path);
+  ASSERT_EQ(got.size(), edges.size());
+  // The env can override the device list; divide by what was built.
+  const std::size_t built = ctx->temp_files().devices().size();
+  ASSERT_GE(built, 2u);
+  const std::uint64_t total = ctx->stats().total_ios();
+  EXPECT_LE(ctx->max_per_device_ios(), total / built + 4)
+      << "striped critical path must be ~total/D";
+}
+
+TEST(ReadSchedulerTest, ExtSccEndToEndStriped) {
+  // Whole-system smoke at placement=striped: a multi-level solve whose
+  // every scratch file fans its blocks across two devices must still
+  // match the oracle partition.
+  io::IoContextOptions options;
+  options.block_size = 4096;
+  options.memory_bytes = 96 << 10;
+  options.device_model.model = io::DeviceModel::kMem;
+  options.scratch_dirs = {"dev0", "dev1"};
+  testing::ApplyTestEnvOptions(&options);
+  options.scratch_placement = io::PlacementPolicy::kStriped;
+  options.io_threads = 2;
+  auto ctx = std::make_unique<io::IoContext>(options);
+  gen::SyntheticParams params;
+  params.num_nodes = 4'000;
+  params.avg_degree = 3.0;
+  params.sccs = {{20, 40}};
+  params.seed = 12;
+  const auto g = gen::GenerateSynthetic(ctx.get(), params);
+  const std::string scc_path = ctx->NewTempPath("scc");
+  auto result = core::RunExtScc(ctx.get(), g, scc_path,
+                                core::ExtSccOptions::Optimized());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  testing::ExpectSccFileMatchesOracle(ctx.get(), g, scc_path,
+                                      "ext-scc striped io_threads=2");
+}
+
 TEST(ReadSchedulerTest, ExtSccEndToEndWithIoThreads) {
   // Whole-system smoke: a multi-level Ext-SCC solve with the parallel
   // I/O engine must still match the oracle partition. The suite's

@@ -59,7 +59,12 @@ BuiltArtifact BuildTestArtifact(std::uint32_t nodes, std::uint64_t num_edges,
   out.context = MakeTestContext(4 << 20);
   out.edges = gen::RandomDigraphEdges(nodes, num_edges, seed);
   const auto g = graph::MakeDiskGraph(out.context.get(), out.edges);
-  out.path = out.context->NewTempPath("artifact");
+  // The artifact is a user-facing file: a real filesystem path on the
+  // base device, NOT a scratch path (virtual under the mem/striped
+  // test matrices), so the corruption sweeps can patch its bytes with
+  // ordinary file ops.
+  out.path = ::testing::TempDir() + "/extscc_artifact_" +
+             std::to_string(nodes) + "_" + std::to_string(seed) + ".art";
   auto built =
       serve::BuildArtifact(out.context.get(), g, out.path, {});
   EXPECT_TRUE(built.ok()) << built.status().ToString();
@@ -179,9 +184,12 @@ TEST(ServeArtifactTest, RejectsForeignAndDamagedHeaders) {
   auto* ctx = built.context.get();
   const std::uint64_t size = fs::file_size(built.path);
 
+  int copy_seq = 0;
   const auto copy_to = [&](const char* tag) {
-    const std::string copy = ctx->NewTempPath(tag);
-    fs::copy_file(built.path, copy);
+    const std::string copy = ::testing::TempDir() + "/extscc_" + tag + "_" +
+                             std::to_string(copy_seq++) + ".art";
+    fs::copy_file(built.path, copy,
+                  fs::copy_options::overwrite_existing);
     return copy;
   };
 
@@ -263,7 +271,7 @@ TEST(ServeArtifactTest, BitFlipNeverYieldsWrongAnswer) {
   }
 
   const std::uint64_t size = fs::file_size(built.path);
-  const std::string mutant = ctx->NewTempPath("mutant");
+  const std::string mutant = ::testing::TempDir() + "/extscc_mutant.art";
   util::Rng rng(99);
   std::uint64_t detected = 0, harmless = 0;
   // Stride chosen to hit every block and both halves of most 8-byte

@@ -36,6 +36,15 @@ void ApplyTestEnvOptions(io::IoContextOptions* options) {
   if (const char* env = std::getenv("EXTSCC_TEST_SCRATCH_DIRS")) {
     if (env[0] != '\0') options->scratch_dirs = util::SplitCommaList(env);
   }
+  if (const char* env = std::getenv("EXTSCC_TEST_PLACEMENT")) {
+    if (env[0] != '\0') {
+      const std::string error =
+          io::ParsePlacementSpec(env, &options->scratch_placement);
+      if (!error.empty()) {
+        ADD_FAILURE() << "EXTSCC_TEST_PLACEMENT: " << error;
+      }
+    }
+  }
 }
 
 namespace {

@@ -24,6 +24,9 @@ namespace extscc::testing {
 //    a transient-only rate, so every suite solves through injected
 //    EIO + retries).
 //  - EXTSCC_TEST_SCRATCH_DIRS=a,b: one scratch device per entry.
+//  - EXTSCC_TEST_PLACEMENT=rr|spread|striped: scratch placement policy
+//    (the multidevice CI job runs the engine suites at striped so every
+//    scratch file's blocks fan out across the simulated disks).
 // Suites that build IoContextOptions by hand call this so the CI matrix
 // reaches them too.
 void ApplyTestEnvOptions(io::IoContextOptions* options);
