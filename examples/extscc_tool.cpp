@@ -15,6 +15,7 @@
 //   extscc_tool query [--batch-size=N] [--threads=N]
 //               <artifact> <batch.txt>
 //   extscc_tool serve [--batch-size=N] [--threads=N] <artifact>
+//   extscc_tool update [--batch-size=N] --index=<artifact> --edges=<file>
 //
 // The serving commands share the artifact + line protocol documented in
 // docs/serving.md: build-index solves the graph once and writes a
@@ -22,7 +23,12 @@
 // query per line — `same u v`, `reach u v`, `stat u`; blank line = batch
 // boundary) with answers on stdout and batch stats on stderr; serve
 // runs the same protocol as a stdin loop, flushing a batch every
-// --batch-size lines, on a blank line, and at EOF.
+// --batch-size lines, on a blank line, and at EOF. update streams an
+// edge-insert file ("u v" per line) through the incremental maintainer
+// (docs/dynamic.md) in --batch-size chunks: each batch either lands in
+// the delta log or atomically publishes a bumped artifact version,
+// which a concurrently running serve picks up at its next batch
+// boundary.
 //
 // Global flags (before the command) apply to every machine the tool
 // builds: --sort-threads enables overlapped run formation (labels are
@@ -50,11 +56,13 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/ext_scc.h"
+#include "dyn/dynamic_index.h"
 #include "gen/classic_graphs.h"
 #include "gen/rmat_generator.h"
 #include "gen/synthetic_generator.h"
@@ -68,6 +76,7 @@
 #include "scc/scc_verify.h"
 #include "scc/semi_external_scc.h"
 #include "serve/artifact.h"
+#include "serve/artifact_stage.h"
 #include "serve/index_builder.h"
 #include "serve/query_engine.h"
 #include "serve/service.h"
@@ -97,6 +106,8 @@ int Usage() {
       "  extscc_tool query [--batch-size=N] [--threads=N] "
       "<artifact> <batch.txt>\n"
       "  extscc_tool serve [--batch-size=N] [--threads=N] <artifact>\n"
+      "  extscc_tool update [--batch-size=N] --index=<artifact> "
+      "--edges=<edges.txt>\n"
       "query protocol (one per line): same <u> <v> | reach <u> <v> | "
       "stat <u>; blank line flushes the batch\n"
       "device models:\n"
@@ -196,6 +207,23 @@ void PrintDeviceBreakdown(
               static_cast<unsigned long long>(critical_path));
 }
 
+// Striped placement is a per-block fan-out: say how wide the stripes
+// actually are. Quarantine or a 1-device machine narrows it to the
+// round-robin fallback, in which case the manager's once-per-run note
+// goes to stderr instead of a width line. `out` is stdout for solve
+// (whose stdout is human-readable) and stderr for the serving commands
+// (whose stdout carries the query protocol).
+void ReportStripePlacement(io::IoContext* context, std::FILE* out) {
+  if (g_placement != io::PlacementPolicy::kStriped) return;
+  const std::size_t width = context->temp_files().effective_stripe_width();
+  if (width >= 2) {
+    std::fprintf(out, "striped scratch placement: stripe width %llu devices\n",
+                 static_cast<unsigned long long>(width));
+  } else {
+    context->temp_files().NoteStripedFallback();
+  }
+}
+
 int CmdGenerate(int argc, char** argv) {
   if (argc < 5) return Usage();
   const std::string kind = argv[2];
@@ -251,15 +279,7 @@ int CmdSolve(int argc, char** argv) {
       argc > 4 ? std::strtoull(argv[4], nullptr, 10) : (4u << 20);
   const bool basic = argc > 5 && std::strcmp(argv[5], "basic") == 0;
   auto context = MakeContext(memory);
-  // Striped placement is a per-block fan-out: say how wide the stripes
-  // actually are (quarantine or a 1-device machine can narrow it to a
-  // round-robin fallback, which prints nothing here).
-  if (g_placement == io::PlacementPolicy::kStriped &&
-      context.temp_files().num_available_devices() > 1) {
-    std::printf("striped scratch placement: stripe width %llu devices\n",
-                static_cast<unsigned long long>(
-                    context.temp_files().num_available_devices()));
-  }
+  ReportStripePlacement(&context, stdout);
   auto loaded = graph::LoadTextEdgeList(&context, argv[2]);
   if (!loaded.ok()) return StatusExit(loaded.status());
   const std::string scc_path = context.NewTempPath("scc");
@@ -390,6 +410,17 @@ bool FlagValue(const std::string& flag, const char* name,
   return true;
 }
 
+bool FlagStringValue(const std::string& flag, const char* name,
+                     std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (flag.compare(0, len, name) != 0 || flag.size() <= len ||
+      flag[len] != '=') {
+    return false;
+  }
+  *value = flag.substr(len + 1);
+  return true;
+}
+
 int CmdBuildIndex(int argc, char** argv) {
   const CommandArgs args = SplitCommandArgs(argc, argv);
   serve::BuildArtifactOptions options;
@@ -413,6 +444,7 @@ int CmdBuildIndex(int argc, char** argv) {
           ? std::strtoull(args.positional[2].c_str(), nullptr, 10)
           : (64u << 20);
   auto context = MakeContext(memory);
+  ReportStripePlacement(&context, stdout);
   auto loaded = graph::LoadTextEdgeList(&context, args.positional[0]);
   if (!loaded.ok()) return StatusExit(loaded.status());
   auto built = serve::BuildArtifact(&context, loaded.value(),
@@ -439,23 +471,34 @@ int CmdBuildIndex(int argc, char** argv) {
   return 0;
 }
 
-// Shared by `query` and `serve`: flush one accumulated batch, print the
+// Shared by `query` and `serve`: run one accumulated batch, print the
 // answers in input order, fold the batch stats into the session totals.
-int FlushBatch(io::IoContext* context, const serve::QueryEngine& engine,
-               std::size_t threads, std::vector<serve::Query>* batch,
-               serve::QueryBatchStats* totals, std::uint64_t* num_batches) {
-  if (batch->empty()) return 0;
+// On failure the batch is left intact so serve's refresh-and-retry can
+// re-run it against a reopened artifact.
+util::Status RunOneBatch(io::IoContext* context,
+                         const serve::QueryEngine& engine,
+                         std::size_t threads, std::vector<serve::Query>* batch,
+                         serve::QueryBatchStats* totals,
+                         std::uint64_t* num_batches) {
+  if (batch->empty()) return util::Status::Ok();
   std::vector<serve::QueryAnswer> answers;
-  const util::Status status =
-      serve::RunQueries(context, engine, *batch, threads, &answers, totals);
-  if (!status.ok()) return StatusExit(status);
+  RETURN_IF_ERROR(
+      serve::RunQueries(context, engine, *batch, threads, &answers, totals));
   for (std::size_t i = 0; i < batch->size(); ++i) {
     std::printf("%s\n",
                 serve::FormatAnswer((*batch)[i], answers[i]).c_str());
   }
   batch->clear();
   ++*num_batches;
-  return 0;
+  return util::Status::Ok();
+}
+
+int FlushBatch(io::IoContext* context, const serve::QueryEngine& engine,
+               std::size_t threads, std::vector<serve::Query>* batch,
+               serve::QueryBatchStats* totals, std::uint64_t* num_batches) {
+  const util::Status status =
+      RunOneBatch(context, engine, threads, batch, totals, num_batches);
+  return status.ok() ? 0 : StatusExit(status);
 }
 
 void PrintBatchStats(const serve::QueryBatchStats& totals,
@@ -498,7 +541,12 @@ int CmdQuery(int argc, char** argv) {
   const ServeFlags flags = ParseServeFlags(args.flags);
   if (!flags.ok || args.positional.size() != 2) return Usage();
   auto context = MakeContext(64 << 20);
-  auto opened = serve::ArtifactReader::Open(&context, args.positional[0]);
+  ReportStripePlacement(&context, stderr);
+  // Stage the artifact onto the scratch devices when striping is live,
+  // so every map sweep runs at the full multi-device bandwidth.
+  auto staged = serve::StageArtifactForServing(&context, args.positional[0]);
+  if (!staged.ok()) return StatusExit(staged.status());
+  auto opened = serve::ArtifactReader::Open(&context, staged.value().path);
   if (!opened.ok()) return StatusExit(opened.status());
   const serve::ArtifactReader artifact = std::move(opened).value();
   const serve::QueryEngine engine(&artifact);
@@ -547,23 +595,100 @@ int CmdServe(int argc, char** argv) {
   const ServeFlags flags = ParseServeFlags(args.flags);
   if (!flags.ok || args.positional.size() != 1) return Usage();
   auto context = MakeContext(64 << 20);
-  auto opened = serve::ArtifactReader::Open(&context, args.positional[0]);
-  if (!opened.ok()) return StatusExit(opened.status());
-  const serve::ArtifactReader artifact = std::move(opened).value();
-  const serve::QueryEngine engine(&artifact);
-  std::fprintf(stderr, "serving %s: %llu nodes, %llu SCCs\n",
-               args.positional[0].c_str(),
-               static_cast<unsigned long long>(artifact.summary().graph_nodes),
-               static_cast<unsigned long long>(artifact.summary().num_sccs));
+  ReportStripePlacement(&context, stderr);
+  const std::string source = args.positional[0];
+
+  // The live artifact: reopened (and restaged under striping) whenever
+  // an `update` publishes a new data version at the source path. The
+  // engine borrows the reader, so both rebuild together.
+  std::string active_path;
+  bool active_staged = false;
+  std::optional<serve::ArtifactReader> artifact;
+  std::optional<serve::QueryEngine> engine;
+  const auto open_live = [&]() -> util::Status {
+    auto staged = serve::StageArtifactForServing(&context, source);
+    RETURN_IF_ERROR(staged.status());
+    auto opened = serve::ArtifactReader::Open(&context, staged.value().path);
+    if (!opened.ok()) {
+      if (staged.value().staged) {
+        context.temp_files().Remove(staged.value().path);
+      }
+      return opened.status();
+    }
+    if (active_staged) context.temp_files().Remove(active_path);
+    active_path = staged.value().path;
+    active_staged = staged.value().staged;
+    engine.reset();
+    artifact.emplace(std::move(opened).value());
+    engine.emplace(&*artifact);
+    return util::Status::Ok();
+  };
+  const util::Status first_open = open_live();
+  if (!first_open.ok()) return StatusExit(first_open);
+  std::fprintf(stderr, "serving %s: %llu nodes, %llu SCCs, data version %llu\n",
+               source.c_str(),
+               static_cast<unsigned long long>(
+                   artifact->summary().graph_nodes),
+               static_cast<unsigned long long>(artifact->summary().num_sccs),
+               static_cast<unsigned long long>(artifact->data_version()));
+
+  const auto note_reloaded = [&]() {
+    std::fprintf(stderr,
+                 "reloaded %s: data version %llu, %llu nodes, %llu SCCs\n",
+                 source.c_str(),
+                 static_cast<unsigned long long>(artifact->data_version()),
+                 static_cast<unsigned long long>(
+                     artifact->summary().graph_nodes),
+                 static_cast<unsigned long long>(
+                     artifact->summary().num_sccs));
+  };
+  // Refresh protocol (docs/serving.md): at batch boundaries peek the
+  // SOURCE preamble's data version — one block read — and reopen on a
+  // bump. Publication is an atomic rename, so the peek sees either the
+  // old complete version or the new complete version, never a torn
+  // file. Any refresh failure keeps the current artifact serving.
+  const auto maybe_refresh = [&]() {
+    auto version = serve::PeekArtifactVersion(&context, source);
+    if (!version.ok() || version.value() == artifact->data_version()) return;
+    const util::Status reopened = open_live();
+    if (reopened.ok()) {
+      note_reloaded();
+    } else {
+      std::fprintf(stderr, "refresh of %s failed (%s); still serving "
+                           "data version %llu\n",
+                   source.c_str(), reopened.ToString().c_str(),
+                   static_cast<unsigned long long>(artifact->data_version()));
+    }
+  };
 
   std::vector<serve::Query> batch;
   serve::QueryBatchStats totals;
   std::uint64_t num_batches = 0;
+  // The refresh peek runs BEFORE the batch, but an update can still
+  // publish mid-sweep when serving the source file directly (the map
+  // scanner reopens it by path, so the old CRC table meets new bytes
+  // and the sweep reports corruption). That failure is the swap itself:
+  // reopen the artifact and retry the batch once before treating it as
+  // real corruption. A staged (striped) artifact sweeps a private
+  // scratch copy and never hits this.
+  const auto flush = [&]() -> int {
+    maybe_refresh();
+    util::Status status = RunOneBatch(&context, *engine, flags.threads,
+                                      &batch, &totals, &num_batches);
+    if (status.code() == util::StatusCode::kCorruption) {
+      const util::Status reopened = open_live();
+      if (reopened.ok()) {
+        note_reloaded();
+        status = RunOneBatch(&context, *engine, flags.threads, &batch,
+                             &totals, &num_batches);
+      }
+    }
+    return status.ok() ? 0 : StatusExit(status);
+  };
   std::string line;
   while (std::getline(std::cin, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) {
-      const int rc = FlushBatch(&context, engine, flags.threads, &batch,
-                                &totals, &num_batches);
+      const int rc = flush();
       if (rc != 0) return rc;
       std::fflush(stdout);
       continue;
@@ -578,17 +703,97 @@ int CmdServe(int argc, char** argv) {
     }
     batch.push_back(query);
     if (batch.size() >= flags.batch_size) {
-      const int rc = FlushBatch(&context, engine, flags.threads, &batch,
-                                &totals, &num_batches);
+      const int rc = flush();
       if (rc != 0) return rc;
       std::fflush(stdout);
     }
   }
-  const int rc = FlushBatch(&context, engine, flags.threads, &batch,
-                            &totals, &num_batches);
+  const int rc = flush();
   if (rc != 0) return rc;
   std::fflush(stdout);
   PrintBatchStats(totals, num_batches);
+  return 0;
+}
+
+int CmdUpdate(int argc, char** argv) {
+  const CommandArgs args = SplitCommandArgs(argc, argv);
+  std::string index_path, edges_path;
+  std::uint64_t batch_size = 65536;
+  for (const std::string& flag : args.flags) {
+    std::string text;
+    std::uint64_t value = 0;
+    if (FlagStringValue(flag, "--index", &text)) {
+      index_path = text;
+    } else if (FlagStringValue(flag, "--edges", &text)) {
+      edges_path = text;
+    } else if (FlagValue(flag, "--batch-size", &value) && value > 0) {
+      batch_size = value;
+    } else {
+      return Usage();
+    }
+  }
+  if (index_path.empty() || edges_path.empty() || !args.positional.empty()) {
+    return Usage();
+  }
+  auto context = MakeContext(64 << 20);
+  ReportStripePlacement(&context, stderr);
+  auto opened = dyn::DynamicSccIndex::Open(&context, index_path);
+  if (!opened.ok()) return StatusExit(opened.status());
+  dyn::DynamicSccIndex index = std::move(opened).value();
+  std::ifstream in(edges_path);
+  if (!in) {
+    return StatusExit(util::Status::IoError("cannot open " + edges_path));
+  }
+
+  std::vector<graph::Edge> batch;
+  std::uint64_t total_edges = 0, total_ios = 0, rewrites = 0,
+                num_batches = 0;
+  const auto flush = [&]() -> int {
+    if (batch.empty()) return 0;
+    auto applied = index.ApplyBatch(batch);
+    if (!applied.ok()) return StatusExit(applied.status());
+    const dyn::UpdateBatchStats& s = applied.value();
+    ++num_batches;
+    total_edges += s.edges_in;
+    total_ios += s.batch_ios;
+    if (s.rewrote_artifact) ++rewrites;
+    std::fprintf(stderr,
+                 "batch %llu: %llu edges (%llu intra, %llu dup-dag, "
+                 "%llu new-dag, %llu new nodes, %llu merges), %s, "
+                 "%llu I/Os, version %llu\n",
+                 static_cast<unsigned long long>(num_batches),
+                 static_cast<unsigned long long>(s.edges_in),
+                 static_cast<unsigned long long>(s.intra_scc),
+                 static_cast<unsigned long long>(s.duplicate_dag),
+                 static_cast<unsigned long long>(s.new_dag_edges),
+                 static_cast<unsigned long long>(s.new_nodes),
+                 static_cast<unsigned long long>(s.merge_groups),
+                 s.rewrote_artifact ? "rewrote artifact" : "delta log",
+                 static_cast<unsigned long long>(s.batch_ios),
+                 static_cast<unsigned long long>(s.published_version));
+    batch.clear();
+    return 0;
+  };
+  std::uint64_t u = 0, v = 0;
+  while (in >> u >> v) {
+    batch.push_back(graph::Edge{static_cast<graph::NodeId>(u),
+                                static_cast<graph::NodeId>(v)});
+    if (batch.size() >= batch_size) {
+      const int rc = flush();
+      if (rc != 0) return rc;
+    }
+  }
+  const int rc = flush();
+  if (rc != 0) return rc;
+  std::printf(
+      "updated %s: %llu edges in %llu batches, %llu rewrites, "
+      "data version %llu, %llu pending delta edges, %llu I/Os\n",
+      index_path.c_str(), static_cast<unsigned long long>(total_edges),
+      static_cast<unsigned long long>(num_batches),
+      static_cast<unsigned long long>(rewrites),
+      static_cast<unsigned long long>(index.data_version()),
+      static_cast<unsigned long long>(index.pending_delta_edges()),
+      static_cast<unsigned long long>(total_ios));
   return 0;
 }
 
@@ -653,5 +858,6 @@ int main(int argc, char** argv) {
   if (command == "build-index") return CmdBuildIndex(argc, argv);
   if (command == "query") return CmdQuery(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
+  if (command == "update") return CmdUpdate(argc, argv);
   return Usage();
 }

@@ -212,4 +212,47 @@ util::Result<BowtieResult> BowtieDecompose(io::IoContext* context,
   return out;
 }
 
+DagBowtieSizes BowtieSizesFromDag(const graph::Digraph& dag,
+                                  const std::vector<std::uint64_t>& scc_sizes,
+                                  std::size_t core_index) {
+  CHECK_LT(core_index, dag.num_nodes());
+  CHECK_EQ(scc_sizes.size(), dag.num_nodes());
+  DagBowtieSizes out;
+  out.core_size = scc_sizes[core_index];
+
+  // BFS over the chosen adjacency direction, summing the sizes of the
+  // SCCs reached (the core itself excluded). In a DAG nothing but the
+  // core can be both ancestor and descendant of it, so the two sweeps
+  // count disjoint sets.
+  const auto sweep = [&](bool forward) {
+    std::uint64_t total = 0;
+    std::vector<char> seen(dag.num_nodes(), 0);
+    std::vector<std::uint32_t> frontier = {
+        static_cast<std::uint32_t>(core_index)};
+    seen[core_index] = 1;
+    while (!frontier.empty()) {
+      std::vector<std::uint32_t> next;
+      for (const std::uint32_t at : frontier) {
+        const auto neighbors =
+            forward ? dag.out_neighbors(at) : dag.in_neighbors(at);
+        for (const std::uint32_t to : neighbors) {
+          if (seen[to]) continue;
+          seen[to] = 1;
+          total += scc_sizes[to];
+          next.push_back(to);
+        }
+      }
+      frontier = std::move(next);
+    }
+    return total;
+  };
+  out.out_size = sweep(/*forward=*/true);
+  out.in_size = sweep(/*forward=*/false);
+
+  std::uint64_t all = 0;
+  for (const std::uint64_t size : scc_sizes) all += size;
+  out.other_size = all - out.core_size - out.in_size - out.out_size;
+  return out;
+}
+
 }  // namespace extscc::app

@@ -17,7 +17,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "graph/digraph.h"
 #include "graph/disk_graph.h"
 #include "graph/graph_types.h"
 #include "io/io_context.h"
@@ -54,6 +56,25 @@ struct BowtieResult {
 util::Result<BowtieResult> BowtieDecompose(io::IoContext* context,
                                            const graph::DiskGraph& g,
                                            const std::string& scc_path);
+
+// Region sizes only, computed from the condensation DAG instead of the
+// edge file: IN is the total size of SCCs that reach `core_index` in
+// `dag` (excluding it), OUT the total it reaches, OTHER the rest. A
+// node reaches the core iff its SCC does, so this matches
+// BowtieDecompose's sizes exactly — at two in-memory BFS traversals
+// instead of multi-pass edge scans. The incremental updater's path:
+// its resident state is exactly the DAG plus per-SCC sizes.
+// `core_index` is the dense index of the core SCC in `dag`, and
+// `scc_sizes[i]` the size of the SCC at dense index i.
+struct DagBowtieSizes {
+  std::uint64_t core_size = 0;
+  std::uint64_t in_size = 0;
+  std::uint64_t out_size = 0;
+  std::uint64_t other_size = 0;
+};
+DagBowtieSizes BowtieSizesFromDag(const graph::Digraph& dag,
+                                  const std::vector<std::uint64_t>& scc_sizes,
+                                  std::size_t core_index);
 
 }  // namespace extscc::app
 

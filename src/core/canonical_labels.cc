@@ -1,0 +1,47 @@
+#include "core/canonical_labels.h"
+
+#include <vector>
+
+#include "graph/graph_types.h"
+#include "io/record_stream.h"
+
+namespace extscc::core {
+
+util::Status CanonicalizeLabels(io::IoContext* context,
+                                const std::string& scc_path,
+                                std::uint64_t num_sccs,
+                                const std::string& out_path) {
+  std::vector<graph::SccId> canon(num_sccs, graph::kInvalidScc);
+  graph::SccId next = 0;
+
+  io::RecordReader<graph::SccEntry> reader(context, scc_path);
+  io::RecordWriter<graph::SccEntry> writer(context, out_path);
+  const std::size_t batch = io::RecordsPerBlock<graph::SccEntry>(context);
+  std::vector<graph::SccEntry> chunk(batch);
+  std::size_t got;
+  while ((got = reader.NextBatch(chunk.data(), batch)) > 0) {
+    for (std::size_t i = 0; i < got; ++i) {
+      if (chunk[i].scc >= num_sccs) {
+        return util::Status::Corruption(
+            scc_path + " labels a node with SCC " +
+            std::to_string(chunk[i].scc) + " >= num_sccs " +
+            std::to_string(num_sccs));
+      }
+      graph::SccId& mapped = canon[chunk[i].scc];
+      if (mapped == graph::kInvalidScc) mapped = next++;
+      chunk[i].scc = mapped;
+    }
+    writer.AppendBatch(chunk.data(), got);
+  }
+  RETURN_IF_ERROR(reader.status());
+  writer.Finish();
+  RETURN_IF_ERROR(writer.status());
+  if (next != num_sccs) {
+    return util::Status::Corruption(
+        scc_path + " covers only " + std::to_string(next) + " of " +
+        std::to_string(num_sccs) + " SCC labels");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace extscc::core

@@ -1,0 +1,36 @@
+// Canonical SCC relabeling: RunExtScc's labels are dense in
+// [0, num_sccs) but their values depend on solver internals (expansion
+// batch order, base-case traversal), so two runs over logically equal
+// graphs can assign the same partition different label values. The
+// serve artifact wants labels that are a pure function of the graph —
+// that is what lets an incremental update (src/dyn/) and a full
+// re-solve produce byte-identical artifacts. CanonicalizeLabels rewrites
+// a node-sorted SccEntry file so that SCC ids are assigned densely by
+// FIRST OCCURRENCE in node order: the SCC of the smallest node id is 0,
+// the next distinct SCC seen is 1, and so on. The partition is
+// untouched; only the label values change. One sequential read + one
+// sequential write of the map file.
+#ifndef EXTSCC_CORE_CANONICAL_LABELS_H_
+#define EXTSCC_CORE_CANONICAL_LABELS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::core {
+
+// Reads the node-sorted SccEntry file at `scc_path` (labels dense in
+// [0, num_sccs)), writes the canonically relabeled map to `out_path`.
+// Resident cost: 4 bytes per SCC (the old-label -> canonical-label
+// table). Fails with kCorruption if a label is >= num_sccs or the file
+// does not cover all num_sccs labels.
+util::Status CanonicalizeLabels(io::IoContext* context,
+                                const std::string& scc_path,
+                                std::uint64_t num_sccs,
+                                const std::string& out_path);
+
+}  // namespace extscc::core
+
+#endif  // EXTSCC_CORE_CANONICAL_LABELS_H_

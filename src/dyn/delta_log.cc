@@ -1,0 +1,162 @@
+#include "dyn/delta_log.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "io/block_file.h"
+#include "io/checksum.h"
+
+namespace extscc::dyn {
+
+namespace {
+
+std::uint32_t HeaderCrc(const DeltaLogHeader& header) {
+  return io::Crc32(&header, sizeof(header) - sizeof(std::uint32_t));
+}
+
+std::uint32_t PayloadCrc(const std::vector<graph::Edge>& edges) {
+  // data() of an empty vector may be null; CRC of zero bytes is the
+  // same for any valid pointer.
+  static const char kNone = 0;
+  return edges.empty()
+             ? io::Crc32(&kNone, 0)
+             : io::Crc32(edges.data(), edges.size() * sizeof(graph::Edge));
+}
+
+}  // namespace
+
+std::string DeltaLogPathFor(const std::string& artifact_path) {
+  return artifact_path + ".dlog";
+}
+
+util::Result<std::vector<graph::Edge>> ReadDeltaLog(
+    io::IoContext* context, const std::string& path,
+    std::uint64_t expected_base_version) {
+  io::BlockFile file(context, path, io::OpenMode::kRead);
+  if (!file.status().ok()) {
+    if (file.status().sys_errno() == ENOENT) {
+      // No log means nothing pending — consume the open failure the
+      // BlockFile latched on the context so later phase-boundary polls
+      // don't fail an unrelated solve on it.
+      context->AbsorbIoError(file.status());
+      return std::vector<graph::Edge>{};
+    }
+    return file.status();
+  }
+  const std::size_t bs = file.block_size();
+  if (file.size_bytes() < bs || file.size_bytes() % bs != 0) {
+    return util::Status::Corruption("delta log " + path +
+                                    ": size is not a whole number of blocks");
+  }
+  std::vector<unsigned char> block(bs);
+  if (file.ReadBlock(0, block.data()) != bs) {
+    if (!file.status().ok()) return file.status();
+    return util::Status::Corruption("delta log " + path +
+                                    ": short header read");
+  }
+  DeltaLogHeader header;
+  std::memcpy(&header, block.data(), sizeof(header));
+  if (std::memcmp(header.magic, kDeltaLogMagic, sizeof(kDeltaLogMagic)) != 0) {
+    return util::Status::Corruption("not an extscc delta log (bad magic): " +
+                                    path);
+  }
+  if (HeaderCrc(header) != header.crc) {
+    return util::Status::Corruption("delta log header checksum mismatch: " +
+                                    path);
+  }
+  if (header.format_version != kDeltaLogFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported delta log format version " +
+        std::to_string(header.format_version));
+  }
+  if (header.block_size != bs) {
+    return util::Status::InvalidArgument(
+        "delta log block size " + std::to_string(header.block_size) +
+        " does not match context block size " + std::to_string(bs));
+  }
+  if (header.base_version != expected_base_version) {
+    // Stale: a structural rewrite published after this log was written
+    // (its edges are folded into the live artifact already), and the
+    // crash window left the log behind. Honest empty, not an error.
+    return std::vector<graph::Edge>{};
+  }
+
+  const std::uint64_t payload_bytes =
+      header.num_edges * sizeof(graph::Edge);
+  if (file.size_bytes() < bs + payload_bytes) {
+    return util::Status::Corruption("delta log " + path +
+                                    ": truncated edge payload");
+  }
+  std::vector<graph::Edge> edges(
+      static_cast<std::size_t>(header.num_edges));
+  auto* dst = reinterpret_cast<unsigned char*>(edges.data());
+  std::uint64_t off = 0;
+  for (std::uint64_t b = 1; off < payload_bytes; ++b) {
+    const std::size_t got = file.ReadBlock(b, block.data());
+    if (got == 0) {
+      if (!file.status().ok()) return file.status();
+      return util::Status::Corruption("delta log " + path +
+                                      ": short payload read");
+    }
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(payload_bytes - off, got));
+    std::memcpy(dst + off, block.data(), take);
+    off += take;
+  }
+  if (PayloadCrc(edges) != header.payload_crc) {
+    return util::Status::Corruption("delta log payload checksum mismatch: " +
+                                    path);
+  }
+  RETURN_IF_ERROR(file.Close());
+  return edges;
+}
+
+util::Status WriteDeltaLog(io::IoContext* context, const std::string& path,
+                           std::uint64_t base_version,
+                           const std::vector<graph::Edge>& edges) {
+  const std::string tmp = path + ".tmp";
+  {
+    io::BlockFile file(context, tmp, io::OpenMode::kTruncateWrite);
+    RETURN_IF_ERROR(file.status());
+    const std::size_t bs = file.block_size();
+
+    DeltaLogHeader header{};
+    std::memcpy(header.magic, kDeltaLogMagic, sizeof(header.magic));
+    header.format_version = kDeltaLogFormatVersion;
+    header.block_size = static_cast<std::uint32_t>(bs);
+    header.base_version = base_version;
+    header.num_edges = edges.size();
+    header.payload_crc = PayloadCrc(edges);
+    header.crc = HeaderCrc(header);
+
+    std::vector<unsigned char> block(bs, 0);
+    std::memcpy(block.data(), &header, sizeof(header));
+    file.WriteBlock(0, block.data(), bs);
+
+    const auto* src = reinterpret_cast<const unsigned char*>(edges.data());
+    const std::uint64_t payload_bytes = edges.size() * sizeof(graph::Edge);
+    std::uint64_t off = 0;
+    for (std::uint64_t b = 1; off < payload_bytes; ++b) {
+      const std::size_t take = static_cast<std::size_t>(
+          std::min<std::uint64_t>(payload_bytes - off, bs));
+      std::memset(block.data(), 0, bs);
+      std::memcpy(block.data(), src + off, take);
+      file.WriteBlock(b, block.data(), bs);
+      off += take;
+    }
+    RETURN_IF_ERROR(file.Close());
+  }
+  io::StorageDevice* device = context->ResolveDevice(tmp);
+  return device->Rename(tmp, path);
+}
+
+void RemoveDeltaLog(io::IoContext* context, const std::string& path) {
+  // Delete ignores missing files on every device; a failing delete of a
+  // now-stale log is survivable (readers ignore it by base_version), so
+  // the publish path must not fail on it.
+  (void)context->ResolveDevice(path)->Delete(path);
+}
+
+}  // namespace extscc::dyn

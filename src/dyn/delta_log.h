@@ -1,0 +1,75 @@
+// The delta edge log: the cheap half of incremental SCC maintenance.
+// A batch of inserted edges that provably cannot change the SCC
+// partition (every edge is intra-SCC or duplicates an existing
+// condensation edge) does not need an artifact rewrite — the updater
+// appends it to a sidecar log beside the artifact and returns. The log
+// exists only so the summary's edge count stays reconstructible:
+// artifact.graph_edges + log edges == edges of the union graph. The
+// next STRUCTURAL batch folds the log into its rewrite and deletes it.
+//
+// Layout (single file, whole blocks at the context block size, written
+// through BlockFile so device routing / fault injection / scratch
+// checksums compose):
+//
+//   block 0       DeltaLogHeader (magic, versions, edge count, CRCs)
+//   blocks 1..    graph::Edge records, packed contiguously
+//
+// The header names the artifact data version the log extends
+// (`base_version`). A log whose base_version does not match the live
+// artifact is STALE — a rewrite published and the log's edges are
+// already folded in (the crash window between rename and log delete) —
+// and reads as empty. Publication is the same protocol as the
+// artifact: write "<path>.tmp", then StorageDevice::Rename over the
+// old log.
+#ifndef EXTSCC_DYN_DELTA_LOG_H_
+#define EXTSCC_DYN_DELTA_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::dyn {
+
+inline constexpr char kDeltaLogMagic[8] = {'E', 'X', 'S', 'C',
+                                           'C', 'D', 'L', 'G'};
+inline constexpr std::uint32_t kDeltaLogFormatVersion = 1;
+
+struct DeltaLogHeader {
+  char magic[8];  // kDeltaLogMagic
+  std::uint32_t format_version;
+  std::uint32_t block_size;
+  std::uint64_t base_version;  // artifact data version this log extends
+  std::uint64_t num_edges;
+  std::uint32_t payload_crc;  // Crc32 over the packed edge records
+  std::uint32_t crc;          // Crc32 over the preceding 36 bytes
+};
+static_assert(sizeof(DeltaLogHeader) == 40);
+
+// The sidecar path: "<artifact>.dlog".
+std::string DeltaLogPathFor(const std::string& artifact_path);
+
+// Reads the delta log at `path`. A missing file and a stale log
+// (base_version != expected_base_version) both yield an empty vector;
+// bad magic, CRC mismatch, or truncation yield kCorruption; an
+// unsupported format or block size yields kInvalidArgument.
+util::Result<std::vector<graph::Edge>> ReadDeltaLog(
+    io::IoContext* context, const std::string& path,
+    std::uint64_t expected_base_version);
+
+// Atomically replaces the log at `path` with one holding `edges` for
+// artifact version `base_version` (write "<path>.tmp" + rename).
+util::Status WriteDeltaLog(io::IoContext* context, const std::string& path,
+                           std::uint64_t base_version,
+                           const std::vector<graph::Edge>& edges);
+
+// Best-effort removal of the log (after a structural rewrite folded it
+// in). A missing log is not an error.
+void RemoveDeltaLog(io::IoContext* context, const std::string& path);
+
+}  // namespace extscc::dyn
+
+#endif  // EXTSCC_DYN_DELTA_LOG_H_

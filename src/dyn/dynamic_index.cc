@@ -1,0 +1,372 @@
+#include "dyn/dynamic_index.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "app/bowtie.h"
+#include "app/interval_labels.h"
+#include "dyn/delta_log.h"
+#include "extsort/external_sorter.h"
+#include "extsort/record_sink.h"
+#include "extsort/record_traits.h"
+#include "graph/digraph.h"
+#include "scc/tarjan.h"
+#include "serve/artifact_format.h"
+#include "serve/query_engine.h"
+#include "util/logging.h"
+
+namespace extscc::dyn {
+
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+using graph::SccEntry;
+using graph::SccId;
+using serve::ArtifactSummary;
+using serve::SectionId;
+
+}  // namespace
+
+util::Result<DynamicSccIndex> DynamicSccIndex::Open(
+    io::IoContext* context, const std::string& artifact_path) {
+  auto reader = serve::ArtifactReader::Open(context, artifact_path);
+  RETURN_IF_ERROR(reader.status());
+  DynamicSccIndex index;
+  index.context_ = context;
+  index.path_ = artifact_path;
+  index.reader_.emplace(std::move(reader).value());
+  // Dense-label invariant the whole updater leans on: condensation node
+  // ids are exactly 0..S-1 in order, so a DAG node's dense index IS its
+  // SCC id (RunExtScc labels densely; canonicalization keeps density).
+  const graph::Digraph& dag = index.reader_->labels().dag();
+  for (std::size_t s = 0; s < dag.num_nodes(); ++s) {
+    if (dag.id_of(s) != s) {
+      return util::Status::Corruption(
+          "artifact condensation labels are not dense");
+    }
+  }
+  auto pending = ReadDeltaLog(context, DeltaLogPathFor(artifact_path),
+                              index.reader_->data_version());
+  RETURN_IF_ERROR(pending.status());
+  index.delta_edges_ = std::move(pending).value();
+  return index;
+}
+
+util::Result<UpdateBatchStats> DynamicSccIndex::ApplyBatch(
+    const std::vector<Edge>& batch) {
+  UpdateBatchStats stats;
+  stats.edges_in = batch.size();
+  stats.published_version = reader_->data_version();
+  if (batch.empty()) return stats;
+  const io::IoStats before = context_->stats();
+
+  // 1. Translate endpoints to SCC ids — the query engine's sort-sweep:
+  // probes sorted by node, resolved against ONE sequential sweep of the
+  // node-sorted map section.
+  std::vector<SccId> resolved(2 * batch.size(), graph::kInvalidScc);
+  {
+    extsort::SortingWriter<serve::NodeProbe, serve::NodeProbeByNode> sorter(
+        context_, serve::NodeProbeByNode{});
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      sorter.Add({batch[i].src, static_cast<std::uint32_t>(2 * i)});
+      sorter.Add({batch[i].dst, static_cast<std::uint32_t>(2 * i + 1)});
+    }
+    serve::SccMapScanner scanner = reader_->OpenNodeSccScan();
+    SccEntry cur{};
+    bool have = scanner.Next(&cur);
+    auto sink = extsort::MakeCallbackSink<serve::NodeProbe>(
+        [&](const serve::NodeProbe& probe) {
+          while (have && cur.node < probe.node) have = scanner.Next(&cur);
+          if (have && cur.node == probe.node) resolved[probe.slot] = cur.scc;
+        });
+    const auto sort_info = sorter.FinishInto(sink);
+    RETURN_IF_ERROR(sort_info.status);
+    RETURN_IF_ERROR(scanner.status());
+    stats.swept_blocks = scanner.blocks_read();
+  }
+
+  // 2. Unseen endpoints become provisional singleton SCCs, ids
+  // S_old + rank in sorted node order.
+  const SccId old_sccs = static_cast<SccId>(reader_->num_sccs());
+  std::vector<NodeId> new_nodes;
+  for (std::size_t slot = 0; slot < resolved.size(); ++slot) {
+    if (resolved[slot] != graph::kInvalidScc) continue;
+    const Edge& e = batch[slot / 2];
+    new_nodes.push_back(slot % 2 == 0 ? e.src : e.dst);
+  }
+  std::sort(new_nodes.begin(), new_nodes.end());
+  new_nodes.erase(std::unique(new_nodes.begin(), new_nodes.end()),
+                  new_nodes.end());
+  stats.new_nodes = new_nodes.size();
+  const auto provisional_of = [&](NodeId node) {
+    const auto it =
+        std::lower_bound(new_nodes.begin(), new_nodes.end(), node);
+    DCHECK(it != new_nodes.end() && *it == node);
+    return static_cast<SccId>(old_sccs + (it - new_nodes.begin()));
+  };
+
+  // 3. Classify each edge against the resident condensation.
+  const graph::Digraph& dag = reader_->labels().dag();
+  std::unordered_set<std::uint64_t> dag_edge_keys;
+  dag_edge_keys.reserve(2 * dag.num_edges());
+  for (std::size_t s = 0; s < dag.num_nodes(); ++s) {
+    for (const std::uint32_t t : dag.out_neighbors(s)) {
+      dag_edge_keys.insert(
+          extsort::PackKey64(static_cast<std::uint32_t>(s), t));
+    }
+  }
+  std::vector<Edge> new_inter;  // over provisional SCC ids
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const SccId su = resolved[2 * i] != graph::kInvalidScc
+                         ? resolved[2 * i]
+                         : provisional_of(batch[i].src);
+    const SccId sv = resolved[2 * i + 1] != graph::kInvalidScc
+                         ? resolved[2 * i + 1]
+                         : provisional_of(batch[i].dst);
+    if (su == sv) {
+      ++stats.intra_scc;
+    } else if (dag_edge_keys.count(extsort::PackKey64(su, sv)) > 0) {
+      ++stats.duplicate_dag;
+    } else {
+      new_inter.push_back(Edge{su, sv});
+      ++stats.new_dag_edges;
+    }
+  }
+
+  // 4. The cheap path: nothing structural — every edge is intra-SCC or
+  // duplicates a condensation edge, so the partition, the DAG, and
+  // every label are already correct. Append to the delta log (keeping
+  // the union edge count reconstructible) and stop.
+  if (new_nodes.empty() && new_inter.empty()) {
+    std::vector<Edge> pending = delta_edges_;
+    pending.insert(pending.end(), batch.begin(), batch.end());
+    RETURN_IF_ERROR(WriteDeltaLog(context_, DeltaLogPathFor(path_),
+                                  reader_->data_version(), pending));
+    delta_edges_ = std::move(pending);
+    stats.batch_ios = (context_->stats() - before).total_ios();
+    return stats;
+  }
+
+  // 5. Localized merge pass, in memory on the condensation: Tarjan over
+  // old DAG ∪ new inter-SCC edges. A new "forward" edge only appears in
+  // the DAG; a "backward" one closes a cycle and its component merges.
+  const SccId num_provisional =
+      old_sccs + static_cast<SccId>(new_nodes.size());
+  std::vector<Edge> h_edges;
+  h_edges.reserve(dag.num_edges() + new_inter.size());
+  for (std::size_t s = 0; s < dag.num_nodes(); ++s) {
+    for (const std::uint32_t t : dag.out_neighbors(s)) {
+      h_edges.push_back(Edge{static_cast<NodeId>(s), t});
+    }
+  }
+  h_edges.insert(h_edges.end(), new_inter.begin(), new_inter.end());
+  std::vector<SccId> comp;
+  SccId num_comps = 0;
+  {
+    std::vector<NodeId> h_nodes(num_provisional);
+    std::iota(h_nodes.begin(), h_nodes.end(), 0);
+    const graph::Digraph merged(std::move(h_nodes), h_edges);
+    // merged's ids are 0..P-1, so its dense index == provisional id.
+    comp = scc::TarjanSccDense(merged, &num_comps);
+  }
+  {
+    std::vector<std::uint32_t> members(num_comps, 0);
+    for (const SccId c : comp) ++members[c];
+    for (const std::uint32_t m : members) {
+      if (m >= 2) {
+        ++stats.merge_groups;
+        stats.merged_sccs += m;
+      }
+    }
+  }
+
+  // 6. Rewrite every artifact section from the merged condensation,
+  // into "<path>.tmp" with a bumped data version. Canonical labels are
+  // assigned by first occurrence in node order during the single
+  // merge-scan of the old map + sorted new nodes — exactly what
+  // build-index writes for the union graph, byte for byte.
+  const std::uint64_t new_version = reader_->data_version() + 1;
+  const std::string tmp_path = path_ + ".tmp";
+  const ArtifactSummary& old_summary = reader_->summary();
+  std::vector<SccId> canon(num_comps, graph::kInvalidScc);
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(num_comps);
+
+  const util::Status written = [&]() -> util::Status {
+    serve::ArtifactWriter writer(context_, tmp_path, new_version);
+    RETURN_IF_ERROR(writer.status());
+    SccId next_canon = 0;
+    {
+      auto sink = writer.BeginSection<SccEntry>(SectionId::kNodeSccMap);
+      serve::SccMapScanner scanner = reader_->OpenNodeSccScan();
+      SccEntry cur{};
+      bool have = scanner.Next(&cur);
+      std::size_t new_at = 0;
+      while (have || new_at < new_nodes.size()) {
+        SccEntry entry;
+        if (have &&
+            (new_at == new_nodes.size() || cur.node < new_nodes[new_at])) {
+          entry = cur;
+          have = scanner.Next(&cur);
+        } else {
+          entry = SccEntry{new_nodes[new_at],
+                           static_cast<SccId>(old_sccs + new_at)};
+          ++new_at;
+        }
+        const SccId c = comp[entry.scc];
+        SccId& mapped = canon[c];
+        if (mapped == graph::kInvalidScc) {
+          mapped = next_canon++;
+          sizes.push_back(0);
+        }
+        ++sizes[mapped];
+        sink.Append(SccEntry{entry.node, mapped});
+      }
+      RETURN_IF_ERROR(scanner.status());
+      writer.EndSection();
+    }
+    // Every component holds at least one node, so the scan assigned
+    // every canonical label.
+    CHECK_EQ(next_canon, num_comps);
+
+    // Condensation edges over canonical labels: sorted by packed
+    // (src, dst), loops dropped, dedupped — BuildCondensation's exact
+    // byte layout.
+    std::vector<std::uint64_t> edge_keys;
+    edge_keys.reserve(h_edges.size());
+    for (const Edge& e : h_edges) {
+      const SccId a = canon[comp[e.src]];
+      const SccId b = canon[comp[e.dst]];
+      if (a != b) edge_keys.push_back(extsort::PackKey64(a, b));
+    }
+    std::sort(edge_keys.begin(), edge_keys.end());
+    edge_keys.erase(std::unique(edge_keys.begin(), edge_keys.end()),
+                    edge_keys.end());
+    std::vector<Edge> dag_edges;
+    dag_edges.reserve(edge_keys.size());
+    for (const std::uint64_t key : edge_keys) {
+      dag_edges.push_back(Edge{static_cast<NodeId>(key >> 32),
+                               static_cast<NodeId>(key & 0xffffffffu)});
+    }
+    std::vector<NodeId> dag_nodes(num_comps);
+    std::iota(dag_nodes.begin(), dag_nodes.end(), 0);
+
+    const app::IntervalLabels labels = app::IntervalLabels::Build(
+        graph::Digraph(dag_nodes, dag_edges), old_summary.num_label_rounds,
+        old_summary.label_seed);
+    const std::size_t dag_n = labels.dag().num_nodes();
+
+    ArtifactSummary summary{};
+    summary.graph_nodes = old_summary.graph_nodes + new_nodes.size();
+    // Raw (pre-dedup) union edge count: the folded delta log plus this
+    // batch, matching DiskGraph::num_edges of the union edge file.
+    summary.graph_edges =
+        old_summary.graph_edges + delta_edges_.size() + batch.size();
+    summary.num_sccs = num_comps;
+    summary.dag_nodes = num_comps;
+    summary.dag_edges = dag_edges.size();
+    summary.num_label_rounds = old_summary.num_label_rounds;
+    summary.label_seed = old_summary.label_seed;
+    summary.largest_scc = graph::kInvalidScc;
+    summary.core_scc = graph::kInvalidScc;
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      if (sizes[s] > summary.largest_scc_size) {
+        summary.largest_scc_size = sizes[s];
+        summary.largest_scc = static_cast<SccId>(s);
+      }
+      if (sizes[s] == 1) ++summary.num_singletons;
+    }
+    if (old_summary.bowtie_computed != 0) {
+      const app::DagBowtieSizes bowtie = app::BowtieSizesFromDag(
+          labels.dag(), sizes, summary.largest_scc);
+      summary.bowtie_computed = 1;
+      summary.core_scc = summary.largest_scc;
+      summary.core_size = bowtie.core_size;
+      summary.in_size = bowtie.in_size;
+      summary.out_size = bowtie.out_size;
+      summary.other_size = bowtie.other_size;
+    }
+
+    {
+      auto sink = writer.BeginSection<NodeId>(SectionId::kDagNodes);
+      sink.AppendBatch(dag_nodes.data(), dag_nodes.size());
+      writer.EndSection();
+    }
+    {
+      auto sink = writer.BeginSection<Edge>(SectionId::kDagEdges);
+      sink.AppendBatch(dag_edges.data(), dag_edges.size());
+      writer.EndSection();
+    }
+    {
+      auto sink = writer.BeginSection<std::uint32_t>(SectionId::kLabelRanks);
+      for (std::uint32_t r = 0; r < summary.num_label_rounds; ++r) {
+        sink.AppendBatch(labels.ranks(r).data(), dag_n);
+      }
+      writer.EndSection();
+    }
+    {
+      auto sink = writer.BeginSection<std::uint32_t>(SectionId::kLabelMins);
+      for (std::uint32_t r = 0; r < summary.num_label_rounds; ++r) {
+        sink.AppendBatch(labels.mins(r).data(), dag_n);
+      }
+      writer.EndSection();
+    }
+    {
+      auto sink = writer.BeginSection<std::uint64_t>(SectionId::kSccSizes);
+      sink.AppendBatch(sizes.data(), sizes.size());
+      writer.EndSection();
+    }
+    {
+      auto sink = writer.BeginSection<ArtifactSummary>(SectionId::kSummary);
+      sink.Append(summary);
+      writer.EndSection();
+    }
+    return writer.Finish();
+  }();
+
+  // 7. Validate the candidate end to end BEFORE it can become the live
+  // version: a full reader open (resident sections, CRCs, geometry,
+  // cross-section consistency) plus a sweep of the one section Open
+  // does not touch. A version is only ever published after it proved
+  // readable — a faulted write can cost this batch, never the index.
+  util::Status publishable = written;
+  if (publishable.ok()) {
+    auto check = serve::ArtifactReader::Open(context_, tmp_path);
+    publishable = check.status();
+    if (publishable.ok()) {
+      serve::SccMapScanner scan = check.value().OpenNodeSccScan();
+      SccEntry entry;
+      while (scan.Next(&entry)) {
+      }
+      publishable = scan.status();
+    }
+  }
+  io::StorageDevice* device = context_->ResolveDevice(path_);
+  if (publishable.ok()) {
+    publishable = device->Rename(tmp_path, path_);
+  }
+  if (!publishable.ok()) {
+    (void)device->Delete(tmp_path);
+    return publishable;
+  }
+
+  // 8. Published. The delta log's edges are folded into the new
+  // version; drop it (stale-by-version even if the delete fails) and
+  // serve from the fresh artifact.
+  RemoveDeltaLog(context_, DeltaLogPathFor(path_));
+  auto reopened = serve::ArtifactReader::Open(context_, path_);
+  RETURN_IF_ERROR(reopened.status());
+  reader_.emplace(std::move(reopened).value());
+  delta_edges_.clear();
+
+  stats.rewrote_artifact = true;
+  stats.published_version = new_version;
+  stats.batch_ios = (context_->stats() - before).total_ios();
+  return stats;
+}
+
+}  // namespace extscc::dyn

@@ -1,0 +1,109 @@
+// Incremental SCC maintenance under edge-insert batches (the dynamic
+// subsystem — docs/dynamic.md). The persisted state is exactly the
+// PR 7 serve artifact (node→SCC map on disk; condensation DAG,
+// interval labels, sizes, summary resident) plus the sidecar delta
+// edge log (delta_log.h). Inserts can only MERGE SCCs — the merge-only
+// direction of dynamic SCC — so a batch is maintained as:
+//
+//   1. translate endpoints to SCC ids with the query engine's
+//      sort-sweep: one sorted probe pass + ONE sequential sweep of the
+//      node→SCC map section (the only I/O proportional to |V|);
+//   2. classify each edge: intra-SCC or duplicating an existing
+//      condensation edge → no structural change; otherwise it is a new
+//      condensation edge (a "backward" one closes a cycle);
+//   3. a batch with no new nodes and no new condensation edges appends
+//      to the delta log and returns — no artifact rewrite;
+//   4. otherwise run the localized merge pass IN MEMORY on the
+//      condensation DAG (resident by construction: the artifact loads
+//      it on open): Tarjan over old-DAG ∪ new edges finds the merged
+//      components, a single merge-scan of the old map (+ sorted new
+//      nodes) rewrites the node→SCC map with canonical
+//      first-occurrence labels, and every derived section (DAG,
+//      interval labels, sizes, summary, bow-tie) is recomputed from
+//      the new condensation;
+//   5. publish: the new artifact is written to "<path>.tmp" with a
+//      bumped data version and fresh CRCs, validated by a full
+//      reader open + map sweep, then swapped in with one atomic
+//      StorageDevice::Rename — a crash or fault at ANY point leaves
+//      the old version live, never a torn artifact.
+//
+// Because build-index writes canonical labels (core/canonical_labels.h)
+// and every derived section is a deterministic function of the graph,
+// the artifact after a rewrite is BYTE-IDENTICAL to build-index over
+// the union graph — the oracle the tests pin.
+//
+// Cost per batch (b edges, map of m blocks): the translate sweep is
+// <= m sequential block reads; a delta-log-only batch adds O(b/B)
+// writes; a structural rewrite re-streams the artifact once,
+// ~2m + O(resident sections) I/Os — still far below a full re-solve,
+// which pays the multi-pass contraction/expansion hierarchy on the
+// EDGE file (edges >> nodes on web-like graphs).
+#ifndef EXTSCC_DYN_DYNAMIC_INDEX_H_
+#define EXTSCC_DYN_DYNAMIC_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph_types.h"
+#include "io/io_context.h"
+#include "serve/artifact.h"
+#include "util/status.h"
+
+namespace extscc::dyn {
+
+struct UpdateBatchStats {
+  std::uint64_t edges_in = 0;
+  std::uint64_t intra_scc = 0;       // endpoints already in one SCC
+  std::uint64_t duplicate_dag = 0;   // (scc_u, scc_v) already a DAG edge
+  std::uint64_t new_dag_edges = 0;   // edges needing a structural pass
+  std::uint64_t new_nodes = 0;       // endpoints the artifact never saw
+  std::uint64_t merge_groups = 0;    // cycles closed (merged components)
+  std::uint64_t merged_sccs = 0;     // old/new SCCs consumed by merges
+  std::uint64_t swept_blocks = 0;    // map blocks read translating endpoints
+  std::uint64_t batch_ios = 0;       // total model block I/Os of the batch
+  bool rewrote_artifact = false;
+  std::uint64_t published_version = 0;  // live data version after the batch
+};
+
+class DynamicSccIndex {
+ public:
+  // Opens the artifact at `artifact_path` plus its delta log (missing
+  // or stale log = nothing pending). The artifact must live on a
+  // device supporting Rename (any non-striped path).
+  static util::Result<DynamicSccIndex> Open(io::IoContext* context,
+                                            const std::string& artifact_path);
+
+  DynamicSccIndex(DynamicSccIndex&&) = default;
+  DynamicSccIndex& operator=(DynamicSccIndex&&) = default;
+
+  // Applies one insert batch (duplicate edges and self-loops welcome).
+  // On success the on-disk state reflects the batch: either the delta
+  // log grew (no structural change) or a bumped artifact version was
+  // published atomically. On error the previously published version is
+  // still live and intact — the failed attempt's temp file is removed.
+  util::Result<UpdateBatchStats> ApplyBatch(
+      const std::vector<graph::Edge>& batch);
+
+  // The live artifact reader (reopened after every published rewrite).
+  const serve::ArtifactReader& reader() const { return *reader_; }
+  std::uint64_t data_version() const { return reader_->data_version(); }
+  // Edges applied but not yet folded into the artifact (delta log).
+  // Invariant: reader().summary().graph_edges + pending_delta_edges()
+  // == edges of the union graph.
+  std::uint64_t pending_delta_edges() const { return delta_edges_.size(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  DynamicSccIndex() = default;
+
+  io::IoContext* context_ = nullptr;
+  std::string path_;
+  std::optional<serve::ArtifactReader> reader_;
+  std::vector<graph::Edge> delta_edges_;
+};
+
+}  // namespace extscc::dyn
+
+#endif  // EXTSCC_DYN_DYNAMIC_INDEX_H_

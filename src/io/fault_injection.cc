@@ -159,6 +159,11 @@ util::Status FaultInjectingDevice::Delete(const std::string& path) {
   return inner_->Delete(path);
 }
 
+util::Status FaultInjectingDevice::Rename(const std::string& from,
+                                          const std::string& to) {
+  return inner_->Rename(from, to);
+}
+
 std::string FaultInjectingDevice::CreateSessionRoot() {
   return inner_->CreateSessionRoot();
 }

@@ -39,6 +39,10 @@ class FaultInjectingDevice : public StorageDevice {
   util::Status Open(const std::string& path, OpenMode mode,
                     std::unique_ptr<StorageFile>* out) override;
   util::Status Delete(const std::string& path) override;
+  // Rename never faults (metadata, like Delete): the publish step's
+  // atomicity is the inner device's contract, and faulting it would
+  // only test the fault injector, not the recovery machinery.
+  util::Status Rename(const std::string& from, const std::string& to) override;
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 

@@ -94,6 +94,14 @@ std::string ResolveParent(const std::string& parent_dir) {
 
 }  // namespace
 
+util::Status StorageDevice::Rename(const std::string& from,
+                                   const std::string& to) {
+  (void)from;
+  (void)to;
+  return util::Status::Unimplemented("rename not supported on device " +
+                                     name());
+}
+
 PosixDevice::PosixDevice(std::string name, std::string parent_dir)
     : StorageDevice(std::move(name)), parent_dir_(std::move(parent_dir)) {}
 
@@ -134,6 +142,18 @@ util::Status PosixDevice::Delete(const std::string& path) {
   if (ec) {
     return util::Status::IoError("remove(" + path +
                                  ") failed: " + ec.message());
+  }
+  return util::Status::Ok();
+}
+
+util::Status PosixDevice::Rename(const std::string& from,
+                                 const std::string& to) {
+  // POSIX rename(2): atomic replace of `to` on the same filesystem —
+  // the property the artifact publish step relies on.
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return util::Status::IoError("rename(" + from + " -> " + to +
+                                     ") failed: " + std::strerror(errno),
+                                 errno);
   }
   return util::Status::Ok();
 }
@@ -274,6 +294,23 @@ util::Status MemDevice::Delete(const std::string& path) {
   return util::Status::Ok();
 }
 
+util::Status MemDevice::Rename(const std::string& from,
+                               const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return util::Status::IoError("rename(" + from +
+                                     ") failed: no such mem file on device " +
+                                     name(),
+                                 ENOENT);
+  }
+  // Like rename(2), a replaced `to` vanishes atomically; handles opened
+  // on the old contents keep their FileData alive via shared_ptr.
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return util::Status::Ok();
+}
+
 std::string MemDevice::CreateSessionRoot() {
   std::lock_guard<std::mutex> lock(mu_);
   return "mem://" + name() + "/s" + std::to_string(next_session_++);
@@ -345,6 +382,12 @@ util::Status ThrottledDevice::Delete(const std::string& path) {
   // Report the inner device's verdict — swallowing it here would hide a
   // stuck scratch file behind a simulated spindle.
   return inner_->Delete(path);
+}
+
+util::Status ThrottledDevice::Rename(const std::string& from,
+                                     const std::string& to) {
+  // Metadata-only: no simulated transfer cost, like Delete.
+  return inner_->Rename(from, to);
 }
 
 std::string ThrottledDevice::CreateSessionRoot() {

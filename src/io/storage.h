@@ -95,6 +95,17 @@ class StorageDevice {
   // failing to delete an existing file is).
   virtual util::Status Delete(const std::string& path) = 0;
 
+  // Atomically renames `from` to `to` on this device, replacing any
+  // existing `to` — the publish primitive of the dynamic-update path
+  // (src/dyn/): an updated serve artifact is written beside the live
+  // one and swapped in with a single rename, so a concurrent reader
+  // sees either the old version or the new one, never a torn mix.
+  // Missing `from` is an ENOENT-carrying IoError. The base default is
+  // kUnimplemented for devices without an atomic swap (StripedDevice:
+  // a virtual path's identity is its part registration, which cannot
+  // change under a live reader).
+  virtual util::Status Rename(const std::string& from, const std::string& to);
+
   // Creates and returns a fresh session namespace (a directory on disk
   // devices, a key prefix on MemDevice) for scratch files.
   virtual std::string CreateSessionRoot() = 0;
@@ -118,6 +129,7 @@ class PosixDevice : public StorageDevice {
   util::Status Open(const std::string& path, OpenMode mode,
                     std::unique_ptr<StorageFile>* out) override;
   util::Status Delete(const std::string& path) override;
+  util::Status Rename(const std::string& from, const std::string& to) override;
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 
@@ -136,6 +148,7 @@ class MemDevice : public StorageDevice {
   util::Status Open(const std::string& path, OpenMode mode,
                     std::unique_ptr<StorageFile>* out) override;
   util::Status Delete(const std::string& path) override;
+  util::Status Rename(const std::string& from, const std::string& to) override;
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 
@@ -172,6 +185,7 @@ class ThrottledDevice : public StorageDevice {
   util::Status Open(const std::string& path, OpenMode mode,
                     std::unique_ptr<StorageFile>* out) override;
   util::Status Delete(const std::string& path) override;
+  util::Status Rename(const std::string& from, const std::string& to) override;
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 

@@ -250,6 +250,33 @@ std::size_t TempFileManager::num_available_devices() const {
   return healthy > 0 ? healthy : roots_.size();
 }
 
+std::size_t TempFileManager::effective_stripe_width() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (placement_ != PlacementPolicy::kStriped || striped_ == nullptr) return 0;
+  const std::size_t available = AvailableRootsLocked().size();
+  return available >= 2 ? available : 0;
+}
+
+void TempFileManager::NoteStripedFallback() {
+  if (placement_ != PlacementPolicy::kStriped) return;
+  std::size_t have;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t available = AvailableRootsLocked().size();
+    if (striped_ != nullptr && available >= 2) return;
+    have = available;
+  }
+  // Same ticket and same wording as the lazy note in NewFile, so a tool
+  // that reports eagerly never double-prints when scratch files follow.
+  if (!striped_fallback_noted_.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "extscc: --placement=striped needs >= 2 available "
+                 "scratch devices (have %zu); falling back to "
+                 "round-robin placement\n",
+                 have);
+  }
+}
+
 StorageDevice* TempFileManager::DeviceForPath(const std::string& path) const {
   // Striped virtual paths first: their "striped://" namespace can never
   // prefix-collide with a member root, and striped_root_ is immutable

@@ -118,6 +118,20 @@ class TempFileManager {
   // Quarantine).
   std::size_t num_available_devices() const;
 
+  // Stripe width a new striped placement would actually get right now:
+  // the available device count under kStriped with >= 2 available,
+  // else 0 (round-robin fallback, or a non-striped policy). The tools'
+  // one-line placement report reads this instead of re-deriving the
+  // NewFile fallback condition.
+  std::size_t effective_stripe_width() const;
+
+  // Emits the striped-fallback stderr note now (consuming the
+  // once-per-manager ticket) when kStriped placement cannot stripe; a
+  // no-op otherwise. The serve/update tools call this eagerly so the
+  // note appears at startup instead of whenever the first scratch file
+  // happens to be placed.
+  void NoteStripedFallback();
+
   // The device whose session root contains `path`, or nullptr when the
   // path is not scratch (a user-supplied file).
   StorageDevice* DeviceForPath(const std::string& path) const;

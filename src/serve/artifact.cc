@@ -35,7 +35,8 @@ util::Status ShortRead(const io::BlockFile& file, const char* what) {
 // ---------------------------------------------------------------------------
 // ArtifactWriter
 
-ArtifactWriter::ArtifactWriter(io::IoContext* context, const std::string& path)
+ArtifactWriter::ArtifactWriter(io::IoContext* context, const std::string& path,
+                               std::uint64_t data_version)
     : context_(context),
       file_(std::make_unique<io::BlockFile>(context, path,
                                             io::OpenMode::kTruncateWrite)),
@@ -44,6 +45,7 @@ ArtifactWriter::ArtifactWriter(io::IoContext* context, const std::string& path)
   std::memcpy(preamble.magic, kArtifactMagic, sizeof(preamble.magic));
   preamble.format_version = kArtifactFormatVersion;
   preamble.block_size = static_cast<std::uint32_t>(context->block_size());
+  preamble.data_version = data_version;
   preamble.crc = HeaderCrc(preamble);
   std::memcpy(buf_.data(), &preamble, sizeof(preamble));
   fill_ = sizeof(preamble);
@@ -277,6 +279,41 @@ util::Result<std::vector<T>> ReadSectionRecords(
   return records;
 }
 
+// Reads block 0 and validates magic/CRC/version/block size — the part
+// of the open protocol that PeekArtifactVersion shares with Open.
+// Checksum before version: a flipped version byte is corruption; only
+// an intact preamble can be honestly "too new".
+util::Result<ArtifactPreamble> ReadPreamble(io::BlockFile* file,
+                                            const std::string& path,
+                                            std::size_t bs) {
+  std::vector<unsigned char> block(bs);
+  if (file->ReadBlock(0, block.data()) != bs) {
+    return ShortRead(*file, "preamble");
+  }
+  ArtifactPreamble preamble;
+  std::memcpy(&preamble, block.data(), sizeof(preamble));
+  if (std::memcmp(preamble.magic, kArtifactMagic, sizeof(kArtifactMagic)) !=
+      0) {
+    return util::Status::Corruption("not an extscc artifact (bad magic): " +
+                                    path);
+  }
+  if (HeaderCrc(preamble) != preamble.crc) {
+    return util::Status::Corruption("artifact preamble checksum mismatch");
+  }
+  if (preamble.format_version != kArtifactFormatVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported artifact format version " +
+        std::to_string(preamble.format_version) + " (reader supports " +
+        std::to_string(kArtifactFormatVersion) + ")");
+  }
+  if (preamble.block_size != bs) {
+    return util::Status::InvalidArgument(
+        "artifact block size " + std::to_string(preamble.block_size) +
+        " does not match context block size " + std::to_string(bs));
+  }
+  return preamble;
+}
+
 // Expected record sizes per known section id (0 = unknown id, accepted
 // for forward compatibility but never loaded).
 std::uint32_t ExpectedRecordSize(std::uint32_t id) {
@@ -314,32 +351,9 @@ util::Result<ArtifactReader> ArtifactReader::Open(io::IoContext* context,
   const std::uint64_t num_blocks = size / bs;
   std::vector<unsigned char> block(bs);
 
-  // Preamble. Checksum before version: a flipped version byte is
-  // corruption; only an intact preamble can be honestly "too new".
-  if (file.ReadBlock(0, block.data()) != bs) {
-    return ShortRead(file, "preamble");
-  }
-  ArtifactPreamble preamble;
-  std::memcpy(&preamble, block.data(), sizeof(preamble));
-  if (std::memcmp(preamble.magic, kArtifactMagic, sizeof(kArtifactMagic)) !=
-      0) {
-    return util::Status::Corruption("not an extscc artifact (bad magic): " +
-                                    path);
-  }
-  if (HeaderCrc(preamble) != preamble.crc) {
-    return util::Status::Corruption("artifact preamble checksum mismatch");
-  }
-  if (preamble.format_version != kArtifactFormatVersion) {
-    return util::Status::InvalidArgument(
-        "unsupported artifact format version " +
-        std::to_string(preamble.format_version) + " (reader supports " +
-        std::to_string(kArtifactFormatVersion) + ")");
-  }
-  if (preamble.block_size != bs) {
-    return util::Status::InvalidArgument(
-        "artifact block size " + std::to_string(preamble.block_size) +
-        " does not match context block size " + std::to_string(bs));
-  }
+  auto preamble_result = ReadPreamble(&file, path, bs);
+  RETURN_IF_ERROR(preamble_result.status());
+  const ArtifactPreamble preamble = preamble_result.value();
 
   // Footer.
   if (file.ReadBlock(num_blocks - 1, block.data()) != bs) {
@@ -497,6 +511,7 @@ util::Result<ArtifactReader> ArtifactReader::Open(io::IoContext* context,
   reader.labels_ = std::move(labels).value();
   reader.context_ = context;
   reader.path_ = path;
+  reader.data_version_ = preamble.data_version;
   RETURN_IF_ERROR(file.Close());
   return reader;
 }
@@ -508,6 +523,21 @@ std::uint64_t ArtifactReader::scc_size(graph::SccId scc) const {
 
 SccMapScanner ArtifactReader::OpenNodeSccScan() const {
   return SccMapScanner(context_, path_, node_scc_section_, &block_crcs_);
+}
+
+util::Result<std::uint64_t> PeekArtifactVersion(io::IoContext* context,
+                                                const std::string& path) {
+  io::BlockFile file(context, path, io::OpenMode::kRead);
+  RETURN_IF_ERROR(file.status());
+  const std::size_t bs = context->block_size();
+  if (file.size_bytes() < bs) {
+    return util::Status::Corruption("artifact " + path +
+                                    ": shorter than one block (truncated?)");
+  }
+  auto preamble = ReadPreamble(&file, path, bs);
+  RETURN_IF_ERROR(preamble.status());
+  RETURN_IF_ERROR(file.Close());
+  return preamble.value().data_version;
 }
 
 }  // namespace extscc::serve

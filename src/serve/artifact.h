@@ -44,9 +44,12 @@ namespace extscc::serve {
 class ArtifactWriter {
  public:
   // Opens `path` for truncating write on the device the context
-  // resolves for it and writes the preamble block. Check status() /
-  // Finish() for I/O errors.
-  ArtifactWriter(io::IoContext* context, const std::string& path);
+  // resolves for it and writes the preamble block. `data_version` is
+  // the monotonic data version stamped into the preamble (0 for a
+  // fresh build-index; the dynamic updater passes old + 1). Check
+  // status() / Finish() for I/O errors.
+  ArtifactWriter(io::IoContext* context, const std::string& path,
+                 std::uint64_t data_version = 0);
 
   // Typed append handle for the currently open section; satisfies
   // extsort::RecordSinkFor<T>.
@@ -152,6 +155,9 @@ class ArtifactReader {
   ArtifactReader& operator=(ArtifactReader&&) = default;
 
   const ArtifactSummary& summary() const { return summary_; }
+  // Monotonic data version from the preamble (0 = initial build; the
+  // dynamic updater bumps it on every published rewrite).
+  std::uint64_t data_version() const { return data_version_; }
   // Resident interval labels over the condensation DAG.
   const app::IntervalLabels& labels() const { return labels_; }
   std::uint64_t num_sccs() const { return scc_sizes_.size(); }
@@ -174,12 +180,22 @@ class ArtifactReader {
 
   io::IoContext* context_ = nullptr;
   std::string path_;
+  std::uint64_t data_version_ = 0;
   ArtifactSummary summary_{};
   app::IntervalLabels labels_;
   std::vector<std::uint64_t> scc_sizes_;
   ArtifactSectionEntry node_scc_section_{};
   std::vector<std::uint32_t> block_crcs_;  // payload blocks, in order
 };
+
+// Reads and validates ONLY the preamble block of the artifact at
+// `path` and returns its data version — the one-block poll a serving
+// process issues at batch boundaries to notice a published update
+// without paying a full Open. Same error contract as Open (bad
+// magic/CRC → kCorruption, unsupported version/block size →
+// kInvalidArgument, device errors keep their errno codes).
+util::Result<std::uint64_t> PeekArtifactVersion(io::IoContext* context,
+                                                const std::string& path);
 
 }  // namespace extscc::serve
 

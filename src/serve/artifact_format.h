@@ -52,7 +52,13 @@ struct ArtifactPreamble {
   char magic[8];  // kArtifactMagic
   std::uint32_t format_version;
   std::uint32_t block_size;
-  std::uint64_t reserved0;
+  // Monotonic DATA version of the index: 0 for a fresh build-index,
+  // bumped by one on every published incremental update (src/dyn/).
+  // Distinct from format_version (the layout revision): a serving
+  // process polls this one cheap block-0 read to learn that an update
+  // republished the artifact. Was a reserved (always-zero) field before
+  // the dynamic subsystem, so pre-existing artifacts read as version 0.
+  std::uint64_t data_version;
   std::uint32_t reserved1;
   std::uint32_t crc;  // Crc32 over the preceding 28 bytes
 };

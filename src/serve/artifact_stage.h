@@ -1,0 +1,39 @@
+// Staging a serve artifact onto the scratch devices. The artifact a
+// user hands to query/serve/update usually lives on the base device (a
+// plain filesystem path), so its section sweeps — the dominant I/O of
+// every query batch — run at ONE device's bandwidth no matter how many
+// scratch devices --scratch-dirs declared. Under --placement=striped
+// the tools fix that by staging: block-copy the artifact into a striped
+// scratch file (every block round-robins across the available devices)
+// and serve all reads from the copy. One sequential copy buys every
+// subsequent sweep D× one device's bandwidth, and per-device accounting
+// attributes the sweep I/Os to the member devices like any striped
+// stream.
+#ifndef EXTSCC_SERVE_ARTIFACT_STAGE_H_
+#define EXTSCC_SERVE_ARTIFACT_STAGE_H_
+
+#include <string>
+
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::serve {
+
+struct StagedArtifact {
+  // Where to open the ArtifactReader: the striped scratch copy when
+  // staged, else `source` unchanged.
+  std::string path;
+  bool staged = false;
+};
+
+// Stages `source` when the context places scratch striped across >= 2
+// available devices (TempFileManager::effective_stripe_width); a no-op
+// pass-through otherwise. The copy is a scratch file: it dies with the
+// context, and a refreshing server removes the old copy explicitly via
+// TempFileManager::Remove after swapping in a new one.
+util::Result<StagedArtifact> StageArtifactForServing(
+    io::IoContext* context, const std::string& source);
+
+}  // namespace extscc::serve
+
+#endif  // EXTSCC_SERVE_ARTIFACT_STAGE_H_

@@ -6,6 +6,7 @@
 
 #include "app/bowtie.h"
 #include "app/interval_labels.h"
+#include "core/canonical_labels.h"
 #include "extsort/record_sink.h"
 #include "graph/digraph.h"
 #include "graph/graph_types.h"
@@ -38,13 +39,22 @@ util::Result<BuildArtifactResult> BuildArtifact(
   BuildArtifactResult result;
 
   // 1. The expensive out-of-core step: Ext-SCC labels, node-sorted.
-  const std::string scc_path = context->NewTempPath("serve_scc");
+  const std::string raw_scc_path = context->NewTempPath("serve_scc");
   {
-    auto solved = core::RunExtScc(context, g, scc_path, options.solve);
+    auto solved = core::RunExtScc(context, g, raw_scc_path, options.solve);
     RETURN_IF_ERROR(solved.status());
     result.solve_stats = solved.value();
   }
   const std::uint64_t num_sccs = result.solve_stats.num_sccs;
+
+  // 1b. Canonicalize: the solver's label VALUES depend on its internal
+  // traversal order, so rewrite them dense-by-first-occurrence in node
+  // order. Every artifact section downstream is then a pure function of
+  // the graph — the property that lets the incremental updater
+  // (src/dyn/) produce artifacts byte-identical to a full re-solve.
+  const std::string scc_path = context->NewTempPath("serve_canon");
+  RETURN_IF_ERROR(
+      core::CanonicalizeLabels(context, raw_scc_path, num_sccs, scc_path));
 
   // 2. Condensation DAG, loaded resident (small by construction).
   const auto condensation = scc::BuildCondensation(context, g, scc_path);
@@ -104,7 +114,7 @@ util::Result<BuildArtifactResult> BuildArtifact(
   }
 
   // 6. Stream everything into the artifact.
-  ArtifactWriter writer(context, artifact_path);
+  ArtifactWriter writer(context, artifact_path, options.data_version);
   RETURN_IF_ERROR(writer.status());
   {
     auto sink = writer.BeginSection<SccEntry>(SectionId::kNodeSccMap);

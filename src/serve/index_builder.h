@@ -28,6 +28,10 @@ struct BuildArtifactOptions {
   // the artifact stores zeroed bow-tie fields when off (or when the
   // graph is empty).
   bool include_bowtie = true;
+  // Data version stamped into the artifact preamble. build-index leaves
+  // 0; the dynamic updater's full-rebuild fallback passes old + 1 so a
+  // serving process still notices the swap.
+  std::uint64_t data_version = 0;
 };
 
 struct BuildArtifactResult {

@@ -69,14 +69,22 @@ BuiltArtifact BuildTestArtifact(std::uint32_t nodes, std::uint64_t num_edges,
       serve::BuildArtifact(out.context.get(), g, out.path, {});
   EXPECT_TRUE(built.ok()) << built.status().ToString();
 
-  // Independent reference solve (RunExtScc is deterministic, so the
-  // artifact's map section must match these bytes exactly).
+  // Independent reference solve, canonicalized the way build-index does
+  // (labels rewritten dense-by-first-occurrence in node order) — the
+  // artifact's map section must match these bytes exactly.
   const std::string scc_path = out.context->NewTempPath("ref_scc");
   auto solved = core::RunExtScc(out.context.get(), g, scc_path,
                                 core::ExtSccOptions::Optimized());
   EXPECT_TRUE(solved.ok()) << solved.status().ToString();
   out.solver_labels =
       io::ReadAllRecords<SccEntry>(out.context.get(), scc_path);
+  std::vector<graph::SccId> canon;
+  graph::SccId next = 0;
+  for (SccEntry& e : out.solver_labels) {
+    while (canon.size() <= e.scc) canon.push_back(graph::kInvalidScc);
+    if (canon[e.scc] == graph::kInvalidScc) canon[e.scc] = next++;
+    e.scc = canon[e.scc];
+  }
   return out;
 }
 
@@ -101,8 +109,8 @@ TEST(ServeArtifactTest, RoundTripMatchesSolveAndOracle) {
   ASSERT_TRUE(opened.ok()) << opened.status().ToString();
   const ArtifactReader reader = std::move(opened).value();
 
-  // The map section is the solver's output, byte for byte and in node
-  // order.
+  // The map section is the canonicalized solver output, byte for byte
+  // and in node order.
   serve::SccMapScanner scan = reader.OpenNodeSccScan();
   std::vector<SccEntry> from_artifact;
   SccEntry entry;
