@@ -7,7 +7,8 @@
 //
 //   extscc_tool generate <kind> <num_nodes> <out.txt> [seed]
 //       kind: web | massive | large | small | rmat | cycle | dag
-//   extscc_tool solve <edges.txt> <out_labels.txt> [memory_bytes] [basic]
+//   extscc_tool solve [--checkpoint-dir=D] [--resume]
+//               <edges.txt> <out_labels.txt> [memory_bytes] [basic]
 //   extscc_tool verify <edges.txt> <labels.txt>
 //   extscc_tool condense <edges.txt> <dag_out.txt> [memory_bytes]
 //   extscc_tool build-index [--labels=N] [--seed=S] [--no-bowtie]
@@ -16,6 +17,7 @@
 //               <artifact> <batch.txt>
 //   extscc_tool serve [--batch-size=N] [--threads=N] <artifact>
 //   extscc_tool update [--batch-size=N] --index=<artifact> --edges=<file>
+//   extscc_tool fsck [--checkpoint-dir=D] [--dry-run] <artifact>
 //
 // The serving commands share the artifact + line protocol documented in
 // docs/serving.md: build-index solves the graph once and writes a
@@ -48,20 +50,35 @@
 // per-device I/O breakdown and the critical-path (busiest-device)
 // count; under striped placement it also prints the stripe width.
 //
+// Crash-safety knobs: `solve --checkpoint-dir=D` durably checkpoints
+// every completed phase into D so a killed solve restarts from the last
+// phase boundary with `--resume` (labels byte-identical to an unkilled
+// run); `fsck` validates an artifact, its delta log, and optionally a
+// checkpoint directory, repairing what is safely repairable (torn delta
+// tails, orphaned *.tmp publishes, unusable checkpoint manifests); the
+// global `--crash-at=[tag:]N` arms the seeded crash-point registry
+// (io/crash_point.h) so a harness can kill the process deterministically
+// at the Nth durability-relevant operation — the process dies with exit
+// code 86, and the next run must recover.
+//
 // Text formats: edge lists are "u v" per line; label files are
 // "node scc" per line.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/ext_scc.h"
+#include "dyn/delta_log.h"
 #include "dyn/dynamic_index.h"
 #include "gen/classic_graphs.h"
 #include "gen/rmat_generator.h"
@@ -70,7 +87,9 @@
 #include "graph/disk_graph.h"
 #include "graph/graph_io.h"
 #include "graph/scc_file.h"
+#include "io/crash_point.h"
 #include "io/record_stream.h"
+#include "io/storage.h"
 #include "io/temp_file_manager.h"
 #include "scc/condensation.h"
 #include "scc/scc_verify.h"
@@ -93,11 +112,11 @@ int Usage() {
       "usage: extscc_tool [--sort-threads=N] [--io-threads=N] "
       "[--scratch-dirs=a,b,...] "
       "[--device-model=MODEL] [--placement=rr|spread|striped] "
-      "[--checksum-blocks] <command> ...\n"
+      "[--checksum-blocks] [--crash-at=[tag:]N] <command> ...\n"
       "  extscc_tool generate <web|massive|large|small|rmat|cycle|dag> "
       "<num_nodes> <out.txt> [seed]\n"
-      "  extscc_tool solve <edges.txt> <labels_out.txt> "
-      "[memory_bytes] [basic]\n"
+      "  extscc_tool solve [--checkpoint-dir=D] [--resume] "
+      "<edges.txt> <labels_out.txt> [memory_bytes] [basic]\n"
       "  extscc_tool verify <edges.txt> <labels.txt>\n"
       "  extscc_tool condense <edges.txt> <dag_out.txt> "
       "[memory_bytes]\n"
@@ -108,6 +127,7 @@ int Usage() {
       "  extscc_tool serve [--batch-size=N] [--threads=N] <artifact>\n"
       "  extscc_tool update [--batch-size=N] --index=<artifact> "
       "--edges=<edges.txt>\n"
+      "  extscc_tool fsck [--checkpoint-dir=D] [--dry-run] <artifact>\n"
       "query protocol (one per line): same <u> <v> | reach <u> <v> | "
       "stat <u>; blank line flushes the batch\n"
       "device models:\n"
@@ -120,13 +140,14 @@ int Usage() {
       "    op N), tag=SUBSTR (only paths containing SUBSTR),\n"
       "    device=I (only scratch device I faults), inner=posix|mem\n"
       "exit codes:\n"
-      "  0 success (verify: labels match)\n"
+      "  0 success (verify: labels match; fsck: everything clean)\n"
       "  1 verify mismatch, or other non-status failure\n"
       "  2 usage error\n"
       "  3 invalid argument    4 not found\n"
       "  5 I/O error           6 resource exhausted (I/O budget)\n"
       "  7 failed precondition 8 data corruption detected\n"
-      "  9 unimplemented\n");
+      "  9 unimplemented      10 fsck found repairable damage\n"
+      " 86 injected crash (--crash-at fired)\n");
   return 2;
 }
 
@@ -224,6 +245,48 @@ void ReportStripePlacement(io::IoContext* context, std::FILE* out) {
   }
 }
 
+// Splits a command's tail into positional arguments and `--flag=value`
+// pairs the caller inspects one by one. Unknown flags are a usage
+// error, reported by the caller.
+struct CommandArgs {
+  std::vector<std::string> positional;
+  std::vector<std::string> flags;
+};
+
+CommandArgs SplitCommandArgs(int argc, char** argv) {
+  CommandArgs out;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      out.flags.emplace_back(argv[i]);
+    } else {
+      out.positional.emplace_back(argv[i]);
+    }
+  }
+  return out;
+}
+
+bool FlagValue(const std::string& flag, const char* name,
+               std::uint64_t* value) {
+  const std::size_t len = std::strlen(name);
+  if (flag.compare(0, len, name) != 0 || flag.size() <= len ||
+      flag[len] != '=') {
+    return false;
+  }
+  *value = std::strtoull(flag.c_str() + len + 1, nullptr, 10);
+  return true;
+}
+
+bool FlagStringValue(const std::string& flag, const char* name,
+                     std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (flag.compare(0, len, name) != 0 || flag.size() <= len ||
+      flag[len] != '=') {
+    return false;
+  }
+  *value = flag.substr(len + 1);
+  return true;
+}
+
 int CmdGenerate(int argc, char** argv) {
   if (argc < 5) return Usage();
   const std::string kind = argv[2];
@@ -274,25 +337,54 @@ int CmdGenerate(int argc, char** argv) {
 }
 
 int CmdSolve(int argc, char** argv) {
-  if (argc < 4) return Usage();
+  const CommandArgs args = SplitCommandArgs(argc, argv);
+  std::string checkpoint_dir;
+  bool resume = false;
+  for (const std::string& flag : args.flags) {
+    std::string text;
+    if (FlagStringValue(flag, "--checkpoint-dir", &text)) {
+      checkpoint_dir = text;
+    } else if (flag == "--resume") {
+      resume = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (args.positional.size() < 2 || args.positional.size() > 4) return Usage();
+  if (resume && checkpoint_dir.empty()) return Usage();
+  const std::string edges_path = args.positional[0];
+  const std::string labels_path = args.positional[1];
   const std::uint64_t memory =
-      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : (4u << 20);
-  const bool basic = argc > 5 && std::strcmp(argv[5], "basic") == 0;
+      args.positional.size() > 2
+          ? std::strtoull(args.positional[2].c_str(), nullptr, 10)
+          : (4u << 20);
+  const bool basic =
+      args.positional.size() > 3 && args.positional[3] == "basic";
+  core::ExtSccOptions options = basic ? core::ExtSccOptions::Basic()
+                                      : core::ExtSccOptions::Optimized();
+  options.checkpoint_dir = checkpoint_dir;
+  options.resume = resume;
+  if (!checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+    if (ec) {
+      return StatusExit(util::Status::IoError(
+          "cannot create checkpoint directory " + checkpoint_dir + ": " +
+          ec.message()));
+    }
+  }
   auto context = MakeContext(memory);
   ReportStripePlacement(&context, stdout);
-  auto loaded = graph::LoadTextEdgeList(&context, argv[2]);
+  auto loaded = graph::LoadTextEdgeList(&context, edges_path);
   if (!loaded.ok()) return StatusExit(loaded.status());
   const std::string scc_path = context.NewTempPath("scc");
   const auto dev_before = context.DeviceStats();
-  auto result = core::RunExtScc(&context, loaded.value(), scc_path,
-                                basic ? core::ExtSccOptions::Basic()
-                                      : core::ExtSccOptions::Optimized());
+  auto result = core::RunExtScc(&context, loaded.value(), scc_path, options);
   const auto dev_after = context.DeviceStats();
   if (!result.ok()) return StatusExit(result.status());
-  std::ofstream out(argv[3]);
+  std::ofstream out(labels_path);
   if (!out) {
-    return StatusExit(util::Status::IoError(std::string("cannot create ") +
-                                            argv[3]));
+    return StatusExit(util::Status::IoError("cannot create " + labels_path));
   }
   io::RecordReader<graph::SccEntry> reader(&context, scc_path);
   graph::SccEntry entry;
@@ -303,7 +395,7 @@ int CmdSolve(int argc, char** argv) {
   // complete label file from a truncated one before reporting success.
   if (!reader.status().ok()) return StatusExit(reader.status());
   std::printf("%s: %llu SCCs, %u contraction levels, %llu I/Os, %.2fs\n",
-              argv[2],
+              edges_path.c_str(),
               static_cast<unsigned long long>(result.value().num_sccs),
               result.value().num_levels(),
               static_cast<unsigned long long>(result.value().total_ios),
@@ -322,6 +414,18 @@ int CmdSolve(int argc, char** argv) {
     std::printf("I/O retries absorbed: %llu reads, %llu writes\n",
                 static_cast<unsigned long long>(read_retries),
                 static_cast<unsigned long long>(write_retries));
+  }
+  // Durability work rides in its own counters (never model I/Os), so a
+  // checkpointed run prints the same I/O line as a plain one plus this.
+  const io::IoStats& totals = context.stats();
+  if (totals.sync_calls + totals.checkpoint_writes + totals.checkpoint_reads >
+      0) {
+    std::printf(
+        "durability: %llu fsyncs, %llu checkpoint writes, "
+        "%llu checkpoint reads\n",
+        static_cast<unsigned long long>(totals.sync_calls),
+        static_cast<unsigned long long>(totals.checkpoint_writes),
+        static_cast<unsigned long long>(totals.checkpoint_reads));
   }
   return 0;
 }
@@ -377,48 +481,6 @@ int CmdCondense(int argc, char** argv) {
   std::printf("condensation: %s (from %s)\n", cond.dag.Describe().c_str(),
               loaded.value().Describe().c_str());
   return 0;
-}
-
-// Splits a command's tail into positional arguments and `--flag=value`
-// pairs the caller inspects one by one. Unknown flags are a usage
-// error, reported by the caller.
-struct CommandArgs {
-  std::vector<std::string> positional;
-  std::vector<std::string> flags;
-};
-
-CommandArgs SplitCommandArgs(int argc, char** argv) {
-  CommandArgs out;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
-      out.flags.emplace_back(argv[i]);
-    } else {
-      out.positional.emplace_back(argv[i]);
-    }
-  }
-  return out;
-}
-
-bool FlagValue(const std::string& flag, const char* name,
-               std::uint64_t* value) {
-  const std::size_t len = std::strlen(name);
-  if (flag.compare(0, len, name) != 0 || flag.size() <= len ||
-      flag[len] != '=') {
-    return false;
-  }
-  *value = std::strtoull(flag.c_str() + len + 1, nullptr, 10);
-  return true;
-}
-
-bool FlagStringValue(const std::string& flag, const char* name,
-                     std::string* value) {
-  const std::size_t len = std::strlen(name);
-  if (flag.compare(0, len, name) != 0 || flag.size() <= len ||
-      flag[len] != '=') {
-    return false;
-  }
-  *value = flag.substr(len + 1);
-  return true;
 }
 
 int CmdBuildIndex(int argc, char** argv) {
@@ -797,6 +859,180 @@ int CmdUpdate(int argc, char** argv) {
   return 0;
 }
 
+// fsck: offline consistency check + repair of the serving state for one
+// artifact. Checks, in order: the artifact itself (full Open — preamble,
+// footer, section checksums — plus a CRC-verified sweep of the node→SCC
+// map), orphaned "*.tmp" publishes beside it (a publisher killed between
+// write and rename), the delta log (torn tails are truncated to the last
+// CRC-valid record, stale logs deleted), and optionally a checkpoint
+// directory (a manifest that is corrupt or references missing files is
+// removed so the next --resume falls back to a fresh run). Exit codes:
+// 0 everything clean, 10 repairable damage found (repaired unless
+// --dry-run), otherwise the failure's usual status exit (a torn
+// ARTIFACT is unrecoverable by design — rebuild or re-publish — and
+// exits 8).
+int CmdFsck(int argc, char** argv) {
+  const CommandArgs args = SplitCommandArgs(argc, argv);
+  std::string checkpoint_dir;
+  bool dry_run = false;
+  for (const std::string& flag : args.flags) {
+    std::string text;
+    if (FlagStringValue(flag, "--checkpoint-dir", &text)) {
+      checkpoint_dir = text;
+    } else if (flag == "--dry-run") {
+      dry_run = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (args.positional.size() != 1) return Usage();
+  const std::string artifact_path = args.positional[0];
+  auto context = MakeContext(64 << 20);
+  bool damage = false;
+
+  const auto file_exists = [&](const std::string& path) {
+    std::unique_ptr<io::StorageFile> f;
+    return context.ResolveDevice(path)->Open(path, io::OpenMode::kRead, &f)
+        .ok();
+  };
+  const auto reap = [&](const std::string& path, const char* what) {
+    if (!file_exists(path)) return;
+    damage = true;
+    if (dry_run) {
+      std::printf("fsck: %s: orphaned %s (would remove)\n", path.c_str(),
+                  what);
+    } else {
+      (void)context.ResolveDevice(path)->Delete(path);
+      std::printf("fsck: %s: orphaned %s removed\n", path.c_str(), what);
+    }
+  };
+
+  // 1. The artifact. Open validates preamble/footer/section checksums
+  // and loads the resident sections; the sweep re-reads every node→SCC
+  // block against its CRC. A missing artifact is exactly what a crash
+  // BEFORE the publish rename leaves behind: reap the stranded .tmp
+  // (that is the only damage) and report not-found, so a harness can
+  // tell "never published" (4/10) from "published but sick" (5/8).
+  if (!file_exists(artifact_path)) {
+    reap(artifact_path + ".tmp", "artifact publish");
+    reap(dyn::DeltaLogPathFor(artifact_path) + ".tmp", "delta log publish");
+    if (damage) {
+      std::printf(dry_run ? "fsck: repairable damage found (dry run)\n"
+                          : "fsck: damage repaired\n");
+      return 10;
+    }
+    return StatusExit(
+        util::Status::NotFound(artifact_path + ": no artifact"));
+  }
+  auto opened = serve::ArtifactReader::Open(&context, artifact_path);
+  if (!opened.ok()) return StatusExit(opened.status());
+  const serve::ArtifactReader& artifact = opened.value();
+  {
+    serve::SccMapScanner scan = artifact.OpenNodeSccScan();
+    graph::SccEntry entry;
+    std::uint64_t entries = 0;
+    while (scan.Next(&entry)) ++entries;
+    if (!scan.status().ok()) return StatusExit(scan.status());
+    if (entries != artifact.summary().graph_nodes) {
+      return StatusExit(util::Status::Corruption(
+          artifact_path + ": node->SCC map holds " + std::to_string(entries) +
+          " entries, summary says " +
+          std::to_string(artifact.summary().graph_nodes)));
+    }
+    std::printf("fsck: %s: OK (data version %llu, %llu nodes, %llu SCCs)\n",
+                artifact_path.c_str(),
+                static_cast<unsigned long long>(artifact.data_version()),
+                static_cast<unsigned long long>(
+                    artifact.summary().graph_nodes),
+                static_cast<unsigned long long>(artifact.summary().num_sccs));
+  }
+
+  // 2. Orphaned tmp publishes beside the artifact.
+  const std::string dlog_path = dyn::DeltaLogPathFor(artifact_path);
+  reap(artifact_path + ".tmp", "artifact publish");
+  reap(dlog_path + ".tmp", "delta log publish");
+
+  // 3. The delta log.
+  {
+    auto scan = dyn::ScanDeltaLog(&context, dlog_path,
+                                  artifact.data_version());
+    if (!scan.ok()) return StatusExit(scan.status());
+    if (!scan.value().exists) {
+      std::printf("fsck: %s: no delta log (nothing pending)\n",
+                  dlog_path.c_str());
+    } else if (scan.value().stale) {
+      damage = true;
+      if (dry_run) {
+        std::printf("fsck: %s: stale (edges already folded into the "
+                    "artifact; would remove)\n", dlog_path.c_str());
+      } else {
+        dyn::RemoveDeltaLog(&context, dlog_path);
+        std::printf("fsck: %s: stale log removed\n", dlog_path.c_str());
+      }
+    } else if (scan.value().torn) {
+      damage = true;
+      if (dry_run) {
+        std::printf("fsck: %s: torn tail after %llu intact edges "
+                    "(would truncate)\n", dlog_path.c_str(),
+                    static_cast<unsigned long long>(scan.value().edges.size()));
+      } else {
+        bool recovered = false;
+        auto repaired = dyn::RecoverDeltaLog(&context, dlog_path,
+                                             artifact.data_version(),
+                                             &recovered);
+        if (!repaired.ok()) return StatusExit(repaired.status());
+        std::printf("fsck: %s: torn tail truncated, %llu edges kept\n",
+                    dlog_path.c_str(),
+                    static_cast<unsigned long long>(repaired.value().size()));
+      }
+    } else {
+      std::printf("fsck: %s: OK (%llu pending edges)\n", dlog_path.c_str(),
+                  static_cast<unsigned long long>(scan.value().edges.size()));
+    }
+  }
+
+  // 4. The checkpoint directory. The manifest's data version binds it
+  // to a solve, not to this artifact, so fsck validates structure only.
+  if (!checkpoint_dir.empty()) {
+    core::CheckpointSession ckpt(&context, checkpoint_dir, 0);
+    reap(ckpt.ManifestPath() + ".tmp", "checkpoint manifest publish");
+    auto loaded = ckpt.Load();
+    if (loaded.ok()) {
+      std::printf("fsck: %s: OK (phase %u, %llu levels, %llu expansions)\n",
+                  checkpoint_dir.c_str(), loaded.value().phase,
+                  static_cast<unsigned long long>(loaded.value().levels_done),
+                  static_cast<unsigned long long>(loaded.value().expand_done));
+    } else if (loaded.status().code() == util::StatusCode::kNotFound) {
+      std::printf("fsck: %s: no checkpoint manifest\n",
+                  checkpoint_dir.c_str());
+    } else {
+      // Corrupt manifest or missing/resized files: not resumable. The
+      // safe repair is to drop the manifest so the next solve starts
+      // fresh instead of refusing forever.
+      damage = true;
+      if (dry_run) {
+        std::printf("fsck: %s: unusable checkpoint (%s); would remove "
+                    "manifest\n", checkpoint_dir.c_str(),
+                    loaded.status().ToString().c_str());
+      } else {
+        (void)context.ResolveDevice(ckpt.ManifestPath())
+            ->Delete(ckpt.ManifestPath());
+        std::printf("fsck: %s: unusable checkpoint (%s); manifest removed\n",
+                    checkpoint_dir.c_str(),
+                    loaded.status().ToString().c_str());
+      }
+    }
+  }
+
+  if (!damage) {
+    std::printf("fsck: clean\n");
+    return 0;
+  }
+  std::printf(dry_run ? "fsck: repairable damage found (dry run)\n"
+                      : "fsck: damage repaired\n");
+  return 10;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -832,6 +1068,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "%s\n", error.c_str());
         return 2;
       }
+    } else if (std::strncmp(argv[first], "--crash-at=", 11) == 0) {
+      io::CrashSpec spec;
+      const std::string error = io::ParseCrashSpec(argv[first] + 11, &spec);
+      if (!error.empty()) {
+        std::fprintf(stderr, "--crash-at: %s\n", error.c_str());
+        return 2;
+      }
+      io::ArmCrashPoint(spec);
     } else {
       return Usage();
     }
@@ -859,5 +1103,6 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(argc, argv);
   if (command == "serve") return CmdServe(argc, argv);
   if (command == "update") return CmdUpdate(argc, argv);
+  if (command == "fsck") return CmdFsck(argc, argv);
   return Usage();
 }

@@ -1,0 +1,129 @@
+// Checkpoint/resume for long Ext-SCC solves. A solve with a checkpoint
+// directory routes its phase-boundary outputs (level files, the
+// semi-external labels, intermediate expansion labels) into that
+// directory instead of session scratch, and after each completed phase
+// publishes a small CRC'd MANIFEST naming the phase reached and the
+// exact files (with sizes) a resume needs. The manifest is published
+// with the same durable protocol as serve artifacts — write
+// "MANIFEST.tmp", fsync, rename, fsync the parent directory — so a
+// crash at ANY instant leaves either the previous manifest or the new
+// one, never a torn mix, and `extscc_tool solve --resume` re-does only
+// the phases after the last completed one.
+//
+// The manifest carries a data_version (a hash of the input identity,
+// the solve options, and the block size). A resume whose recomputed
+// version differs refuses with kFailedPrecondition instead of silently
+// splicing phases of two different solves together.
+//
+// Checkpoint writes never touch the Aggarwal-Vitter model I/O columns:
+// the phase outputs cost exactly the block I/Os they always cost (same
+// writes, different path), and manifest traffic + fsyncs land in the
+// dedicated checkpoint_writes / checkpoint_reads / sync_calls counters
+// (io_stats.h).
+#ifndef EXTSCC_CORE_CHECKPOINT_H_
+#define EXTSCC_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ext_scc.h"
+#include "graph/disk_graph.h"
+#include "io/io_context.h"
+#include "util/status.h"
+
+namespace extscc::core {
+
+// Identity hash binding a checkpoint to one (input, options, geometry)
+// triple. FNV-1a over the input node/edge counts, the §VII toggles,
+// the semi backend, and the block size — deliberately NOT the input
+// paths, which are per-session scratch names that differ between a
+// crashed solve and its resume; the manifest's exact-size file
+// validation carries the binding to the bytes.
+std::uint64_t SolveDataVersion(const graph::DiskGraph& input,
+                               const ExtSccOptions& options,
+                               std::size_t block_size);
+
+class CheckpointSession {
+ public:
+  // Solve phases in completion order. kContracting with levels_done=L
+  // means L contraction levels are durable; kSemiDone additionally has
+  // the semi-external labels; kExpanding with expand_done=K has K
+  // expansion levels folded in.
+  enum Phase : std::uint32_t {
+    kContracting = 0,
+    kSemiDone = 1,
+    kExpanding = 2,
+  };
+
+  // Everything RunExtScc needs to restart from a completed phase.
+  struct ResumeState {
+    std::uint32_t phase = kContracting;
+    std::uint64_t data_version = 0;
+    std::uint64_t block_size = 0;
+    std::uint64_t levels_done = 0;
+    std::uint64_t expand_done = 0;
+    std::uint64_t next_scc_id = 0;
+    std::uint64_t semi_nodes = 0;
+    // The contracted graph G_L the next phase consumes (node/edge paths
+    // are derived from the directory scheme, only the counts persist).
+    std::uint64_t current_num_nodes = 0;
+    std::uint64_t current_num_edges = 0;
+    // Timer baselines so a resumed solve reports cumulative phase times.
+    double contraction_seconds = 0;
+    double semi_seconds = 0;
+    std::vector<ContractionIterationStats> iterations;
+  };
+
+  // `dir` empty disables checkpointing (enabled() false, all other
+  // calls must not be made).
+  CheckpointSession(io::IoContext* context, std::string dir,
+                    std::uint64_t data_version);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+  std::string ManifestPath() const;
+
+  // The directory scheme. Level files: "l<i>.ein|.eout|.cover|.removed"
+  // plus "l<i>.enext" (the contracted edge file feeding level i+1).
+  std::string LevelPath(std::size_t level, const char* kind) const;
+  // Semi-external base-case labels: "scc_semi".
+  std::string SemiSccPath() const;
+  // Labels after the k-th expansion (0-based): "scc_x<k>". The
+  // outermost expansion writes straight to the caller's scc_output and
+  // is never checkpointed — once it runs, the solve is one durable
+  // publish from done.
+  std::string ExpandSccPath(std::size_t k) const;
+
+  // Loads and validates the manifest. kNotFound: no manifest (fresh
+  // run). kCorruption: manifest damaged (magic/CRC). kFailedPrecondition:
+  // manifest intact but a referenced file is missing or resized. The
+  // caller still must compare data_version/block_size against its own.
+  util::Result<ResumeState> Load();
+
+  // Durably publishes `state`. `new_files` are the files completed
+  // since the previous Save; they are fsynced BEFORE the manifest
+  // references them (a manifest must never point at data still in the
+  // page cache). All costs land in checkpoint/sync counters.
+  util::Status Save(const ResumeState& state,
+                    const std::vector<std::string>& new_files);
+
+  // Solve finished: best-effort removal of the manifest (first — a
+  // crash mid-cleanup must not leave a manifest naming deleted files)
+  // and all checkpoint files for `num_levels` levels.
+  void Finish(std::size_t num_levels);
+
+ private:
+  // The relative file names `state` obligates a resume to find,
+  // matching the needs of the phase: contraction needs every level so
+  // far plus the live edge file, expansion drops already-folded levels.
+  std::vector<std::string> RequiredFiles(const ResumeState& state) const;
+
+  io::IoContext* context_;
+  std::string dir_;
+  std::uint64_t data_version_;
+};
+
+}  // namespace extscc::core
+
+#endif  // EXTSCC_CORE_CHECKPOINT_H_

@@ -24,7 +24,6 @@ ContractionResult ContractEdges(io::IoContext* context,
                                 const std::string& eout_path,
                                 const std::string& cover_path,
                                 const ContractionOptions& options) {
-  (void)options;  // reserved for future Get-E variants
   ContractionResult result;
 
   // ---- Step 1: tail-membership split of E_out ------------------------
@@ -83,7 +82,9 @@ ContractionResult ContractEdges(io::IoContext* context,
   // ---- Step 3: cross product per removed node (E_add) ----------------
   // E_del_in grouped by head (removed node), E_del_out grouped by tail
   // (removed node); merge the groups.
-  result.edge_path = context->NewTempPath("enext");
+  result.edge_path = options.edge_output.empty()
+                         ? context->NewTempPath("enext")
+                         : options.edge_output;
   {
     io::RecordWriter<Edge> out(context, result.edge_path);
     // E_pre first (line 12's union is a concatenation).

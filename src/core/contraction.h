@@ -36,11 +36,17 @@
 namespace extscc::core {
 
 struct ContractionOptions {
-  // Reserved for future §VII toggles. Self-loop shortcuts (u, u) from the
-  // cross product are ALWAYS dropped: a self-loop forces its node into
-  // every later cover (recoverability would need v ∈ nbr(v) ⊆ V_{i+1}),
-  // which breaks the strict shrinkage of Lemma 5.2. Example 5.1 shows the
-  // paper's base algorithm removing "self circles" as well.
+  // Self-loop shortcuts (u, u) from the cross product are ALWAYS
+  // dropped: a self-loop forces its node into every later cover
+  // (recoverability would need v ∈ nbr(v) ⊆ V_{i+1}), which breaks the
+  // strict shrinkage of Lemma 5.2. Example 5.1 shows the paper's base
+  // algorithm removing "self circles" as well.
+
+  // Where to write E_{i+1}. Empty: a fresh scratch path (the default).
+  // A checkpointed solve points this at its checkpoint directory so the
+  // file survives the session — same writes either way, so the model
+  // I/O count is identical.
+  std::string edge_output;
 };
 
 struct ContractionResult {

@@ -46,6 +46,18 @@ struct ExtSccOptions {
   // driver fails loudly (FailedPrecondition) if it ever trips.
   std::uint32_t max_iterations = 10000;
 
+  // Crash-safe checkpointing (checkpoint.h). Non-empty: phase-boundary
+  // outputs land in this directory and a CRC'd manifest is durably
+  // published after every completed contraction level, the semi base
+  // case, and every non-final expansion level. With `resume`, a solve
+  // that finds a matching manifest re-does only the phases after the
+  // last completed one; a manifest for a DIFFERENT input/options/block
+  // size fails with kFailedPrecondition rather than splicing solves.
+  // Checkpoint costs appear only in the sync_calls/checkpoint_* stats
+  // counters, never in model block I/Os.
+  std::string checkpoint_dir;
+  bool resume = false;
+
   static ExtSccOptions Basic() { return {}; }
   static ExtSccOptions Optimized() {
     ExtSccOptions opt;

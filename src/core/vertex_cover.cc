@@ -186,7 +186,9 @@ CoverResult ComputeVertexCover(io::IoContext* context,
   context->temp_files().Remove(vd_path);
 
   // ---- Sort + dedup (line 10) ----------------------------------------
-  result.cover_path = context->NewTempPath("cover");
+  result.cover_path = options.cover_output.empty()
+                          ? context->NewTempPath("cover")
+                          : options.cover_output;
   extsort::FileSink<NodeId> cover_file(context, result.cover_path);
   cover_writer.FinishInto(cover_file);
   cover_file.Finish();

@@ -39,6 +39,11 @@ struct CoverOptions {
   OrderVariant order = OrderVariant::kDegreeId;
   bool type1_reduction = false;  // Lemma 7.1 (Op mode)
   bool type2_reduction = false;  // bounded dictionary T (Op mode)
+  // Where to write the cover file. Empty: a fresh scratch path (the
+  // default). A checkpointed solve points this at its checkpoint
+  // directory so the file survives the session — same writes either
+  // way, so the model I/O count is identical.
+  std::string cover_output;
 };
 
 struct CoverResult {

@@ -7,20 +7,33 @@
 // artifact.graph_edges + log edges == edges of the union graph. The
 // next STRUCTURAL batch folds the log into its rewrite and deletes it.
 //
-// Layout (single file, whole blocks at the context block size, written
-// through BlockFile so device routing / fault injection / scratch
-// checksums compose):
+// Format v2 is append-structured so a cheap update costs one record
+// append (plus an fsync), not a whole-log rewrite, and so a killed
+// appender damages at most the tail (single file, whole blocks at the
+// context block size, written through BlockFile so device routing /
+// fault injection compose):
 //
-//   block 0       DeltaLogHeader (magic, versions, edge count, CRCs)
-//   blocks 1..    graph::Edge records, packed contiguously
+//   block 0       DeltaLogHeader (magic, version, block size,
+//                 base_version, CRC) — immutable after creation
+//   then records, each starting on a block boundary:
+//                 DeltaRecordHeader (magic, edge count, payload CRC,
+//                 header CRC) + packed graph::Edge payload, zero-padded
+//                 to the block boundary
+//
+// A reader scans records until EOF or the first record that fails its
+// CRC/size checks; everything from that record on is a TORN TAIL — the
+// footprint of an appender that died mid-write — and recovery truncates
+// to the last CRC-valid record (RecoverDeltaLog) instead of failing
+// the whole update. Torn tails are the ONLY self-healing damage class:
+// a bad header block is real corruption and always surfaces.
 //
 // The header names the artifact data version the log extends
 // (`base_version`). A log whose base_version does not match the live
 // artifact is STALE — a rewrite published and the log's edges are
 // already folded in (the crash window between rename and log delete) —
-// and reads as empty. Publication is the same protocol as the
-// artifact: write "<path>.tmp", then StorageDevice::Rename over the
-// old log.
+// and reads as empty. Creation and rewrite use the same durable
+// publish protocol as the artifact: write "<path>.tmp", fsync, rename,
+// fsync the parent directory.
 #ifndef EXTSCC_DYN_DELTA_LOG_H_
 #define EXTSCC_DYN_DELTA_LOG_H_
 
@@ -36,35 +49,85 @@ namespace extscc::dyn {
 
 inline constexpr char kDeltaLogMagic[8] = {'E', 'X', 'S', 'C',
                                            'C', 'D', 'L', 'G'};
-inline constexpr std::uint32_t kDeltaLogFormatVersion = 1;
+inline constexpr std::uint32_t kDeltaLogFormatVersion = 2;
+inline constexpr std::uint32_t kDeltaRecordMagic = 0x52434C44;  // "DLCR"
 
 struct DeltaLogHeader {
   char magic[8];  // kDeltaLogMagic
   std::uint32_t format_version;
   std::uint32_t block_size;
   std::uint64_t base_version;  // artifact data version this log extends
-  std::uint64_t num_edges;
-  std::uint32_t payload_crc;  // Crc32 over the packed edge records
-  std::uint32_t crc;          // Crc32 over the preceding 36 bytes
+  std::uint32_t reserved;
+  std::uint32_t crc;  // Crc32 over the preceding 28 bytes
 };
-static_assert(sizeof(DeltaLogHeader) == 40);
+static_assert(sizeof(DeltaLogHeader) == 32);
+
+// One appended batch. The payload (num_edges packed graph::Edge)
+// follows the header within the same block and spills into further
+// whole blocks as needed; the next record starts at the next block
+// boundary.
+struct DeltaRecordHeader {
+  std::uint32_t magic;  // kDeltaRecordMagic
+  std::uint32_t reserved;
+  std::uint64_t num_edges;
+  std::uint32_t payload_crc;  // Crc32 over the packed edge payload
+  std::uint32_t crc;          // Crc32 over the preceding 20 bytes
+};
+static_assert(sizeof(DeltaRecordHeader) == 24);
 
 // The sidecar path: "<artifact>.dlog".
 std::string DeltaLogPathFor(const std::string& artifact_path);
 
-// Reads the delta log at `path`. A missing file and a stale log
-// (base_version != expected_base_version) both yield an empty vector;
-// bad magic, CRC mismatch, or truncation yield kCorruption; an
-// unsupported format or block size yields kInvalidArgument.
+// A non-destructive structural scan of the log.
+struct DeltaLogScan {
+  bool exists = false;  // false: no log file (edges empty, nothing torn)
+  bool stale = false;   // base_version mismatch (edges empty)
+  bool torn = false;    // an invalid/incomplete tail follows the prefix
+  // Whole blocks of the valid prefix (header block + intact records);
+  // a recovery rewrite keeps exactly this much.
+  std::uint64_t valid_blocks = 0;
+  std::vector<graph::Edge> edges;  // every intact record, in append order
+};
+
+// Scans the log at `path`. Torn tails are REPORTED, not errors; a
+// missing file reports exists=false. Errors: bad header magic/CRC is
+// kCorruption (the log's identity is gone — no safe recovery), an
+// unsupported format or block size is kInvalidArgument, and device
+// failures propagate.
+util::Result<DeltaLogScan> ScanDeltaLog(io::IoContext* context,
+                                        const std::string& path,
+                                        std::uint64_t expected_base_version);
+
+// Strict read: like ScanDeltaLog but a torn tail is kCorruption. A
+// missing file and a stale log both yield an empty vector.
 util::Result<std::vector<graph::Edge>> ReadDeltaLog(
     io::IoContext* context, const std::string& path,
     std::uint64_t expected_base_version);
 
-// Atomically replaces the log at `path` with one holding `edges` for
-// artifact version `base_version` (write "<path>.tmp" + rename).
+// Self-healing read for the update path: scans, and when a torn tail
+// is found rewrites the log to its valid prefix (durable publish)
+// before returning the surviving edges. *recovered_torn_tail (when
+// non-null) reports whether a repair happened.
+util::Result<std::vector<graph::Edge>> RecoverDeltaLog(
+    io::IoContext* context, const std::string& path,
+    std::uint64_t expected_base_version,
+    bool* recovered_torn_tail = nullptr);
+
+// Atomically and durably replaces the log at `path` with one holding
+// `edges` (as a single record) for artifact version `base_version`:
+// write "<path>.tmp", fsync, rename, fsync parent.
 util::Status WriteDeltaLog(io::IoContext* context, const std::string& path,
                            std::uint64_t base_version,
                            const std::vector<graph::Edge>& edges);
+
+// Appends `batch` as one durable record. Clean existing log with a
+// matching base_version: in-place append + fsync (a crash mid-append
+// leaves a torn tail the next reader truncates). Missing or stale log:
+// fresh durable WriteDeltaLog. Torn log: recovery rewrite folding the
+// valid prefix and the new batch together. Bad header: kCorruption.
+util::Status AppendDeltaLog(io::IoContext* context, const std::string& path,
+                            std::uint64_t base_version,
+                            const std::vector<graph::Edge>& batch);
 
 // Best-effort removal of the log (after a structural rewrite folded it
 // in). A missing log is not an error.

@@ -13,6 +13,7 @@
 #include "extsort/record_sink.h"
 #include "extsort/record_traits.h"
 #include "graph/digraph.h"
+#include "io/durability.h"
 #include "scc/tarjan.h"
 #include "serve/artifact_format.h"
 #include "serve/query_engine.h"
@@ -33,6 +34,14 @@ using serve::SectionId;
 
 util::Result<DynamicSccIndex> DynamicSccIndex::Open(
     io::IoContext* context, const std::string& artifact_path) {
+  // GC a "<path>.tmp" orphaned by an updater that died between writing
+  // the candidate and renaming it: it was never published, so removing
+  // it is always safe — and only the updater may do this (a serving
+  // process must not, or it would race a LIVE updater's publish).
+  // Delete ignores missing files on every device.
+  (void)context->ResolveDevice(artifact_path)->Delete(artifact_path + ".tmp");
+  (void)context->ResolveDevice(artifact_path)
+      ->Delete(DeltaLogPathFor(artifact_path) + ".tmp");
   auto reader = serve::ArtifactReader::Open(context, artifact_path);
   RETURN_IF_ERROR(reader.status());
   DynamicSccIndex index;
@@ -49,8 +58,10 @@ util::Result<DynamicSccIndex> DynamicSccIndex::Open(
           "artifact condensation labels are not dense");
     }
   }
-  auto pending = ReadDeltaLog(context, DeltaLogPathFor(artifact_path),
-                              index.reader_->data_version());
+  // Self-healing read: a log tail torn by a killed appender is
+  // truncated to the last CRC-valid record here, not failed on.
+  auto pending = RecoverDeltaLog(context, DeltaLogPathFor(artifact_path),
+                                 index.reader_->data_version());
   RETURN_IF_ERROR(pending.status());
   index.delta_edges_ = std::move(pending).value();
   return index;
@@ -142,11 +153,9 @@ util::Result<UpdateBatchStats> DynamicSccIndex::ApplyBatch(
   // every label are already correct. Append to the delta log (keeping
   // the union edge count reconstructible) and stop.
   if (new_nodes.empty() && new_inter.empty()) {
-    std::vector<Edge> pending = delta_edges_;
-    pending.insert(pending.end(), batch.begin(), batch.end());
-    RETURN_IF_ERROR(WriteDeltaLog(context_, DeltaLogPathFor(path_),
-                                  reader_->data_version(), pending));
-    delta_edges_ = std::move(pending);
+    RETURN_IF_ERROR(AppendDeltaLog(context_, DeltaLogPathFor(path_),
+                                   reader_->data_version(), batch));
+    delta_edges_.insert(delta_edges_.end(), batch.begin(), batch.end());
     stats.batch_ios = (context_->stats() - before).total_ios();
     return stats;
   }
@@ -347,7 +356,10 @@ util::Result<UpdateBatchStats> DynamicSccIndex::ApplyBatch(
   }
   io::StorageDevice* device = context_->ResolveDevice(path_);
   if (publishable.ok()) {
-    publishable = device->Rename(tmp_path, path_);
+    // Durable publish: Finish() already fsynced the candidate's bytes;
+    // the rename + parent-directory fsync make the swap itself survive
+    // power loss (both halves are crash-point sites).
+    publishable = io::DurableRename(context_, tmp_path, path_);
   }
   if (!publishable.ok()) {
     (void)device->Delete(tmp_path);

@@ -250,6 +250,26 @@ util::Status BlockFile::Close() {
   return status();
 }
 
+util::Status BlockFile::Sync() {
+  if (file_ == nullptr) return status();
+  // Drain a pending overlapped write first: fsync hardens only bytes
+  // the device has already accepted.
+  if (sched_writer_ != nullptr) {
+    context_->read_scheduler()->Unregister(sched_writer_);
+    sched_writer_ = nullptr;
+  }
+  const util::Status sync_status = RunWithRetries(
+      context_, StatsDevice(0), /*is_read=*/false,
+      [&] { return file_->Sync(); });
+  {
+    std::lock_guard<std::mutex> lock(context_->stats_mutex());
+    context_->stats().sync_calls += 1;
+    StatsDevice(0)->stats().sync_calls += 1;
+  }
+  if (!sync_status.ok()) MarkError(sync_status);
+  return sync_status;
+}
+
 util::Status BlockFile::status() const {
   std::lock_guard<std::mutex> lock(status_mu_);
   return status_;

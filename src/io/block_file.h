@@ -95,6 +95,13 @@ class BlockFile {
   // afterwards.
   util::Status Close();
 
+  // Flushes every written block to durable storage (StorageFile::Sync,
+  // draining an in-flight overlapped write first). Counted in
+  // IoStats::sync_calls — never as a model I/O: an fsync moves no
+  // blocks in the Aggarwal-Vitter model. Publish and checkpoint paths
+  // call this before the atomic rename; scratch streams never do.
+  util::Status Sync();
+
   // First error this file hit (open failure, exhausted retries,
   // checksum mismatch, failed async write), or OK. Sticky; also
   // latched on the context at record time.

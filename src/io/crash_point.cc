@@ -1,0 +1,79 @@
+#include "io/crash_point.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace extscc::io {
+
+namespace {
+
+// The armed spec. Plain globals: ArmCrashPoint is called once from
+// main() before any worker thread exists, and the hit path reads the
+// ordinal through an atomic so a disarmed process never takes a lock.
+std::atomic<std::uint64_t> g_armed_ordinal{0};
+std::string* g_armed_tag = new std::string();
+
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_matched{0};
+
+}  // namespace
+
+std::string ParseCrashSpec(const std::string& text, CrashSpec* out) {
+  CrashSpec spec;
+  std::string number = text;
+  const std::size_t colon = text.rfind(':');
+  if (colon != std::string::npos) {
+    spec.tag = text.substr(0, colon);
+    number = text.substr(colon + 1);
+    if (spec.tag.empty()) {
+      return "bad crash spec '" + text + "': empty tag before ':'";
+    }
+  }
+  if (number.empty()) {
+    return "bad crash spec '" + text + "': missing ordinal";
+  }
+  std::uint64_t value = 0;
+  for (char c : number) {
+    if (c < '0' || c > '9') {
+      return "bad crash spec '" + text + "': ordinal is not a number";
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value == 0) {
+    return "bad crash spec '" + text + "': ordinal must be >= 1";
+  }
+  spec.ordinal = value;
+  *out = spec;
+  return "";
+}
+
+void ArmCrashPoint(const CrashSpec& spec) {
+  *g_armed_tag = spec.tag;
+  g_matched.store(0, std::memory_order_relaxed);
+  g_armed_ordinal.store(spec.ordinal, std::memory_order_release);
+}
+
+void CrashPointHit(const char* tag) {
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t armed = g_armed_ordinal.load(std::memory_order_acquire);
+  if (armed == 0) return;
+  if (!g_armed_tag->empty() &&
+      std::string(tag).find(*g_armed_tag) == std::string::npos) {
+    return;
+  }
+  if (g_matched.fetch_add(1, std::memory_order_relaxed) + 1 != armed) return;
+  std::fprintf(stderr, "crash injected at %s (matched hit %llu)\n", tag,
+               static_cast<unsigned long long>(armed));
+  std::fflush(stderr);
+  // _Exit: no destructors, no atexit hooks, no buffered-IO flush — the
+  // closest a test can get to SIGKILL while keeping a recognizable
+  // exit code.
+  std::_Exit(kCrashExitCode);
+}
+
+std::uint64_t CrashPointsPassed() {
+  return g_hits.load(std::memory_order_relaxed);
+}
+
+}  // namespace extscc::io

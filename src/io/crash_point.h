@@ -1,0 +1,60 @@
+// Deterministic crash injection for crash-consistency testing.
+//
+// A CrashPoint is a named place in the code where process death is
+// *interesting* for durability: just before an fsync, between a rename
+// and its parent-directory fsync, between two checkpoint-manifest
+// steps. Each call to CrashPointHit(tag) claims the next global
+// ordinal (same monotone-ordinal discipline as FaultInjectingDevice's
+// op counter, so a given run replays the same sequence every time);
+// when the registry is armed with spec "N" or "tag:N", the Nth hit
+// (counting only hits whose tag contains the spec's tag substring)
+// prints the tag to stderr and dies with _Exit(kCrashExitCode) —
+// no destructors, no atexit, no signal-handler cleanup, exactly the
+// state a power cut or SIGKILL leaves behind.
+//
+// The seeded randomness lives in the kill-loop harness
+// (tests/crash_test.cc), which draws N from a SplitMix64 stream: the
+// registry itself is pure ordinal so any observed failure can be
+// replayed with a single --crash-at=N.
+//
+// Disarmed (the default), a hit is one relaxed atomic increment — the
+// production path never branches into crash logic.
+#ifndef EXTSCC_IO_CRASH_POINT_H_
+#define EXTSCC_IO_CRASH_POINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace extscc::io {
+
+// Exit code of an injected crash: distinct from every code in
+// extscc_tool's documented map so harnesses can tell "crashed where I
+// asked" from every organic failure.
+inline constexpr int kCrashExitCode = 86;
+
+struct CrashSpec {
+  // Only hits whose tag contains this substring count ("" = all).
+  std::string tag;
+  // 1-based: die at the Nth counted hit. 0 = disarmed.
+  std::uint64_t ordinal = 0;
+};
+
+// Parses "N" or "tag:N" (e.g. "7", "publish.rename:1", "dlog:3").
+// Returns "" on success, else an error message naming the bad spec.
+std::string ParseCrashSpec(const std::string& text, CrashSpec* out);
+
+// Arms (ordinal >= 1) or disarms (ordinal == 0) the process-wide
+// registry. Not thread-safe against in-flight hits; call before
+// starting work, the way extscc_tool does from main().
+void ArmCrashPoint(const CrashSpec& spec);
+
+// The injection site. Claims an ordinal; if armed and this is the Nth
+// matching hit, the process dies here with _Exit(kCrashExitCode).
+void CrashPointHit(const char* tag);
+
+// Total hits claimed so far (armed or not) — lets tests size a sweep.
+std::uint64_t CrashPointsPassed();
+
+}  // namespace extscc::io
+
+#endif  // EXTSCC_IO_CRASH_POINT_H_

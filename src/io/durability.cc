@@ -1,0 +1,33 @@
+#include "io/durability.h"
+
+#include <mutex>
+
+#include "io/crash_point.h"
+#include "io/io_context.h"
+#include "io/storage.h"
+
+namespace extscc::io {
+
+std::string ParentDirOf(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+util::Status DurableRename(IoContext* context, const std::string& from,
+                           const std::string& to) {
+  StorageDevice* device = context->ResolveDevice(to);
+  CrashPointHit("publish.rename");
+  RETURN_IF_ERROR(device->Rename(from, to));
+  CrashPointHit("publish.dir.sync");
+  RETURN_IF_ERROR(device->SyncDir(ParentDirOf(to)));
+  {
+    std::lock_guard<std::mutex> lock(context->stats_mutex());
+    context->stats().sync_calls += 1;
+    device->stats().sync_calls += 1;
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace extscc::io

@@ -1,0 +1,36 @@
+// The durable-publish primitive shared by every atomic-rename publish
+// in the tree (serve artifacts, delta-log rewrites, checkpoint
+// manifests): rename(tmp -> final) makes the swap atomic against
+// concurrent readers, fsync(parent directory) makes it survive power
+// loss. Both halves are CrashPoint sites ("publish.rename" fires
+// before the rename, "publish.dir.sync" between the rename and the
+// directory fsync), so the kill-loop harness can die in exactly the
+// window where a non-durable publish would be lost.
+//
+// Callers are expected to have Sync()ed the tmp file's *contents*
+// first (BlockFile::Sync before Close) — renaming an unsynced file
+// durably publishes garbage.
+#ifndef EXTSCC_IO_DURABILITY_H_
+#define EXTSCC_IO_DURABILITY_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace extscc::io {
+
+class IoContext;
+
+// "/a/b/c" -> "/a/b"; a path with no '/' -> "." (the CWD entry the
+// rename mutated).
+std::string ParentDirOf(const std::string& path);
+
+// Atomically and durably replaces `to` with `from` on the device the
+// context resolves for `to`. The directory fsync is counted in
+// IoStats::sync_calls (aggregate and device), never as a model I/O.
+util::Status DurableRename(IoContext* context, const std::string& from,
+                           const std::string& to);
+
+}  // namespace extscc::io
+
+#endif  // EXTSCC_IO_DURABILITY_H_

@@ -120,6 +120,13 @@ class FaultInjectingFile : public StorageFile {
 
   std::uint64_t size_bytes() const override { return inner_->size_bytes(); }
 
+  util::Status Sync() override {
+    // Never faults: durability failures are modeled by CrashPoint
+    // (process death), not by this device's transient-error schedule —
+    // faulting fsync here would test the injector, not recovery.
+    return inner_->Sync();
+  }
+
  private:
   std::uint64_t ClaimOp() {
     return device_->next_op_.fetch_add(1, std::memory_order_relaxed);
@@ -162,6 +169,10 @@ util::Status FaultInjectingDevice::Delete(const std::string& path) {
 util::Status FaultInjectingDevice::Rename(const std::string& from,
                                           const std::string& to) {
   return inner_->Rename(from, to);
+}
+
+util::Status FaultInjectingDevice::SyncDir(const std::string& dir) {
+  return inner_->SyncDir(dir);
 }
 
 std::string FaultInjectingDevice::CreateSessionRoot() {

@@ -43,6 +43,8 @@ class FaultInjectingDevice : public StorageDevice {
   // atomicity is the inner device's contract, and faulting it would
   // only test the fault injector, not the recovery machinery.
   util::Status Rename(const std::string& from, const std::string& to) override;
+  // SyncDir delegates unfaulted for the same reason as Rename.
+  util::Status SyncDir(const std::string& dir) override;
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 

@@ -14,6 +14,9 @@ IoStats& IoStats::operator+=(const IoStats& other) {
   files_created += other.files_created;
   read_retries += other.read_retries;
   write_retries += other.write_retries;
+  sync_calls += other.sync_calls;
+  checkpoint_writes += other.checkpoint_writes;
+  checkpoint_reads += other.checkpoint_reads;
   return *this;
 }
 
@@ -28,6 +31,9 @@ IoStats IoStats::operator-(const IoStats& other) const {
   out.files_created = files_created - other.files_created;
   out.read_retries = read_retries - other.read_retries;
   out.write_retries = write_retries - other.write_retries;
+  out.sync_calls = sync_calls - other.sync_calls;
+  out.checkpoint_writes = checkpoint_writes - other.checkpoint_writes;
+  out.checkpoint_reads = checkpoint_reads - other.checkpoint_reads;
   return out;
 }
 
@@ -39,6 +45,14 @@ std::string IoStats::ToString() const {
   if (read_retries + write_retries > 0) {
     out << " retries=" << read_retries + write_retries << " (read="
         << read_retries << " write=" << write_retries << ")";
+  }
+  if (sync_calls > 0) {
+    out << " syncs=" << sync_calls;
+  }
+  if (checkpoint_writes + checkpoint_reads > 0) {
+    out << " ckpt_ios=" << checkpoint_writes + checkpoint_reads
+        << " (write=" << checkpoint_writes << " read=" << checkpoint_reads
+        << ")";
   }
   return out.str();
 }

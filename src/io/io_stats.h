@@ -29,6 +29,14 @@ struct IoStats {
   // a fault-free run reports zero here.
   std::uint64_t read_retries = 0;
   std::uint64_t write_retries = 0;
+  // Durability operations (crash-safety path). Like retries, these are
+  // NOT model I/Os: an fsync moves no blocks in the Aggarwal-Vitter
+  // model, and checkpoint-manifest bytes bypass the block layer
+  // entirely. The default fault-free solve reports zero in all three,
+  // which is what keeps the paper's I/O columns byte-identical.
+  std::uint64_t sync_calls = 0;
+  std::uint64_t checkpoint_writes = 0;
+  std::uint64_t checkpoint_reads = 0;
 
   std::uint64_t total_reads() const { return sequential_reads + random_reads; }
   std::uint64_t total_writes() const {

@@ -1,6 +1,7 @@
 #include "io/storage.h"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -80,6 +81,17 @@ class PosixFile : public StorageFile {
 
   std::uint64_t size_bytes() const override { return size_bytes_; }
 
+  util::Status Sync() override {
+    // fdatasync: data plus the metadata needed to read it back (size),
+    // skipping timestamp-only journal writes that fsync would force.
+    while (::fdatasync(fd_) != 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError(
+          "fdatasync(" + path_ + ") failed: " + std::strerror(errno), errno);
+    }
+    return util::Status::Ok();
+  }
+
  private:
   int fd_;
   std::string path_;
@@ -100,6 +112,11 @@ util::Status StorageDevice::Rename(const std::string& from,
   (void)to;
   return util::Status::Unimplemented("rename not supported on device " +
                                      name());
+}
+
+util::Status StorageDevice::SyncDir(const std::string& dir) {
+  (void)dir;
+  return util::Status::Ok();
 }
 
 PosixDevice::PosixDevice(std::string name, std::string parent_dir)
@@ -158,8 +175,41 @@ util::Status PosixDevice::Rename(const std::string& from,
   return util::Status::Ok();
 }
 
+util::Status PosixDevice::SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return util::Status::IoError(
+        "open(" + dir + ") for fsync failed: " + std::strerror(errno), errno);
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return util::Status::IoError(
+        "fsync(" + dir + ") failed: " + std::strerror(saved), saved);
+  }
+  return util::Status::Ok();
+}
+
 std::string PosixDevice::CreateSessionRoot() {
   const std::string parent = ResolveParent(parent_dir_);
+  // Reclaim roots left by SIGKILLed processes before adding our own —
+  // once per (process, parent): liveness checks make reaping safe
+  // against concurrent sessions, so repeating it would only cost scans.
+  {
+    static std::mutex reap_mu;
+    static std::vector<std::string>* reaped_parents =
+        new std::vector<std::string>();
+    std::lock_guard<std::mutex> lock(reap_mu);
+    if (std::find(reaped_parents->begin(), reaped_parents->end(), parent) ==
+        reaped_parents->end()) {
+      reaped_parents->push_back(parent);
+      ReapOrphanScratchRoots(parent);
+    }
+  }
   // Unique directory name: pid + monotonically increasing suffix probe.
   // The counter is shared across devices so session roots never collide
   // even when several scratch parents alias the same directory.
@@ -170,6 +220,14 @@ std::string PosixDevice::CreateSessionRoot() {
                             std::to_string(::getpid()) + "_" +
                             std::to_string(counter++);
     if (fs::create_directories(candidate, ec) && !ec) {
+      // Ownership marker for ReapOrphanScratchRoots: the reaper trusts
+      // the pid in here over the one in the directory name, so a root
+      // that was (improbably) renamed still resolves to its true owner.
+      std::FILE* pid_file = std::fopen((candidate + "/.pid").c_str(), "w");
+      if (pid_file != nullptr) {
+        std::fprintf(pid_file, "%ld\n", static_cast<long>(::getpid()));
+        std::fclose(pid_file);
+      }
       return candidate;
     }
   }
@@ -201,6 +259,67 @@ std::vector<std::unique_ptr<StorageDevice>> MakePosixScratchDevices(
         "disk" + std::to_string(i), scratch_parents[i]));
   }
   return devices;
+}
+
+namespace {
+
+// Parses the pid out of a session-root name "extscc_<pid>_<seq>";
+// returns 0 when the name does not match the scheme exactly.
+long SessionRootPid(const std::string& name) {
+  constexpr char kPrefix[] = "extscc_";
+  constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.compare(0, kPrefixLen, kPrefix) != 0) return 0;
+  const std::size_t sep = name.find('_', kPrefixLen);
+  if (sep == std::string::npos || sep == kPrefixLen ||
+      sep + 1 >= name.size()) {
+    return 0;
+  }
+  long pid = 0;
+  for (std::size_t i = kPrefixLen; i < sep; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    pid = pid * 10 + (name[i] - '0');
+  }
+  for (std::size_t i = sep + 1; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+  }
+  return pid;
+}
+
+// True when `pid` definitely no longer exists. EPERM means a live
+// process we cannot signal — not ours to reap.
+bool PidIsDead(long pid) {
+  if (pid <= 0) return false;
+  return ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+}
+
+}  // namespace
+
+std::size_t ReapOrphanScratchRoots(const std::string& parent) {
+  std::error_code ec;
+  fs::directory_iterator it(parent, ec);
+  if (ec) return 0;
+  std::size_t reaped = 0;
+  for (const auto& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_directory(entry_ec) || entry_ec) continue;
+    long pid = SessionRootPid(entry.path().filename().string());
+    if (pid == 0) continue;
+    // The .pid ownership marker wins over the name when readable.
+    std::FILE* pid_file =
+        std::fopen((entry.path() / ".pid").string().c_str(), "r");
+    if (pid_file != nullptr) {
+      long file_pid = 0;
+      if (std::fscanf(pid_file, "%ld", &file_pid) == 1 && file_pid > 0) {
+        pid = file_pid;
+      }
+      std::fclose(pid_file);
+    }
+    if (pid == static_cast<long>(::getpid()) || !PidIsDead(pid)) continue;
+    std::error_code rm_ec;
+    fs::remove_all(entry.path(), rm_ec);
+    if (!rm_ec) ++reaped;
+  }
+  return reaped;
 }
 
 // ---- MemDevice -------------------------------------------------------
@@ -351,6 +470,12 @@ class ThrottledFile : public StorageFile {
 
   std::uint64_t size_bytes() const override { return inner_->size_bytes(); }
 
+  util::Status Sync() override {
+    // Metadata-only in the simulation (no transfer to charge), but the
+    // durability request must still reach the backing store.
+    return inner_->Sync();
+  }
+
  private:
   std::unique_ptr<StorageFile> inner_;
   ThrottledDevice* device_;
@@ -388,6 +513,10 @@ util::Status ThrottledDevice::Rename(const std::string& from,
                                      const std::string& to) {
   // Metadata-only: no simulated transfer cost, like Delete.
   return inner_->Rename(from, to);
+}
+
+util::Status ThrottledDevice::SyncDir(const std::string& dir) {
+  return inner_->SyncDir(dir);
 }
 
 std::string ThrottledDevice::CreateSessionRoot() {
@@ -546,6 +675,18 @@ class StripedFile : public StorageFile {
 
   std::uint64_t size_bytes() const override {
     return size_bytes_.load(std::memory_order_acquire);
+  }
+
+  util::Status Sync() override {
+    // The striped file is durable only when every part is.
+    for (std::size_t d = 0; d < parts_.size(); ++d) {
+      const util::Status status = parts_[d]->Sync();
+      if (!status.ok()) {
+        owner_->NoteFailedDevice(devices_[d]);
+        return status;
+      }
+    }
+    return util::Status::Ok();
   }
 
   const std::vector<StorageDevice*>* stripe_devices() const override {

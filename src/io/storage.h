@@ -58,6 +58,16 @@ class StorageFile {
   // owning BlockFile.
   virtual std::uint64_t size_bytes() const = 0;
 
+  // Flushes previously written data to durable storage (the fsync /
+  // fdatasync family). The default is an Ok no-op: MemDevice's
+  // durability domain is process RAM, and the simulated devices have
+  // nothing more durable to reach. PosixFile overrides with fdatasync;
+  // wrappers delegate (never fault — process-death injection is
+  // CrashPoint's job, not the device model's). Only publish and
+  // checkpoint paths call this; scratch files never do, which is what
+  // keeps the fast path byte-identical.
+  virtual util::Status Sync() { return util::Status::Ok(); }
+
   // Non-null for striped composite files (StripedDevice): the member
   // devices, in stripe order — block b lives on member b % D. BlockFile
   // routes per-block accounting to the owning member and the
@@ -106,6 +116,14 @@ class StorageDevice {
   // change under a live reader).
   virtual util::Status Rename(const std::string& from, const std::string& to);
 
+  // Flushes the directory entry metadata of `dir` to durable storage —
+  // the second half of a durable atomic publish: rename(tmp, final)
+  // makes the swap atomic, fsync(parent dir) makes it survive power
+  // loss. The base default is an Ok no-op (MemDevice and the simulated
+  // wrappers have no directory metadata to harden); PosixDevice opens
+  // the directory and fsyncs it.
+  virtual util::Status SyncDir(const std::string& dir);
+
   // Creates and returns a fresh session namespace (a directory on disk
   // devices, a key prefix on MemDevice) for scratch files.
   virtual std::string CreateSessionRoot() = 0;
@@ -130,6 +148,7 @@ class PosixDevice : public StorageDevice {
                     std::unique_ptr<StorageFile>* out) override;
   util::Status Delete(const std::string& path) override;
   util::Status Rename(const std::string& from, const std::string& to) override;
+  util::Status SyncDir(const std::string& dir) override;
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 
@@ -186,6 +205,7 @@ class ThrottledDevice : public StorageDevice {
                     std::unique_ptr<StorageFile>* out) override;
   util::Status Delete(const std::string& path) override;
   util::Status Rename(const std::string& from, const std::string& to) override;
+  util::Status SyncDir(const std::string& dir) override;
   std::string CreateSessionRoot() override;
   void RemoveTree(const std::string& root) override;
 
@@ -283,6 +303,17 @@ class StripedDevice : public StorageDevice {
 std::vector<std::unique_ptr<StorageDevice>> MakePosixScratchDevices(
     const std::string& parent_dir,
     const std::vector<std::string>& scratch_parents);
+
+// Removes session scratch roots under `parent` whose owning process is
+// dead, and returns how many were reaped. A root is reapable when its
+// name matches the extscc_<pid>_<seq> scheme AND the pid (from the
+// root's .pid file when readable, else from the name) no longer exists
+// (kill(pid, 0) == ESRCH). Live pids and unparseable names are left
+// untouched. Closes the SIGKILL gap of InstallScratchSignalCleanup:
+// PosixDevice::CreateSessionRoot calls this before creating the new
+// root, so the next run of any tool sharing the scratch parent reclaims
+// the space. Best-effort — reaping failures are ignored.
+std::size_t ReapOrphanScratchRoots(const std::string& parent);
 
 // ---- placement -------------------------------------------------------
 

@@ -19,6 +19,11 @@ namespace extscc::io {
 // std::filesystem, which is not strictly async-signal-safe — an
 // accepted trade for a handler that only runs on the way to process
 // death, where the alternative is leaking the scratch tree.
+//
+// SIGKILL (and --crash-at's _Exit) never reach this handler; those
+// roots are collected by ReapOrphanScratchRoots (storage.h) the next
+// time a process creates a session root under the same parent, using
+// the per-root .pid liveness marker.
 
 namespace {
 

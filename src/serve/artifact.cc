@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "io/checksum.h"
+#include "io/crash_point.h"
 #include "util/logging.h"
 
 namespace extscc::serve {
@@ -148,6 +149,13 @@ util::Status ArtifactWriter::Finish() {
   fill_ = sizeof(footer);
   FlushBlock(/*track_crc=*/false);
 
+  // Every ArtifactWriter target is a publish destination (a serve
+  // artifact or the tmp file about to be renamed over one), so the
+  // bytes must be durable before the rename makes them reachable —
+  // renaming an unsynced file durably publishes garbage. Counted in
+  // sync_calls, never as a model I/O.
+  io::CrashPointHit("publish.file.sync");
+  RETURN_IF_ERROR(file_->Sync());
   return file_->Close();
 }
 

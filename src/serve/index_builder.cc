@@ -10,6 +10,7 @@
 #include "extsort/record_sink.h"
 #include "graph/digraph.h"
 #include "graph/graph_types.h"
+#include "io/durability.h"
 #include "io/record_stream.h"
 #include "scc/condensation.h"
 #include "serve/artifact.h"
@@ -113,8 +114,11 @@ util::Result<BuildArtifactResult> BuildArtifact(
     summary.other_size = bowtie.value().other_size;
   }
 
-  // 6. Stream everything into the artifact.
-  ArtifactWriter writer(context, artifact_path, options.data_version);
+  // 6. Stream everything into "<path>.tmp" and publish by durable
+  // rename, so a build killed mid-write can never leave a torn file at
+  // the artifact path — the same protocol the dynamic updater uses.
+  const std::string tmp_path = artifact_path + ".tmp";
+  ArtifactWriter writer(context, tmp_path, options.data_version);
   RETURN_IF_ERROR(writer.status());
   {
     auto sink = writer.BeginSection<SccEntry>(SectionId::kNodeSccMap);
@@ -164,6 +168,12 @@ util::Result<BuildArtifactResult> BuildArtifact(
     writer.EndSection();
   }
   RETURN_IF_ERROR(writer.Finish());
+  const util::Status published =
+      io::DurableRename(context, tmp_path, artifact_path);
+  if (!published.ok()) {
+    (void)context->ResolveDevice(tmp_path)->Delete(tmp_path);
+    return published;
+  }
   return result;
 }
 

@@ -1,0 +1,439 @@
+// Crash-safety unit tests: the delta log's torn-tail recovery swept at
+// EVERY byte offset of the last record, the checkpoint manifest's
+// round-trip/validation contract, the durable-rename publish
+// primitive, crash-spec parsing, orphan scratch-root reaping, and the
+// promise that durability costs live only in the sync/checkpoint
+// counters. The process-kill side of crash safety (spawning
+// extscc_tool and dying at seeded crash points) lives in
+// crash_test.cc; this suite covers everything testable in-process.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.h"
+#include "core/ext_scc.h"
+#include "dyn/delta_log.h"
+#include "graph/graph_types.h"
+#include "io/crash_point.h"
+#include "io/durability.h"
+#include "io/io_context.h"
+#include "io/storage.h"
+#include "test_util.h"
+#include "util/status.h"
+
+namespace extscc {
+namespace {
+
+namespace fs = std::filesystem;
+using graph::Edge;
+
+// Delta-log and checkpoint files live beside artifacts on the REAL
+// filesystem (the posix base device), never on scratch — so these
+// tests can truncate/corrupt them byte by byte regardless of the CI
+// matrix's scratch-device override.
+std::unique_ptr<io::IoContext> MakeContext(std::size_t block_size) {
+  return testing::MakeTestContext(1 << 20, block_size);
+}
+
+fs::path FreshDir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<Edge> SomeEdges(std::uint32_t n, std::uint32_t salt) {
+  std::vector<Edge> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(Edge{salt + i, salt + i * 7 + 1});
+  }
+  return out;
+}
+
+std::vector<char> Slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<char>((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+}
+
+void Spit(const fs::path& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---- torn-tail recovery ---------------------------------------------
+
+// The satellite regression test: truncate the log at EVERY byte offset
+// inside the last record and require (a) the scan to report exactly
+// the intact prefix, (b) recovery to rewrite the log into a clean one
+// that strict reads and further appends accept.
+TEST(DurabilityTest, TornTailTruncationSweepEveryByteOffset) {
+  constexpr std::size_t kBlock = 512;
+  auto context = MakeContext(kBlock);
+  const fs::path dir = FreshDir("durability_torn_sweep");
+  const std::string log = (dir / "art.dlog").string();
+
+  const auto first = SomeEdges(30, 1000);    // 264 bytes -> 1 block
+  const auto second = SomeEdges(100, 5000);  // 824 bytes -> 2 blocks
+  ASSERT_TRUE(dyn::WriteDeltaLog(context.get(), log, 7, first).ok());
+  ASSERT_TRUE(dyn::AppendDeltaLog(context.get(), log, 7, second).ok());
+
+  const std::vector<char> pristine = Slurp(log);
+  // header block + 1 record block + 2 record blocks
+  ASSERT_EQ(pristine.size(), 4 * kBlock);
+  const std::size_t last_record_start = 2 * kBlock;
+  // The record's REAL bytes end here; the rest of its last block is
+  // zero padding. A cut that only sheds padding loses nothing — the
+  // record still parses, so the log is clean, not torn.
+  const std::size_t data_end =
+      last_record_start + sizeof(dyn::DeltaRecordHeader) +
+      second.size() * sizeof(Edge);
+  ASSERT_LT(data_end, pristine.size());
+
+  std::vector<Edge> both = first;
+  both.insert(both.end(), second.begin(), second.end());
+
+  for (std::size_t cut = last_record_start; cut < pristine.size(); ++cut) {
+    Spit(log, pristine);
+    fs::resize_file(log, cut);
+
+    const bool record_survives = cut >= data_end;
+    // Exactly at the record boundary the file simply ends after the
+    // first record — clean EOF, not a torn tail.
+    const bool expect_torn = !record_survives && cut != last_record_start;
+    const std::vector<Edge>& expect = record_survives ? both : first;
+
+    auto scan = dyn::ScanDeltaLog(context.get(), log, 7);
+    ASSERT_TRUE(scan.ok()) << "cut=" << cut << ": "
+                           << scan.status().ToString();
+    EXPECT_TRUE(scan.value().exists) << "cut=" << cut;
+    EXPECT_FALSE(scan.value().stale) << "cut=" << cut;
+    EXPECT_EQ(scan.value().torn, expect_torn) << "cut=" << cut;
+    ASSERT_EQ(scan.value().edges.size(), expect.size()) << "cut=" << cut;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+      ASSERT_EQ(scan.value().edges[i], expect[i]) << "cut=" << cut;
+    }
+
+    // A full recovery rewrite at every offset would fsync thousands of
+    // times; sample it (plus both boundary cuts) — the scan above is
+    // the per-offset invariant.
+    if (cut % 97 != 0 && cut != last_record_start &&
+        cut != pristine.size() - 1) {
+      continue;
+    }
+    bool recovered = false;
+    auto healed = dyn::RecoverDeltaLog(context.get(), log, 7, &recovered);
+    ASSERT_TRUE(healed.ok()) << "cut=" << cut << ": "
+                             << healed.status().ToString();
+    EXPECT_EQ(recovered, expect_torn) << "cut=" << cut;
+    EXPECT_EQ(healed.value().size(), expect.size()) << "cut=" << cut;
+    // After recovery the strict reader must accept the log...
+    auto strict = dyn::ReadDeltaLog(context.get(), log, 7);
+    ASSERT_TRUE(strict.ok()) << "cut=" << cut << ": "
+                             << strict.status().ToString();
+    // ...and an append must extend the healed prefix.
+    ASSERT_TRUE(dyn::AppendDeltaLog(context.get(), log, 7, second).ok())
+        << "cut=" << cut;
+    auto after = dyn::ReadDeltaLog(context.get(), log, 7);
+    ASSERT_TRUE(after.ok()) << "cut=" << cut;
+    EXPECT_EQ(after.value().size(), expect.size() + second.size())
+        << "cut=" << cut;
+  }
+}
+
+TEST(DurabilityTest, TornTailStrictReadIsCorruption) {
+  constexpr std::size_t kBlock = 512;
+  auto context = MakeContext(kBlock);
+  const fs::path dir = FreshDir("durability_torn_strict");
+  const std::string log = (dir / "art.dlog").string();
+  ASSERT_TRUE(
+      dyn::WriteDeltaLog(context.get(), log, 3, SomeEdges(200, 1)).ok());
+  // Cut into the payload proper (past the padding) so the record is
+  // genuinely damaged.
+  fs::resize_file(log, fs::file_size(log) - kBlock - 5);
+  auto strict = dyn::ReadDeltaLog(context.get(), log, 3);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST(DurabilityTest, AppendOntoTornLogFoldsValidPrefix) {
+  constexpr std::size_t kBlock = 512;
+  auto context = MakeContext(kBlock);
+  const fs::path dir = FreshDir("durability_torn_append");
+  const std::string log = (dir / "art.dlog").string();
+  const auto first = SomeEdges(20, 10);
+  const auto lost = SomeEdges(90, 20);
+  const auto batch = SomeEdges(40, 30);
+  ASSERT_TRUE(dyn::WriteDeltaLog(context.get(), log, 9, first).ok());
+  ASSERT_TRUE(dyn::AppendDeltaLog(context.get(), log, 9, lost).ok());
+  fs::resize_file(log, fs::file_size(log) - kBlock - 17);  // tear `lost`
+  ASSERT_TRUE(dyn::AppendDeltaLog(context.get(), log, 9, batch).ok());
+  auto edges = dyn::ReadDeltaLog(context.get(), log, 9);
+  ASSERT_TRUE(edges.ok()) << edges.status().ToString();
+  ASSERT_EQ(edges.value().size(), first.size() + batch.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(edges.value()[i], first[i]);
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(edges.value()[first.size() + i], batch[i]);
+  }
+}
+
+TEST(DurabilityTest, DamagedHeaderIsCorruptionNotSelfHealing) {
+  auto context = MakeContext(512);
+  const fs::path dir = FreshDir("durability_bad_header");
+  const std::string log = (dir / "art.dlog").string();
+  ASSERT_TRUE(
+      dyn::WriteDeltaLog(context.get(), log, 1, SomeEdges(5, 0)).ok());
+  auto bytes = Slurp(log);
+  bytes[3] ^= 0x40;  // inside the magic
+  Spit(log, bytes);
+  auto scan = dyn::ScanDeltaLog(context.get(), log, 1);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_EQ(scan.status().code(), util::StatusCode::kCorruption);
+  auto healed = dyn::RecoverDeltaLog(context.get(), log, 1);
+  ASSERT_FALSE(healed.ok());
+  EXPECT_EQ(healed.status().code(), util::StatusCode::kCorruption);
+}
+
+// ---- durability accounting ------------------------------------------
+
+TEST(DurabilityTest, DeltaLogSyncsAreCountedOutsideModelColumns) {
+  auto context = MakeContext(4096);
+  const fs::path dir = FreshDir("durability_sync_counts");
+  const std::string log = (dir / "art.dlog").string();
+  const auto before = context->stats();
+  ASSERT_TRUE(
+      dyn::WriteDeltaLog(context.get(), log, 2, SomeEdges(100, 4)).ok());
+  ASSERT_TRUE(
+      dyn::AppendDeltaLog(context.get(), log, 2, SomeEdges(50, 9)).ok());
+  const auto delta = context->stats() - before;
+  // Durable create (file fsync + dir fsync) plus the append's fsync.
+  EXPECT_GE(delta.sync_calls, 3u);
+  // Syncs are never model I/Os: checkpoint counters untouched, and the
+  // block reads/writes are exactly the log's blocks, not inflated by
+  // the fsyncs.
+  EXPECT_EQ(delta.checkpoint_writes, 0u);
+  EXPECT_EQ(delta.checkpoint_reads, 0u);
+}
+
+TEST(DurabilityTest, DurableRenamePublishesAndCountsOneDirSync) {
+  auto context = MakeContext(4096);
+  const fs::path dir = FreshDir("durability_rename");
+  const std::string tmp = (dir / "artifact.tmp").string();
+  const std::string final_path = (dir / "artifact").string();
+  Spit(tmp, {'h', 'i'});
+  const auto before = context->stats();
+  ASSERT_TRUE(io::DurableRename(context.get(), tmp, final_path).ok());
+  EXPECT_FALSE(fs::exists(tmp));
+  EXPECT_TRUE(fs::exists(final_path));
+  EXPECT_EQ((context->stats() - before).sync_calls, 1u);
+  EXPECT_EQ((context->stats() - before).total_ios(), 0u);
+}
+
+TEST(DurabilityTest, ParentDirOfContract) {
+  EXPECT_EQ(io::ParentDirOf("/a/b/c"), "/a/b");
+  EXPECT_EQ(io::ParentDirOf("/top"), "/");
+  EXPECT_EQ(io::ParentDirOf("relative"), ".");
+}
+
+// ---- crash-spec parsing ---------------------------------------------
+
+TEST(DurabilityTest, ParseCrashSpecAcceptsOrdinalAndTagForms) {
+  io::CrashSpec spec;
+  EXPECT_EQ(io::ParseCrashSpec("7", &spec), "");
+  EXPECT_EQ(spec.tag, "");
+  EXPECT_EQ(spec.ordinal, 7u);
+  EXPECT_EQ(io::ParseCrashSpec("publish.rename:12", &spec), "");
+  EXPECT_EQ(spec.tag, "publish.rename");
+  EXPECT_EQ(spec.ordinal, 12u);
+}
+
+TEST(DurabilityTest, ParseCrashSpecRejectsMalformedSpecs) {
+  io::CrashSpec spec;
+  EXPECT_NE(io::ParseCrashSpec("", &spec), "");
+  EXPECT_NE(io::ParseCrashSpec("abc", &spec), "");
+  EXPECT_NE(io::ParseCrashSpec(":3", &spec), "");
+  EXPECT_NE(io::ParseCrashSpec("tag:", &spec), "");
+  EXPECT_NE(io::ParseCrashSpec("tag:0", &spec), "");
+}
+
+TEST(DurabilityTest, DisarmedCrashPointsOnlyCount) {
+  const std::uint64_t before = io::CrashPointsPassed();
+  io::CrashPointHit("durability.test.site");
+  EXPECT_EQ(io::CrashPointsPassed(), before + 1);
+}
+
+// ---- orphan scratch-root reaping ------------------------------------
+
+TEST(DurabilityTest, ReapsDeadOwnersKeepsLiveOnes) {
+  const fs::path parent = FreshDir("durability_reap");
+
+  // A pid that is guaranteed dead AND guaranteed once-valid: a child
+  // we already waited on.
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) _exit(0);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  const long dead = static_cast<long>(child);
+  const long live = static_cast<long>(getpid());
+
+  auto make_root = [&](const std::string& name, long pid_file_owner) {
+    fs::create_directories(parent / name);
+    std::ofstream(parent / name / "scratch.bin") << "leftovers";
+    if (pid_file_owner != 0) {
+      std::ofstream(parent / name / ".pid") << pid_file_owner << "\n";
+    }
+  };
+  make_root("extscc_" + std::to_string(dead) + "_0", 0);     // reaped
+  make_root("extscc_" + std::to_string(live) + "_5", 0);     // ours: kept
+  make_root("extscc_" + std::to_string(live) + "_7", dead);  // .pid wins
+  make_root("extscc_" + std::to_string(dead) + "_1", live);  // .pid wins
+  make_root("not_a_session_root", 0);                        // ignored
+
+  EXPECT_EQ(io::ReapOrphanScratchRoots(parent.string()), 2u);
+  EXPECT_FALSE(fs::exists(parent / ("extscc_" + std::to_string(dead) + "_0")));
+  EXPECT_TRUE(fs::exists(parent / ("extscc_" + std::to_string(live) + "_5")));
+  EXPECT_FALSE(fs::exists(parent / ("extscc_" + std::to_string(live) + "_7")));
+  EXPECT_TRUE(fs::exists(parent / ("extscc_" + std::to_string(dead) + "_1")));
+  EXPECT_TRUE(fs::exists(parent / "not_a_session_root"));
+}
+
+// ---- checkpoint manifest --------------------------------------------
+
+class CheckpointManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    context_ = MakeContext(4096);
+    dir_ = FreshDir("durability_ckpt");
+    ckpt_ = std::make_unique<core::CheckpointSession>(
+        context_.get(), dir_.string(), /*data_version=*/42);
+    // One completed contraction level: the manifest obligates the four
+    // level files plus the live contracted edge file.
+    state_.phase = core::CheckpointSession::kContracting;
+    state_.data_version = 42;
+    state_.block_size = 4096;
+    state_.levels_done = 1;
+    state_.current_num_nodes = 11;
+    state_.current_num_edges = 23;
+    state_.contraction_seconds = 1.5;
+    core::ContractionIterationStats it;
+    it.level = 0;
+    it.nodes = 64;
+    it.cover_nodes = 11;
+    state_.iterations.push_back(it);
+    for (const char* kind : {"ein", "eout", "cover", "removed", "enext"}) {
+      files_.push_back(ckpt_->LevelPath(0, kind));
+      std::ofstream(files_.back(), std::ios::binary) << kind << "-data";
+    }
+  }
+
+  std::unique_ptr<io::IoContext> context_;
+  fs::path dir_;
+  std::unique_ptr<core::CheckpointSession> ckpt_;
+  core::CheckpointSession::ResumeState state_;
+  std::vector<std::string> files_;
+};
+
+TEST_F(CheckpointManifestTest, SaveLoadRoundTripWithCounters) {
+  const auto before = context_->stats();
+  ASSERT_TRUE(ckpt_->Save(state_, files_).ok());
+  const auto after_save = context_->stats() - before;
+  EXPECT_EQ(after_save.checkpoint_writes, 1u);
+  // 5 data-file fsyncs + manifest fsync + the publish's dir fsync.
+  EXPECT_GE(after_save.sync_calls, 7u);
+  EXPECT_EQ(after_save.total_ios(), 0u)
+      << "checkpoint traffic leaked into the model I/O columns";
+
+  auto loaded = ckpt_->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((context_->stats() - before).checkpoint_reads, 1u);
+  const auto& st = loaded.value();
+  EXPECT_EQ(st.phase, core::CheckpointSession::kContracting);
+  EXPECT_EQ(st.data_version, 42u);
+  EXPECT_EQ(st.block_size, 4096u);
+  EXPECT_EQ(st.levels_done, 1u);
+  EXPECT_EQ(st.current_num_nodes, 11u);
+  EXPECT_EQ(st.current_num_edges, 23u);
+  EXPECT_DOUBLE_EQ(st.contraction_seconds, 1.5);
+  ASSERT_EQ(st.iterations.size(), 1u);
+  EXPECT_EQ(st.iterations[0].nodes, 64u);
+  EXPECT_EQ(st.iterations[0].cover_nodes, 11u);
+}
+
+TEST_F(CheckpointManifestTest, MissingManifestIsNotFound) {
+  auto loaded = ckpt_->Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointManifestTest, CorruptManifestIsCorruption) {
+  ASSERT_TRUE(ckpt_->Save(state_, files_).ok());
+  auto bytes = Slurp(ckpt_->ManifestPath());
+  bytes[bytes.size() / 2] ^= 0x01;
+  Spit(ckpt_->ManifestPath(), bytes);
+  auto loaded = ckpt_->Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST_F(CheckpointManifestTest, ResizedDataFileIsFailedPrecondition) {
+  ASSERT_TRUE(ckpt_->Save(state_, files_).ok());
+  fs::resize_file(files_[0], fs::file_size(files_[0]) - 1);
+  auto loaded = ckpt_->Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointManifestTest, MissingDataFileIsFailedPrecondition) {
+  ASSERT_TRUE(ckpt_->Save(state_, files_).ok());
+  fs::remove(files_[2]);
+  auto loaded = ckpt_->Load();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointManifestTest, FinishRemovesManifestAndPhaseFiles) {
+  ASSERT_TRUE(ckpt_->Save(state_, files_).ok());
+  ckpt_->Finish(/*num_levels=*/1);
+  EXPECT_FALSE(fs::exists(ckpt_->ManifestPath()));
+  for (const auto& f : files_) EXPECT_FALSE(fs::exists(f)) << f;
+}
+
+TEST(DurabilityTest, SolveDataVersionBindsOptionsAndGeometryNotPaths) {
+  auto context = MakeContext(4096);
+  graph::DiskGraph a;
+  a.num_nodes = 100;
+  a.num_edges = 400;
+  a.node_path = "/scratch/run1/nodes";
+  a.edge_path = "/scratch/run1/edges";
+  graph::DiskGraph b = a;
+  // Same shape through DIFFERENT per-session scratch paths — exactly
+  // what a crashed solve and its resume look like.
+  b.node_path = "/scratch/run2/nodes";
+  b.edge_path = "/scratch/run2/edges";
+  const auto opt = core::ExtSccOptions::Optimized();
+  EXPECT_EQ(core::SolveDataVersion(a, opt, 4096),
+            core::SolveDataVersion(b, opt, 4096));
+  EXPECT_NE(core::SolveDataVersion(a, opt, 4096),
+            core::SolveDataVersion(a, opt, 8192));
+  EXPECT_NE(core::SolveDataVersion(a, opt, 4096),
+            core::SolveDataVersion(a, core::ExtSccOptions::Basic(), 4096));
+  graph::DiskGraph c = a;
+  c.num_nodes = 101;
+  EXPECT_NE(core::SolveDataVersion(a, opt, 4096),
+            core::SolveDataVersion(c, opt, 4096));
+}
+
+}  // namespace
+}  // namespace extscc
